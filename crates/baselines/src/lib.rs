@@ -1,0 +1,37 @@
+//! "Plan, then deploy" baseline algorithms the paper compares against.
+//!
+//! All four baselines share the conventional two-phase structure of
+//! Figure 1(a): a *logical* join order is chosen first (by the classic
+//! minimize-intermediate-result-sizes objective, network-oblivious), and
+//! only then are the fixed plan's operators placed on network nodes:
+//!
+//! * [`PlanThenDeploy`] — rate-optimal plan + *optimal* placement of that
+//!   fixed tree (the "Plan, then deploy" bar of Figure 2: an exhaustive
+//!   placement search that still cannot recover from the network-oblivious
+//!   join order).
+//! * [`Relaxation`] — the spring-relaxation placement of Pietzuch et al.
+//!   (ICDE'06), run in the 3-dimensional cost space as in Section 3.3.
+//! * [`InNetwork`] — the zone-based network-aware placement in the style of
+//!   Ahmad & Çetintemel (VLDB'04): the network is carved into zones and
+//!   each operator greedily picks a zone, then a node within it.
+//! * [`RandomPlace`] — uniformly random placement of the rate-optimal plan,
+//!   a sanity floor.
+//!
+//! Operator reuse is supported in the logical phase for every baseline
+//! (compatible derived streams compete as plan leaves), mirroring
+//! "operator reuse was taken into consideration for all algorithms"
+//! (Section 3.3).
+
+pub mod innetwork;
+pub mod logical;
+pub mod placement;
+pub mod plan_then_deploy;
+pub mod random_place;
+pub mod relaxation;
+
+pub use innetwork::{InNetwork, InNetworkRunner};
+pub use logical::rate_optimal_tree;
+pub use placement::optimal_placement;
+pub use plan_then_deploy::PlanThenDeploy;
+pub use random_place::RandomPlace;
+pub use relaxation::Relaxation;

@@ -1,0 +1,85 @@
+//! Ablation — clustering method: the paper builds its hierarchy with
+//! K-Means over the cost space; this ablation swaps in complete-linkage
+//! agglomeration over *actual* traversal costs and measures the effect on
+//! Top-Down's deployed cost and on the hierarchy's Theorem 1 slack.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq_bench::{paper_workload, run_batch, workload_repeats, Table};
+use dsq_core::{Environment, TopDown};
+use dsq_hierarchy::{ClusteringMethod, HierarchyConfig};
+use dsq_net::TransitStubConfig;
+
+fn env_with(method: ClusteringMethod) -> Environment {
+    let net = TransitStubConfig::paper_128().generate(1).network;
+    Environment::build_with(
+        net,
+        HierarchyConfig {
+            max_cs: 32,
+            seed: 0x5eed,
+            method,
+        },
+        40,
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let kmeans = env_with(ClusteringMethod::KMeans);
+    let agglo = env_with(ClusteringMethod::Agglomerative);
+
+    let mut rows: Vec<(String, Vec<f64>)> = Vec::new();
+    for (name, env) in [("kmeans", &kmeans), ("agglomerative", &agglo)] {
+        let mut costs = Vec::new();
+        for w in 0..workload_repeats() {
+            let wl = paper_workload(env, 700 + w as u64, None);
+            let (curve, _) = run_batch(&TopDown::new(env), &wl, true);
+            costs.push(*curve.last().unwrap());
+        }
+        let mean = costs.iter().sum::<f64>() / costs.len() as f64;
+        let slack = env.hierarchy.theorem1_slack(env.hierarchy.height());
+        println!(
+            "{name:>14}: top-down batch cost {mean:.1}, hierarchy height {}, Theorem 1 slack {slack:.1}",
+            env.hierarchy.height()
+        );
+        rows.push((name.to_string(), vec![mean, env.hierarchy.height() as f64, slack]));
+    }
+    let ratio = rows[1].1[0] / rows[0].1[0];
+    println!(
+        "agglomerative / kmeans cost ratio: {ratio:.3} (close to 1.0 expected — the hierarchy \
+         shape matters more than the clustering algorithm)"
+    );
+
+    Table {
+        name: "ablation_clustering",
+        caption: "clustering method ablation (rows: cost, height, slack per method)",
+        x_label: "metric_idx",
+        x: vec![0.0, 1.0, 2.0],
+        series: rows,
+    }
+    .emit();
+
+    // Criterion: hierarchy construction cost for each method.
+    let net = TransitStubConfig::paper_128().generate(1).network;
+    let mut group = c.benchmark_group("ablation_clustering_build");
+    group.sample_size(10);
+    for method in [ClusteringMethod::KMeans, ClusteringMethod::Agglomerative] {
+        group.bench_function(format!("{method:?}"), |b| {
+            b.iter(|| {
+                Environment::build_with(
+                    net.clone(),
+                    HierarchyConfig {
+                        max_cs: 32,
+                        seed: 0x5eed,
+                        method,
+                    },
+                    40,
+                )
+                .hierarchy
+                .height()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Ablation — planning engines: the dynamic program used by every
+//! coordinator returns the same optimum as literal exhaustive enumeration
+//! (DESIGN.md's engine substitution). This bench verifies the equality on
+//! sampled within-cluster problems and quantifies the speed difference.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq_core::{ClusterPlanner, PlannerInput, SearchStats};
+use dsq_net::{DistanceMatrix, Metric, NodeId, TransitStubConfig};
+use dsq_query::{Query, QueryId, ReuseRegistry};
+use dsq_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn bench(c: &mut Criterion) {
+    let ts = TransitStubConfig::emulab_32().generate(3);
+    let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+    let wl = WorkloadGenerator::new(
+        WorkloadConfig {
+            streams: 12,
+            queries: 20,
+            joins_per_query: 2..=3,
+            ..WorkloadConfig::default()
+        },
+        77,
+    )
+    .generate(&ts.network);
+    // A small candidate set so the exhaustive engine stays tractable.
+    let candidates: Vec<NodeId> = ts.network.nodes().take(8).collect();
+
+    let mut agree = 0usize;
+    let mut _reg = ReuseRegistry::new();
+    let mut cases: Vec<(Query, Vec<PlannerInput>)> = Vec::new();
+    for q in &wl.queries {
+        let inputs: Vec<PlannerInput> = q
+            .sources
+            .iter()
+            .map(|&s| PlannerInput::base(&wl.catalog, s))
+            .collect();
+        cases.push((q.clone(), inputs));
+    }
+    for (q, inputs) in &cases {
+        let planner = ClusterPlanner::new(&wl.catalog, q);
+        let mut s1 = SearchStats::new();
+        let mut s2 = SearchStats::new();
+        let dp = planner
+            .plan(inputs, &candidates, &dm, Some(q.sink), None, &mut s1)
+            .unwrap();
+        let ex = planner
+            .plan_exhaustive(inputs, &candidates, &dm, Some(q.sink), None, &mut s2)
+            .unwrap();
+        assert!(
+            (dp.est_cost - ex.est_cost).abs() < 1e-6,
+            "engines disagree: dp {} vs exhaustive {}",
+            dp.est_cost,
+            ex.est_cost
+        );
+        agree += 1;
+    }
+    println!("\nablation_engines: DP optimum == exhaustive optimum on {agree}/{} cases", cases.len());
+
+    let (q, inputs) = &cases[0];
+    let planner = ClusterPlanner::new(&wl.catalog, q);
+    let mut group = c.benchmark_group("ablation_engines");
+    group.bench_function("dp", |b| {
+        b.iter(|| {
+            let mut s = SearchStats::new();
+            planner
+                .plan(inputs, &candidates, &dm, Some(q.sink), None, &mut s)
+                .unwrap()
+                .est_cost
+        })
+    });
+    group.bench_function("exhaustive", |b| {
+        b.iter(|| {
+            let mut s = SearchStats::new();
+            planner
+                .plan_exhaustive(inputs, &candidates, &dm, Some(q.sink), None, &mut s)
+                .unwrap()
+                .est_cost
+        })
+    });
+    group.finish();
+    let _ = QueryId(0);
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Figure 5 — "Bottom-Up: Cost": cumulative deployed cost per unit time vs.
+//! number of queries, for `max_cs ∈ {2, 4, 8, 16, 32, 64}` on the ~128-node
+//! network (100 streams, 20 queries of 2–5 joins, averaged over 10
+//! workloads).
+//!
+//! Expected shape: cost decreases as `max_cs` grows ("a max_cs value of 64
+//! results in a 21% decrease in cost compared to a max_cs value of 8") —
+//! fewer hierarchy levels mean fewer compounding approximations, so for
+//! Bottom-Up the guideline is *the largest max_cs whose search space is
+//! acceptable*.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq_bench::{cluster_size_sweep, paper_env, paper_workload, run_batch, Hierarchical};
+
+fn bench(c: &mut Criterion) {
+    let table = cluster_size_sweep(
+        Hierarchical::BottomUp,
+        "fig05",
+        "Bottom-Up cumulative cost vs queries, by max_cs",
+    );
+    // Headline ratio from the paper's text: max_cs 64 vs max_cs 8.
+    let last = table.x.len() - 1;
+    let cost8 = table.series.iter().find(|(n, _)| n == "max_cs=8").unwrap().1[last];
+    let cost64 = table.series.iter().find(|(n, _)| n == "max_cs=64").unwrap().1[last];
+    println!(
+        "\nfig05 headline: max_cs=64 is {:.1}% cheaper than max_cs=8 (paper: ~21%)",
+        (1.0 - cost64 / cost8) * 100.0
+    );
+    table.emit();
+
+    // Criterion: one full Bottom-Up batch at two cluster sizes.
+    let mut group = c.benchmark_group("fig05_bottomup_batch");
+    group.sample_size(10);
+    for max_cs in [8usize, 64] {
+        let env = paper_env(max_cs, 1);
+        let wl = paper_workload(&env, 500, None);
+        group.bench_function(format!("max_cs={max_cs}"), |b| {
+            b.iter(|| {
+                let opt = Hierarchical::BottomUp.build(&env);
+                run_batch(opt.as_ref(), &wl, true).0.last().copied()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Figure 6 — "Top-Down: Cost": the cluster-size sweep of Figure 5 run with
+//! the Top-Down algorithm.
+//!
+//! Expected shape: "large values of max_cs (> 4) result in deployed costs
+//! that are close to each other" (Top-Down always considers all operator
+//! orderings at the top level, so the plan choice is stable); very small
+//! max_cs adds levels and therefore approximation error, so it is worst.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq_bench::{cluster_size_sweep, paper_env, paper_workload, run_batch, Hierarchical};
+
+fn bench(c: &mut Criterion) {
+    let table = cluster_size_sweep(
+        Hierarchical::TopDown,
+        "fig06",
+        "Top-Down cumulative cost vs queries, by max_cs",
+    );
+    let last = table.x.len() - 1;
+    let at = |name: &str| {
+        table
+            .series
+            .iter()
+            .find(|(n, _)| n == name)
+            .unwrap()
+            .1[last]
+    };
+    let spread_large = (at("max_cs=8") - at("max_cs=64")).abs() / at("max_cs=64");
+    println!(
+        "\nfig06 headline: max_cs=2 costs {:+.1}% vs max_cs=64; spread among max_cs ≥ 8 is {:.1}% \
+         (paper: curves for larger max_cs nearly coincide, tiny max_cs worst)",
+        (at("max_cs=2") / at("max_cs=64") - 1.0) * 100.0,
+        spread_large * 100.0
+    );
+    table.emit();
+
+    let mut group = c.benchmark_group("fig06_topdown_batch");
+    group.sample_size(10);
+    for max_cs in [8usize, 64] {
+        let env = paper_env(max_cs, 1);
+        let wl = paper_workload(&env, 500, None);
+        group.bench_function(format!("max_cs={max_cs}"), |b| {
+            b.iter(|| {
+                let opt = Hierarchical::TopDown.build(&env);
+                run_batch(opt.as_ref(), &wl, true).0.last().copied()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

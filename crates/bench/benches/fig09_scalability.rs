@@ -1,0 +1,151 @@
+//! Figure 9 — "Scalability with Network Size": plan/deployment combinations
+//! considered per query (log scale) on transit-stub networks of ~64, ~128,
+//! ~512 and ~1024 nodes, for Top-Down and Bottom-Up (`max_cs = 32`,
+//! 10 queries each joining 4 of 100 streams), compared with the exhaustive
+//! search-space size (Lemma 1) and the analytical worst-case bounds
+//! (Theorems 2 and 4).
+//!
+//! Expected shape (paper): both algorithms cut the space by ≥ 99%;
+//! Bottom-Up's per-query space is ~45% below Top-Down's; the analytical
+//! bounds are nearly flat across network sizes (the growth of
+//! `O_exhaustive` is offset by the shrinking β).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq_bench::{quick_mode, Table};
+use dsq_core::{
+    bounds, BottomUp, BottomUpPlacement, Environment, Optimizer, SearchStats, TopDown,
+};
+use dsq_net::TransitStubConfig;
+use dsq_query::ReuseRegistry;
+use dsq_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn bench(c: &mut Criterion) {
+    let sizes = if quick_mode() {
+        vec![64usize, 128]
+    } else {
+        vec![64, 128, 512, 1024]
+    };
+    const K: usize = 4; // streams per query
+    let mut x = Vec::new();
+    let (mut td_s, mut bu_s, mut bum_s, mut exh_s, mut bound_s) =
+        (vec![], vec![], vec![], vec![], vec![]);
+    let mut envs = Vec::new();
+
+    for &target in &sizes {
+        let cfg = TransitStubConfig::sized(target);
+        let net = cfg.generate(9).network;
+        let n = net.len();
+        let env = Environment::build(net, 32);
+        let h = env.hierarchy.height();
+        let wl = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: 100,
+                queries: 10,
+                joins_per_query: (K - 1)..=(K - 1),
+                ..WorkloadConfig::default()
+            },
+            33,
+        )
+        .generate(&env.network);
+
+        let mut td_plans = 0u128;
+        let mut bu_plans = 0u128;
+        let mut bum_plans = 0u128;
+        for q in &wl.queries {
+            let mut reg = ReuseRegistry::new();
+            let mut s = SearchStats::new();
+            TopDown::new(&env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap();
+            td_plans += s.plans_considered;
+            let mut reg = ReuseRegistry::new();
+            let mut s = SearchStats::new();
+            BottomUp::new(&env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap();
+            bu_plans += s.plans_considered;
+            let mut reg = ReuseRegistry::new();
+            let mut s = SearchStats::new();
+            BottomUp::with_placement(&env, BottomUpPlacement::MembersOnly)
+                .optimize(&wl.catalog, q, &mut reg, &mut s)
+                .unwrap();
+            bum_plans += s.plans_considered;
+        }
+        let per_query_td = td_plans as f64 / wl.queries.len() as f64;
+        let per_query_bu = bu_plans as f64 / wl.queries.len() as f64;
+        let per_query_bum = bum_plans as f64 / wl.queries.len() as f64;
+        let exhaustive = bounds::lemma1_space_f64(K, n);
+        let analytic = bounds::hierarchical_space_bound(K, n, 32, h);
+
+        println!(
+            "n = {n:>5} (h = {h}): top-down {per_query_td:.3e}, bottom-up {per_query_bu:.3e}, \
+             bottom-up/members-only {per_query_bum:.3e}, exhaustive {exhaustive:.3e}, \
+             bound {analytic:.3e} | reduction: td {:.3}%, bu {:.3}% of exhaustive",
+            per_query_td / exhaustive * 100.0,
+            per_query_bu / exhaustive * 100.0,
+        );
+        x.push(n as f64);
+        td_s.push(per_query_td);
+        bu_s.push(per_query_bu);
+        bum_s.push(per_query_bum);
+        exh_s.push(exhaustive);
+        bound_s.push(analytic);
+        envs.push((env, wl));
+    }
+
+    // Headlines from the paper's text.
+    let avg_bu_vs_td: f64 =
+        td_s.iter().zip(&bu_s).map(|(t, b)| b / t).sum::<f64>() / td_s.len() as f64;
+    let big = x.iter().position(|&n| n >= 128.0).unwrap_or(0);
+    println!(
+        "\nfig09 headlines: at n ≥ 128 both algorithms are ≥99% below exhaustive: {}",
+        td_s[big..]
+            .iter()
+            .zip(&exh_s[big..])
+            .all(|(t, e)| t / e < 0.01)
+            && bu_s[big..].iter().zip(&exh_s[big..]).all(|(b, e)| b / e < 0.01)
+    );
+    let avg_bum_vs_td: f64 =
+        td_s.iter().zip(&bum_s).map(|(t, b)| b / t).sum::<f64>() / td_s.len() as f64;
+    println!(
+        "  bottom-up examines {:.0}% fewer plans than top-down on average (paper: ~45%); \
+         the members-only placement reading examines {:.0}% fewer",
+        (1.0 - avg_bu_vs_td) * 100.0,
+        (1.0 - avg_bum_vs_td) * 100.0
+    );
+
+    Table {
+        name: "fig09",
+        caption: "plans considered per 4-stream query vs network size (log scale)",
+        x_label: "network size",
+        x,
+        series: vec![
+            ("top-down".into(), td_s),
+            ("bottom-up".into(), bu_s),
+            ("bottom-up members-only".into(), bum_s),
+            ("exhaustive (Lemma 1)".into(), exh_s),
+            ("analytical bound".into(), bound_s),
+        ],
+    }
+    .emit();
+
+    // Criterion: per-query optimization latency at the largest size.
+    let (env, wl) = envs.last().unwrap();
+    let q = &wl.queries[0];
+    let mut group = c.benchmark_group("fig09_largest_network");
+    group.sample_size(10);
+    group.bench_function("top-down", |b| {
+        b.iter(|| {
+            let mut reg = ReuseRegistry::new();
+            let mut s = SearchStats::new();
+            TopDown::new(env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap().cost
+        })
+    });
+    group.bench_function("bottom-up", |b| {
+        b.iter(|| {
+            let mut reg = ReuseRegistry::new();
+            let mut s = SearchStats::new();
+            BottomUp::new(env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap().cost
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Figure 11 — "Cumulative deployed cost" (Emulab prototype, Section
+//! 3.5.1): cumulative cost per unit time of 25 queries on the 32-node
+//! testbed, for Bottom-Up and Top-Down at cluster sizes 4 and 8.
+//!
+//! Expected shape (paper): Top-Down offers lower deployed cost than
+//! Bottom-Up at both cluster sizes — consistent with the simulation results
+//! — because it considers all operator orderings at the top.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq_bench::{run_batch, Table};
+use dsq_core::{BottomUp, Environment, Optimizer, TopDown};
+use dsq_net::TransitStubConfig;
+use dsq_workload::{WorkloadConfig, WorkloadGenerator};
+
+fn bench(c: &mut Criterion) {
+    let net = TransitStubConfig::emulab_32().generate(4).network;
+    let sizes = [4usize, 8];
+    let envs: Vec<Environment> = sizes
+        .iter()
+        .map(|&cs| Environment::build(net.clone(), cs))
+        .collect();
+    let wl = WorkloadGenerator::new(
+        WorkloadConfig {
+            streams: 8,
+            queries: 25,
+            joins_per_query: 1..=4,
+            ..WorkloadConfig::default()
+        },
+        12,
+    )
+    .generate(&net);
+
+    let mut series = Vec::new();
+    for (ei, &cs) in sizes.iter().enumerate() {
+        for (label, alg) in [
+            (
+                "bottom-up",
+                Box::new(BottomUp::new(&envs[ei])) as Box<dyn Optimizer>,
+            ),
+            ("top-down", Box::new(TopDown::new(&envs[ei]))),
+        ] {
+            let (curve, _) = run_batch(alg.as_ref(), &wl, true);
+            series.push((format!("{label} (cs={cs})"), curve));
+        }
+    }
+
+    let last = series[0].1.len() - 1;
+    let at = |n: &str| series.iter().find(|(a, _)| a == n).unwrap().1[last];
+    println!(
+        "\nfig11 headlines: top-down beats bottom-up at cs=4 by {:.1}% and at cs=8 by {:.1}% \
+         (paper: top-down lower at both)",
+        (1.0 - at("top-down (cs=4)") / at("bottom-up (cs=4)")) * 100.0,
+        (1.0 - at("top-down (cs=8)") / at("bottom-up (cs=8)")) * 100.0,
+    );
+
+    Table {
+        name: "fig11",
+        caption: "cumulative deployed cost on the 32-node Emulab model",
+        x_label: "queries",
+        x: (1..=series[0].1.len()).map(|i| i as f64).collect(),
+        series,
+    }
+    .emit();
+
+    // Criterion: whole-batch deployment at cs=8.
+    let mut group = c.benchmark_group("fig11_batch");
+    group.sample_size(10);
+    group.bench_function("top-down cs=8", |b| {
+        b.iter(|| run_batch(&TopDown::new(&envs[1]), &wl, true).0.last().copied())
+    });
+    group.bench_function("bottom-up cs=8", |b| {
+        b.iter(|| run_batch(&BottomUp::new(&envs[1]), &wl, true).0.last().copied())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,302 @@
+//! Shared experiment drivers for the figure-regeneration benchmarks.
+//!
+//! Every bench target under `benches/` reproduces one figure of the paper's
+//! evaluation (see EXPERIMENTS.md for the full index). The heavy lifting —
+//! environments, averaged workloads, algorithm registry, CSV output — lives
+//! here so each bench file reads like the experiment description.
+//!
+//! Scale control: benches run at the paper's parameters by default; set
+//! `DSQ_BENCH_QUICK=1` to shrink workload counts for smoke runs.
+
+use dsq_baselines::{InNetwork, InNetworkRunner, PlanThenDeploy, RandomPlace, Relaxation};
+use dsq_core::{consolidate, BottomUp, Environment, Optimal, Optimizer, SearchStats, TopDown};
+use dsq_net::TransitStubConfig;
+use dsq_query::ReuseRegistry;
+use dsq_workload::{Workload, WorkloadConfig, WorkloadGenerator};
+use std::fmt::Write as _;
+use std::fs;
+use std::path::PathBuf;
+
+/// True when quick (smoke) mode is requested.
+pub fn quick_mode() -> bool {
+    std::env::var("DSQ_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
+}
+
+/// Number of independent workloads to average over (the paper averages
+/// over 10).
+pub fn workload_repeats() -> usize {
+    if quick_mode() {
+        2
+    } else {
+        10
+    }
+}
+
+/// The ~128-node evaluation environment of Sections 3.1–3.4.
+pub fn paper_env(max_cs: usize, seed: u64) -> Environment {
+    let net = TransitStubConfig::paper_128().generate(seed).network;
+    Environment::build(net, max_cs)
+}
+
+/// The ~64-node environment of Figure 2.
+pub fn small_env(max_cs: usize, seed: u64) -> Environment {
+    let net = TransitStubConfig::paper_64().generate(seed).network;
+    Environment::build(net, max_cs)
+}
+
+/// The Section 3 workload: 100 streams, 20 queries with 2–5 joins. The
+/// reuse experiments (Figures 7–8) use the skewed draw; see EXPERIMENTS.md.
+pub fn paper_workload(env: &Environment, seed: u64, skew: Option<f64>) -> Workload {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            streams: 100,
+            queries: if quick_mode() { 8 } else { 20 },
+            joins_per_query: 2..=5,
+            source_skew: skew,
+            ..WorkloadConfig::default()
+        },
+        seed,
+    )
+    .generate(&env.network)
+}
+
+/// Deploy a workload incrementally and return the cumulative-cost curve.
+pub fn run_batch(
+    alg: &dyn Optimizer,
+    wl: &Workload,
+    reuse: bool,
+) -> (Vec<f64>, SearchStats) {
+    let mut registry = ReuseRegistry::new();
+    let out = consolidate::deploy_all(alg, &wl.catalog, &wl.queries, &mut registry, reuse);
+    (out.cumulative_cost, out.stats)
+}
+
+/// Element-wise mean of equal-length curves.
+pub fn mean_curve(curves: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!curves.is_empty());
+    let len = curves.iter().map(Vec::len).min().unwrap();
+    (0..len)
+        .map(|i| curves.iter().map(|c| c[i]).sum::<f64>() / curves.len() as f64)
+        .collect()
+}
+
+/// A printable, CSV-exportable result table (x column + named series).
+pub struct Table {
+    /// Figure identifier, e.g. `fig05`.
+    pub name: &'static str,
+    /// Caption printed above the table.
+    pub caption: &'static str,
+    /// X-axis label.
+    pub x_label: &'static str,
+    /// X values.
+    pub x: Vec<f64>,
+    /// Named Y series.
+    pub series: Vec<(String, Vec<f64>)>,
+}
+
+impl Table {
+    /// Print the table and write `target/figures/<name>.csv`.
+    pub fn emit(&self) {
+        let mut out = String::new();
+        let _ = writeln!(out, "\n=== {} — {} ===", self.name, self.caption);
+        let _ = write!(out, "{:>16}", self.x_label);
+        for (name, _) in &self.series {
+            let _ = write!(out, " {name:>18}");
+        }
+        let _ = writeln!(out);
+        for (i, x) in self.x.iter().enumerate() {
+            let _ = write!(out, "{x:>16.1}");
+            for (_, ys) in &self.series {
+                match ys.get(i) {
+                    Some(y) if y.abs() >= 1e6 => {
+                        let _ = write!(out, " {:>18.3e}", y);
+                    }
+                    Some(y) => {
+                        let _ = write!(out, " {y:>18.1}");
+                    }
+                    None => {
+                        let _ = write!(out, " {:>18}", "-");
+                    }
+                }
+            }
+            let _ = writeln!(out);
+        }
+        println!("{out}");
+
+        let dir = figures_dir();
+        let _ = fs::create_dir_all(&dir);
+        let mut csv = String::new();
+        let _ = write!(csv, "{}", self.x_label.replace(' ', "_"));
+        for (name, _) in &self.series {
+            let _ = write!(csv, ",{}", name.replace(' ', "_"));
+        }
+        let _ = writeln!(csv);
+        for (i, x) in self.x.iter().enumerate() {
+            let _ = write!(csv, "{x}");
+            for (_, ys) in &self.series {
+                match ys.get(i) {
+                    Some(y) => {
+                        let _ = write!(csv, ",{y}");
+                    }
+                    None => {
+                        let _ = write!(csv, ",");
+                    }
+                }
+            }
+            let _ = writeln!(csv);
+        }
+        let path = dir.join(format!("{}.csv", self.name));
+        if let Err(e) = fs::write(&path, csv) {
+            eprintln!("could not write {}: {e}", path.display());
+        } else {
+            println!("[written {}]", path.display());
+        }
+    }
+}
+
+/// Which hierarchical algorithm a shared experiment driver runs.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Hierarchical {
+    /// The Top-Down algorithm (Section 2.2).
+    TopDown,
+    /// The Bottom-Up algorithm (Section 2.3).
+    BottomUp,
+}
+
+impl Hierarchical {
+    /// Instantiate the optimizer over an environment.
+    pub fn build<'a>(self, env: &'a Environment) -> Box<dyn Optimizer + 'a> {
+        match self {
+            Hierarchical::TopDown => Box::new(TopDown::new(env)),
+            Hierarchical::BottomUp => Box::new(BottomUp::new(env)),
+        }
+    }
+}
+
+/// The cluster-size sweep of Figures 5 and 6: cumulative deployed cost of
+/// the Section 3 workload for `max_cs ∈ {2, 4, 8, 16, 32, 64}`, averaged
+/// over independent workloads (which run in parallel — each batch is
+/// self-contained, so the Rayon fan-out is race-free by construction).
+pub fn cluster_size_sweep(alg: Hierarchical, name: &'static str, caption: &'static str) -> Table {
+    use rayon::prelude::*;
+    let base = paper_env(64, 1);
+    let sizes = [2usize, 4, 8, 16, 32, 64];
+    let mut series = Vec::new();
+    let mut x: Vec<f64> = Vec::new();
+    for &max_cs in &sizes {
+        let env = base.reclustered(max_cs);
+        let curves: Vec<Vec<f64>> = (0..workload_repeats())
+            .into_par_iter()
+            .map(|w| {
+                let wl = paper_workload(&env, 100 + w as u64, None);
+                let opt = alg.build(&env);
+                run_batch(opt.as_ref(), &wl, true).0
+            })
+            .collect();
+        let mean = mean_curve(&curves);
+        if x.is_empty() {
+            x = (1..=mean.len()).map(|i| i as f64).collect();
+        }
+        series.push((format!("max_cs={max_cs}"), mean));
+    }
+    Table {
+        name,
+        caption,
+        x_label: "queries",
+        x,
+        series,
+    }
+}
+
+/// An environment + workload pair shared between a table computation and
+/// the Criterion timing section of a bench.
+pub struct BenchCase {
+    /// Optimization environment.
+    pub env: Environment,
+    /// Workload deployed in the experiment.
+    pub wl: Workload,
+}
+
+/// Directory figure CSVs are written to.
+pub fn figures_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../target/figures")
+}
+
+/// Named algorithm set for comparison tables. Zones for In-network follow
+/// the paper's 5-zone setup.
+pub struct AlgorithmSet<'a> {
+    /// In-network zone structure (owned here so the runner can borrow it).
+    pub zones: InNetwork,
+    env: &'a Environment,
+}
+
+impl<'a> AlgorithmSet<'a> {
+    /// Build the comparison set over an environment.
+    pub fn new(env: &'a Environment) -> Self {
+        AlgorithmSet {
+            zones: InNetwork::new(env, 5),
+            env,
+        }
+    }
+
+    /// `(name, optimizer)` pairs: both hierarchical algorithms, the exact
+    /// optimizer and the three baselines.
+    pub fn all(&'a self) -> Vec<(&'static str, Box<dyn Optimizer + 'a>)> {
+        vec![
+            ("top-down", Box::new(TopDown::new(self.env))),
+            ("bottom-up", Box::new(BottomUp::new(self.env))),
+            ("optimal", Box::new(Optimal::new(self.env))),
+            ("plan-then-deploy", Box::new(PlanThenDeploy::new(self.env))),
+            ("relaxation", Box::new(Relaxation::new(self.env))),
+            (
+                "in-network",
+                Box::new(InNetworkRunner {
+                    zones: &self.zones,
+                    env: self.env,
+                }),
+            ),
+            ("random", Box::new(RandomPlace::new(self.env, 0xBAD))),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tables_print_and_write() {
+        let t = Table {
+            name: "test_table",
+            caption: "self check",
+            x_label: "x",
+            x: vec![1.0, 2.0],
+            series: vec![("a".into(), vec![10.0, 20.0]), ("b".into(), vec![1e9, 2e9])],
+        };
+        t.emit();
+        let path = figures_dir().join("test_table.csv");
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("x,a,b"));
+    }
+
+    #[test]
+    fn batch_runner_smoke() {
+        let env = small_env(16, 1);
+        let wl = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: 10,
+                queries: 3,
+                joins_per_query: 2..=2,
+                ..WorkloadConfig::default()
+            },
+            1,
+        )
+        .generate(&env.network);
+        let (curve, stats) = run_batch(&TopDown::new(&env), &wl, true);
+        assert_eq!(curve.len(), 3);
+        assert!(stats.plans_considered > 0);
+        let m = mean_curve(&[curve.clone(), curve]);
+        assert_eq!(m.len(), 3);
+    }
+}

@@ -1,0 +1,895 @@
+//! The within-cluster planning engine shared by every optimizer.
+//!
+//! Each coordinator in the paper "exhaustively constructs the possible query
+//! trees … and for each such tree constructs a set of all possible node
+//! assignments within its current cluster", picking the cheapest. This
+//! module implements that search in two interchangeable ways:
+//!
+//! * [`ClusterPlanner::plan`] — a subset/placement dynamic program that
+//!   returns the *same optimum* as literal enumeration for the sum-of-edge
+//!   costs metric, in `O(3^A·M + 2^A·M²)` instead of `O((2A−3)!!·M^(A−1))`
+//!   (A = atoms, M = candidate nodes);
+//! * [`ClusterPlanner::plan_exhaustive`] — the literal enumerate-everything
+//!   search, kept for validation and ablation.
+//!
+//! The *search-space size* an invocation conceptually covers is accounted
+//! separately by [`SearchStats`] with the paper's own
+//! Lemma 1 formula, so Figure 9's counts are not affected by which engine
+//! computes the optimum.
+//!
+//! Inputs may *overlap*: a reusable derived stream covering `{A, B}`
+//! competes with the base streams `A` and `B`, and the search picks
+//! whichever mix is cheapest — this is how operator reuse is "automatically
+//! considered in the planning process". Under the catalog's independence
+//! model the output rate of any subset of atoms is well-defined regardless
+//! of which providers produce it, which is what makes the dynamic program
+//! exact.
+
+use crate::placed::PlacedTree;
+use crate::stats::SearchStats;
+use dsq_net::{DistanceMatrix, NodeId};
+use dsq_query::{Catalog, LeafSource, Query, StreamId, StreamSet};
+
+/// What a planning input is, for tree reconstruction.
+#[derive(Clone, Debug)]
+pub enum InputKind {
+    /// A base or reused derived stream.
+    Leaf(LeafSource),
+    /// The output of another fragment (Top-Down refinement), identified by
+    /// a caller-scoped tag.
+    External {
+        /// Caller-scoped fragment tag.
+        tag: usize,
+    },
+}
+
+/// One stream available to a planning step.
+#[derive(Clone, Debug)]
+pub struct PlannerInput {
+    /// Reconstruction payload.
+    pub kind: InputKind,
+    /// Base streams this input covers (disjointness with co-selected
+    /// inputs is enforced by the search).
+    pub covered: StreamSet,
+    /// Node the input is actually produced at (recorded in the tree).
+    pub location: NodeId,
+    /// Node used for *distances* during this planning step — the input's
+    /// representative at the planning level (equals `location` when planning
+    /// with full knowledge).
+    pub seen: NodeId,
+}
+
+impl PlannerInput {
+    /// Input for a base stream of the query, seen at its true node.
+    pub fn base(catalog: &Catalog, id: StreamId) -> Self {
+        let node = catalog.stream(id).node;
+        PlannerInput {
+            kind: InputKind::Leaf(LeafSource::Base(id)),
+            covered: StreamSet::singleton(id),
+            location: node,
+            seen: node,
+        }
+    }
+
+    /// Input for a reusable derived stream (as returned by
+    /// [`dsq_query::ReuseRegistry::usable_for`]).
+    pub fn derived(leaf: LeafSource) -> Self {
+        match &leaf {
+            LeafSource::Derived { covered, host, .. } => PlannerInput {
+                covered: covered.clone(),
+                location: *host,
+                seen: *host,
+                kind: InputKind::Leaf(leaf),
+            },
+            LeafSource::Base(_) => panic!("use PlannerInput::base for base streams"),
+        }
+    }
+
+    /// Input standing for another fragment's output.
+    pub fn external(tag: usize, covered: StreamSet, location: NodeId) -> Self {
+        PlannerInput {
+            kind: InputKind::External { tag },
+            covered,
+            location,
+            seen: location,
+        }
+    }
+
+    /// The same input, seen at a representative node for planning.
+    pub fn seen_at(mut self, seen: NodeId) -> Self {
+        self.seen = seen;
+        self
+    }
+
+    fn tree(&self) -> PlacedTree {
+        match &self.kind {
+            InputKind::Leaf(l) => PlacedTree::Leaf(l.clone()),
+            InputKind::External { tag } => PlacedTree::External {
+                tag: *tag,
+                covered: self.covered.clone(),
+                location: self.location,
+            },
+        }
+    }
+}
+
+/// Result of a planning step.
+#[derive(Clone, Debug)]
+pub struct PlannerOutput {
+    /// The chosen tree, joins assigned to candidate nodes.
+    pub tree: PlacedTree,
+    /// Cost under the planning-level distance view (actual deployed cost is
+    /// evaluated later against true distances).
+    pub est_cost: f64,
+}
+
+/// Planning context: the catalog (rates, selectivities), the query
+/// (selection predicates folded into effective rates), and optionally a
+/// [`LoadModel`](crate::load::LoadModel) whose overload penalties are added
+/// to every candidate operator placement.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterPlanner<'a> {
+    catalog: &'a Catalog,
+    query: &'a Query,
+    load: Option<&'a crate::load::LoadModel>,
+}
+
+#[derive(Clone, Copy, Debug)]
+enum DelivBack {
+    None,
+    Input(usize),
+    From(usize),
+}
+
+impl<'a> ClusterPlanner<'a> {
+    /// Create a planner for one query.
+    pub fn new(catalog: &'a Catalog, query: &'a Query) -> Self {
+        ClusterPlanner {
+            catalog,
+            query,
+            load: None,
+        }
+    }
+
+    /// Attach a load model: candidate placements pay its marginal overload
+    /// penalty on top of transport cost.
+    pub fn with_load(mut self, load: Option<&'a crate::load::LoadModel>) -> Self {
+        self.load = load;
+        self
+    }
+
+    #[inline]
+    fn placement_penalty(&self, node: NodeId, input_rate: f64) -> f64 {
+        self.load.map_or(0.0, |l| l.penalty(node, input_rate))
+    }
+
+    /// The stream catalog this planner estimates rates from.
+    pub fn catalog(&self) -> &'a Catalog {
+        self.catalog
+    }
+
+    /// The query being planned.
+    pub fn query(&self) -> &'a Query {
+        self.query
+    }
+
+    /// Plan the join of every atom covered by `inputs`, placing operators on
+    /// `candidates`.
+    ///
+    /// * `dest: Some(d)` — include delivery of the result to `d` in the
+    ///   objective (`d` given in the planning-level view).
+    /// * `dest: None` — intermediate deployment (Bottom-Up): the result
+    ///   stays at the chosen root operator; ties broken toward `anchor`.
+    ///
+    /// Returns `None` when the atoms cannot be covered (e.g. no candidates
+    /// but joins required).
+    pub fn plan(
+        &self,
+        inputs: &[PlannerInput],
+        candidates: &[NodeId],
+        dm: &DistanceMatrix,
+        dest: Option<NodeId>,
+        anchor: Option<NodeId>,
+        stats: &mut SearchStats,
+    ) -> Option<PlannerOutput> {
+        let atoms = atom_universe(inputs);
+        let a = atoms.len();
+        if a == 0 {
+            return None;
+        }
+        assert!(a <= 20, "planning over {a} atoms would explode");
+        let full: u32 = if a == 32 { u32::MAX } else { (1u32 << a) - 1 };
+        let rate = self.rate_table(&atoms);
+        let input_mask: Vec<u32> = inputs.iter().map(|i| mask_of(&i.covered, &atoms)).collect();
+
+        let m = candidates.len();
+        let states = ((full as usize + 1) * m.max(1)) as u64 * 2;
+        stats.record_dp_states(states);
+
+        let idx = |mask: u32, mi: usize| mask as usize * m + mi;
+        let mut deliv = vec![f64::INFINITY; (full as usize + 1) * m.max(1)];
+        let mut deliv_back = vec![DelivBack::None; deliv.len()];
+        let mut prod = vec![f64::INFINITY; deliv.len()];
+        let mut prod_back = vec![0u32; deliv.len()];
+
+        for mask in 1..=full {
+            // produced[mask][mi]: a join at candidate mi combines a
+            // partition of `mask`, each side delivered to mi.
+            if mask.count_ones() >= 2 && m > 0 {
+                let low = mask & mask.wrapping_neg();
+                for mi in 0..m {
+                    let mut best = f64::INFINITY;
+                    let mut back = 0u32;
+                    let mut s = (mask - 1) & mask;
+                    while s > 0 {
+                        if s & low != 0 {
+                            let c = mask ^ s;
+                            // Transport of both inputs plus the processing
+                            // overload penalty at this candidate.
+                            let v = deliv[idx(s, mi)]
+                                + deliv[idx(c, mi)]
+                                + self.placement_penalty(
+                                    candidates[mi],
+                                    rate[s as usize] + rate[c as usize],
+                                );
+                            if v < best {
+                                best = v;
+                                back = s;
+                            }
+                        }
+                        s = (s - 1) & mask;
+                    }
+                    prod[idx(mask, mi)] = best;
+                    prod_back[idx(mask, mi)] = back;
+                }
+            }
+            // deliv[mask][mi]: result of `mask` available at candidate mi —
+            // either an input streamed there directly, or produced at some
+            // candidate and shipped over.
+            for mi in 0..m {
+                let target = candidates[mi];
+                let mut best = f64::INFINITY;
+                let mut back = DelivBack::None;
+                for (ii, input) in inputs.iter().enumerate() {
+                    if input_mask[ii] == mask {
+                        let v = rate[mask as usize] * dm.get(input.seen, target);
+                        if v < best {
+                            best = v;
+                            back = DelivBack::Input(ii);
+                        }
+                    }
+                }
+                for mj in 0..m {
+                    let p = prod[idx(mask, mj)];
+                    if p.is_finite() {
+                        let v = p + rate[mask as usize] * dm.get(candidates[mj], target);
+                        if v < best {
+                            best = v;
+                            back = DelivBack::From(mj);
+                        }
+                    }
+                }
+                deliv[idx(mask, mi)] = best;
+                deliv_back[idx(mask, mi)] = back;
+            }
+        }
+
+        // Final selection.
+        let rec = Reconstructor {
+            inputs,
+            candidates,
+            deliv_back: &deliv_back,
+            prod_back: &prod_back,
+            m,
+        };
+        match dest {
+            Some(d) => {
+                let mut best = f64::INFINITY;
+                let mut best_tree: Option<PlacedTree> = None;
+                for (ii, input) in inputs.iter().enumerate() {
+                    if input_mask[ii] == full {
+                        let v = rate[full as usize] * dm.get(input.seen, d);
+                        if v < best {
+                            best = v;
+                            best_tree = Some(input.tree());
+                        }
+                    }
+                }
+                for mi in 0..m {
+                    let p = prod[idx(full, mi)];
+                    if p.is_finite() {
+                        let v = p + rate[full as usize] * dm.get(candidates[mi], d);
+                        if v < best {
+                            best = v;
+                            best_tree = Some(rec.produce(full, mi));
+                        }
+                    }
+                }
+                best_tree.map(|tree| PlannerOutput {
+                    tree,
+                    est_cost: best,
+                })
+            }
+            None => {
+                // Result stays at the producing operator (or input).
+                if let Some(ii) = (0..inputs.len()).find(|&ii| input_mask[ii] == full) {
+                    return Some(PlannerOutput {
+                        tree: inputs[ii].tree(),
+                        est_cost: 0.0,
+                    });
+                }
+                let mut best = f64::INFINITY;
+                let mut best_mi = None;
+                for mi in 0..m {
+                    let p = prod[idx(full, mi)];
+                    if !p.is_finite() {
+                        continue;
+                    }
+                    let better = match best_mi {
+                        None => true,
+                        Some(prev) => {
+                            p < best - 1e-12
+                                || (p <= best + 1e-12
+                                    && anchor.is_some_and(|anc| {
+                                        dm.get(candidates[mi], anc)
+                                            < dm.get(candidates[prev as usize], anc)
+                                    }))
+                        }
+                    };
+                    if better {
+                        best = p;
+                        best_mi = Some(mi as u32);
+                    }
+                }
+                best_mi.map(|mi| PlannerOutput {
+                    tree: rec.produce(full, mi as usize),
+                    est_cost: best,
+                })
+            }
+        }
+    }
+
+    /// Literal exhaustive search: every disjoint input cover, every tree
+    /// shape, every operator placement. Same contract as [`Self::plan`];
+    /// kept for validation and the engine ablation. Guarded to small
+    /// instances.
+    pub fn plan_exhaustive(
+        &self,
+        inputs: &[PlannerInput],
+        candidates: &[NodeId],
+        dm: &DistanceMatrix,
+        dest: Option<NodeId>,
+        anchor: Option<NodeId>,
+        stats: &mut SearchStats,
+    ) -> Option<PlannerOutput> {
+        let atoms = atom_universe(inputs);
+        let a = atoms.len();
+        if a == 0 {
+            return None;
+        }
+        assert!(
+            a <= 5 && candidates.len() <= 10,
+            "exhaustive engine guard: {a} atoms × {} candidates",
+            candidates.len()
+        );
+        let full: u32 = (1u32 << a) - 1;
+        let rate = self.rate_table(&atoms);
+        let input_mask: Vec<u32> = inputs.iter().map(|i| mask_of(&i.covered, &atoms)).collect();
+
+        // Enumerate disjoint covers of the atom universe.
+        let mut covers = Vec::new();
+        enumerate_covers(full, &input_mask, 0, &mut Vec::new(), &mut covers);
+
+        let mut best: Option<(f64, PlacedTree)> = None;
+        let mut consider = |cost: f64, loc: NodeId, tree: PlacedTree| {
+            let better = match &best {
+                None => true,
+                Some((c, t)) => {
+                    cost < c - 1e-12
+                        || (dest.is_none()
+                            && cost <= c + 1e-12
+                            && anchor.is_some_and(|anc| {
+                                dm.get(loc, anc) < dm.get(t.output_location(self.catalog), anc)
+                            }))
+                }
+            };
+            if better {
+                best = Some((cost, tree));
+            }
+        };
+
+        for cover in &covers {
+            stats.record_dp_states(1);
+            if cover.len() == 1 {
+                let ii = cover[0];
+                let (cost, tree) = match dest {
+                    Some(d) => (
+                        rate[full as usize] * dm.get(inputs[ii].seen, d),
+                        inputs[ii].tree(),
+                    ),
+                    None => (0.0, inputs[ii].tree()),
+                };
+                consider(cost, inputs[ii].location, tree);
+                continue;
+            }
+            if candidates.is_empty() {
+                continue;
+            }
+            for shape in enumerate_shapes(cover) {
+                let joins = shape.join_count();
+                let mut placement = vec![0usize; joins];
+                loop {
+                    let (cost, out_seen, tree) = self.eval_shape(
+                        &shape,
+                        &placement,
+                        &mut 0,
+                        inputs,
+                        candidates,
+                        &rate,
+                        &atoms,
+                        dm,
+                    );
+                    let total = match dest {
+                        Some(d) => cost + rate[full as usize] * dm.get(out_seen, d),
+                        None => cost,
+                    };
+                    consider(total, out_seen, tree);
+                    // Next placement (mixed-radix counter).
+                    let mut i = 0;
+                    loop {
+                        if i == joins {
+                            break;
+                        }
+                        placement[i] += 1;
+                        if placement[i] < candidates.len() {
+                            break;
+                        }
+                        placement[i] = 0;
+                        i += 1;
+                    }
+                    if i == joins {
+                        break;
+                    }
+                }
+            }
+        }
+        best.map(|(est_cost, tree)| PlannerOutput { tree, est_cost })
+    }
+
+    /// Per-mask output rates over the atom universe: the product of the
+    /// atoms' effective (post-selection) rates and all pairwise
+    /// selectivities inside the mask.
+    fn rate_table(&self, atoms: &[StreamId]) -> Vec<f64> {
+        let a = atoms.len();
+        let eff: Vec<f64> = atoms
+            .iter()
+            .map(|&s| self.query.effective_rate(self.catalog, s))
+            .collect();
+        let mut rate = vec![1.0f64; 1 << a];
+        for mask in 1u32..(1u32 << a) {
+            let low_idx = mask.trailing_zeros() as usize;
+            let rest = mask & (mask - 1);
+            let mut r = rate[rest as usize] * eff[low_idx];
+            let mut rm = rest;
+            while rm > 0 {
+                let j = rm.trailing_zeros() as usize;
+                r *= self.catalog.selectivity(atoms[low_idx], atoms[j]);
+                rm &= rm - 1;
+            }
+            rate[mask as usize] = r;
+        }
+        rate
+    }
+
+    /// Evaluate one shape + placement combination; returns (cost without
+    /// final delivery, output seen-location, placed tree).
+    #[allow(clippy::too_many_arguments)]
+    fn eval_shape(
+        &self,
+        shape: &Shape,
+        placement: &[usize],
+        next_join: &mut usize,
+        inputs: &[PlannerInput],
+        candidates: &[NodeId],
+        rate: &[f64],
+        atoms: &[StreamId],
+        dm: &DistanceMatrix,
+    ) -> (f64, NodeId, PlacedTree) {
+        match shape {
+            Shape::Leaf(ii) => (0.0, inputs[*ii].seen, inputs[*ii].tree()),
+            Shape::Join(l, r) => {
+                let (lc, lo, lt) =
+                    self.eval_shape(l, placement, next_join, inputs, candidates, rate, atoms, dm);
+                let (rc, ro, rt) =
+                    self.eval_shape(r, placement, next_join, inputs, candidates, rate, atoms, dm);
+                let node = candidates[placement[*next_join]];
+                *next_join += 1;
+                let lmask = mask_of(&lt.covered(), atoms);
+                let rmask = mask_of(&rt.covered(), atoms);
+                let cost = lc
+                    + rc
+                    + rate[lmask as usize] * dm.get(lo, node)
+                    + rate[rmask as usize] * dm.get(ro, node)
+                    + self.placement_penalty(
+                        node,
+                        rate[lmask as usize] + rate[rmask as usize],
+                    );
+                (
+                    cost,
+                    node,
+                    PlacedTree::Join {
+                        left: Box::new(lt),
+                        right: Box::new(rt),
+                        node,
+                    },
+                )
+            }
+        }
+    }
+}
+
+struct Reconstructor<'a> {
+    inputs: &'a [PlannerInput],
+    candidates: &'a [NodeId],
+    deliv_back: &'a [DelivBack],
+    prod_back: &'a [u32],
+    m: usize,
+}
+
+impl Reconstructor<'_> {
+    fn produce(&self, mask: u32, mi: usize) -> PlacedTree {
+        let s = self.prod_back[mask as usize * self.m + mi];
+        debug_assert!(s != 0, "produce on mask without a partition");
+        let c = mask ^ s;
+        PlacedTree::Join {
+            left: Box::new(self.deliver(s, mi)),
+            right: Box::new(self.deliver(c, mi)),
+            node: self.candidates[mi],
+        }
+    }
+
+    fn deliver(&self, mask: u32, mi: usize) -> PlacedTree {
+        match self.deliv_back[mask as usize * self.m + mi] {
+            DelivBack::Input(ii) => self.inputs[ii].tree(),
+            DelivBack::From(mj) => self.produce(mask, mj),
+            DelivBack::None => unreachable!("deliver on unreachable state"),
+        }
+    }
+}
+
+/// The `K` of Lemma 1's search-space formula for a planning step.
+///
+/// Two considerations bound it:
+/// * an input standing for a multi-stream view (external fragment, derived
+///   stream) is a *single leaf* of the join-order enumeration, so the count
+///   is the number of distinct coverage groups, not the number of atoms;
+/// * a join tree never has more leaves than the atoms it covers, so
+///   alternative providers (reuse candidates overlapping the base streams)
+///   cannot push the order count past the atom count — which keeps the
+///   accounting aligned with the paper's formula, where `K` is always the
+///   query's source count.
+pub fn universe_size(inputs: &[PlannerInput]) -> usize {
+    let atoms = atom_universe(inputs).len();
+    let mut coverages: Vec<&StreamSet> = inputs.iter().map(|i| &i.covered).collect();
+    coverages.sort();
+    coverages.dedup();
+    coverages.len().min(atoms)
+}
+
+/// Sorted universe of atoms covered by the inputs.
+fn atom_universe(inputs: &[PlannerInput]) -> Vec<StreamId> {
+    let mut atoms: Vec<StreamId> = inputs
+        .iter()
+        .flat_map(|i| i.covered.iter())
+        .collect();
+    atoms.sort_unstable();
+    atoms.dedup();
+    atoms
+}
+
+fn mask_of(covered: &StreamSet, atoms: &[StreamId]) -> u32 {
+    let mut mask = 0u32;
+    for s in covered.iter() {
+        let bit = atoms
+            .binary_search(&s)
+            .expect("input covers a stream outside the universe");
+        mask |= 1 << bit;
+    }
+    mask
+}
+
+/// Enumerate sets of pairwise-disjoint inputs whose masks union to `full`.
+fn enumerate_covers(
+    full: u32,
+    input_mask: &[u32],
+    covered: u32,
+    chosen: &mut Vec<usize>,
+    out: &mut Vec<Vec<usize>>,
+) {
+    if covered == full {
+        out.push(chosen.clone());
+        return;
+    }
+    // Branch on the lowest uncovered atom to avoid permuted duplicates.
+    let low = (!covered & full) & (!covered & full).wrapping_neg();
+    for (ii, &mask) in input_mask.iter().enumerate() {
+        if mask & low != 0 && mask & covered == 0 {
+            chosen.push(ii);
+            enumerate_covers(full, input_mask, covered | mask, chosen, out);
+            chosen.pop();
+        }
+    }
+}
+
+/// Unordered binary tree shapes over a list of input indices.
+enum Shape {
+    Leaf(usize),
+    Join(Box<Shape>, Box<Shape>),
+}
+
+impl Shape {
+    fn join_count(&self) -> usize {
+        match self {
+            Shape::Leaf(_) => 0,
+            Shape::Join(l, r) => 1 + l.join_count() + r.join_count(),
+        }
+    }
+}
+
+fn enumerate_shapes(items: &[usize]) -> Vec<Shape> {
+    if items.len() == 1 {
+        return vec![Shape::Leaf(items[0])];
+    }
+    let mut out = Vec::new();
+    let rest = &items[1..];
+    for mask in 0..(1u32 << rest.len()) {
+        let mut left = vec![items[0]];
+        let mut right = Vec::new();
+        for (bit, &x) in rest.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                left.push(x);
+            } else {
+                right.push(x);
+            }
+        }
+        if right.is_empty() {
+            continue;
+        }
+        for lt in enumerate_shapes(&left) {
+            for rt in enumerate_shapes(&right) {
+                out.push(Shape::Join(Box::new(clone_shape(&lt)), Box::new(clone_shape(&rt))));
+            }
+        }
+    }
+    out
+}
+
+fn clone_shape(s: &Shape) -> Shape {
+    match s {
+        Shape::Leaf(i) => Shape::Leaf(*i),
+        Shape::Join(l, r) => Shape::Join(Box::new(clone_shape(l)), Box::new(clone_shape(r))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::{LinkKind, Metric, Network};
+    use dsq_query::{DerivedId, QueryId, Schema};
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    /// Line network n0-n1-n2-n3 with unit costs.
+    fn line(n: u32) -> (Network, DistanceMatrix) {
+        let mut net = Network::new(n as usize);
+        for i in 0..n - 1 {
+            net.add_link(NodeId(i), NodeId(i + 1), 1.0, 1.0, LinkKind::Stub);
+        }
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        (net, dm)
+    }
+
+    fn two_stream_setup() -> (Catalog, Query, DistanceMatrix) {
+        let (_, dm) = line(4);
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::default());
+        let b = c.add_stream("B", 4.0, NodeId(3), Schema::default());
+        c.set_selectivity(a, b, 0.1);
+        let q = Query::join(QueryId(0), [a, b], NodeId(2));
+        (c, q, dm)
+    }
+
+    #[test]
+    fn two_stream_optimum_on_line() {
+        let (c, q, dm) = two_stream_setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let inputs = vec![
+            PlannerInput::base(&c, StreamId(0)),
+            PlannerInput::base(&c, StreamId(1)),
+        ];
+        let candidates: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut stats = SearchStats::new();
+        let out = planner
+            .plan(&inputs, &candidates, &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap();
+        // Join at n2 (the sink): A pays 10·2, B pays 4·1, output 4·0 = 24.
+        // Join at n3: 30+0+4 = 34; at n1: 10+8+4 = 22; at n0: 0+12+8 = 20.
+        // Optimum: join at n0 costs 0 + 4·3 + 4·2 = wait B to n0 = 4·3 = 12,
+        // output 4·2 = 8 ⇒ 20.
+        assert!((out.est_cost - 20.0).abs() < 1e-9, "got {}", out.est_cost);
+        match &out.tree {
+            PlacedTree::Join { node, .. } => assert_eq!(*node, NodeId(0)),
+            _ => panic!("expected a join"),
+        }
+        assert!(stats.dp_states > 0);
+    }
+
+    #[test]
+    fn derived_input_wins_when_cheap() {
+        let (c, q, dm) = two_stream_setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let derived = LeafSource::Derived {
+            id: DerivedId(0),
+            covered: StreamSet::from_iter([StreamId(0), StreamId(1)]),
+            rate: 4.0,
+            host: NodeId(2),
+        };
+        let inputs = vec![
+            PlannerInput::base(&c, StreamId(0)),
+            PlannerInput::base(&c, StreamId(1)),
+            PlannerInput::derived(derived),
+        ];
+        let candidates: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut stats = SearchStats::new();
+        let out = planner
+            .plan(&inputs, &candidates, &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap();
+        assert_eq!(out.est_cost, 0.0, "derived sits at the sink already");
+        assert!(out.tree.uses_derived());
+    }
+
+    #[test]
+    fn no_dest_keeps_result_at_root_operator() {
+        let (c, q, dm) = two_stream_setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let inputs = vec![
+            PlannerInput::base(&c, StreamId(0)),
+            PlannerInput::base(&c, StreamId(1)),
+        ];
+        let candidates: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut stats = SearchStats::new();
+        let out = planner
+            .plan(&inputs, &candidates, &dm, None, Some(NodeId(3)), &mut stats)
+            .unwrap();
+        // Without delivery the cheapest is joining at A's node n0, shipping
+        // only the low-rate stream B over (4·3 = 12).
+        assert!((out.est_cost - 12.0).abs() < 1e-9, "got {}", out.est_cost);
+        assert_eq!(out.tree.output_location(&c), NodeId(0));
+    }
+
+    #[test]
+    fn single_input_universe() {
+        let (c, q, dm) = two_stream_setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let inputs = vec![PlannerInput::base(&c, StreamId(0))];
+        let mut stats = SearchStats::new();
+        let out = planner
+            .plan(&inputs, &[], &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap();
+        assert!((out.est_cost - 20.0).abs() < 1e-9, "10·dist(0,2) = 20");
+        let out2 = planner.plan(&inputs, &[], &dm, None, None, &mut stats).unwrap();
+        assert_eq!(out2.est_cost, 0.0);
+    }
+
+    #[test]
+    fn dp_matches_exhaustive_on_random_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2024);
+        for case in 0..40 {
+            let n = rng.gen_range(4..8) as u32;
+            let (mut net, _) = line(n);
+            // Sprinkle extra random links for non-trivial metrics.
+            for _ in 0..3 {
+                let a = NodeId(rng.gen_range(0..n));
+                let b = NodeId(rng.gen_range(0..n));
+                if a != b && net.find_link(a, b).is_none() {
+                    net.add_link(a, b, rng.gen_range(0.5..4.0), 1.0, LinkKind::Stub);
+                }
+            }
+            let dm = DistanceMatrix::build(&net, Metric::Cost);
+            let k = rng.gen_range(2..=4usize);
+            let mut c = Catalog::new();
+            let ids: Vec<StreamId> = (0..k)
+                .map(|i| {
+                    c.add_stream(
+                        format!("S{i}"),
+                        rng.gen_range(1.0..20.0),
+                        NodeId(rng.gen_range(0..n)),
+                        Schema::default(),
+                    )
+                })
+                .collect();
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    c.set_selectivity(ids[i], ids[j], rng.gen_range(0.01..0.5));
+                }
+            }
+            let sink = NodeId(rng.gen_range(0..n));
+            let q = Query::join(QueryId(case), ids.clone(), sink);
+            let planner = ClusterPlanner::new(&c, &q);
+            let mut inputs: Vec<PlannerInput> =
+                ids.iter().map(|&id| PlannerInput::base(&c, id)).collect();
+            // Sometimes offer an overlapping derived covering the first two.
+            if k >= 3 && rng.gen_bool(0.5) {
+                let covered = StreamSet::from_iter([ids[0], ids[1]]);
+                let rate = q.effective_rate(&c, ids[0])
+                    * q.effective_rate(&c, ids[1])
+                    * c.selectivity(ids[0], ids[1]);
+                inputs.push(PlannerInput::derived(LeafSource::Derived {
+                    id: DerivedId(9),
+                    covered,
+                    rate,
+                    host: NodeId(rng.gen_range(0..n)),
+                }));
+            }
+            let candidates: Vec<NodeId> = (0..n).map(NodeId).collect();
+            let mut s1 = SearchStats::new();
+            let mut s2 = SearchStats::new();
+            let dp = planner.plan(&inputs, &candidates, &dm, Some(sink), None, &mut s1);
+            let ex = planner.plan_exhaustive(&inputs, &candidates, &dm, Some(sink), None, &mut s2);
+            let (dp, ex) = (dp.unwrap(), ex.unwrap());
+            assert!(
+                (dp.est_cost - ex.est_cost).abs() < 1e-6,
+                "case {case}: dp {} vs exhaustive {}",
+                dp.est_cost,
+                ex.est_cost
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_without_candidates() {
+        let (c, q, dm) = two_stream_setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let inputs = vec![
+            PlannerInput::base(&c, StreamId(0)),
+            PlannerInput::base(&c, StreamId(1)),
+        ];
+        let mut stats = SearchStats::new();
+        assert!(planner
+            .plan(&inputs, &[], &dm, Some(NodeId(2)), None, &mut stats)
+            .is_none());
+    }
+
+    #[test]
+    fn seen_location_changes_planning_but_not_tree_locations() {
+        let (c, q, dm) = two_stream_setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        // Stream B is seen at n0 (a wildly wrong representative): the
+        // planner now believes co-locating at n0 is free.
+        let inputs = vec![
+            PlannerInput::base(&c, StreamId(0)),
+            PlannerInput::base(&c, StreamId(1)).seen_at(NodeId(0)),
+        ];
+        let candidates: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut stats = SearchStats::new();
+        let out = planner
+            .plan(&inputs, &candidates, &dm, Some(NodeId(0)), None, &mut stats)
+            .unwrap();
+        assert_eq!(out.est_cost, 0.0, "estimated under the distorted view");
+        // The tree still records B's true location for deployment.
+        fn find_base_location(t: &PlacedTree, id: StreamId, c: &Catalog) -> Option<NodeId> {
+            match t {
+                PlacedTree::Leaf(LeafSource::Base(b)) if *b == id => {
+                    Some(c.stream(id).node)
+                }
+                PlacedTree::Join { left, right, .. } => find_base_location(left, id, c)
+                    .or_else(|| find_base_location(right, id, c)),
+                _ => None,
+            }
+        }
+        assert_eq!(
+            find_base_location(&out.tree, StreamId(1), &c),
+            Some(NodeId(3))
+        );
+    }
+}

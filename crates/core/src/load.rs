@@ -1,0 +1,205 @@
+//! Processing-load model.
+//!
+//! The paper's first motivating optimization is load-driven: "node N2 may
+//! be overloaded, or the link FLIGHTS→N2 may be congested. In this case,
+//! the network conditions dictate that a more efficient join ordering is
+//! …" (Section 1.1), and IFLOW's middleware re-triggers optimization on
+//! "changes in network, **load** or data conditions".
+//!
+//! [`LoadModel`] tracks per-node processing load (an operator's load is the
+//! sum of its input rates — the tuples it must probe and insert per unit
+//! time) against per-node capacity, and prices the *overload* portion. When
+//! an [`Environment`](crate::Environment) carries a load model, every
+//! within-cluster search adds that price to candidate placements, steering
+//! operators away from hot nodes; committing a deployment updates the
+//! standing load so later queries see it.
+//!
+//! The penalty is charged per operator independently (two operators placed
+//! on the same node within a single query each see the pre-query load);
+//! tracking intra-query interactions exactly would blow up the planning
+//! state space, and the error is at most one query's own load.
+
+use dsq_net::NodeId;
+use dsq_query::{Deployment, FlatNode};
+
+/// Per-node processing load and capacity, with an overload price.
+#[derive(Clone, Debug)]
+pub struct LoadModel {
+    capacity: Vec<f64>,
+    load: Vec<f64>,
+    /// Cost charged per unit of load above capacity per unit time
+    /// (commensurate with the communication cost units).
+    pub penalty_per_unit: f64,
+}
+
+impl LoadModel {
+    /// Uniform capacity for `n` nodes.
+    pub fn uniform(n: usize, capacity: f64, penalty_per_unit: f64) -> Self {
+        assert!(capacity >= 0.0 && penalty_per_unit >= 0.0);
+        LoadModel {
+            capacity: vec![capacity; n],
+            load: vec![0.0; n],
+            penalty_per_unit,
+        }
+    }
+
+    /// Explicit per-node capacities.
+    pub fn with_capacities(capacity: Vec<f64>, penalty_per_unit: f64) -> Self {
+        let n = capacity.len();
+        LoadModel {
+            capacity,
+            load: vec![0.0; n],
+            penalty_per_unit,
+        }
+    }
+
+    /// Number of nodes tracked.
+    pub fn len(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// True when no nodes are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.capacity.is_empty()
+    }
+
+    /// Current load of a node.
+    pub fn load(&self, node: NodeId) -> f64 {
+        self.load[node.index()]
+    }
+
+    /// Utilization (load / capacity; infinite for zero-capacity nodes under
+    /// load).
+    pub fn utilization(&self, node: NodeId) -> f64 {
+        let cap = self.capacity[node.index()];
+        if cap > 0.0 {
+            self.load[node.index()] / cap
+        } else if self.load[node.index()] > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    }
+
+    /// Set a node's standing load directly (e.g. background work observed
+    /// by monitoring).
+    pub fn set_load(&mut self, node: NodeId, load: f64) {
+        assert!(load >= 0.0);
+        self.load[node.index()] = load;
+    }
+
+    /// Marginal overload cost of adding `added_rate` of processing to a
+    /// node: the newly-overloaded portion times the penalty price.
+    pub fn penalty(&self, node: NodeId, added_rate: f64) -> f64 {
+        let cap = self.capacity[node.index()];
+        let before = (self.load[node.index()] - cap).max(0.0);
+        let after = (self.load[node.index()] + added_rate - cap).max(0.0);
+        (after - before) * self.penalty_per_unit
+    }
+
+    /// Processing rate each join operator of a deployment adds to its node:
+    /// the sum of its input rates.
+    pub fn operator_loads(deployment: &Deployment) -> Vec<(NodeId, f64)> {
+        let nodes = deployment.plan.nodes();
+        deployment
+            .plan
+            .join_indices()
+            .into_iter()
+            .map(|i| {
+                let (l, r) = match &nodes[i] {
+                    FlatNode::Join { left, right, .. } => (*left, *right),
+                    FlatNode::Leaf { .. } => unreachable!("join_indices yields joins"),
+                };
+                (
+                    deployment.placement[i],
+                    nodes[l].rate() + nodes[r].rate(),
+                )
+            })
+            .collect()
+    }
+
+    /// Commit a deployment's operators into the standing load.
+    pub fn commit(&mut self, deployment: &Deployment) {
+        for (node, rate) in Self::operator_loads(deployment) {
+            self.load[node.index()] += rate;
+        }
+    }
+
+    /// Remove a deployment's operators from the standing load (migration).
+    pub fn release(&mut self, deployment: &Deployment) {
+        for (node, rate) in Self::operator_loads(deployment) {
+            self.load[node.index()] = (self.load[node.index()] - rate).max(0.0);
+        }
+    }
+
+    /// Total overload penalty a standing deployment incurs per unit time
+    /// under the *current* loads (reporting; the planning-time penalty is
+    /// marginal).
+    pub fn overload_cost(&self) -> f64 {
+        self.overload_units() * self.penalty_per_unit
+    }
+
+    /// Total load above capacity across all nodes, unpriced.
+    pub fn overload_units(&self) -> f64 {
+        self.capacity
+            .iter()
+            .zip(&self.load)
+            .map(|(&c, &l)| (l - c).max(0.0))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::{DistanceMatrix, LinkKind, Metric, Network};
+    use dsq_query::{Catalog, FlatPlan, JoinTree, Query, QueryId, Schema};
+
+    fn deployment() -> (Catalog, Deployment) {
+        let mut net = Network::new(3);
+        net.add_link(NodeId(0), NodeId(1), 1.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(1), NodeId(2), 1.0, 1.0, LinkKind::Stub);
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::default());
+        let b = c.add_stream("B", 4.0, NodeId(2), Schema::default());
+        c.set_selectivity(a, b, 0.1);
+        let q = Query::join(QueryId(0), [a, b], NodeId(2));
+        let tree = JoinTree::join(JoinTree::base(a), JoinTree::base(b));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let d = Deployment::evaluate(q.id, plan, vec![NodeId(0), NodeId(2), NodeId(1)], NodeId(2), &dm);
+        (c, d)
+    }
+
+    #[test]
+    fn penalty_prices_only_the_overload_portion() {
+        let mut m = LoadModel::uniform(3, 10.0, 2.0);
+        assert_eq!(m.penalty(NodeId(0), 5.0), 0.0, "within capacity");
+        assert_eq!(m.penalty(NodeId(0), 15.0), 10.0, "5 units over × 2.0");
+        m.set_load(NodeId(0), 8.0);
+        assert_eq!(m.penalty(NodeId(0), 5.0), 6.0, "3 units over × 2.0");
+        m.set_load(NodeId(0), 12.0);
+        assert_eq!(m.penalty(NodeId(0), 5.0), 10.0, "already over: all 5 priced");
+    }
+
+    #[test]
+    fn commit_and_release_round_trip() {
+        let (_, d) = deployment();
+        let mut m = LoadModel::uniform(3, 10.0, 1.0);
+        m.commit(&d);
+        // The join at n1 ingests 10 + 4 = 14.
+        assert_eq!(m.load(NodeId(1)), 14.0);
+        assert!((m.utilization(NodeId(1)) - 1.4).abs() < 1e-12);
+        assert_eq!(m.overload_cost(), 4.0);
+        m.release(&d);
+        assert_eq!(m.load(NodeId(1)), 0.0);
+        assert_eq!(m.overload_cost(), 0.0);
+    }
+
+    #[test]
+    fn operator_loads_lists_join_placements() {
+        let (_, d) = deployment();
+        let loads = LoadModel::operator_loads(&d);
+        assert_eq!(loads, vec![(NodeId(1), 14.0)]);
+    }
+}

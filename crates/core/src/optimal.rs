@@ -1,0 +1,244 @@
+//! The optimal joint plan + placement over the whole network.
+//!
+//! This is the paper's yardstick: "the optimal deployment computed using
+//! dynamic programming" (Figure 7) and the "Plan, then deploy — optimal
+//! deployment through exhaustive search" comparison point of Figure 2. For
+//! a single query under the sum-of-edge-costs metric, the subset/placement
+//! dynamic program of [`ClusterPlanner`] *is* exact, so this optimizer runs
+//! it once over all network nodes with full (level-1) distance knowledge.
+//!
+//! Multi-query experiments deploy queries incrementally; with a shared
+//! [`ReuseRegistry`] this optimizer computes each
+//! query's optimum *given* the operators already deployed, matching the
+//! paper's incremental evaluation.
+
+use crate::engine::{ClusterPlanner, PlannerInput};
+use crate::env::Environment;
+use crate::stats::SearchStats;
+use crate::Optimizer;
+use dsq_net::NodeId;
+use dsq_query::{Catalog, Deployment, Query, ReuseRegistry};
+
+/// Exact single-query optimizer (reuse-aware through the registry).
+#[derive(Clone, Copy, Debug)]
+pub struct Optimal<'a> {
+    env: &'a Environment,
+    /// Restrict operator placement to these nodes (`None` = every node).
+    restrict: Option<&'a [NodeId]>,
+}
+
+impl<'a> Optimal<'a> {
+    /// Optimal over every network node.
+    pub fn new(env: &'a Environment) -> Self {
+        Optimal {
+            env,
+            restrict: None,
+        }
+    }
+
+    /// Optimal with a restricted candidate node set (used by the In-network
+    /// baseline's zone search and by tests).
+    pub fn restricted(env: &'a Environment, candidates: &'a [NodeId]) -> Self {
+        Optimal {
+            env,
+            restrict: Some(candidates),
+        }
+    }
+}
+
+impl Optimizer for Optimal<'_> {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn optimize(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        registry: &mut ReuseRegistry,
+        stats: &mut SearchStats,
+    ) -> Option<Deployment> {
+        let mut inputs: Vec<PlannerInput> = query
+            .sources
+            .iter()
+            .map(|&s| PlannerInput::base(catalog, s))
+            .collect();
+        for leaf in registry.usable_for(query) {
+            inputs.push(PlannerInput::derived(leaf));
+        }
+        let all_nodes: Vec<NodeId>;
+        let candidates: &[NodeId] = match self.restrict {
+            Some(c) => c,
+            None => {
+                // Active overlay members only, so failed/departed nodes
+                // (deactivated in the hierarchy) are never chosen.
+                all_nodes = self.env.hierarchy.active_nodes();
+                &all_nodes
+            }
+        };
+        stats.record(0, query.sink, query.sources.len(), candidates.len());
+        let load = self.env.load_snapshot();
+        let planner = ClusterPlanner::new(catalog, query).with_load(load.as_ref());
+        let out = planner.plan(
+            &inputs,
+            candidates,
+            &self.env.dm,
+            Some(query.sink),
+            None,
+            stats,
+        )?;
+        let deployment = out.tree.into_deployment(query, catalog, &self.env.dm);
+        // With true distances the estimate equals the communication cost —
+        // unless a load model added overload penalties to the objective, in
+        // which case the estimate is an upper bound on it.
+        debug_assert!(
+            if load.is_some() {
+                deployment.cost <= out.est_cost + 1e-6 * out.est_cost.max(1.0)
+            } else {
+                (deployment.cost - out.est_cost).abs() <= 1e-6 * deployment.cost.max(1.0)
+            },
+            "estimate/cost mismatch: {} vs {}",
+            out.est_cost,
+            deployment.cost
+        );
+        Some(deployment)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::TransitStubConfig;
+    use dsq_query::QueryId;
+    use dsq_workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn env() -> Environment {
+        let net = TransitStubConfig::paper_64().generate(5).network;
+        Environment::build(net, 16)
+    }
+
+    #[test]
+    fn optimal_beats_or_matches_naive_sink_placement() {
+        let env = env();
+        let mut gen = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: 12,
+                queries: 6,
+                joins_per_query: 2..=3,
+                ..WorkloadConfig::default()
+            },
+            3,
+        );
+        let wl = gen.generate(&env.network);
+        for q in &wl.queries {
+            let mut reg = ReuseRegistry::new();
+            let mut stats = SearchStats::new();
+            let d = Optimal::new(&env)
+                .optimize(&wl.catalog, q, &mut reg, &mut stats)
+                .expect("feasible");
+            // Naive comparison: left-deep plan, all joins at the sink.
+            let naive = {
+                let mut tree = crate::placed::PlacedTree::Leaf(dsq_query::LeafSource::Base(
+                    q.sources[0],
+                ));
+                for &s in &q.sources[1..] {
+                    tree = crate::placed::PlacedTree::Join {
+                        left: Box::new(tree),
+                        right: Box::new(crate::placed::PlacedTree::Leaf(
+                            dsq_query::LeafSource::Base(s),
+                        )),
+                        node: q.sink,
+                    };
+                }
+                tree.into_deployment(q, &wl.catalog, &env.dm)
+            };
+            assert!(
+                d.cost <= naive.cost + 1e-9,
+                "optimal {} vs sink-naive {}",
+                d.cost,
+                naive.cost
+            );
+        }
+    }
+
+    #[test]
+    fn reuse_never_hurts_a_single_query() {
+        let env = env();
+        let mut gen = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: 10,
+                queries: 2,
+                joins_per_query: 3..=3,
+                ..WorkloadConfig::default()
+            },
+            9,
+        );
+        let wl = gen.generate(&env.network);
+        // Deploy q0 and register its operators.
+        let mut reg = ReuseRegistry::new();
+        let mut stats = SearchStats::new();
+        let d0 = Optimal::new(&env)
+            .optimize(&wl.catalog, &wl.queries[0], &mut reg, &mut stats)
+            .unwrap();
+        reg.register_deployment(&wl.queries[0], &d0);
+
+        // A second identical-sources query: with reuse available the optimum
+        // can only improve (the option set is a superset).
+        let q1 = Query::join(QueryId(99), wl.queries[0].sources.clone(), wl.queries[1].sink);
+        let with_reuse = Optimal::new(&env)
+            .optimize(&wl.catalog, &q1, &mut reg, &mut stats)
+            .unwrap();
+        let mut empty = ReuseRegistry::new();
+        let without = Optimal::new(&env)
+            .optimize(&wl.catalog, &q1, &mut empty, &mut stats)
+            .unwrap();
+        assert!(with_reuse.cost <= without.cost + 1e-9);
+        // The full result of q0 exists as a derived stream, so q1 should be
+        // able to tap it and pay only delivery.
+        assert!(with_reuse.cost < without.cost * 0.9 || without.cost < 1e-9,
+            "expected substantial reuse savings: {} vs {}", with_reuse.cost, without.cost);
+    }
+
+    #[test]
+    fn restricted_candidates_cost_at_least_unrestricted() {
+        let env = env();
+        let mut gen = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: 8,
+                queries: 3,
+                joins_per_query: 2..=2,
+                ..WorkloadConfig::default()
+            },
+            11,
+        );
+        let wl = gen.generate(&env.network);
+        let few: Vec<NodeId> = env.network.nodes().take(4).collect();
+        for q in &wl.queries {
+            let mut r1 = ReuseRegistry::new();
+            let mut r2 = ReuseRegistry::new();
+            let mut stats = SearchStats::new();
+            let full = Optimal::new(&env)
+                .optimize(&wl.catalog, q, &mut r1, &mut stats)
+                .unwrap();
+            let restricted = Optimal::restricted(&env, &few)
+                .optimize(&wl.catalog, q, &mut r2, &mut stats)
+                .unwrap();
+            assert!(full.cost <= restricted.cost + 1e-9);
+        }
+    }
+
+    #[test]
+    fn single_source_query_is_a_direct_edge() {
+        let env = env();
+        let mut catalog = Catalog::new();
+        let nodes: Vec<NodeId> = env.network.nodes().collect();
+        let s = catalog.add_stream("S", 5.0, nodes[10], dsq_query::Schema::default());
+        let q = Query::join(QueryId(0), [s], nodes[40]);
+        let mut reg = ReuseRegistry::new();
+        let mut stats = SearchStats::new();
+        let d = Optimal::new(&env)
+            .optimize(&catalog, &q, &mut reg, &mut stats)
+            .unwrap();
+        assert!((d.cost - 5.0 * env.dm.get(nodes[10], nodes[40])).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,216 @@
+//! Placed plan trees: join trees with operator→node assignments, including
+//! the `External` placeholders the Top-Down refinement glues across cluster
+//! fragments.
+
+use dsq_net::{DistanceMatrix, NodeId};
+use dsq_query::{Catalog, Deployment, FlatPlan, JoinTree, LeafSource, Query, StreamSet};
+
+/// A join tree whose operators carry physical (or representative) node
+/// assignments.
+#[derive(Clone, Debug)]
+pub enum PlacedTree {
+    /// Base or reused derived stream; its node is implied by the source.
+    Leaf(LeafSource),
+    /// Output of another fragment (Top-Down refinement placeholder).
+    External {
+        /// Caller-scoped fragment tag.
+        tag: usize,
+        /// Base streams the external result covers.
+        covered: StreamSet,
+        /// Node the external result is (currently believed to be) produced
+        /// at.
+        location: NodeId,
+    },
+    /// A join operator assigned to `node`.
+    Join {
+        /// Left input subtree.
+        left: Box<PlacedTree>,
+        /// Right input subtree.
+        right: Box<PlacedTree>,
+        /// Node hosting the join operator.
+        node: NodeId,
+    },
+}
+
+impl PlacedTree {
+    /// Base streams covered by the subtree.
+    pub fn covered(&self) -> StreamSet {
+        match self {
+            PlacedTree::Leaf(l) => l.covered(),
+            PlacedTree::External { covered, .. } => covered.clone(),
+            PlacedTree::Join { left, right, .. } => left.covered().union(&right.covered()),
+        }
+    }
+
+    /// Node the subtree's result is produced at.
+    pub fn output_location(&self, catalog: &Catalog) -> NodeId {
+        match self {
+            PlacedTree::Leaf(LeafSource::Base(id)) => catalog.stream(*id).node,
+            PlacedTree::Leaf(LeafSource::Derived { host, .. }) => *host,
+            PlacedTree::External { location, .. } => *location,
+            PlacedTree::Join { node, .. } => *node,
+        }
+    }
+
+    /// Number of join operators in the subtree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            PlacedTree::Join { left, right, .. } => 1 + left.join_count() + right.join_count(),
+            _ => 0,
+        }
+    }
+
+    /// Does the subtree still contain `External` placeholders?
+    pub fn has_externals(&self) -> bool {
+        match self {
+            PlacedTree::Leaf(_) => false,
+            PlacedTree::External { .. } => true,
+            PlacedTree::Join { left, right, .. } => left.has_externals() || right.has_externals(),
+        }
+    }
+
+    /// Does the subtree reuse any derived stream?
+    pub fn uses_derived(&self) -> bool {
+        match self {
+            PlacedTree::Leaf(LeafSource::Derived { .. }) => true,
+            PlacedTree::Leaf(_) | PlacedTree::External { .. } => false,
+            PlacedTree::Join { left, right, .. } => left.uses_derived() || right.uses_derived(),
+        }
+    }
+
+    /// Replace every `External { tag }` with `subs[tag]`.
+    pub fn substitute_externals(self, subs: &[PlacedTree]) -> PlacedTree {
+        match self {
+            PlacedTree::Leaf(_) => self,
+            PlacedTree::External { tag, .. } => subs[tag].clone(),
+            PlacedTree::Join { left, right, node } => PlacedTree::Join {
+                left: Box::new(left.substitute_externals(subs)),
+                right: Box::new(right.substitute_externals(subs)),
+                node,
+            },
+        }
+    }
+
+    /// Replace `External { tag }` leaves present in `map`; other tags are
+    /// kept (they belong to an enclosing refinement scope).
+    pub fn substitute_tagged(
+        self,
+        map: &std::collections::HashMap<usize, PlacedTree>,
+    ) -> PlacedTree {
+        match self {
+            PlacedTree::Leaf(_) => self,
+            PlacedTree::External { tag, .. } => match map.get(&tag) {
+                Some(t) => t.clone(),
+                None => self,
+            },
+            PlacedTree::Join { left, right, node } => PlacedTree::Join {
+                left: Box::new(left.substitute_tagged(map)),
+                right: Box::new(right.substitute_tagged(map)),
+                node,
+            },
+        }
+    }
+
+    /// Convert to a costed [`Deployment`] against actual distances.
+    /// Panics if `External` placeholders remain.
+    pub fn into_deployment(
+        self,
+        query: &Query,
+        catalog: &Catalog,
+        dm: &DistanceMatrix,
+    ) -> Deployment {
+        assert!(!self.has_externals(), "unresolved external fragments");
+        let mut placements = Vec::new();
+        let tree = self.build(catalog, &mut placements);
+        let plan = FlatPlan::from_tree(&tree, query, catalog);
+        debug_assert_eq!(plan.nodes().len(), placements.len());
+        Deployment::evaluate(query.id, plan, placements, query.sink, dm)
+    }
+
+    /// Postorder build of the logical tree and the parallel placement
+    /// vector, matching [`FlatPlan::from_tree`]'s flattening order
+    /// (left, right, self).
+    fn build(&self, catalog: &Catalog, placements: &mut Vec<NodeId>) -> JoinTree {
+        match self {
+            PlacedTree::Leaf(l) => {
+                placements.push(self.output_location(catalog));
+                JoinTree::Leaf(l.clone())
+            }
+            PlacedTree::External { .. } => unreachable!("checked by into_deployment"),
+            PlacedTree::Join { left, right, node } => {
+                let lt = left.build(catalog, placements);
+                let rt = right.build(catalog, placements);
+                placements.push(*node);
+                JoinTree::join(lt, rt)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::{LinkKind, Metric, Network};
+    use dsq_query::{QueryId, Schema, StreamId};
+
+    fn setup() -> (Catalog, Query, DistanceMatrix) {
+        let mut net = Network::new(4);
+        for i in 0..3u32 {
+            net.add_link(NodeId(i), NodeId(i + 1), 1.0, 1.0, LinkKind::Stub);
+        }
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::new(["x"]));
+        let b = c.add_stream("B", 4.0, NodeId(3), Schema::new(["x"]));
+        c.set_selectivity(a, b, 0.1);
+        let q = Query::join(QueryId(0), [a, b], NodeId(2));
+        (c, q, dm)
+    }
+
+    #[test]
+    fn placed_tree_to_deployment_costs_correctly() {
+        let (c, q, dm) = setup();
+        let t = PlacedTree::Join {
+            left: Box::new(PlacedTree::Leaf(LeafSource::Base(StreamId(0)))),
+            right: Box::new(PlacedTree::Leaf(LeafSource::Base(StreamId(1)))),
+            node: NodeId(1),
+        };
+        assert_eq!(t.join_count(), 1);
+        assert_eq!(t.output_location(&c), NodeId(1));
+        let d = t.into_deployment(&q, &c, &dm);
+        // A: 10·1, B: 4·2, result 4·1 to the sink.
+        assert_eq!(d.cost, 10.0 + 8.0 + 4.0);
+    }
+
+    #[test]
+    fn substitution_resolves_externals() {
+        let (c, q, dm) = setup();
+        let ext = PlacedTree::External {
+            tag: 0,
+            covered: StreamSet::singleton(StreamId(1)),
+            location: NodeId(3),
+        };
+        let t = PlacedTree::Join {
+            left: Box::new(PlacedTree::Leaf(LeafSource::Base(StreamId(0)))),
+            right: Box::new(ext),
+            node: NodeId(1),
+        };
+        assert!(t.has_externals());
+        let resolved = t.substitute_externals(&[PlacedTree::Leaf(LeafSource::Base(StreamId(1)))]);
+        assert!(!resolved.has_externals());
+        let d = resolved.into_deployment(&q, &c, &dm);
+        assert_eq!(d.cost, 22.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unresolved external")]
+    fn unresolved_external_panics() {
+        let (c, q, dm) = setup();
+        let ext = PlacedTree::External {
+            tag: 0,
+            covered: StreamSet::singleton(StreamId(1)),
+            location: NodeId(3),
+        };
+        ext.into_deployment(&q, &c, &dm);
+    }
+}

@@ -1,0 +1,111 @@
+//! Search-space accounting.
+//!
+//! Figure 9 of the paper reports the number of plan/deployment combinations
+//! each algorithm *considers*. Every within-cluster planning step examines
+//! (conceptually) all join orders over the α inputs available in the
+//! cluster, times all placements of the resulting operators on the
+//! cluster's `m` members — the Lemma 1 product `α(α−1)(α+1)/6 · m^(α−1)`.
+//! [`SearchStats`] accumulates that count per planning event, so the totals
+//! are directly comparable with [`crate::bounds::lemma1_space`] for the
+//! exhaustive search and with the Theorem 2/4 analytical bounds.
+//!
+//! The per-event log also records *where* each planning step ran (level and
+//! coordinator), which the Emulab-style deployment-time simulator replays
+//! to charge message latencies and per-plan search work.
+
+use crate::bounds::lemma1_space;
+use dsq_net::NodeId;
+
+/// One within-cluster planning step.
+#[derive(Clone, Copy, Debug)]
+pub struct PlanEvent {
+    /// Hierarchy level the step ran at (1-based; 0 for flat planners that
+    /// search the whole network).
+    pub level: usize,
+    /// Physical node of the coordinator that performed the search.
+    pub coordinator: NodeId,
+    /// Number of inputs (α) the step planned over.
+    pub inputs: usize,
+    /// Number of candidate members the step could place operators on.
+    pub members: usize,
+    /// Plan/deployment combinations examined (Lemma 1 product).
+    pub plans: u128,
+}
+
+/// Accumulated search statistics across one or more optimizations.
+#[derive(Clone, Debug, Default)]
+pub struct SearchStats {
+    /// Total plan/deployment combinations examined.
+    pub plans_considered: u128,
+    /// Number of within-cluster planning invocations.
+    pub invocations: u64,
+    /// Dynamic-programming states actually materialized (an implementation
+    /// cost measure; always ≤ `plans_considered`).
+    pub dp_states: u64,
+    /// Per-step event log, in execution order.
+    pub events: Vec<PlanEvent>,
+}
+
+impl SearchStats {
+    /// Fresh, empty statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one within-cluster planning step over `inputs` inputs and
+    /// `members` placement candidates.
+    pub fn record(&mut self, level: usize, coordinator: NodeId, inputs: usize, members: usize) {
+        let plans = lemma1_space(inputs, members);
+        self.plans_considered = self.plans_considered.saturating_add(plans);
+        self.invocations += 1;
+        self.events.push(PlanEvent {
+            level,
+            coordinator,
+            inputs,
+            members,
+            plans,
+        });
+    }
+
+    /// Record `n` dynamic-programming states.
+    pub fn record_dp_states(&mut self, n: u64) {
+        self.dp_states += n;
+    }
+
+    /// Merge another run's statistics into this one.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.plans_considered = self.plans_considered.saturating_add(other.plans_considered);
+        self.invocations += other.invocations;
+        self.dp_states += other.dp_states;
+        self.events.extend_from_slice(&other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_accumulates_lemma1_products() {
+        let mut s = SearchStats::new();
+        s.record(2, NodeId(0), 3, 10); // 4 · 10² = 400
+        s.record(1, NodeId(1), 2, 5); // 1 · 5 = 5
+        assert_eq!(s.plans_considered, 405);
+        assert_eq!(s.invocations, 2);
+        assert_eq!(s.events.len(), 2);
+        assert_eq!(s.events[0].plans, 400);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = SearchStats::new();
+        a.record(1, NodeId(0), 2, 4);
+        let mut b = SearchStats::new();
+        b.record(1, NodeId(1), 2, 6);
+        b.record_dp_states(17);
+        a.merge(&b);
+        assert_eq!(a.plans_considered, 10);
+        assert_eq!(a.invocations, 2);
+        assert_eq!(a.dp_states, 17);
+    }
+}

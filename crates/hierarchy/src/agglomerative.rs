@@ -1,0 +1,104 @@
+//! Agglomerative (complete-linkage) clustering alternative.
+//!
+//! Provided as an ablation counterpart to the paper's K-Means choice: merges
+//! the two clusters whose *complete linkage* (maximum pairwise member
+//! distance, measured on actual traversal costs rather than embedded
+//! coordinates) is smallest, as long as the merged size stays within
+//! `max_cs`. Because it works on the true distance matrix it can beat
+//! K-Means when the cost-space embedding is distorted.
+
+use dsq_net::{DistanceMatrix, NodeId};
+
+/// Cluster `ids` into groups of at most `max_cs` by complete-linkage
+/// agglomeration over actual traversal costs. Returns index groups into
+/// `ids` (same contract as [`crate::kmeans::capped_kmeans`]).
+pub fn agglomerative(ids: &[NodeId], dm: &DistanceMatrix, max_cs: usize) -> Vec<Vec<usize>> {
+    assert!(max_cs >= 1);
+    let n = ids.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    loop {
+        // Find the mergeable pair with smallest complete linkage.
+        let mut best: Option<(f64, usize, usize)> = None;
+        for a in 0..clusters.len() {
+            for b in (a + 1)..clusters.len() {
+                if clusters[a].len() + clusters[b].len() > max_cs {
+                    continue;
+                }
+                let linkage = complete_linkage(&clusters[a], &clusters[b], ids, dm);
+                if best.is_none() || linkage < best.unwrap().0 {
+                    best = Some((linkage, a, b));
+                }
+            }
+        }
+        match best {
+            Some((_, a, b)) => {
+                let merged = clusters.swap_remove(b);
+                clusters[if a < b { a } else { a - 1 }].extend(merged);
+            }
+            None => break,
+        }
+    }
+    for c in &mut clusters {
+        c.sort_unstable();
+    }
+    clusters.sort();
+    clusters
+}
+
+fn complete_linkage(a: &[usize], b: &[usize], ids: &[NodeId], dm: &DistanceMatrix) -> f64 {
+    let mut max = 0.0f64;
+    for &i in a {
+        for &j in b {
+            max = max.max(dm.get(ids[i], ids[j]));
+        }
+    }
+    max
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::{LinkKind, Metric, Network};
+
+    /// Two triangles of cheap links joined by one expensive bridge.
+    fn two_islands() -> (Network, Vec<NodeId>) {
+        let mut net = Network::new(6);
+        let cheap = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)];
+        for (a, b) in cheap {
+            net.add_link(NodeId(a), NodeId(b), 1.0, 1.0, LinkKind::Stub);
+        }
+        net.add_link(NodeId(2), NodeId(3), 50.0, 1.0, LinkKind::Transit);
+        let ids = net.nodes().collect();
+        (net, ids)
+    }
+
+    #[test]
+    fn groups_islands_and_respects_cap() {
+        let (net, ids) = two_islands();
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let clusters = agglomerative(&ids, &dm, 3);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0], vec![0, 1, 2]);
+        assert_eq!(clusters[1], vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn cap_one_yields_singletons() {
+        let (net, ids) = two_islands();
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let clusters = agglomerative(&ids, &dm, 1);
+        assert_eq!(clusters.len(), 6);
+    }
+
+    #[test]
+    fn large_cap_merges_everything() {
+        let (net, ids) = two_islands();
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let clusters = agglomerative(&ids, &dm, 10);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 6);
+    }
+}

@@ -1,0 +1,202 @@
+//! Capacity-capped K-Means over cost-space coordinates.
+//!
+//! The paper builds its clustering hierarchy with the K-Means algorithm
+//! [Jain & Dubes], clustering "based on our optimization criteria" — nodes
+//! close in traversal cost land in the same cluster, and "we allow no more
+//! than max_cs nodes per cluster". Plain Lloyd iterations do not respect a
+//! size cap, so assignment here is *capacity-constrained*: each round, all
+//! (point, centroid) pairs are considered in ascending distance order and a
+//! point joins the nearest centroid that still has room. This keeps every
+//! cluster within `max_cs` while preserving the locality K-Means provides.
+
+use dsq_net::embedding::{euclid, Point};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Cluster `points` into groups of at most `max_cs`, returning index groups.
+///
+/// Deterministic in `seed`. The number of clusters is `ceil(n / max_cs)`;
+/// every point is assigned; no cluster is empty (k ≤ n) or over capacity.
+pub fn capped_kmeans(points: &[Point], max_cs: usize, seed: u64) -> Vec<Vec<usize>> {
+    assert!(max_cs >= 1, "max_cs must be at least 1");
+    let n = points.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = n.div_ceil(max_cs);
+    if k == 1 {
+        return vec![(0..n).collect()];
+    }
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut centroids = kmeanspp_init(points, k, &mut rng);
+
+    let mut assignment = vec![0usize; n];
+    for _round in 0..25 {
+        let new_assignment = capped_assign(points, &centroids, max_cs);
+        let changed = new_assignment != assignment;
+        assignment = new_assignment;
+        // Recompute centroids as member means.
+        let mut sums = vec![[0.0f64; 3]; k];
+        let mut counts = vec![0usize; k];
+        for (i, &c) in assignment.iter().enumerate() {
+            for d in 0..3 {
+                sums[c][d] += points[i][d];
+            }
+            counts[c] += 1;
+        }
+        for c in 0..k {
+            if counts[c] > 0 {
+                for d in 0..3 {
+                    centroids[c][d] = sums[c][d] / counts[c] as f64;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut clusters = vec![Vec::new(); k];
+    for (i, &c) in assignment.iter().enumerate() {
+        clusters[c].push(i);
+    }
+    clusters.retain(|c| !c.is_empty());
+    clusters
+}
+
+/// K-Means++ seeding: first centroid uniform, subsequent ones proportional
+/// to squared distance from the nearest chosen centroid.
+fn kmeanspp_init(points: &[Point], k: usize, rng: &mut ChaCha8Rng) -> Vec<Point> {
+    let n = points.len();
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)]);
+    let mut d2 = vec![f64::INFINITY; n];
+    while centroids.len() < k {
+        let last = centroids[centroids.len() - 1];
+        for (i, p) in points.iter().enumerate() {
+            let d = euclid(p, &last);
+            d2[i] = d2[i].min(d * d);
+        }
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All points coincide with centroids; pick deterministically.
+            rng.gen_range(0..n)
+        } else {
+            let mut target = rng.gen_range(0.0..total);
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centroids.push(points[next]);
+    }
+    centroids
+}
+
+/// Greedy capacity-constrained assignment: consider all (point, centroid)
+/// pairs in ascending distance and assign each point to the closest centroid
+/// with remaining capacity.
+fn capped_assign(points: &[Point], centroids: &[Point], max_cs: usize) -> Vec<usize> {
+    let n = points.len();
+    let k = centroids.len();
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
+    for (i, p) in points.iter().enumerate() {
+        for (c, ctr) in centroids.iter().enumerate() {
+            pairs.push((euclid(p, ctr), i, c));
+        }
+    }
+    pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    let mut assignment = vec![usize::MAX; n];
+    let mut load = vec![0usize; k];
+    let mut assigned = 0;
+    for (_, i, c) in pairs {
+        if assignment[i] == usize::MAX && load[c] < max_cs {
+            assignment[i] = c;
+            load[c] += 1;
+            assigned += 1;
+            if assigned == n {
+                break;
+            }
+        }
+    }
+    debug_assert_eq!(assigned, n, "capacity k·max_cs ≥ n guarantees assignment");
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_points() -> Vec<Point> {
+        // Two well-separated groups of 6 points each.
+        let mut pts = Vec::new();
+        for i in 0..6 {
+            pts.push([i as f64 * 0.1, 0.0, 0.0]);
+        }
+        for i in 0..6 {
+            pts.push([100.0 + i as f64 * 0.1, 0.0, 0.0]);
+        }
+        pts
+    }
+
+    #[test]
+    fn respects_capacity() {
+        let pts = grid_points();
+        for max_cs in [1, 2, 3, 5, 6, 12] {
+            let clusters = capped_kmeans(&pts, max_cs, 7);
+            let total: usize = clusters.iter().map(Vec::len).sum();
+            assert_eq!(total, pts.len());
+            for c in &clusters {
+                assert!(c.len() <= max_cs, "max_cs {max_cs} violated: {}", c.len());
+            }
+        }
+    }
+
+    #[test]
+    fn separates_obvious_groups() {
+        let pts = grid_points();
+        let clusters = capped_kmeans(&pts, 6, 3);
+        assert_eq!(clusters.len(), 2);
+        for c in &clusters {
+            let near: Vec<bool> = c.iter().map(|&i| pts[i][0] < 50.0).collect();
+            assert!(
+                near.iter().all(|&b| b) || near.iter().all(|&b| !b),
+                "groups must not mix: {c:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let pts = grid_points();
+        assert_eq!(capped_kmeans(&pts, 4, 11), capped_kmeans(&pts, 4, 11));
+    }
+
+    #[test]
+    fn single_cluster_when_capacity_allows() {
+        let pts = grid_points();
+        let clusters = capped_kmeans(&pts, 100, 0);
+        assert_eq!(clusters.len(), 1);
+        assert_eq!(clusters[0].len(), 12);
+    }
+
+    #[test]
+    fn handles_coincident_points() {
+        let pts = vec![[1.0, 1.0, 1.0]; 9];
+        let clusters = capped_kmeans(&pts, 3, 5);
+        assert_eq!(clusters.iter().map(Vec::len).sum::<usize>(), 9);
+        for c in &clusters {
+            assert!(c.len() <= 3);
+        }
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(capped_kmeans(&[], 4, 0).is_empty());
+    }
+}

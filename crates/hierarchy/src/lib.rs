@@ -1,0 +1,46 @@
+//! Hierarchical network partitions (Section 2.1.1 of the paper).
+//!
+//! Physical nodes are organized into a virtual clustering hierarchy: at
+//! Level 1 the nodes are grouped into clusters of at most `max_cs` members
+//! by traversal cost; each cluster elects a coordinator (its medoid) that is
+//! promoted to the next level, where the process repeats until a single top
+//! cluster remains.
+//!
+//! The hierarchy gives the optimizers two things:
+//!
+//! * a *recursive search structure* — Top-Down descends it, Bottom-Up climbs
+//!   it, and in both cases every exhaustive search is confined to one
+//!   cluster of ≤ `max_cs` members; and
+//! * *bounded distance estimates* — the distance between two nodes seen at
+//!   level `l` is the distance between their level-`l` representatives,
+//!   wrong by at most `Σ_{i<l} 2·d_i` (Theorem 1), where `d_i` is the
+//!   maximum intra-cluster traversal cost at level `i`.
+//!
+//! Levels use the paper's 1-based numbering: level 1 holds physical nodes,
+//! level `h` is the single top cluster.
+//!
+//! ```
+//! use dsq_hierarchy::{Hierarchy, HierarchyConfig};
+//! use dsq_net::{CostSpace, DistanceMatrix, Metric, NodeId, TransitStubConfig};
+//!
+//! let ts = TransitStubConfig::paper_64().generate(1);
+//! let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+//! let space = CostSpace::embed(&dm, 1, 40);
+//! let active: Vec<NodeId> = ts.network.nodes().collect();
+//! let h = Hierarchy::build(&active, &dm, &space, HierarchyConfig::new(8));
+//!
+//! // Every cluster respects the cap; estimates obey Theorem 1.
+//! h.check_invariants();
+//! let (a, b) = (NodeId(3), NodeId(40));
+//! let top = h.height();
+//! let est = h.estimated_cost(&dm, a, b, top);
+//! assert!((dm.get(a, b) - est).abs() <= h.theorem1_slack(top) + 1e-9);
+//! ```
+
+pub mod agglomerative;
+pub mod hierarchy;
+pub mod kmeans;
+pub mod membership;
+
+pub use hierarchy::{Cluster, ClusterId, ClusteringMethod, Hierarchy, HierarchyConfig};
+pub use kmeans::capped_kmeans;

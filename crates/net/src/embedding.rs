@@ -1,0 +1,217 @@
+//! Euclidean *cost space* embedding of the network.
+//!
+//! Two consumers, both taken from the paper:
+//!
+//! * the hierarchy builder runs K-Means over these coordinates to form
+//!   network partitions whose members are close in traversal cost, and
+//! * the Relaxation baseline [Pietzuch et al., ICDE'06] places operators by
+//!   spring relaxation "using a 3-dimensional cost space" (Section 3.3).
+//!
+//! The embedding minimizes stress against the shortest-path distance matrix
+//! with a simple deterministic majorization loop (a seeded, offline analogue
+//! of the Vivaldi-style network coordinates those systems use online).
+
+use crate::graph::NodeId;
+use crate::paths::DistanceMatrix;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Number of embedding dimensions; the paper's Relaxation experiments use a
+/// 3-dimensional cost space.
+pub const DIMS: usize = 3;
+
+/// A point in the cost space.
+pub type Point = [f64; DIMS];
+
+/// Euclidean embedding of every network node into [`DIMS`]-dimensional space.
+#[derive(Clone, Debug)]
+pub struct CostSpace {
+    coords: Vec<Point>,
+}
+
+/// Euclidean distance between two points.
+pub fn euclid(a: &Point, b: &Point) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+impl CostSpace {
+    /// Embed the network whose pairwise distances are `dm`.
+    ///
+    /// `iterations` majorization sweeps are performed (40 is plenty for the
+    /// topologies in this workspace); the result is deterministic in `seed`.
+    pub fn embed(dm: &DistanceMatrix, seed: u64, iterations: usize) -> Self {
+        let n = dm.len();
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let scale = dm.diameter().max(1.0);
+        let mut coords: Vec<Point> = (0..n)
+            .map(|_| {
+                let mut p = [0.0; DIMS];
+                for c in &mut p {
+                    *c = rng.gen_range(0.0..scale);
+                }
+                p
+            })
+            .collect();
+
+        // SMACOF-style sweeps: each node moves to the average of the
+        // positions its neighbours "want" it at (target distance preserved
+        // along the current direction).
+        let mut target = vec![0.0; n];
+        for _ in 0..iterations {
+            for i in 0..n {
+                for (j, t) in target.iter_mut().enumerate() {
+                    *t = dm.get(NodeId(i as u32), NodeId(j as u32));
+                }
+                let mut acc = [0.0; DIMS];
+                let mut count = 0.0;
+                for j in 0..n {
+                    if i == j || !target[j].is_finite() {
+                        continue;
+                    }
+                    let cur = euclid(&coords[i], &coords[j]);
+                    // Unit direction from j to i; random kick when coincident.
+                    let dir: Point = if cur > 1e-9 {
+                        let mut d = [0.0; DIMS];
+                        for k in 0..DIMS {
+                            d[k] = (coords[i][k] - coords[j][k]) / cur;
+                        }
+                        d
+                    } else {
+                        let mut d = [0.0; DIMS];
+                        d[0] = 1.0;
+                        d
+                    };
+                    for k in 0..DIMS {
+                        acc[k] += coords[j][k] + dir[k] * target[j];
+                    }
+                    count += 1.0;
+                }
+                if count > 0.0 {
+                    for k in 0..DIMS {
+                        coords[i][k] = acc[k] / count;
+                    }
+                }
+            }
+        }
+        CostSpace { coords }
+    }
+
+    /// Coordinates of a node.
+    #[inline]
+    pub fn coord(&self, node: NodeId) -> Point {
+        self.coords[node.index()]
+    }
+
+    /// Number of embedded nodes.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when the embedding is empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Euclidean distance between two embedded nodes.
+    pub fn dist(&self, a: NodeId, b: NodeId) -> f64 {
+        euclid(&self.coords[a.index()], &self.coords[b.index()])
+    }
+
+    /// The embedded node nearest to an arbitrary point, optionally restricted
+    /// to a candidate set. Ties broken by node id for determinism.
+    pub fn nearest(&self, p: &Point, candidates: Option<&[NodeId]>) -> NodeId {
+        let best = |ids: &mut dyn Iterator<Item = NodeId>| -> NodeId {
+            ids.min_by(|a, b| {
+                euclid(&self.coords[a.index()], p)
+                    .total_cmp(&euclid(&self.coords[b.index()], p))
+                    .then(a.0.cmp(&b.0))
+            })
+            .expect("nearest() on empty candidate set")
+        };
+        match candidates {
+            Some(c) => best(&mut c.iter().copied()),
+            None => best(&mut (0..self.coords.len() as u32).map(NodeId)),
+        }
+    }
+
+    /// Normalized stress: sqrt( Σ (emb − target)² / Σ target² ) over all
+    /// finite pairs. Lower is better; useful for embedding-quality tests.
+    pub fn stress(&self, dm: &DistanceMatrix) -> f64 {
+        let n = self.coords.len();
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let t = dm.get(NodeId(i as u32), NodeId(j as u32));
+                if !t.is_finite() {
+                    continue;
+                }
+                let e = euclid(&self.coords[i], &self.coords[j]);
+                num += (e - t) * (e - t);
+                den += t * t;
+            }
+        }
+        if den == 0.0 {
+            0.0
+        } else {
+            (num / den).sqrt()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::Metric;
+    use crate::topology::TransitStubConfig;
+
+    #[test]
+    fn embedding_has_low_stress_on_paper_topology() {
+        let ts = TransitStubConfig::paper_64().generate(1);
+        let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+        let cs = CostSpace::embed(&dm, 1, 40);
+        let s = cs.stress(&dm);
+        assert!(s < 0.35, "stress too high: {s}");
+    }
+
+    #[test]
+    fn embedding_is_deterministic() {
+        let ts = TransitStubConfig::paper_64().generate(2);
+        let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+        let a = CostSpace::embed(&dm, 9, 10);
+        let b = CostSpace::embed(&dm, 9, 10);
+        for n in ts.network.nodes() {
+            assert_eq!(a.coord(n), b.coord(n));
+        }
+    }
+
+    #[test]
+    fn nearest_respects_candidate_restriction() {
+        let ts = TransitStubConfig::emulab_32().generate(3);
+        let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+        let cs = CostSpace::embed(&dm, 3, 20);
+        let p = cs.coord(NodeId(0));
+        assert_eq!(cs.nearest(&p, None), NodeId(0));
+        let candidates = [NodeId(5), NodeId(9)];
+        let picked = cs.nearest(&p, Some(&candidates));
+        assert!(candidates.contains(&picked));
+    }
+
+    #[test]
+    fn nearby_nodes_embed_nearby() {
+        // Nodes in the same stub domain should usually be embedded closer to
+        // each other than to nodes in a remote domain.
+        let ts = TransitStubConfig::paper_128().generate(4);
+        let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+        let cs = CostSpace::embed(&dm, 4, 40);
+        let (_, d0) = &ts.stub_domains[0];
+        let (_, d9) = &ts.stub_domains[9];
+        let intra = cs.dist(d0[0], d0[1]);
+        let cross = cs.dist(d0[0], d9[0]);
+        assert!(intra < cross, "intra {intra} vs cross {cross}");
+    }
+}

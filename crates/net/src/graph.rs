@@ -1,0 +1,275 @@
+//! Core graph types: nodes, links and the [`Network`] adjacency structure.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a physical network node.
+///
+/// Node ids are dense indices into the [`Network`]'s adjacency structure, so
+/// they double as array indices everywhere in the workspace (distance
+/// matrices, hierarchy membership tables, deployment maps).
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The node id as a `usize` index.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// Role a node plays in a transit-stub topology.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum NodeKind {
+    /// Backbone ("long-haul") node.
+    Transit,
+    /// Intranet node; the paper places sources, sinks and most processing
+    /// here.
+    Stub,
+}
+
+/// Role a link plays in a transit-stub topology. Only used for reporting.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum LinkKind {
+    /// Link between two transit nodes (expensive).
+    Transit,
+    /// Gateway link connecting a stub domain to its transit node.
+    Gateway,
+    /// Link inside a stub domain (cheap).
+    Stub,
+}
+
+/// A directed half of an undirected link.
+#[derive(Copy, Clone, Debug, Serialize, Deserialize)]
+pub struct Link {
+    /// Endpoint this half-link points at.
+    pub to: NodeId,
+    /// Cost of transferring one unit of data across the link per unit time.
+    pub cost: f64,
+    /// One-way propagation delay in milliseconds.
+    pub delay_ms: f64,
+    /// Structural role of the link.
+    pub kind: LinkKind,
+}
+
+/// An undirected weighted network of processing nodes.
+///
+/// Links are stored as adjacency lists with both directed halves, so
+/// `neighbors(u)` is O(degree). All mutation keeps the two halves in sync.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Network {
+    adj: Vec<Vec<Link>>,
+    kinds: Vec<NodeKind>,
+}
+
+impl Network {
+    /// Create a network with `n` isolated stub nodes.
+    pub fn new(n: usize) -> Self {
+        Network {
+            adj: vec![Vec::new(); n],
+            kinds: vec![NodeKind::Stub; n],
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// True when the network has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.adj.is_empty()
+    }
+
+    /// Iterate over all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.adj.len() as u32).map(NodeId)
+    }
+
+    /// Append a new isolated node and return its id.
+    pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
+        self.adj.push(Vec::new());
+        self.kinds.push(kind);
+        NodeId(self.adj.len() as u32 - 1)
+    }
+
+    /// Set the structural role of a node.
+    pub fn set_kind(&mut self, node: NodeId, kind: NodeKind) {
+        self.kinds[node.index()] = kind;
+    }
+
+    /// Structural role of a node.
+    pub fn kind(&self, node: NodeId) -> NodeKind {
+        self.kinds[node.index()]
+    }
+
+    /// Add an undirected link. Panics if the link already exists or if it
+    /// would be a self-loop; parallel links are not modeled.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId, cost: f64, delay_ms: f64, kind: LinkKind) {
+        assert!(a != b, "self-loops are not allowed");
+        assert!(cost > 0.0 && cost.is_finite(), "link cost must be positive");
+        assert!(
+            self.find_link(a, b).is_none(),
+            "link {a}-{b} already exists"
+        );
+        self.adj[a.index()].push(Link {
+            to: b,
+            cost,
+            delay_ms,
+            kind,
+        });
+        self.adj[b.index()].push(Link {
+            to: a,
+            cost,
+            delay_ms,
+            kind,
+        });
+    }
+
+    /// The directed half-link from `a` to `b`, if any.
+    pub fn find_link(&self, a: NodeId, b: NodeId) -> Option<&Link> {
+        self.adj[a.index()].iter().find(|l| l.to == b)
+    }
+
+    /// Outgoing half-links of `u`.
+    pub fn neighbors(&self, u: NodeId) -> &[Link] {
+        &self.adj[u.index()]
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: NodeId) -> usize {
+        self.adj[u.index()].len()
+    }
+
+    /// Total number of undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adj.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Update the cost of an existing undirected link (both halves).
+    /// Returns `false` when the link does not exist. Used by the adaptivity
+    /// middleware to model runtime congestion/price changes.
+    pub fn set_link_cost(&mut self, a: NodeId, b: NodeId, cost: f64) -> bool {
+        assert!(cost > 0.0 && cost.is_finite(), "link cost must be positive");
+        let mut found = false;
+        for l in &mut self.adj[a.index()] {
+            if l.to == b {
+                l.cost = cost;
+                found = true;
+            }
+        }
+        if found {
+            for l in &mut self.adj[b.index()] {
+                if l.to == a {
+                    l.cost = cost;
+                }
+            }
+        }
+        found
+    }
+
+    /// True when every node can reach every other node.
+    pub fn is_connected(&self) -> bool {
+        if self.adj.is_empty() {
+            return true;
+        }
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![NodeId(0)];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for l in self.neighbors(u) {
+                if !seen[l.to.index()] {
+                    seen[l.to.index()] = true;
+                    count += 1;
+                    stack.push(l.to);
+                }
+            }
+        }
+        count == self.len()
+    }
+
+    /// Ids of all stub nodes (where the workload generator places sources and
+    /// sinks, matching the paper's setup).
+    pub fn stub_nodes(&self) -> Vec<NodeId> {
+        self.nodes()
+            .filter(|&n| self.kind(n) == NodeKind::Stub)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Network {
+        let mut n = Network::new(3);
+        n.add_link(NodeId(0), NodeId(1), 1.0, 1.0, LinkKind::Stub);
+        n.add_link(NodeId(1), NodeId(2), 2.0, 1.0, LinkKind::Stub);
+        n.add_link(NodeId(0), NodeId(2), 5.0, 1.0, LinkKind::Stub);
+        n
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let n = triangle();
+        assert_eq!(n.find_link(NodeId(0), NodeId(1)).unwrap().cost, 1.0);
+        assert_eq!(n.find_link(NodeId(1), NodeId(0)).unwrap().cost, 1.0);
+        assert_eq!(n.link_count(), 3);
+        assert_eq!(n.degree(NodeId(1)), 2);
+    }
+
+    #[test]
+    fn set_link_cost_updates_both_halves() {
+        let mut n = triangle();
+        assert!(n.set_link_cost(NodeId(0), NodeId(2), 9.0));
+        assert_eq!(n.find_link(NodeId(2), NodeId(0)).unwrap().cost, 9.0);
+        assert_eq!(n.find_link(NodeId(0), NodeId(2)).unwrap().cost, 9.0);
+        let extra = n.add_node(NodeKind::Stub);
+        assert!(!n.set_link_cost(NodeId(0), extra, 1.0), "missing link");
+    }
+
+    #[test]
+    fn connectivity() {
+        let mut n = triangle();
+        assert!(n.is_connected());
+        let isolated = n.add_node(NodeKind::Stub);
+        assert!(!n.is_connected());
+        n.add_link(NodeId(0), isolated, 1.0, 1.0, LinkKind::Stub);
+        assert!(n.is_connected());
+    }
+
+    #[test]
+    #[should_panic(expected = "already exists")]
+    fn duplicate_link_panics() {
+        let mut n = triangle();
+        n.add_link(NodeId(0), NodeId(1), 1.0, 1.0, LinkKind::Stub);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loops")]
+    fn self_loop_panics() {
+        let mut n = Network::new(2);
+        n.add_link(NodeId(0), NodeId(0), 1.0, 1.0, LinkKind::Stub);
+    }
+
+    #[test]
+    fn stub_nodes_filter() {
+        let mut n = triangle();
+        n.set_kind(NodeId(0), NodeKind::Transit);
+        assert_eq!(n.stub_nodes(), vec![NodeId(1), NodeId(2)]);
+    }
+}

@@ -1,0 +1,211 @@
+//! Plain-text topology serialization.
+//!
+//! A line-based format in the spirit of GT-ITM's alternative output — easy
+//! to generate, diff and hand-edit:
+//!
+//! ```text
+//! # dsq topology v1
+//! node 0 transit
+//! node 1 stub
+//! link 0 1 4.50 2.10 gateway
+//! ```
+//!
+//! [`write_topology`] and [`parse_topology`] round-trip exactly (costs and
+//! delays are printed with full precision).
+
+use crate::graph::{LinkKind, Network, NodeId, NodeKind};
+use std::fmt;
+
+/// Parse failure with line number and message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TopologyParseError {
+    /// 1-based line the error occurred on.
+    pub line: usize,
+    /// Description.
+    pub message: String,
+}
+
+impl fmt::Display for TopologyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "topology parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for TopologyParseError {}
+
+/// Serialize a network to the text format.
+pub fn write_topology(net: &Network) -> String {
+    use std::fmt::Write;
+    let mut out = String::new();
+    let _ = writeln!(out, "# dsq topology v1");
+    let _ = writeln!(out, "# {} nodes, {} links", net.len(), net.link_count());
+    for n in net.nodes() {
+        let kind = match net.kind(n) {
+            NodeKind::Transit => "transit",
+            NodeKind::Stub => "stub",
+        };
+        let _ = writeln!(out, "node {} {}", n.0, kind);
+    }
+    for a in net.nodes() {
+        for l in net.neighbors(a) {
+            if a < l.to {
+                let kind = match l.kind {
+                    LinkKind::Transit => "transit",
+                    LinkKind::Gateway => "gateway",
+                    LinkKind::Stub => "stub",
+                };
+                let _ = writeln!(
+                    out,
+                    "link {} {} {} {} {}",
+                    a.0, l.to.0, l.cost, l.delay_ms, kind
+                );
+            }
+        }
+    }
+    out
+}
+
+/// Parse the text format back into a network.
+pub fn parse_topology(text: &str) -> Result<Network, TopologyParseError> {
+    let err = |line: usize, message: &str| TopologyParseError {
+        line,
+        message: message.to_string(),
+    };
+    let mut nodes: Vec<NodeKind> = Vec::new();
+    let mut links: Vec<(u32, u32, f64, f64, LinkKind)> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let lineno = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        match fields[0] {
+            "node" => {
+                if fields.len() != 3 {
+                    return Err(err(lineno, "node lines are `node <id> <kind>`"));
+                }
+                let id: usize = fields[1]
+                    .parse()
+                    .map_err(|_| err(lineno, "bad node id"))?;
+                if id != nodes.len() {
+                    return Err(err(lineno, "node ids must be dense and in order"));
+                }
+                nodes.push(match fields[2] {
+                    "transit" => NodeKind::Transit,
+                    "stub" => NodeKind::Stub,
+                    _ => return Err(err(lineno, "node kind must be transit|stub")),
+                });
+            }
+            "link" => {
+                if fields.len() != 6 {
+                    return Err(err(
+                        lineno,
+                        "link lines are `link <a> <b> <cost> <delay_ms> <kind>`",
+                    ));
+                }
+                let a: u32 = fields[1].parse().map_err(|_| err(lineno, "bad endpoint"))?;
+                let b: u32 = fields[2].parse().map_err(|_| err(lineno, "bad endpoint"))?;
+                let cost: f64 = fields[3].parse().map_err(|_| err(lineno, "bad cost"))?;
+                let delay: f64 = fields[4].parse().map_err(|_| err(lineno, "bad delay"))?;
+                let kind = match fields[5] {
+                    "transit" => LinkKind::Transit,
+                    "gateway" => LinkKind::Gateway,
+                    "stub" => LinkKind::Stub,
+                    _ => return Err(err(lineno, "link kind must be transit|gateway|stub")),
+                };
+                if !(cost > 0.0 && cost.is_finite()) {
+                    return Err(err(lineno, "link cost must be positive and finite"));
+                }
+                if a == b {
+                    return Err(err(lineno, "self-loops are not allowed"));
+                }
+                links.push((a, b, cost, delay, kind));
+            }
+            other => {
+                return Err(err(lineno, &format!("unknown directive {other:?}")));
+            }
+        }
+    }
+    let mut net = Network::new(0);
+    for kind in nodes {
+        net.add_node(kind);
+    }
+    let n = net.len() as u32;
+    for (a, b, cost, delay, kind) in links {
+        if a >= n || b >= n {
+            return Err(err(0, "link references an undeclared node"));
+        }
+        if net.find_link(NodeId(a), NodeId(b)).is_some() {
+            return Err(err(0, "duplicate link"));
+        }
+        net.add_link(NodeId(a), NodeId(b), cost, delay, kind);
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{DistanceMatrix, Metric};
+    use crate::topology::TransitStubConfig;
+
+    #[test]
+    fn round_trip_preserves_everything() {
+        let net = TransitStubConfig::paper_64().generate(9).network;
+        let text = write_topology(&net);
+        let back = parse_topology(&text).unwrap();
+        assert_eq!(back.len(), net.len());
+        assert_eq!(back.link_count(), net.link_count());
+        for u in net.nodes() {
+            assert_eq!(back.kind(u), net.kind(u));
+            for l in net.neighbors(u) {
+                let rl = back.find_link(u, l.to).expect("link survives");
+                assert_eq!(rl.cost, l.cost);
+                assert_eq!(rl.delay_ms, l.delay_ms);
+                assert_eq!(rl.kind, l.kind);
+            }
+        }
+        // Distances are bit-identical.
+        let d1 = DistanceMatrix::build(&net, Metric::Cost);
+        let d2 = DistanceMatrix::build(&back, Metric::Cost);
+        for a in net.nodes().take(20) {
+            for b in net.nodes().take(20) {
+                assert_eq!(d1.get(a, b), d2.get(a, b));
+            }
+        }
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_ignored() {
+        let text = "# hi\n\nnode 0 stub\nnode 1 stub\n# mid\nlink 0 1 2.5 1.0 stub\n";
+        let net = parse_topology(text).unwrap();
+        assert_eq!(net.len(), 2);
+        assert_eq!(net.link_count(), 1);
+    }
+
+    #[test]
+    fn parse_errors_carry_line_numbers() {
+        for (text, needle, line) in [
+            ("node 0 stub\nnode 2 stub\n", "dense", 2),
+            ("node 0 blimp\n", "transit|stub", 1),
+            ("node 0 stub\nlink 0 0 1 1 stub\n", "self-loop", 2),
+            ("frob 1 2\n", "unknown directive", 1),
+            ("node 0 stub\nnode 1 stub\nlink 0 1 -4 1 stub\n", "positive", 3),
+            ("node 0 stub\nlink 0 1 x 1 stub\n", "bad cost", 2),
+            ("node 0 stub\nlink 0 1 1 1\n", "link lines are", 2),
+        ] {
+            let e = parse_topology(text).unwrap_err();
+            assert!(
+                e.message.contains(needle) && e.line == line,
+                "for {text:?}: got {e}"
+            );
+        }
+        // Undeclared endpoints and duplicates are structural errors.
+        assert!(parse_topology("node 0 stub\nlink 0 5 1 1 stub\n").is_err());
+        assert!(parse_topology(
+            "node 0 stub\nnode 1 stub\nlink 0 1 1 1 stub\nlink 1 0 1 1 stub\n"
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,322 @@
+//! Shortest paths: single-source Dijkstra, all-pairs matrices and route
+//! extraction.
+//!
+//! The optimizers consume a [`DistanceMatrix`] (shortest-path *cost* between
+//! every pair of nodes — the `c_act` of the paper's Theorem 1), while the
+//! flow simulator additionally needs the concrete routes to attribute traffic
+//! to individual links, which the [`RouteTable`] provides.
+
+use crate::graph::{Network, NodeId};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Which link weight a shortest-path computation minimizes.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Metric {
+    /// Per-unit-data transfer cost (the paper's communication-cost metric).
+    Cost,
+    /// Propagation delay in milliseconds (the response-time metric and the
+    /// Emulab deployment-time experiments).
+    DelayMs,
+}
+
+impl Metric {
+    #[inline]
+    fn weight(self, link: &crate::graph::Link) -> f64 {
+        match self {
+            Metric::Cost => link.cost,
+            Metric::DelayMs => link.delay_ms,
+        }
+    }
+}
+
+#[derive(Copy, Clone, PartialEq)]
+struct HeapEntry {
+    dist: f64,
+    node: NodeId,
+}
+
+impl Eq for HeapEntry {}
+
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reverse order: BinaryHeap is a max-heap, we want the min distance.
+        other
+            .dist
+            .total_cmp(&self.dist)
+            .then_with(|| other.node.0.cmp(&self.node.0))
+    }
+}
+
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Single-source Dijkstra. Returns per-node distance and predecessor
+/// (`u32::MAX` where unreachable or for the source itself).
+pub fn dijkstra(net: &Network, source: NodeId, metric: Metric) -> (Vec<f64>, Vec<u32>) {
+    let n = net.len();
+    let mut dist = vec![f64::INFINITY; n];
+    let mut pred = vec![u32::MAX; n];
+    let mut heap = BinaryHeap::with_capacity(n);
+    dist[source.index()] = 0.0;
+    heap.push(HeapEntry {
+        dist: 0.0,
+        node: source,
+    });
+    while let Some(HeapEntry { dist: d, node: u }) = heap.pop() {
+        if d > dist[u.index()] {
+            continue; // stale entry
+        }
+        for link in net.neighbors(u) {
+            let nd = d + metric.weight(link);
+            if nd < dist[link.to.index()] {
+                dist[link.to.index()] = nd;
+                pred[link.to.index()] = u.0;
+                heap.push(HeapEntry {
+                    dist: nd,
+                    node: link.to,
+                });
+            }
+        }
+    }
+    (dist, pred)
+}
+
+/// Dense all-pairs shortest-path distances under one [`Metric`].
+#[derive(Clone, Debug)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<f64>,
+    metric: Metric,
+}
+
+impl DistanceMatrix {
+    /// Compute all-pairs shortest paths by running Dijkstra from every node.
+    ///
+    /// The per-source runs are independent, so they are distributed over
+    /// the Rayon thread pool for networks large enough to amortize the
+    /// fork/join overhead (the Figure 9 sweep builds 1000-node matrices).
+    pub fn build(net: &Network, metric: Metric) -> Self {
+        use rayon::prelude::*;
+        let n = net.len();
+        let mut dist = vec![f64::INFINITY; n * n];
+        if n >= 192 {
+            dist.par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(s, row_out)| {
+                    let (row, _) = dijkstra(net, NodeId(s as u32), metric);
+                    row_out.copy_from_slice(&row);
+                });
+        } else {
+            for s in net.nodes() {
+                let (row, _) = dijkstra(net, s, metric);
+                dist[s.index() * n..(s.index() + 1) * n].copy_from_slice(&row);
+            }
+        }
+        DistanceMatrix { n, dist, metric }
+    }
+
+    /// Shortest-path distance between two nodes.
+    #[inline]
+    pub fn get(&self, a: NodeId, b: NodeId) -> f64 {
+        self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// Number of nodes the matrix covers.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the matrix is empty.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Metric this matrix was built under.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Largest finite pairwise distance (the network "diameter" under the
+    /// metric). Returns 0.0 for empty matrices.
+    pub fn diameter(&self) -> f64 {
+        self.dist
+            .iter()
+            .copied()
+            .filter(|d| d.is_finite())
+            .fold(0.0, f64::max)
+    }
+
+    /// The node of `candidates` minimizing the summed distance to all
+    /// `members` — the *medoid*, used for coordinator election.
+    pub fn medoid(&self, candidates: &[NodeId], members: &[NodeId]) -> NodeId {
+        assert!(!candidates.is_empty());
+        *candidates
+            .iter()
+            .min_by(|&&a, &&b| {
+                let sa: f64 = members.iter().map(|&m| self.get(a, m)).sum();
+                let sb: f64 = members.iter().map(|&m| self.get(b, m)).sum();
+                sa.total_cmp(&sb).then(a.0.cmp(&b.0))
+            })
+            .unwrap()
+    }
+}
+
+/// All-pairs predecessor table for concrete route extraction.
+#[derive(Clone, Debug)]
+pub struct RouteTable {
+    n: usize,
+    pred: Vec<u32>,
+}
+
+impl RouteTable {
+    /// Build the table by running Dijkstra from every node (parallel for
+    /// large networks, like [`DistanceMatrix::build`]).
+    pub fn build(net: &Network, metric: Metric) -> Self {
+        use rayon::prelude::*;
+        let n = net.len();
+        let mut pred = vec![u32::MAX; n * n];
+        if n >= 192 {
+            pred.par_chunks_mut(n.max(1))
+                .enumerate()
+                .for_each(|(s, row_out)| {
+                    let (_, p) = dijkstra(net, NodeId(s as u32), metric);
+                    row_out.copy_from_slice(&p);
+                });
+        } else {
+            for s in net.nodes() {
+                let (_, p) = dijkstra(net, s, metric);
+                pred[s.index() * n..(s.index() + 1) * n].copy_from_slice(&p);
+            }
+        }
+        RouteTable { n, pred }
+    }
+
+    /// The node sequence of the shortest route from `a` to `b`, inclusive of
+    /// both endpoints. Returns `None` when `b` is unreachable from `a`.
+    pub fn route(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a == b {
+            return Some(vec![a]);
+        }
+        let row = &self.pred[a.index() * self.n..(a.index() + 1) * self.n];
+        let mut path = vec![b];
+        let mut cur = b;
+        while cur != a {
+            let p = row[cur.index()];
+            if p == u32::MAX {
+                return None;
+            }
+            cur = NodeId(p);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::{LinkKind, Network};
+
+    /// 0 -1- 1 -1- 2, plus a direct expensive 0-2 link.
+    fn line_with_shortcut() -> Network {
+        let mut n = Network::new(3);
+        n.add_link(NodeId(0), NodeId(1), 1.0, 10.0, LinkKind::Stub);
+        n.add_link(NodeId(1), NodeId(2), 1.0, 10.0, LinkKind::Stub);
+        n.add_link(NodeId(0), NodeId(2), 5.0, 1.0, LinkKind::Stub);
+        n
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_path() {
+        let net = line_with_shortcut();
+        let (d, _) = dijkstra(&net, NodeId(0), Metric::Cost);
+        assert_eq!(d[2], 2.0, "two cheap hops beat the direct link");
+        let (d, _) = dijkstra(&net, NodeId(0), Metric::DelayMs);
+        assert_eq!(d[2], 1.0, "direct link wins on delay");
+    }
+
+    #[test]
+    fn matrix_matches_dijkstra_and_is_symmetric() {
+        let net = line_with_shortcut();
+        let m = DistanceMatrix::build(&net, Metric::Cost);
+        for a in net.nodes() {
+            let (d, _) = dijkstra(&net, a, Metric::Cost);
+            for b in net.nodes() {
+                assert_eq!(m.get(a, b), d[b.index()]);
+                assert_eq!(m.get(a, b), m.get(b, a));
+            }
+        }
+        assert_eq!(m.diameter(), 2.0);
+    }
+
+    #[test]
+    fn triangle_inequality_holds() {
+        let net = line_with_shortcut();
+        let m = DistanceMatrix::build(&net, Metric::Cost);
+        for a in net.nodes() {
+            for b in net.nodes() {
+                for c in net.nodes() {
+                    assert!(m.get(a, c) <= m.get(a, b) + m.get(b, c) + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn route_extraction() {
+        let net = line_with_shortcut();
+        let rt = RouteTable::build(&net, Metric::Cost);
+        assert_eq!(
+            rt.route(NodeId(0), NodeId(2)).unwrap(),
+            vec![NodeId(0), NodeId(1), NodeId(2)]
+        );
+        assert_eq!(rt.route(NodeId(1), NodeId(1)).unwrap(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn unreachable_is_infinite() {
+        let mut net = Network::new(2);
+        let extra = net.add_node(crate::graph::NodeKind::Stub);
+        net.add_link(NodeId(0), NodeId(1), 1.0, 1.0, LinkKind::Stub);
+        let m = DistanceMatrix::build(&net, Metric::Cost);
+        assert!(m.get(NodeId(0), extra).is_infinite());
+        let rt = RouteTable::build(&net, Metric::Cost);
+        assert!(rt.route(NodeId(0), extra).is_none());
+    }
+
+    #[test]
+    fn parallel_and_sequential_builds_agree() {
+        // A network above the parallel threshold must produce the exact
+        // same matrix as per-source sequential Dijkstra.
+        let ts = crate::topology::TransitStubConfig::sized(512).generate(7);
+        let net = &ts.network;
+        assert!(net.len() >= 192, "exercises the parallel path");
+        let par = DistanceMatrix::build(net, Metric::Cost);
+        // Sequential reference.
+        for s in net.nodes().take(12) {
+            let (row, _) = dijkstra(net, s, Metric::Cost);
+            for t in net.nodes() {
+                assert_eq!(par.get(s, t), row[t.index()]);
+            }
+        }
+        let rt = RouteTable::build(net, Metric::Cost);
+        let some = net.nodes().next().unwrap();
+        let far = net.nodes().last().unwrap();
+        let route = rt.route(some, far).unwrap();
+        assert_eq!(route.first(), Some(&some));
+        assert_eq!(route.last(), Some(&far));
+    }
+
+    #[test]
+    fn medoid_picks_center() {
+        let net = line_with_shortcut();
+        let m = DistanceMatrix::build(&net, Metric::Cost);
+        let all = [NodeId(0), NodeId(1), NodeId(2)];
+        assert_eq!(m.medoid(&all, &all), NodeId(1));
+    }
+}

@@ -1,0 +1,345 @@
+//! GT-ITM style transit-stub topology generation.
+//!
+//! The paper evaluates on "transit-stub topology networks generated using the
+//! standard tool, the GT-ITM internetwork topology generator", with "1 transit
+//! (e.g. backbone) domain of 4 nodes, and 4 stub domains (each of 8 nodes)
+//! connected to each transit domain node" for the 128-node network, and "link
+//! costs (per byte transferred) assigned such that the links in the stub
+//! domains had lower costs than those in the transit domain".
+//!
+//! This module reproduces that construction: a two-tier hierarchy of transit
+//! domains (rings with random chords, inter-domain bridges) and stub domains
+//! (random connected graphs hanging off transit nodes via gateway links),
+//! with link costs drawn uniformly from per-tier ranges.
+
+use crate::graph::{LinkKind, Network, NodeId, NodeKind};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a transit-stub topology.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TransitStubConfig {
+    /// Number of transit (backbone) domains.
+    pub transit_domains: usize,
+    /// Transit nodes per transit domain.
+    pub transit_nodes_per_domain: usize,
+    /// Stub domains attached to each transit node.
+    pub stub_domains_per_transit_node: usize,
+    /// Nodes per stub domain.
+    pub stub_nodes_per_domain: usize,
+    /// Probability of an extra (non-ring) edge between two transit nodes of
+    /// the same domain.
+    pub transit_extra_edge_prob: f64,
+    /// Probability of an extra (non-spanning-tree) edge inside a stub domain.
+    pub stub_extra_edge_prob: f64,
+    /// Uniform cost range for transit links (expensive long-haul).
+    pub transit_cost: (f64, f64),
+    /// Uniform cost range for gateway (stub-to-transit) links.
+    pub gateway_cost: (f64, f64),
+    /// Uniform cost range for intra-stub links (cheap intranet).
+    pub stub_cost: (f64, f64),
+    /// Uniform one-way delay range in milliseconds, applied to all links
+    /// (the Emulab testbed used 1–6 ms).
+    pub delay_ms: (f64, f64),
+}
+
+impl Default for TransitStubConfig {
+    /// The paper's ~128-node evaluation network: 1 transit domain of 4 nodes,
+    /// 4 stub domains of 8 nodes per transit node.
+    fn default() -> Self {
+        TransitStubConfig {
+            transit_domains: 1,
+            transit_nodes_per_domain: 4,
+            stub_domains_per_transit_node: 4,
+            stub_nodes_per_domain: 8,
+            transit_extra_edge_prob: 0.3,
+            stub_extra_edge_prob: 0.25,
+            // Magnitudes calibrated so that cross-domain (transit) transport
+            // dominates intra-domain cost, per the paper's "transmission
+            // within an intranet being far cheaper than long-haul links";
+            // see EXPERIMENTS.md ("topology calibration").
+            transit_cost: (30.0, 60.0),
+            gateway_cost: (3.0, 6.0),
+            stub_cost: (0.5, 1.5),
+            delay_ms: (1.0, 6.0),
+        }
+    }
+}
+
+impl TransitStubConfig {
+    /// The ~128-node network of Sections 3.1–3.3 (4 transit + 128 stub).
+    pub fn paper_128() -> Self {
+        Self::default()
+    }
+
+    /// A ~64-node network as in Figure 2 (4 transit + 60 stub).
+    pub fn paper_64() -> Self {
+        TransitStubConfig {
+            stub_domains_per_transit_node: 3,
+            stub_nodes_per_domain: 5,
+            ..Self::default()
+        }
+    }
+
+    /// The 32-node Emulab-style testbed of Section 3.5 (2 transit + 30 stub).
+    pub fn emulab_32() -> Self {
+        TransitStubConfig {
+            transit_domains: 1,
+            transit_nodes_per_domain: 2,
+            stub_domains_per_transit_node: 3,
+            stub_nodes_per_domain: 5,
+            ..Self::default()
+        }
+    }
+
+    /// Approximate a target total node count while keeping the paper's
+    /// 4-stub-domains-of-8 shape, by scaling transit width. Used for the
+    /// Figure 9 scalability sweep (64 → 1024 nodes).
+    pub fn sized(total: usize) -> Self {
+        match total {
+            0..=80 => Self::paper_64(),
+            81..=256 => Self::paper_128(),
+            257..=768 => TransitStubConfig {
+                transit_domains: 2,
+                transit_nodes_per_domain: 8,
+                ..Self::default()
+            }, // 16 + 16*4*8 = 528
+            _ => TransitStubConfig {
+                transit_domains: 4,
+                transit_nodes_per_domain: 8,
+                ..Self::default()
+            }, // 32 + 32*4*8 = 1056
+        }
+    }
+
+    /// Total node count this configuration produces.
+    pub fn total_nodes(&self) -> usize {
+        let transit = self.transit_domains * self.transit_nodes_per_domain;
+        transit + transit * self.stub_domains_per_transit_node * self.stub_nodes_per_domain
+    }
+
+    /// Generate a topology with this configuration.
+    pub fn generate(&self, seed: u64) -> TransitStubNetwork {
+        generate(self, seed)
+    }
+}
+
+/// A generated transit-stub network plus its structural annotations.
+#[derive(Clone, Debug)]
+pub struct TransitStubNetwork {
+    /// The physical network graph.
+    pub network: Network,
+    /// Transit node ids, grouped by transit domain.
+    pub transit_domains: Vec<Vec<NodeId>>,
+    /// Stub domains: `(gateway transit node, member stub nodes)`.
+    pub stub_domains: Vec<(NodeId, Vec<NodeId>)>,
+    /// Configuration used.
+    pub config: TransitStubConfig,
+}
+
+fn sample(rng: &mut ChaCha8Rng, range: (f64, f64)) -> f64 {
+    if range.0 >= range.1 {
+        range.0
+    } else {
+        rng.gen_range(range.0..range.1)
+    }
+}
+
+fn generate(cfg: &TransitStubConfig, seed: u64) -> TransitStubNetwork {
+    assert!(cfg.transit_domains >= 1);
+    assert!(cfg.transit_nodes_per_domain >= 1);
+    assert!(cfg.stub_nodes_per_domain >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut net = Network::new(0);
+    let mut transit_domains = Vec::with_capacity(cfg.transit_domains);
+
+    // 1. Transit domains: ring + random chords.
+    for _ in 0..cfg.transit_domains {
+        let nodes: Vec<NodeId> = (0..cfg.transit_nodes_per_domain)
+            .map(|_| net.add_node(NodeKind::Transit))
+            .collect();
+        let k = nodes.len();
+        if k > 1 {
+            for i in 0..k {
+                let a = nodes[i];
+                let b = nodes[(i + 1) % k];
+                if net.find_link(a, b).is_none() {
+                    let cost = sample(&mut rng, cfg.transit_cost);
+                    let delay = sample(&mut rng, cfg.delay_ms);
+                    net.add_link(a, b, cost, delay, LinkKind::Transit);
+                }
+            }
+            for i in 0..k {
+                for j in (i + 2)..k {
+                    if net.find_link(nodes[i], nodes[j]).is_none()
+                        && rng.gen_bool(cfg.transit_extra_edge_prob)
+                    {
+                        let cost = sample(&mut rng, cfg.transit_cost);
+                        let delay = sample(&mut rng, cfg.delay_ms);
+                        net.add_link(nodes[i], nodes[j], cost, delay, LinkKind::Transit);
+                    }
+                }
+            }
+        }
+        transit_domains.push(nodes);
+    }
+
+    // 2. Bridges between transit domains (one random edge per domain pair)
+    //    so the backbone is connected.
+    for i in 0..transit_domains.len() {
+        for j in (i + 1)..transit_domains.len() {
+            let a = transit_domains[i][rng.gen_range(0..transit_domains[i].len())];
+            let b = transit_domains[j][rng.gen_range(0..transit_domains[j].len())];
+            if net.find_link(a, b).is_none() {
+                let cost = sample(&mut rng, cfg.transit_cost);
+                let delay = sample(&mut rng, cfg.delay_ms);
+                net.add_link(a, b, cost, delay, LinkKind::Transit);
+            }
+        }
+    }
+
+    // 3. Stub domains: random connected graph (random spanning tree + extra
+    //    edges), one gateway link to the owning transit node.
+    let mut stub_domains = Vec::new();
+    let all_transit: Vec<NodeId> = transit_domains.iter().flatten().copied().collect();
+    for &t in &all_transit {
+        for _ in 0..cfg.stub_domains_per_transit_node {
+            let nodes: Vec<NodeId> = (0..cfg.stub_nodes_per_domain)
+                .map(|_| net.add_node(NodeKind::Stub))
+                .collect();
+            // Random spanning tree: attach node i to a uniformly random
+            // earlier node.
+            for i in 1..nodes.len() {
+                let parent = nodes[rng.gen_range(0..i)];
+                let cost = sample(&mut rng, cfg.stub_cost);
+                let delay = sample(&mut rng, cfg.delay_ms);
+                net.add_link(nodes[i], parent, cost, delay, LinkKind::Stub);
+            }
+            // Extra intra-stub edges.
+            for i in 0..nodes.len() {
+                for j in (i + 1)..nodes.len() {
+                    if net.find_link(nodes[i], nodes[j]).is_none()
+                        && rng.gen_bool(cfg.stub_extra_edge_prob)
+                    {
+                        let cost = sample(&mut rng, cfg.stub_cost);
+                        let delay = sample(&mut rng, cfg.delay_ms);
+                        net.add_link(nodes[i], nodes[j], cost, delay, LinkKind::Stub);
+                    }
+                }
+            }
+            // Gateway.
+            let gw = nodes[rng.gen_range(0..nodes.len())];
+            let cost = sample(&mut rng, cfg.gateway_cost);
+            let delay = sample(&mut rng, cfg.delay_ms);
+            net.add_link(gw, t, cost, delay, LinkKind::Gateway);
+            stub_domains.push((t, nodes));
+        }
+    }
+
+    debug_assert!(net.is_connected(), "generated topology must be connected");
+    TransitStubNetwork {
+        network: net,
+        transit_domains,
+        stub_domains,
+        config: cfg.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::{DistanceMatrix, Metric};
+
+    #[test]
+    fn paper_128_shape() {
+        let ts = TransitStubConfig::paper_128().generate(7);
+        assert_eq!(ts.network.len(), 132); // 4 transit + 4*4*8 stub
+        assert_eq!(ts.config.total_nodes(), 132);
+        assert!(ts.network.is_connected());
+        assert_eq!(ts.transit_domains.len(), 1);
+        assert_eq!(ts.stub_domains.len(), 16);
+        assert_eq!(ts.network.stub_nodes().len(), 128);
+    }
+
+    #[test]
+    fn sized_presets_cover_fig9_range() {
+        for (target, lo, hi) in [(64, 50, 80), (128, 100, 200), (512, 400, 600), (1024, 900, 1100)]
+        {
+            let cfg = TransitStubConfig::sized(target);
+            let n = cfg.total_nodes();
+            assert!(n >= lo && n <= hi, "target {target} produced {n}");
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = TransitStubConfig::paper_64().generate(42);
+        let b = TransitStubConfig::paper_64().generate(42);
+        assert_eq!(a.network.len(), b.network.len());
+        for u in a.network.nodes() {
+            let la = a.network.neighbors(u);
+            let lb = b.network.neighbors(u);
+            assert_eq!(la.len(), lb.len());
+            for (x, y) in la.iter().zip(lb) {
+                assert_eq!(x.to, y.to);
+                assert_eq!(x.cost, y.cost);
+            }
+        }
+    }
+
+    #[test]
+    fn stub_links_cheaper_than_transit() {
+        let ts = TransitStubConfig::paper_128().generate(3);
+        let net = &ts.network;
+        let mut max_stub: f64 = 0.0;
+        let mut min_transit = f64::INFINITY;
+        for u in net.nodes() {
+            for l in net.neighbors(u) {
+                match l.kind {
+                    LinkKind::Stub => max_stub = max_stub.max(l.cost),
+                    LinkKind::Transit => min_transit = min_transit.min(l.cost),
+                    LinkKind::Gateway => {}
+                }
+            }
+        }
+        assert!(
+            max_stub < min_transit,
+            "stub links ({max_stub}) must be cheaper than transit links ({min_transit})"
+        );
+    }
+
+    #[test]
+    fn intra_stub_paths_cheaper_than_cross_stub() {
+        let ts = TransitStubConfig::paper_128().generate(11);
+        let m = DistanceMatrix::build(&ts.network, Metric::Cost);
+        // Average intra-domain distance should be well below average
+        // cross-domain distance: the economic structure the hierarchy exploits.
+        let (d0_gw, d0) = &ts.stub_domains[0];
+        let (d1_gw, d1) = &ts.stub_domains[ts.stub_domains.len() - 1];
+        assert_ne!(d0_gw, d1_gw);
+        let m = &m;
+        let intra: f64 = d0
+            .iter()
+            .flat_map(|&a| d0.iter().map(move |&b| m.get(a, b)))
+            .sum::<f64>()
+            / (d0.len() * d0.len()) as f64;
+        let cross: f64 = d0
+            .iter()
+            .flat_map(|&a| d1.iter().map(move |&b| m.get(a, b)))
+            .sum::<f64>()
+            / (d0.len() * d1.len()) as f64;
+        assert!(intra * 2.0 < cross, "intra {intra} vs cross {cross}");
+    }
+
+    #[test]
+    fn emulab_preset_has_delays_in_range() {
+        let ts = TransitStubConfig::emulab_32().generate(5);
+        assert_eq!(ts.network.len(), 32);
+        for u in ts.network.nodes() {
+            for l in ts.network.neighbors(u) {
+                assert!((1.0..=6.0).contains(&l.delay_ms));
+            }
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! Stream advertisements and the operator-reuse registry.
+//!
+//! "We observe that each sink and deployed operator is a new stream source
+//! for the data computed by its underlying query or sub-query. We refer to
+//! these stream sources as derived stream sources" (Section 2.1.2). The
+//! [`ReuseRegistry`] collects those derived streams as deployments are
+//! registered and matches them against later queries, so an optimizer can
+//! treat a compatible deployed operator as a free-upstream leaf.
+//!
+//! Join compatibility note: join selectivities (and thus join semantics) are
+//! global per stream pair in the [`Catalog`](crate::Catalog), so two join
+//! results over the same covered set under compatible selections are
+//! interchangeable; selection compatibility is checked with predicate
+//! subsumption ([`crate::predicate::selections_compatible`]).
+
+use crate::plan::{Deployment, LeafSource, OperatorId};
+use crate::predicate::{residual_selections, selections_compatible, SelectionPredicate};
+use crate::query::{Query, QueryId, StreamSet};
+use dsq_net::NodeId;
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an advertised derived stream.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct DerivedId(pub u32);
+
+/// An advertised derived stream: the output of a deployed operator.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct DerivedStream {
+    /// Advertisement id.
+    pub id: DerivedId,
+    /// Deployed operator instance producing this stream.
+    pub operator: OperatorId,
+    /// Base streams whose join this stream carries.
+    pub covered: StreamSet,
+    /// Selection predicates already applied upstream.
+    pub selections: Vec<SelectionPredicate>,
+    /// Output rate.
+    pub rate: f64,
+    /// Node the stream is produced at.
+    pub host: NodeId,
+    /// Query whose deployment created the operator.
+    pub origin: QueryId,
+}
+
+/// Bookkeeping counters for the advertisement protocol. Advertisements are
+/// "one-time messages exchanged only at the initial time of operator
+/// instantiation" — these counters let experiments report that overhead.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct AdvertStats {
+    /// Advertisements published (new derived streams).
+    pub published: u64,
+    /// Duplicate advertisements suppressed (same signature and host).
+    pub suppressed: u64,
+    /// Successful reuse matches handed to optimizers.
+    pub reuse_candidates_served: u64,
+}
+
+/// Registry of every deployed operator and its advertised derived stream.
+#[derive(Clone, Debug, Default)]
+pub struct ReuseRegistry {
+    deriveds: Vec<DerivedStream>,
+    next_operator: u64,
+    stats: AdvertStats,
+}
+
+impl ReuseRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All advertised derived streams.
+    pub fn deriveds(&self) -> &[DerivedStream] {
+        &self.deriveds
+    }
+
+    /// Advertisement protocol counters.
+    pub fn stats(&self) -> AdvertStats {
+        self.stats
+    }
+
+    /// Allocate a fresh operator instance id.
+    pub fn allocate_operator(&mut self) -> OperatorId {
+        let id = OperatorId(self.next_operator);
+        self.next_operator += 1;
+        id
+    }
+
+    /// Register a finished deployment: every join operator (and the sink
+    /// output, hosted at the sink) is advertised as a derived stream.
+    /// Returns the ids of the newly published advertisements.
+    pub fn register_deployment(&mut self, query: &Query, deployment: &Deployment) -> Vec<DerivedId> {
+        let mut published = Vec::new();
+        for i in deployment.plan.join_indices() {
+            let node = &deployment.plan.nodes()[i];
+            let covered = node.covered().clone();
+            let selections = restrict_selections(&query.selections, &covered);
+            if let Some(id) = self.advertise(
+                covered,
+                selections,
+                node.rate(),
+                deployment.placement[i],
+                query.id,
+            ) {
+                published.push(id);
+            }
+        }
+        // The sink's delivered result is also a derived stream, hosted at
+        // the sink node.
+        let root = &deployment.plan.nodes()[deployment.plan.root()];
+        if root.is_join() {
+            let covered = root.covered().clone();
+            let selections = restrict_selections(&query.selections, &covered);
+            if let Some(id) =
+                self.advertise(covered, selections, root.rate(), deployment.sink, query.id)
+            {
+                published.push(id);
+            }
+        }
+        published
+    }
+
+    /// Advertise one derived stream. Exact duplicates (same covered set,
+    /// selection signature and host) are suppressed. Returns the new id, or
+    /// `None` when suppressed.
+    pub fn advertise(
+        &mut self,
+        covered: StreamSet,
+        selections: Vec<SelectionPredicate>,
+        rate: f64,
+        host: NodeId,
+        origin: QueryId,
+    ) -> Option<DerivedId> {
+        if covered.len() < 2 {
+            // Single-stream "deriveds" are just (filtered) base streams; the
+            // base advertisement already covers them.
+            return None;
+        }
+        let duplicate = self.deriveds.iter().any(|d| {
+            d.host == host && d.covered == covered && same_selection_set(&d.selections, &selections)
+        });
+        if duplicate {
+            self.stats.suppressed += 1;
+            return None;
+        }
+        let id = DerivedId(self.deriveds.len() as u32);
+        let operator = self.allocate_operator();
+        self.deriveds.push(DerivedStream {
+            id,
+            operator,
+            covered,
+            selections,
+            rate,
+            host,
+            origin,
+        });
+        self.stats.published += 1;
+        Some(id)
+    }
+
+    /// Derived streams usable for `query`, already converted into plan
+    /// leaves with residual-selection-adjusted rates.
+    ///
+    /// A derived stream is usable when it covers a subset (≥ 2) of the
+    /// query's sources and every selection it applied is implied by the
+    /// query's selections. Residual selections the query still requires are
+    /// folded into the leaf's rate.
+    pub fn usable_for(&mut self, query: &Query) -> Vec<LeafSource> {
+        let sources = query.source_set();
+        let mut out = Vec::new();
+        for d in &self.deriveds {
+            if !d.covered.is_subset_of(&sources) {
+                continue;
+            }
+            let required = restrict_selections(&query.selections, &d.covered);
+            if !selections_compatible(&d.selections, &required) {
+                continue;
+            }
+            let residual = residual_selections(&d.selections, &required);
+            let rate = residual.iter().fold(d.rate, |r, p| r * p.selectivity);
+            out.push(LeafSource::Derived {
+                id: d.id,
+                covered: d.covered.clone(),
+                rate,
+                host: d.host,
+            });
+        }
+        self.stats.reuse_candidates_served += out.len() as u64;
+        out
+    }
+
+    /// Like [`Self::usable_for`], but requiring the derived stream's
+    /// selections to match the query's (restricted to the covered streams)
+    /// *exactly*, with no subsumption reasoning and no residual predicates.
+    /// This is the naive matching rule the reuse-matching ablation compares
+    /// against.
+    pub fn usable_for_exact(&mut self, query: &Query) -> Vec<LeafSource> {
+        let sources = query.source_set();
+        let mut out = Vec::new();
+        for d in &self.deriveds {
+            if !d.covered.is_subset_of(&sources) {
+                continue;
+            }
+            let required = restrict_selections(&query.selections, &d.covered);
+            if !same_selection_set(&d.selections, &required) {
+                continue;
+            }
+            out.push(LeafSource::Derived {
+                id: d.id,
+                covered: d.covered.clone(),
+                rate: d.rate,
+                host: d.host,
+            });
+        }
+        self.stats.reuse_candidates_served += out.len() as u64;
+        out
+    }
+
+    /// Look up an advertisement.
+    pub fn derived(&self, id: DerivedId) -> &DerivedStream {
+        &self.deriveds[id.0 as usize]
+    }
+
+    /// Number of advertised derived streams.
+    pub fn len(&self) -> usize {
+        self.deriveds.len()
+    }
+
+    /// True when nothing has been advertised.
+    pub fn is_empty(&self) -> bool {
+        self.deriveds.is_empty()
+    }
+}
+
+/// The subset of `selections` that applies to streams in `covered`.
+fn restrict_selections(
+    selections: &[SelectionPredicate],
+    covered: &StreamSet,
+) -> Vec<SelectionPredicate> {
+    selections
+        .iter()
+        .filter(|s| covered.contains(s.stream))
+        .cloned()
+        .collect()
+}
+
+/// Set equality of selection lists (order-insensitive, exact filters).
+fn same_selection_set(a: &[SelectionPredicate], b: &[SelectionPredicate]) -> bool {
+    a.len() == b.len()
+        && a.iter().all(|x| b.iter().any(|y| x.same_filter(y)))
+        && b.iter().all(|y| a.iter().any(|x| y.same_filter(x)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FlatPlan, JoinTree};
+    use crate::predicate::CmpOp;
+    use crate::stream::{Catalog, Schema, StreamId};
+    use dsq_net::{DistanceMatrix, LinkKind, Metric, Network};
+
+    fn setup() -> (Catalog, DistanceMatrix) {
+        let mut net = Network::new(4);
+        for i in 0..3u32 {
+            net.add_link(NodeId(i), NodeId(i + 1), 1.0, 1.0, LinkKind::Stub);
+        }
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::new(["x"]));
+        let b = c.add_stream("B", 4.0, NodeId(3), Schema::new(["x"]));
+        c.add_stream("C", 7.0, NodeId(1), Schema::new(["x"]));
+        c.set_selectivity(a, b, 0.1);
+        (c, dm)
+    }
+
+    fn deploy_ab(c: &Catalog, dm: &DistanceMatrix) -> (Query, Deployment) {
+        let q = Query::join(QueryId(0), [StreamId(0), StreamId(1)], NodeId(2));
+        let tree = JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(1)));
+        let plan = FlatPlan::from_tree(&tree, &q, c);
+        let d = Deployment::evaluate(
+            QueryId(0),
+            plan,
+            vec![NodeId(0), NodeId(3), NodeId(1)],
+            NodeId(2),
+            dm,
+        );
+        (q, d)
+    }
+
+    #[test]
+    fn register_publishes_operator_and_sink_streams() {
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let mut reg = ReuseRegistry::new();
+        let published = reg.register_deployment(&q, &d);
+        // One join operator at n1 and the sink copy at n2.
+        assert_eq!(published.len(), 2);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.stats().published, 2);
+        assert_eq!(reg.derived(published[0]).host, NodeId(1));
+        assert_eq!(reg.derived(published[1]).host, NodeId(2));
+    }
+
+    #[test]
+    fn duplicate_advertisements_are_suppressed() {
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let mut reg = ReuseRegistry::new();
+        reg.register_deployment(&q, &d);
+        let again = reg.register_deployment(&q, &d);
+        assert!(again.is_empty());
+        assert_eq!(reg.stats().suppressed, 2);
+    }
+
+    #[test]
+    fn usable_for_matches_subset_queries_only() {
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let mut reg = ReuseRegistry::new();
+        reg.register_deployment(&q, &d);
+
+        // Query over {A, B, C} can reuse the {A, B} operator.
+        let q2 = Query::join(QueryId(1), [StreamId(0), StreamId(1), StreamId(2)], NodeId(0));
+        let leaves = reg.usable_for(&q2);
+        assert_eq!(leaves.len(), 2, "operator copy and sink copy both usable");
+
+        // Query over {A, C} cannot.
+        let q3 = Query::join(QueryId(2), [StreamId(0), StreamId(2)], NodeId(0));
+        assert!(reg.usable_for(&q3).is_empty());
+    }
+
+    #[test]
+    fn selection_subsumption_gates_reuse_and_adjusts_rate() {
+        let (c, dm) = setup();
+        // Deployed operator applied x < 12 on stream A.
+        let mut q = Query::join(QueryId(0), [StreamId(0), StreamId(1)], NodeId(2));
+        q.selections.push(SelectionPredicate::new(
+            StreamId(0),
+            "x",
+            CmpOp::Lt,
+            12.0,
+            0.5,
+        ));
+        let tree = JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(1)));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let rate_ab = plan.output_rate();
+        let d = Deployment::evaluate(
+            QueryId(0),
+            plan,
+            vec![NodeId(0), NodeId(3), NodeId(1)],
+            NodeId(2),
+            &dm,
+        );
+        let mut reg = ReuseRegistry::new();
+        reg.register_deployment(&q, &d);
+
+        // A consumer requiring the same filter plus a *stricter* one reuses
+        // with a rate scaled by the residual predicate.
+        let mut strict = Query::join(QueryId(1), [StreamId(0), StreamId(1)], NodeId(0));
+        strict.selections.push(SelectionPredicate::new(
+            StreamId(0),
+            "x",
+            CmpOp::Lt,
+            12.0,
+            0.5,
+        ));
+        strict.selections.push(SelectionPredicate::new(
+            StreamId(1),
+            "x",
+            CmpOp::Eq,
+            1.0,
+            0.2,
+        ));
+        let leaves = reg.usable_for(&strict);
+        assert!(!leaves.is_empty());
+        match &leaves[0] {
+            LeafSource::Derived { rate, .. } => {
+                assert!((rate - rate_ab * 0.2).abs() < 1e-9, "residual Eq folded in")
+            }
+            _ => panic!("expected derived leaf"),
+        }
+
+        // A consumer requiring a *weaker* filter (x < 20) cannot reuse: the
+        // deployed operator already dropped tuples in [12, 20).
+        let mut weak = Query::join(QueryId(2), [StreamId(0), StreamId(1)], NodeId(0));
+        weak.selections.push(SelectionPredicate::new(
+            StreamId(0),
+            "x",
+            CmpOp::Lt,
+            20.0,
+            0.7,
+        ));
+        assert!(reg.usable_for(&weak).is_empty());
+    }
+
+    #[test]
+    fn single_stream_adverts_rejected() {
+        let mut reg = ReuseRegistry::new();
+        let out = reg.advertise(
+            StreamSet::singleton(StreamId(0)),
+            vec![],
+            1.0,
+            NodeId(0),
+            QueryId(0),
+        );
+        assert!(out.is_none());
+        assert!(reg.is_empty());
+    }
+}

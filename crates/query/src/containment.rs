@@ -1,0 +1,194 @@
+//! Query containment (the paper's Section 5 future-work direction:
+//! "other optimization opportunities achievable through query containment").
+//!
+//! For the select-project-join queries of this system — where join
+//! semantics are determined by the source pair (catalog selectivity model)
+//! — containment reduces to predicate implication over identical source
+//! sets:
+//!
+//! * query `A` *contains* query `B` (every result tuple of `B` appears in
+//!   `A`'s result) iff they join the same sources and every selection of
+//!   `A` is implied by some selection of `B` (`B` filters at least as
+//!   strictly);
+//! * `B` is then *answerable from* `A`'s standing result by applying the
+//!   residual predicates and projecting — no upstream data movement at all.
+//!
+//! [`answerable_from`] is the deployment-facing check (it also verifies the
+//! projection columns survive), which the sink advertisements make
+//! actionable: a contained query can be served entirely from the containing
+//! query's sink stream.
+
+use crate::predicate::{residual_selections, selections_compatible, SelectionPredicate};
+use crate::query::Query;
+
+/// Lattice relation between two queries' result sets.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum Containment {
+    /// Identical results.
+    Equivalent,
+    /// The left query's result is a superset of the right's.
+    Contains,
+    /// The left query's result is a subset of the right's.
+    ContainedIn,
+    /// Neither contains the other (or sources differ).
+    Incomparable,
+}
+
+/// Compare the result sets of two queries (projection ignored; see
+/// [`answerable_from`] for the full check).
+pub fn compare(a: &Query, b: &Query) -> Containment {
+    if a.source_set() != b.source_set() {
+        return Containment::Incomparable;
+    }
+    // `a` contains `b` iff b's tuples all pass a's filters: every selection
+    // of `a` is implied by b's selection set.
+    let a_superset = selections_compatible(&a.selections, &b.selections);
+    let b_superset = selections_compatible(&b.selections, &a.selections);
+    match (a_superset, b_superset) {
+        (true, true) => Containment::Equivalent,
+        (true, false) => Containment::Contains,
+        (false, true) => Containment::ContainedIn,
+        (false, false) => Containment::Incomparable,
+    }
+}
+
+/// Can `consumer` be answered entirely from `provider`'s standing result
+/// stream? Requires `provider` to contain `consumer` *and* to have kept the
+/// columns `consumer` projects (an empty projection means "all columns",
+/// which only an all-columns provider preserves).
+pub fn answerable_from(consumer: &Query, provider: &Query) -> bool {
+    match compare(provider, consumer) {
+        Containment::Contains | Containment::Equivalent => {}
+        _ => return false,
+    }
+    projection_covers(provider, consumer)
+}
+
+/// The residual filters `consumer` must apply on top of `provider`'s
+/// result. Only meaningful when [`answerable_from`] holds.
+pub fn residual_filters(consumer: &Query, provider: &Query) -> Vec<SelectionPredicate> {
+    residual_selections(&provider.selections, &consumer.selections)
+}
+
+fn projection_covers(provider: &Query, consumer: &Query) -> bool {
+    if provider.projection.is_empty() {
+        return true; // provider keeps every column
+    }
+    if consumer.projection.is_empty() {
+        // Consumer wants everything; a projecting provider dropped columns.
+        return false;
+    }
+    consumer
+        .projection
+        .iter()
+        .any(|_| true) // non-empty
+        && consumer
+            .projection
+            .iter()
+            .all(|c| provider.projection.contains(c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::query::QueryId;
+    use crate::stream::StreamId;
+    use dsq_net::NodeId;
+
+    fn q(
+        id: u32,
+        selections: Vec<SelectionPredicate>,
+        projection: Vec<(StreamId, String)>,
+    ) -> Query {
+        let mut query = Query::join(QueryId(id), [StreamId(0), StreamId(1)], NodeId(0));
+        query.selections = selections;
+        query.projection = projection;
+        query
+    }
+
+    fn lt(v: f64) -> SelectionPredicate {
+        SelectionPredicate::new(StreamId(0), "ts", CmpOp::Lt, v, 0.5)
+    }
+
+    #[test]
+    fn equivalence_and_strict_containment() {
+        let wide = q(0, vec![lt(24.0)], vec![]);
+        let narrow = q(1, vec![lt(6.0)], vec![]);
+        let same = q(2, vec![lt(24.0)], vec![]);
+        assert_eq!(compare(&wide, &narrow), Containment::Contains);
+        assert_eq!(compare(&narrow, &wide), Containment::ContainedIn);
+        assert_eq!(compare(&wide, &same), Containment::Equivalent);
+    }
+
+    #[test]
+    fn different_sources_are_incomparable() {
+        let a = q(0, vec![], vec![]);
+        let b = Query::join(QueryId(1), [StreamId(0), StreamId(2)], NodeId(0));
+        assert_eq!(compare(&a, &b), Containment::Incomparable);
+    }
+
+    #[test]
+    fn disjoint_filters_are_incomparable() {
+        let lo = q(0, vec![lt(6.0)], vec![]);
+        let hi = q(
+            1,
+            vec![SelectionPredicate::new(StreamId(0), "ts", CmpOp::Gt, 12.0, 0.5)],
+            vec![],
+        );
+        assert_eq!(compare(&lo, &hi), Containment::Incomparable);
+    }
+
+    #[test]
+    fn answerability_requires_columns() {
+        let provider_all = q(0, vec![lt(24.0)], vec![]);
+        let provider_narrow_cols = q(
+            1,
+            vec![lt(24.0)],
+            vec![(StreamId(0), "x".into())],
+        );
+        let consumer = q(
+            2,
+            vec![lt(6.0)],
+            vec![(StreamId(0), "x".into())],
+        );
+        let consumer_more_cols = q(
+            3,
+            vec![lt(6.0)],
+            vec![(StreamId(0), "x".into()), (StreamId(1), "y".into())],
+        );
+        assert!(answerable_from(&consumer, &provider_all));
+        assert!(answerable_from(&consumer, &provider_narrow_cols));
+        assert!(!answerable_from(&consumer_more_cols, &provider_narrow_cols));
+        // A projecting provider cannot answer a select-* consumer.
+        let star_consumer = q(4, vec![lt(6.0)], vec![]);
+        assert!(!answerable_from(&star_consumer, &provider_narrow_cols));
+        assert!(answerable_from(&star_consumer, &provider_all));
+    }
+
+    #[test]
+    fn residuals_are_the_stricter_filters() {
+        let provider = q(0, vec![lt(24.0)], vec![]);
+        let consumer = q(1, vec![lt(6.0)], vec![]);
+        assert!(answerable_from(&consumer, &provider));
+        let res = residual_filters(&consumer, &provider);
+        assert_eq!(res, vec![lt(6.0)]);
+        // Equivalent queries need no residual.
+        let twin = q(2, vec![lt(24.0)], vec![]);
+        assert!(residual_filters(&twin, &provider).is_empty());
+    }
+
+    #[test]
+    fn containment_is_antisymmetric_on_this_lattice() {
+        let a = q(0, vec![lt(10.0)], vec![]);
+        let b = q(1, vec![lt(20.0)], vec![]);
+        let ab = compare(&a, &b);
+        let ba = compare(&b, &a);
+        match ab {
+            Containment::Contains => assert_eq!(ba, Containment::ContainedIn),
+            Containment::ContainedIn => assert_eq!(ba, Containment::Contains),
+            Containment::Equivalent => assert_eq!(ba, Containment::Equivalent),
+            Containment::Incomparable => assert_eq!(ba, Containment::Incomparable),
+        }
+    }
+}

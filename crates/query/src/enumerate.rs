@@ -1,0 +1,140 @@
+//! Exhaustive enumeration and counting of bushy join trees.
+//!
+//! Traditional optimizers enumerate join orders exhaustively; Lemma 1 of the
+//! paper multiplies the number of join orders by the number of operator
+//! placements to obtain the exhaustive search-space size. This module
+//! provides the tree side of that product: [`enumerate_trees`] yields every
+//! distinct unordered binary tree over a given set of inputs (left/right
+//! mirror images are identified, since a stream join is symmetric), and
+//! [`bushy_tree_count`] is its closed form `(2k-3)!! = 1, 1, 3, 15, 105, 945…`.
+
+use crate::plan::JoinTree;
+
+/// Enumerate every distinct unordered binary join tree over `leaves`.
+///
+/// Mirror-image trees are produced once: each split keeps the first
+/// remaining leaf on the left side. The output length equals
+/// [`bushy_tree_count`]`(leaves.len())`.
+///
+/// The number of trees grows as `(2k-3)!!`; callers cap `k` (the paper's
+/// queries join at most 6 streams).
+pub fn enumerate_trees(leaves: &[JoinTree]) -> Vec<JoinTree> {
+    assert!(!leaves.is_empty(), "cannot enumerate trees over zero leaves");
+    assert!(
+        leaves.len() <= 12,
+        "tree enumeration over {} leaves would explode",
+        leaves.len()
+    );
+    let idx: Vec<usize> = (0..leaves.len()).collect();
+    enumerate_over(&idx, leaves)
+}
+
+fn enumerate_over(idx: &[usize], leaves: &[JoinTree]) -> Vec<JoinTree> {
+    if idx.len() == 1 {
+        return vec![leaves[idx[0]].clone()];
+    }
+    let mut out = Vec::new();
+    // Enumerate subsets of idx[1..] joined with idx[0] on the left: every
+    // unordered split {L, R} with idx[0] ∈ L is produced exactly once.
+    let rest = &idx[1..];
+    let subsets = 1u32 << rest.len();
+    for mask in 0..subsets {
+        // Left side: idx[0] plus the masked elements; right side: the rest.
+        let mut left = vec![idx[0]];
+        let mut right = Vec::new();
+        for (bit, &item) in rest.iter().enumerate() {
+            if mask & (1 << bit) != 0 {
+                left.push(item);
+            } else {
+                right.push(item);
+            }
+        }
+        if right.is_empty() {
+            continue; // the full set is not a split
+        }
+        let left_trees = enumerate_over(&left, leaves);
+        let right_trees = enumerate_over(&right, leaves);
+        for lt in &left_trees {
+            for rt in &right_trees {
+                out.push(JoinTree::join(lt.clone(), rt.clone()));
+            }
+        }
+    }
+    out
+}
+
+/// Number of distinct unordered binary join trees over `k` labeled leaves:
+/// the double factorial `(2k-3)!!` (1 for `k ≤ 1`).
+pub fn bushy_tree_count(k: usize) -> u128 {
+    if k <= 1 {
+        return 1;
+    }
+    let mut count: u128 = 1;
+    let mut f = 1u128;
+    while f + 2 <= (2 * k - 3) as u128 {
+        f += 2;
+        count = count.checked_mul(f).expect("tree count overflow");
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::StreamId;
+    use std::collections::HashSet;
+
+    fn leaves(k: usize) -> Vec<JoinTree> {
+        (0..k as u32).map(|i| JoinTree::base(StreamId(i))).collect()
+    }
+
+    #[test]
+    fn closed_form_matches_known_values() {
+        assert_eq!(bushy_tree_count(1), 1);
+        assert_eq!(bushy_tree_count(2), 1);
+        assert_eq!(bushy_tree_count(3), 3);
+        assert_eq!(bushy_tree_count(4), 15);
+        assert_eq!(bushy_tree_count(5), 105);
+        assert_eq!(bushy_tree_count(6), 945);
+    }
+
+    #[test]
+    fn enumeration_count_matches_closed_form() {
+        for k in 1..=6 {
+            assert_eq!(
+                enumerate_trees(&leaves(k)).len() as u128,
+                bushy_tree_count(k),
+                "k = {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn enumeration_has_no_duplicates_up_to_mirror() {
+        for k in 2..=5 {
+            let trees = enumerate_trees(&leaves(k));
+            let canon: HashSet<String> = trees.iter().map(JoinTree::canonical).collect();
+            assert_eq!(canon.len(), trees.len(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn every_tree_covers_all_leaves() {
+        let trees = enumerate_trees(&leaves(4));
+        for t in &trees {
+            assert_eq!(t.leaf_count(), 4);
+            assert_eq!(t.covered().len(), 4);
+        }
+    }
+
+    #[test]
+    fn includes_bushy_shapes() {
+        // For k = 4 there must be a tree where both root children are joins.
+        let trees = enumerate_trees(&leaves(4));
+        assert!(trees.iter().any(|t| matches!(
+            t,
+            JoinTree::Join(l, r)
+                if matches!(**l, JoinTree::Join(..)) && matches!(**r, JoinTree::Join(..))
+        )));
+    }
+}

@@ -1,0 +1,59 @@
+//! Stream and query model for distributed stream query optimization.
+//!
+//! This crate defines everything the optimizers reason about *above* the
+//! network layer:
+//!
+//! * [`stream`] — base data streams (rate, schema, source node) and the
+//!   [`Catalog`] of streams plus pairwise join selectivities.
+//! * [`predicate`] — selection and join predicates with an implication
+//!   (subsumption) test, used when deciding whether an already-deployed
+//!   operator can be reused for a new query.
+//! * [`query`] — continuous select-project-join queries and the
+//!   [`StreamSet`] source-set arithmetic used throughout planning.
+//! * [`plan`] — bushy join trees, their flattened [`FlatPlan`] form with
+//!   estimated per-operator output rates, and concrete [`Deployment`]s
+//!   (operator → node assignments with costed data-flow edges).
+//! * [`enumerate`] — exhaustive enumeration and counting of bushy join
+//!   trees, the combinatorial heart of Lemma 1.
+//! * [`advert`] — stream advertisements: derived streams published by
+//!   deployed operators, and the [`ReuseRegistry`] matching them against new
+//!   queries (Section 2.1.2 of the paper).
+//! * [`sql`] — a parser for the paper's SQL query syntax; [`containment`] —
+//!   result-set containment; [`viz`] — Graphviz export.
+//!
+//! ```
+//! use dsq_net::NodeId;
+//! use dsq_query::{Catalog, FlatPlan, JoinTree, Query, QueryId, Schema};
+//!
+//! // Two streams with estimated statistics.
+//! let mut catalog = Catalog::new();
+//! let flights = catalog.add_stream("FLIGHTS", 60.0, NodeId(0), Schema::new(["NUM"]));
+//! let checkins = catalog.add_stream("CHECK-INS", 80.0, NodeId(1), Schema::new(["FLNUM"]));
+//! catalog.set_selectivity(flights, checkins, 0.005);
+//!
+//! // A join query and one of its plans, with rate estimates.
+//! let q = Query::join(QueryId(0), [flights, checkins], NodeId(2));
+//! let tree = JoinTree::join(JoinTree::base(flights), JoinTree::base(checkins));
+//! let plan = FlatPlan::from_tree(&tree, &q, &catalog);
+//! assert_eq!(plan.output_rate(), 0.005 * 60.0 * 80.0);
+//! ```
+
+pub mod advert;
+pub mod containment;
+pub mod enumerate;
+pub mod plan;
+pub mod predicate;
+pub mod query;
+pub mod sql;
+pub mod stream;
+pub mod viz;
+
+pub use advert::{AdvertStats, DerivedId, DerivedStream, ReuseRegistry};
+pub use containment::{answerable_from, compare as compare_containment, Containment};
+pub use enumerate::{bushy_tree_count, enumerate_trees};
+pub use plan::{DeployedEdge, Deployment, FlatNode, FlatPlan, JoinTree, LeafSource, OperatorId};
+pub use predicate::{CmpOp, JoinPredicate, SelectionPredicate};
+pub use query::{Query, QueryId, StreamSet};
+pub use sql::{parse_query, ParseError, SelectivityHints};
+pub use stream::{BaseStream, Catalog, Schema, StreamId};
+pub use viz::deployment_to_dot;

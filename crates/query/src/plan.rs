@@ -1,0 +1,611 @@
+//! Join trees, flattened plans with estimated rates, and deployments.
+//!
+//! A [`JoinTree`] is a *logical* plan: an unordered binary tree whose leaves
+//! are base streams or reused derived streams. A [`FlatPlan`] is the tree
+//! flattened into postorder with every node annotated with its covered
+//! source set and estimated output rate. A [`Deployment`] maps every plan
+//! node to a physical network node and carries the costed data-flow edges —
+//! the object whose total cost the paper's experiments report.
+
+use crate::advert::DerivedId;
+use crate::query::{Query, QueryId, StreamSet};
+use crate::stream::{Catalog, StreamId};
+use dsq_net::{DistanceMatrix, NodeId};
+use serde::{Deserialize, Serialize};
+
+/// Globally unique identifier of a *deployed operator instance*, assigned by
+/// the [`ReuseRegistry`](crate::ReuseRegistry) when a deployment is
+/// registered.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
+pub struct OperatorId(pub u64);
+
+/// What a plan leaf reads.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LeafSource {
+    /// A base stream from the catalog.
+    Base(StreamId),
+    /// An already-deployed operator's output, reused. Carrying the derived
+    /// stream's facts inline keeps plan costing registry-free.
+    Derived {
+        /// Registry id of the reused derived stream.
+        id: DerivedId,
+        /// Base streams the derived stream covers.
+        covered: StreamSet,
+        /// Output rate of the derived stream.
+        rate: f64,
+        /// Node the derived stream is produced at.
+        host: NodeId,
+    },
+}
+
+impl LeafSource {
+    /// Source set this leaf contributes.
+    pub fn covered(&self) -> StreamSet {
+        match self {
+            LeafSource::Base(id) => StreamSet::singleton(*id),
+            LeafSource::Derived { covered, .. } => covered.clone(),
+        }
+    }
+}
+
+/// An unordered binary join tree (bushy trees included).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum JoinTree {
+    /// Scan of a base or derived stream.
+    Leaf(LeafSource),
+    /// Windowed stream join of two subtrees.
+    Join(Box<JoinTree>, Box<JoinTree>),
+}
+
+impl JoinTree {
+    /// Leaf over a base stream.
+    pub fn base(id: StreamId) -> Self {
+        JoinTree::Leaf(LeafSource::Base(id))
+    }
+
+    /// Join two subtrees.
+    pub fn join(left: JoinTree, right: JoinTree) -> Self {
+        JoinTree::Join(Box::new(left), Box::new(right))
+    }
+
+    /// Base streams covered by the tree.
+    pub fn covered(&self) -> StreamSet {
+        match self {
+            JoinTree::Leaf(l) => l.covered(),
+            JoinTree::Join(l, r) => l.covered().union(&r.covered()),
+        }
+    }
+
+    /// Number of join operators.
+    pub fn join_count(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Join(l, r) => 1 + l.join_count() + r.join_count(),
+        }
+    }
+
+    /// Number of leaves.
+    pub fn leaf_count(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 1,
+            JoinTree::Join(l, r) => l.leaf_count() + r.leaf_count(),
+        }
+    }
+
+    /// All leaves, left to right.
+    pub fn leaves(&self) -> Vec<&LeafSource> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out
+    }
+
+    fn collect_leaves<'a>(&'a self, out: &mut Vec<&'a LeafSource>) {
+        match self {
+            JoinTree::Leaf(l) => out.push(l),
+            JoinTree::Join(l, r) => {
+                l.collect_leaves(out);
+                r.collect_leaves(out);
+            }
+        }
+    }
+
+    /// A canonical string form in which logically identical trees (up to
+    /// child order within each join) compare equal. Used in tests and for
+    /// deduplicating enumerations.
+    pub fn canonical(&self) -> String {
+        match self {
+            JoinTree::Leaf(LeafSource::Base(id)) => format!("{id}"),
+            JoinTree::Leaf(LeafSource::Derived { id, .. }) => format!("d{}", id.0),
+            JoinTree::Join(l, r) => {
+                let (a, b) = (l.canonical(), r.canonical());
+                if a <= b {
+                    format!("({a}*{b})")
+                } else {
+                    format!("({b}*{a})")
+                }
+            }
+        }
+    }
+}
+
+/// A plan node in flattened (postorder) form, annotated with its covered
+/// source set and estimated output rate.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum FlatNode {
+    /// Stream scan.
+    Leaf {
+        /// What the leaf reads.
+        source: LeafSource,
+        /// Covered base streams.
+        covered: StreamSet,
+        /// Estimated post-selection output rate.
+        rate: f64,
+    },
+    /// Stream join of two earlier nodes.
+    Join {
+        /// Index of the left input node.
+        left: usize,
+        /// Index of the right input node.
+        right: usize,
+        /// Covered base streams.
+        covered: StreamSet,
+        /// Estimated output rate.
+        rate: f64,
+    },
+}
+
+impl FlatNode {
+    /// Covered source set.
+    pub fn covered(&self) -> &StreamSet {
+        match self {
+            FlatNode::Leaf { covered, .. } | FlatNode::Join { covered, .. } => covered,
+        }
+    }
+
+    /// Estimated output rate.
+    pub fn rate(&self) -> f64 {
+        match self {
+            FlatNode::Leaf { rate, .. } | FlatNode::Join { rate, .. } => *rate,
+        }
+    }
+
+    /// Is this a join operator (as opposed to a scan)?
+    pub fn is_join(&self) -> bool {
+        matches!(self, FlatNode::Join { .. })
+    }
+}
+
+/// A flattened, rate-annotated query plan.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FlatPlan {
+    nodes: Vec<FlatNode>,
+    root: usize,
+}
+
+impl FlatPlan {
+    /// Flatten `tree` for `query`, estimating rates from the catalog:
+    /// base leaves get the post-selection rate, derived leaves their
+    /// advertised rate, joins `σ_cross · r_left · r_right`.
+    pub fn from_tree(tree: &JoinTree, query: &Query, catalog: &Catalog) -> FlatPlan {
+        let mut nodes = Vec::with_capacity(2 * tree.leaf_count());
+        let root = Self::flatten(tree, query, catalog, &mut nodes);
+        FlatPlan { nodes, root }
+    }
+
+    fn flatten(
+        tree: &JoinTree,
+        query: &Query,
+        catalog: &Catalog,
+        nodes: &mut Vec<FlatNode>,
+    ) -> usize {
+        match tree {
+            JoinTree::Leaf(source) => {
+                let covered = source.covered();
+                let rate = match source {
+                    LeafSource::Base(id) => query.effective_rate(catalog, *id),
+                    LeafSource::Derived { rate, .. } => *rate,
+                };
+                nodes.push(FlatNode::Leaf {
+                    source: source.clone(),
+                    covered,
+                    rate,
+                });
+                nodes.len() - 1
+            }
+            JoinTree::Join(l, r) => {
+                let li = Self::flatten(l, query, catalog, nodes);
+                let ri = Self::flatten(r, query, catalog, nodes);
+                let lc = nodes[li].covered().clone();
+                let rc = nodes[ri].covered().clone();
+                debug_assert!(
+                    lc.is_disjoint_from(&rc),
+                    "join inputs must cover disjoint source sets"
+                );
+                let sigma = catalog.cross_selectivity(lc.as_slice(), rc.as_slice());
+                let rate = sigma * nodes[li].rate() * nodes[ri].rate();
+                nodes.push(FlatNode::Join {
+                    left: li,
+                    right: ri,
+                    covered: lc.union(&rc),
+                    rate,
+                });
+                nodes.len() - 1
+            }
+        }
+    }
+
+    /// All plan nodes in postorder.
+    pub fn nodes(&self) -> &[FlatNode] {
+        &self.nodes
+    }
+
+    /// Index of the root node.
+    pub fn root(&self) -> usize {
+        self.root
+    }
+
+    /// Root output rate (what flows to the sink).
+    pub fn output_rate(&self) -> f64 {
+        self.nodes[self.root].rate()
+    }
+
+    /// Sum of the output rates of all *join* nodes — the "size of
+    /// intermediate results" objective classic optimizers (and the paper's
+    /// plan-then-deploy baselines) minimize.
+    pub fn intermediate_rate_sum(&self) -> f64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.is_join())
+            .map(FlatNode::rate)
+            .sum()
+    }
+
+    /// Indices of the join nodes.
+    pub fn join_indices(&self) -> Vec<usize> {
+        (0..self.nodes.len())
+            .filter(|&i| self.nodes[i].is_join())
+            .collect()
+    }
+
+    /// Re-estimate every node's rate against updated catalog statistics
+    /// (stream rates, selectivities), keeping the plan structure. Derived
+    /// leaves are re-derived from the covered atoms' current statistics —
+    /// valid because, under the independence model, a derived stream's rate
+    /// equals the from-scratch estimate of its covered set.
+    pub fn reestimate(&self, query: &Query, catalog: &Catalog) -> FlatPlan {
+        let mut nodes = self.nodes.clone();
+        for i in 0..nodes.len() {
+            match &nodes[i] {
+                FlatNode::Leaf { source, covered, .. } => {
+                    let rate = match source {
+                        LeafSource::Base(id) => query.effective_rate(catalog, *id),
+                        LeafSource::Derived { .. } => {
+                            // Formula rate over the covered atoms.
+                            let atoms = covered.as_slice();
+                            let mut r = 1.0;
+                            for (k, &a) in atoms.iter().enumerate() {
+                                r *= query.effective_rate(catalog, a);
+                                for &b in &atoms[k + 1..] {
+                                    r *= catalog.selectivity(a, b);
+                                }
+                            }
+                            r
+                        }
+                    };
+                    if let FlatNode::Leaf { rate: rr, .. } = &mut nodes[i] {
+                        *rr = rate;
+                    }
+                }
+                FlatNode::Join { left, right, .. } => {
+                    let (l, r) = (*left, *right);
+                    let sigma = catalog.cross_selectivity(
+                        nodes[l].covered().as_slice(),
+                        nodes[r].covered().as_slice(),
+                    );
+                    let rate = sigma * nodes[l].rate() * nodes[r].rate();
+                    if let FlatNode::Join { rate: rr, .. } = &mut nodes[i] {
+                        *rr = rate;
+                    }
+                }
+            }
+        }
+        FlatPlan {
+            nodes,
+            root: self.root,
+        }
+    }
+}
+
+/// A single costed data-flow edge of a deployment.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DeployedEdge {
+    /// Physical node data flows from.
+    pub from: NodeId,
+    /// Physical node data flows to.
+    pub to: NodeId,
+    /// Data rate on the edge.
+    pub rate: f64,
+    /// Plan-node index of the *consumer* (`usize::MAX` for the final edge
+    /// into the sink).
+    pub consumer: usize,
+}
+
+/// Marker for the edge that delivers results to the sink.
+pub const SINK_CONSUMER: usize = usize::MAX;
+
+/// A concrete deployment: every plan node assigned to a physical node, with
+/// costed data-flow edges.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Deployment {
+    /// Query this deployment serves.
+    pub query: QueryId,
+    /// The deployed plan.
+    pub plan: FlatPlan,
+    /// Physical node per plan node (parallel to `plan.nodes()`); leaves sit
+    /// where their stream is produced.
+    pub placement: Vec<NodeId>,
+    /// Node results are delivered to.
+    pub sink: NodeId,
+    /// Costed data-flow edges (inputs of every join, plus the sink edge).
+    pub edges: Vec<DeployedEdge>,
+    /// Total communication cost per unit time: Σ rate(e) · dist(e).
+    pub cost: f64,
+}
+
+impl Deployment {
+    /// Build a deployment by costing `placement` against the *actual*
+    /// shortest-path distances.
+    ///
+    /// Leaf placements must equal the producing node of the leaf's stream
+    /// (that is where the data originates); join placements are free.
+    pub fn evaluate(
+        query: QueryId,
+        plan: FlatPlan,
+        placement: Vec<NodeId>,
+        sink: NodeId,
+        dm: &DistanceMatrix,
+    ) -> Deployment {
+        assert_eq!(placement.len(), plan.nodes().len());
+        let mut edges = Vec::new();
+        for (i, node) in plan.nodes().iter().enumerate() {
+            if let FlatNode::Join { left, right, .. } = node {
+                for &child in &[*left, *right] {
+                    edges.push(DeployedEdge {
+                        from: placement[child],
+                        to: placement[i],
+                        rate: plan.nodes()[child].rate(),
+                        consumer: i,
+                    });
+                }
+            }
+        }
+        edges.push(DeployedEdge {
+            from: placement[plan.root()],
+            to: sink,
+            rate: plan.output_rate(),
+            consumer: SINK_CONSUMER,
+        });
+        let cost = edges.iter().map(|e| e.rate * dm.get(e.from, e.to)).sum();
+        Deployment {
+            query,
+            plan,
+            placement,
+            sink,
+            edges,
+            cost,
+        }
+    }
+
+    /// Re-cost the same placement against (possibly changed) distances;
+    /// used by the adaptivity middleware after link-cost updates.
+    pub fn recompute_cost(&mut self, dm: &DistanceMatrix) {
+        self.cost = self
+            .edges
+            .iter()
+            .map(|e| e.rate * dm.get(e.from, e.to))
+            .sum();
+    }
+
+    /// Re-estimate the deployment against updated catalog statistics
+    /// (stream rates / selectivities changed at runtime): same structure
+    /// and placement, fresh rates, fresh edge costs.
+    pub fn reestimate(&self, query: &Query, catalog: &Catalog, dm: &DistanceMatrix) -> Deployment {
+        let plan = self.plan.reestimate(query, catalog);
+        Deployment::evaluate(self.query, plan, self.placement.clone(), self.sink, dm)
+    }
+
+    /// Nodes hosting at least one join operator.
+    pub fn operator_nodes(&self) -> Vec<NodeId> {
+        self.plan
+            .join_indices()
+            .into_iter()
+            .map(|i| self.placement[i])
+            .collect()
+    }
+
+    /// Human-readable description of the deployed plan: one line per plan
+    /// node, indented by tree depth, with stream names, estimated rates and
+    /// the hosting node. Intended for examples and debugging output.
+    pub fn describe(&self, catalog: &Catalog) -> String {
+        let mut out = String::new();
+        self.describe_node(self.plan.root(), 0, catalog, &mut out);
+        out.push_str(&format!(
+            "=> sink {} (total cost/time: {:.2})\n",
+            self.sink, self.cost
+        ));
+        out
+    }
+
+    fn describe_node(&self, i: usize, depth: usize, catalog: &Catalog, out: &mut String) {
+        let pad = "  ".repeat(depth);
+        match &self.plan.nodes()[i] {
+            FlatNode::Leaf { source, rate, .. } => match source {
+                crate::plan::LeafSource::Base(id) => {
+                    out.push_str(&format!(
+                        "{pad}scan {} @ {} (rate {:.2})\n",
+                        catalog.stream(*id).name,
+                        self.placement[i],
+                        rate
+                    ));
+                }
+                crate::plan::LeafSource::Derived { id, covered, .. } => {
+                    out.push_str(&format!(
+                        "{pad}reuse derived d{} covering {:?} @ {} (rate {:.2})\n",
+                        id.0,
+                        covered,
+                        self.placement[i],
+                        self.plan.nodes()[i].rate()
+                    ));
+                }
+            },
+            FlatNode::Join {
+                left, right, rate, ..
+            } => {
+                out.push_str(&format!(
+                    "{pad}join @ {} (output rate {:.2})\n",
+                    self.placement[i], rate
+                ));
+                self.describe_node(*left, depth + 1, catalog, out);
+                self.describe_node(*right, depth + 1, catalog, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Schema;
+    use dsq_net::{LinkKind, Metric, Network};
+
+    fn setup() -> (Catalog, Query, DistanceMatrix) {
+        // Line network: n0 -1- n1 -1- n2 -1- n3.
+        let mut net = Network::new(4);
+        for i in 0..3u32 {
+            net.add_link(NodeId(i), NodeId(i + 1), 1.0, 1.0, LinkKind::Stub);
+        }
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::new(["x"]));
+        let b = c.add_stream("B", 4.0, NodeId(3), Schema::new(["x"]));
+        c.set_selectivity(a, b, 0.1);
+        let q = Query::join(QueryId(0), [a, b], NodeId(2));
+        (c, q, dm)
+    }
+
+    #[test]
+    fn flat_plan_rates() {
+        let (c, q, _) = setup();
+        let tree = JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(1)));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        assert_eq!(plan.nodes().len(), 3);
+        assert_eq!(plan.output_rate(), 0.1 * 10.0 * 4.0);
+        assert_eq!(plan.intermediate_rate_sum(), 4.0);
+        assert_eq!(plan.join_indices(), vec![2]);
+    }
+
+    #[test]
+    fn deployment_cost_is_rate_times_distance() {
+        let (c, q, dm) = setup();
+        let tree = JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(1)));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        // Place the join at n1: A travels 1 hop (10·1), B travels 2 hops
+        // (4·2), result travels 1 hop to the sink n2 (4·1).
+        let placement = vec![NodeId(0), NodeId(3), NodeId(1)];
+        let d = Deployment::evaluate(QueryId(0), plan, placement, NodeId(2), &dm);
+        assert_eq!(d.cost, 10.0 + 8.0 + 4.0);
+        assert_eq!(d.edges.len(), 3);
+        assert_eq!(d.operator_nodes(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn derived_leaf_charges_no_upstream_cost() {
+        let (c, q, dm) = setup();
+        // A derived stream covering both sources already lives at n1;
+        // reusing it only pays the delivery edge to the sink.
+        let tree = JoinTree::Leaf(LeafSource::Derived {
+            id: DerivedId(0),
+            covered: StreamSet::from_iter([StreamId(0), StreamId(1)]),
+            rate: 4.0,
+            host: NodeId(1),
+        });
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let d = Deployment::evaluate(QueryId(0), plan, vec![NodeId(1)], NodeId(2), &dm);
+        assert_eq!(d.cost, 4.0, "only the sink edge is paid");
+    }
+
+    #[test]
+    fn recompute_tracks_distance_changes() {
+        let (c, q, _) = setup();
+        let tree = JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(1)));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let mut net = Network::new(4);
+        for i in 0..3u32 {
+            net.add_link(NodeId(i), NodeId(i + 1), 1.0, 1.0, LinkKind::Stub);
+        }
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let mut d = Deployment::evaluate(
+            QueryId(0),
+            plan,
+            vec![NodeId(0), NodeId(3), NodeId(1)],
+            NodeId(2),
+            &dm,
+        );
+        let before = d.cost;
+        net.set_link_cost(NodeId(0), NodeId(1), 10.0);
+        let dm2 = DistanceMatrix::build(&net, Metric::Cost);
+        d.recompute_cost(&dm2);
+        assert!(d.cost > before);
+    }
+
+    #[test]
+    fn reestimate_tracks_rate_changes() {
+        let (mut c, q, dm) = setup();
+        let tree = JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(1)));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let d = Deployment::evaluate(
+            QueryId(0),
+            plan,
+            vec![NodeId(0), NodeId(3), NodeId(1)],
+            NodeId(2),
+            &dm,
+        );
+        assert_eq!(d.cost, 22.0);
+        // Stream A's rate doubles: its edge cost doubles, the join output
+        // doubles, and so does the sink edge.
+        c.set_rate(StreamId(0), 20.0);
+        let d2 = d.reestimate(&q, &c, &dm);
+        assert_eq!(d2.cost, 20.0 + 8.0 + 8.0);
+        assert_eq!(d2.placement, d.placement, "structure unchanged");
+        // Selectivity changes propagate too.
+        c.set_selectivity(StreamId(0), StreamId(1), 0.2);
+        let d3 = d.reestimate(&q, &c, &dm);
+        assert_eq!(d3.plan.output_rate(), 0.2 * 20.0 * 4.0);
+    }
+
+    #[test]
+    fn reestimate_recomputes_derived_leaves_from_formula() {
+        let (mut c, q, dm) = setup();
+        let tree = JoinTree::Leaf(LeafSource::Derived {
+            id: DerivedId(0),
+            covered: StreamSet::from_iter([StreamId(0), StreamId(1)]),
+            rate: 4.0,
+            host: NodeId(1),
+        });
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let d = Deployment::evaluate(QueryId(0), plan, vec![NodeId(1)], NodeId(2), &dm);
+        c.set_rate(StreamId(1), 8.0); // was 4.0
+        let d2 = d.reestimate(&q, &c, &dm);
+        assert_eq!(d2.plan.output_rate(), 0.1 * 10.0 * 8.0);
+    }
+
+    #[test]
+    fn canonical_is_order_insensitive() {
+        let t1 = JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(1)));
+        let t2 = JoinTree::join(JoinTree::base(StreamId(1)), JoinTree::base(StreamId(0)));
+        assert_eq!(t1.canonical(), t2.canonical());
+        let t3 = JoinTree::join(t1.clone(), JoinTree::base(StreamId(2)));
+        let t4 = JoinTree::join(JoinTree::base(StreamId(2)), t2);
+        assert_eq!(t3.canonical(), t4.canonical());
+    }
+}

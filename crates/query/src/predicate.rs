@@ -1,0 +1,247 @@
+//! Selection and join predicates, with implication (subsumption) tests.
+//!
+//! Subsumption matters for operator reuse: a deployed operator that applied
+//! selection `σ_d` can serve a new query requiring `σ_q` only if every tuple
+//! the new query needs survived `σ_d` — i.e. each predicate of `σ_d` is
+//! *implied by* some predicate of `σ_q`. ("Note that, reuse may require
+//! additional columns to be projected", Section 1.1 — projections widen, and
+//! residual selections are re-applied by the consumer.)
+
+use crate::stream::StreamId;
+use serde::{Deserialize, Serialize};
+
+/// Comparison operator of a selection predicate.
+#[derive(Copy, Clone, PartialEq, Eq, Debug, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// A single-stream selection predicate `stream.attr <op> value` with its
+/// estimated selectivity.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct SelectionPredicate {
+    /// Stream the predicate filters.
+    pub stream: StreamId,
+    /// Attribute name compared.
+    pub attr: String,
+    /// Comparison operator.
+    pub op: CmpOp,
+    /// Constant compared against (numeric domain; string constants are
+    /// hashed to a numeric code by the workload layer).
+    pub value: f64,
+    /// Fraction of tuples satisfying the predicate.
+    pub selectivity: f64,
+}
+
+impl SelectionPredicate {
+    /// Build a predicate.
+    pub fn new(
+        stream: StreamId,
+        attr: impl Into<String>,
+        op: CmpOp,
+        value: f64,
+        selectivity: f64,
+    ) -> Self {
+        assert!(
+            selectivity > 0.0 && selectivity <= 1.0,
+            "selectivity must be in (0, 1]"
+        );
+        SelectionPredicate {
+            stream,
+            attr: attr.into(),
+            op,
+            value,
+            selectivity,
+        }
+    }
+
+    /// Does `self` imply `other`? I.e. is the set of tuples satisfying
+    /// `self` a subset of those satisfying `other`?
+    ///
+    /// Predicates on different streams or attributes never imply each other.
+    pub fn implies(&self, other: &SelectionPredicate) -> bool {
+        if self.stream != other.stream || self.attr != other.attr {
+            return false;
+        }
+        use CmpOp::*;
+        match (self.op, other.op) {
+            (Eq, Eq) => self.value == other.value,
+            (Eq, Lt) => self.value < other.value,
+            (Eq, Le) => self.value <= other.value,
+            (Eq, Gt) => self.value > other.value,
+            (Eq, Ge) => self.value >= other.value,
+            (Lt, Lt) => self.value <= other.value,
+            (Lt, Le) => self.value <= other.value,
+            (Le, Le) => self.value <= other.value,
+            (Le, Lt) => self.value < other.value,
+            (Gt, Gt) => self.value >= other.value,
+            (Gt, Ge) => self.value >= other.value,
+            (Ge, Ge) => self.value >= other.value,
+            (Ge, Gt) => self.value > other.value,
+            _ => false,
+        }
+    }
+
+    /// True when the predicates describe the exact same filter.
+    pub fn same_filter(&self, other: &SelectionPredicate) -> bool {
+        self.stream == other.stream
+            && self.attr == other.attr
+            && self.op == other.op
+            && self.value == other.value
+    }
+}
+
+/// An equi-join predicate `left.left_attr = right.right_attr`.
+///
+/// The join's selectivity is looked up in the [`Catalog`](crate::Catalog)
+/// selectivity matrix keyed by the stream pair, so the predicate itself only
+/// records *which* attributes join (needed for reuse signatures and for the
+/// tuple-level simulator's hash join).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JoinPredicate {
+    /// Left stream.
+    pub left: StreamId,
+    /// Left join attribute.
+    pub left_attr: String,
+    /// Right stream.
+    pub right: StreamId,
+    /// Right join attribute.
+    pub right_attr: String,
+}
+
+impl JoinPredicate {
+    /// Build an equi-join predicate, normalizing stream order so that
+    /// logically identical predicates compare equal.
+    pub fn new(
+        left: StreamId,
+        left_attr: impl Into<String>,
+        right: StreamId,
+        right_attr: impl Into<String>,
+    ) -> Self {
+        let (left_attr, right_attr) = (left_attr.into(), right_attr.into());
+        if left <= right {
+            JoinPredicate {
+                left,
+                left_attr,
+                right,
+                right_attr,
+            }
+        } else {
+            JoinPredicate {
+                left: right,
+                left_attr: right_attr,
+                right: left,
+                right_attr: left_attr,
+            }
+        }
+    }
+
+    /// The pair of streams the predicate connects, in normalized order.
+    pub fn pair(&self) -> (StreamId, StreamId) {
+        (self.left, self.right)
+    }
+}
+
+/// Can a derived stream that applied `applied` selections serve a consumer
+/// that requires `required` selections (on the streams the derived stream
+/// covers)? True iff every applied predicate is implied by some required
+/// predicate, so no tuple the consumer needs was dropped.
+pub fn selections_compatible(
+    applied: &[SelectionPredicate],
+    required: &[SelectionPredicate],
+) -> bool {
+    applied
+        .iter()
+        .all(|a| required.iter().any(|r| r.implies(a)))
+}
+
+/// The residual predicates the consumer must still apply on top of a reused
+/// derived stream: every required predicate not already guaranteed by an
+/// applied one.
+pub fn residual_selections(
+    applied: &[SelectionPredicate],
+    required: &[SelectionPredicate],
+) -> Vec<SelectionPredicate> {
+    required
+        .iter()
+        .filter(|r| !applied.iter().any(|a| a.implies(r)))
+        .cloned()
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(op: CmpOp, v: f64) -> SelectionPredicate {
+        SelectionPredicate::new(StreamId(0), "x", op, v, 0.5)
+    }
+
+    #[test]
+    fn eq_implications() {
+        assert!(p(CmpOp::Eq, 3.0).implies(&p(CmpOp::Eq, 3.0)));
+        assert!(!p(CmpOp::Eq, 3.0).implies(&p(CmpOp::Eq, 4.0)));
+        assert!(p(CmpOp::Eq, 3.0).implies(&p(CmpOp::Lt, 4.0)));
+        assert!(p(CmpOp::Eq, 3.0).implies(&p(CmpOp::Le, 3.0)));
+        assert!(!p(CmpOp::Eq, 3.0).implies(&p(CmpOp::Lt, 3.0)));
+        assert!(p(CmpOp::Eq, 3.0).implies(&p(CmpOp::Ge, 2.0)));
+    }
+
+    #[test]
+    fn range_implications() {
+        assert!(p(CmpOp::Lt, 3.0).implies(&p(CmpOp::Lt, 5.0)));
+        assert!(!p(CmpOp::Lt, 5.0).implies(&p(CmpOp::Lt, 3.0)));
+        assert!(p(CmpOp::Le, 3.0).implies(&p(CmpOp::Lt, 4.0)));
+        assert!(!p(CmpOp::Le, 4.0).implies(&p(CmpOp::Lt, 4.0)));
+        assert!(p(CmpOp::Gt, 5.0).implies(&p(CmpOp::Ge, 5.0)));
+        assert!(!p(CmpOp::Ge, 5.0).implies(&p(CmpOp::Gt, 5.0)));
+        assert!(!p(CmpOp::Lt, 3.0).implies(&p(CmpOp::Gt, 1.0)), "ranges overlap but neither contains");
+    }
+
+    #[test]
+    fn different_attr_never_implies() {
+        let a = SelectionPredicate::new(StreamId(0), "x", CmpOp::Lt, 3.0, 0.5);
+        let b = SelectionPredicate::new(StreamId(0), "y", CmpOp::Lt, 5.0, 0.5);
+        assert!(!a.implies(&b));
+        let c = SelectionPredicate::new(StreamId(1), "x", CmpOp::Lt, 5.0, 0.5);
+        assert!(!a.implies(&c));
+    }
+
+    #[test]
+    fn join_predicate_normalizes_order() {
+        let a = JoinPredicate::new(StreamId(3), "u", StreamId(1), "v");
+        let b = JoinPredicate::new(StreamId(1), "v", StreamId(3), "u");
+        assert_eq!(a, b);
+        assert_eq!(a.pair(), (StreamId(1), StreamId(3)));
+    }
+
+    #[test]
+    fn compatibility_and_residuals() {
+        // Derived applied x < 12 (the "DP-TIME - now < 12h" of query Q2);
+        // consumer requires x < 12 AND y = 1 — compatible, residual is y = 1.
+        let applied = vec![p(CmpOp::Lt, 12.0)];
+        let y = SelectionPredicate::new(StreamId(0), "y", CmpOp::Eq, 1.0, 0.1);
+        let required = vec![p(CmpOp::Lt, 12.0), y.clone()];
+        assert!(selections_compatible(&applied, &required));
+        assert_eq!(residual_selections(&applied, &required), vec![y]);
+
+        // Derived applied the *stricter* x < 6 — cannot serve x < 12.
+        let strict = vec![p(CmpOp::Lt, 6.0)];
+        assert!(!selections_compatible(&strict, &required));
+    }
+
+    #[test]
+    fn empty_applied_is_always_compatible() {
+        assert!(selections_compatible(&[], &[p(CmpOp::Eq, 1.0)]));
+        assert_eq!(residual_selections(&[], &[p(CmpOp::Eq, 1.0)]).len(), 1);
+    }
+}

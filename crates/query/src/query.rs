@@ -1,0 +1,276 @@
+//! Continuous SPJ queries and source-set arithmetic.
+
+use crate::predicate::{JoinPredicate, SelectionPredicate};
+use crate::stream::{Catalog, StreamId};
+use dsq_net::NodeId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a registered continuous query.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct QueryId(pub u32);
+
+impl fmt::Debug for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+impl fmt::Display for QueryId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// A sorted, duplicate-free set of base stream ids.
+///
+/// Source sets identify what a (sub)plan computes: two operators over the
+/// same source set (under compatible predicates) produce the same logical
+/// stream, which is exactly the reuse condition. Sets are small (queries join
+/// 2–6 streams), so a sorted vector beats hash sets here.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default, Serialize, Deserialize)]
+pub struct StreamSet(Vec<StreamId>);
+
+impl StreamSet {
+    /// An empty set.
+    pub fn new() -> Self {
+        StreamSet(Vec::new())
+    }
+
+    /// Set with a single element.
+    pub fn singleton(id: StreamId) -> Self {
+        StreamSet(vec![id])
+    }
+
+    /// Build from any iterator (sorts and dedups). Also available through
+    /// the `FromIterator` impl; this inherent method keeps call sites terse.
+    #[allow(clippy::should_implement_trait)]
+    pub fn from_iter(ids: impl IntoIterator<Item = StreamId>) -> Self {
+        let mut v: Vec<StreamId> = ids.into_iter().collect();
+        v.sort_unstable();
+        v.dedup();
+        StreamSet(v)
+    }
+
+    /// Number of streams in the set.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Membership test.
+    pub fn contains(&self, id: StreamId) -> bool {
+        self.0.binary_search(&id).is_ok()
+    }
+
+    /// Subset test.
+    pub fn is_subset_of(&self, other: &StreamSet) -> bool {
+        self.0.iter().all(|id| other.contains(*id))
+    }
+
+    /// Disjointness test.
+    pub fn is_disjoint_from(&self, other: &StreamSet) -> bool {
+        self.0.iter().all(|id| !other.contains(*id))
+    }
+
+    /// Union of two sets.
+    pub fn union(&self, other: &StreamSet) -> StreamSet {
+        StreamSet::from_iter(self.0.iter().chain(other.0.iter()).copied())
+    }
+
+    /// Elements of `self` not in `other`.
+    pub fn difference(&self, other: &StreamSet) -> StreamSet {
+        StreamSet(
+            self.0
+                .iter()
+                .filter(|id| !other.contains(**id))
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Elements present in both sets.
+    pub fn intersection(&self, other: &StreamSet) -> StreamSet {
+        StreamSet(
+            self.0
+                .iter()
+                .filter(|id| other.contains(**id))
+                .copied()
+                .collect(),
+        )
+    }
+
+    /// Sorted member slice.
+    pub fn as_slice(&self) -> &[StreamId] {
+        &self.0
+    }
+
+    /// Iterate over members in sorted order.
+    pub fn iter(&self) -> impl Iterator<Item = StreamId> + '_ {
+        self.0.iter().copied()
+    }
+}
+
+impl fmt::Debug for StreamSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, s) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{s}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl FromIterator<StreamId> for StreamSet {
+    fn from_iter<T: IntoIterator<Item = StreamId>>(iter: T) -> Self {
+        StreamSet::from_iter(iter)
+    }
+}
+
+/// A continuous select-project-join query.
+///
+/// The query requests the join of `sources` (filtered by `selections`,
+/// joined on `join_predicates`) to be streamed to `sink`. Projections are
+/// tracked as attribute names for reuse bookkeeping; they do not change
+/// estimated rates (the paper's cost model works on stream rates).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Query {
+    /// Query identifier.
+    pub id: QueryId,
+    /// Base streams joined by the query (at least one, all distinct).
+    pub sources: Vec<StreamId>,
+    /// Node where results must be delivered.
+    pub sink: NodeId,
+    /// Per-stream selection predicates.
+    pub selections: Vec<SelectionPredicate>,
+    /// Equi-join predicates (informational; selectivities live in the
+    /// [`Catalog`]). May be empty for workloads that specify selectivities
+    /// directly.
+    pub join_predicates: Vec<JoinPredicate>,
+    /// Projected output attributes as `(stream, attribute)`; empty = all.
+    pub projection: Vec<(StreamId, String)>,
+}
+
+impl Query {
+    /// Build a plain join query (no selections/projections).
+    pub fn join(id: QueryId, sources: impl IntoIterator<Item = StreamId>, sink: NodeId) -> Self {
+        let sources: Vec<StreamId> = sources.into_iter().collect();
+        let q = Query {
+            id,
+            sources,
+            sink,
+            selections: Vec::new(),
+            join_predicates: Vec::new(),
+            projection: Vec::new(),
+        };
+        q.validate();
+        q
+    }
+
+    /// Panics if the query is malformed (duplicate or missing sources).
+    pub fn validate(&self) {
+        assert!(!self.sources.is_empty(), "query must have sources");
+        let set = StreamSet::from_iter(self.sources.iter().copied());
+        assert_eq!(
+            set.len(),
+            self.sources.len(),
+            "query sources must be distinct"
+        );
+        for sel in &self.selections {
+            assert!(set.contains(sel.stream), "selection on non-source stream");
+        }
+        for jp in &self.join_predicates {
+            assert!(
+                set.contains(jp.left) && set.contains(jp.right),
+                "join predicate on non-source stream"
+            );
+        }
+    }
+
+    /// The query's source set.
+    pub fn source_set(&self) -> StreamSet {
+        StreamSet::from_iter(self.sources.iter().copied())
+    }
+
+    /// Number of join operators a plan for this query contains.
+    pub fn join_count(&self) -> usize {
+        self.sources.len().saturating_sub(1)
+    }
+
+    /// Selection predicates that apply to one stream.
+    pub fn selections_on(&self, stream: StreamId) -> Vec<&SelectionPredicate> {
+        self.selections
+            .iter()
+            .filter(|s| s.stream == stream)
+            .collect()
+    }
+
+    /// Effective (post-selection) input rate of one source stream.
+    pub fn effective_rate(&self, catalog: &Catalog, stream: StreamId) -> f64 {
+        let base = catalog.stream(stream).rate;
+        self.selections_on(stream)
+            .iter()
+            .fold(base, |r, s| r * s.selectivity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predicate::CmpOp;
+    use crate::stream::Schema;
+
+    fn ids(v: &[u32]) -> StreamSet {
+        StreamSet::from_iter(v.iter().map(|&i| StreamId(i)))
+    }
+
+    #[test]
+    fn set_ops() {
+        let a = ids(&[3, 1, 2, 2]);
+        assert_eq!(a.len(), 3, "dedup");
+        assert_eq!(a.as_slice(), &[StreamId(1), StreamId(2), StreamId(3)]);
+        let b = ids(&[2, 4]);
+        assert!(ids(&[1, 2]).is_subset_of(&a));
+        assert!(!b.is_subset_of(&a));
+        assert!(ids(&[4, 5]).is_disjoint_from(&a));
+        assert!(!b.is_disjoint_from(&a));
+        assert_eq!(a.union(&b), ids(&[1, 2, 3, 4]));
+        assert_eq!(a.difference(&b), ids(&[1, 3]));
+        assert_eq!(a.intersection(&b), ids(&[2]));
+        assert!(StreamSet::new().is_empty());
+    }
+
+    #[test]
+    fn query_effective_rate_applies_selections() {
+        let mut c = Catalog::new();
+        let s = c.add_stream("A", 100.0, NodeId(0), Schema::new(["x"]));
+        let mut q = Query::join(QueryId(0), [s], NodeId(1));
+        q.selections
+            .push(SelectionPredicate::new(s, "x", CmpOp::Lt, 5.0, 0.25));
+        q.selections
+            .push(SelectionPredicate::new(s, "x", CmpOp::Gt, 1.0, 0.5));
+        assert!((q.effective_rate(&c, s) - 12.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn duplicate_sources_rejected() {
+        Query::join(QueryId(0), [StreamId(1), StreamId(1)], NodeId(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-source")]
+    fn selection_on_foreign_stream_rejected() {
+        let mut q = Query::join(QueryId(0), [StreamId(1)], NodeId(0));
+        q.selections
+            .push(SelectionPredicate::new(StreamId(9), "x", CmpOp::Eq, 1.0, 0.5));
+        q.validate();
+    }
+}

@@ -1,0 +1,113 @@
+//! Graphviz (DOT) export of deployments, for inspecting plans visually.
+//!
+//! `dot -Tsvg deployment.dot -o deployment.svg` renders the operator tree
+//! with its node assignments and per-edge rates.
+
+use crate::plan::{Deployment, FlatNode, LeafSource};
+use crate::stream::Catalog;
+use std::fmt::Write;
+
+/// Render a deployment as a DOT digraph. Leaves are boxes labeled with
+/// their stream and host, joins are ellipses labeled with their node and
+/// output rate, edges carry the data rate, and the sink is a double circle.
+pub fn deployment_to_dot(d: &Deployment, catalog: &Catalog) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {} {{", d.query);
+    let _ = writeln!(out, "  rankdir=BT;");
+    let _ = writeln!(out, "  node [fontname=\"monospace\"];");
+    for (i, node) in d.plan.nodes().iter().enumerate() {
+        match node {
+            FlatNode::Leaf { source, rate, .. } => {
+                let label = match source {
+                    LeafSource::Base(id) => format!(
+                        "{}\\n@{} r={:.1}",
+                        catalog.stream(*id).name,
+                        d.placement[i],
+                        rate
+                    ),
+                    LeafSource::Derived { id, .. } => {
+                        format!("derived d{}\\n@{} r={:.1}", id.0, d.placement[i], rate)
+                    }
+                };
+                let shape = if matches!(source, LeafSource::Derived { .. }) {
+                    "box,style=dashed"
+                } else {
+                    "box"
+                };
+                let _ = writeln!(out, "  n{i} [shape={shape},label=\"{label}\"];");
+            }
+            FlatNode::Join { rate, .. } => {
+                let _ = writeln!(
+                    out,
+                    "  n{i} [shape=ellipse,label=\"⋈ @{}\\nout={:.2}\"];",
+                    d.placement[i], rate
+                );
+            }
+        }
+    }
+    let _ = writeln!(
+        out,
+        "  sink [shape=doublecircle,label=\"sink\\n{}\"];",
+        d.sink
+    );
+    for edge in &d.edges {
+        let to = if edge.consumer == usize::MAX {
+            "sink".to_string()
+        } else {
+            format!("n{}", edge.consumer)
+        };
+        // Identify the producing plan node by placement + rate match.
+        let from = d
+            .plan
+            .nodes()
+            .iter()
+            .enumerate()
+            .position(|(i, n)| {
+                d.placement[i] == edge.from && (n.rate() - edge.rate).abs() < 1e-12
+            })
+            .map(|i| format!("n{i}"))
+            .unwrap_or_else(|| format!("\"{}\"", edge.from));
+        let _ = writeln!(out, "  {from} -> {to} [label=\"{:.1}\"];", edge.rate);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{FlatPlan, JoinTree};
+    use crate::query::{Query, QueryId};
+    use crate::stream::Schema;
+    use dsq_net::{DistanceMatrix, LinkKind, Metric, Network, NodeId};
+
+    #[test]
+    fn dot_output_is_well_formed() {
+        let mut net = Network::new(3);
+        net.add_link(NodeId(0), NodeId(1), 1.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(1), NodeId(2), 1.0, 1.0, LinkKind::Stub);
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::default());
+        let b = c.add_stream("B", 4.0, NodeId(2), Schema::default());
+        c.set_selectivity(a, b, 0.1);
+        let q = Query::join(QueryId(3), [a, b], NodeId(2));
+        let tree = JoinTree::join(JoinTree::base(a), JoinTree::base(b));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let d = Deployment::evaluate(
+            q.id,
+            plan,
+            vec![NodeId(0), NodeId(2), NodeId(1)],
+            NodeId(2),
+            &dm,
+        );
+        let dot = deployment_to_dot(&d, &c);
+        assert!(dot.starts_with("digraph q3 {"));
+        assert!(dot.trim_end().ends_with('}'));
+        assert!(dot.contains("shape=box"));
+        assert!(dot.contains("doublecircle"));
+        assert!(dot.matches("->").count() == d.edges.len());
+        // Balanced braces.
+        assert_eq!(dot.matches('{').count(), dot.matches('}').count());
+    }
+}

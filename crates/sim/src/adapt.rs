@@ -1,0 +1,501 @@
+//! Self-adaptivity middleware (the IFLOW Middleware Layer \[13\]).
+//!
+//! "Self-adaptivity is incorporated into the system through the Middleware
+//! Layer which re-triggers the query optimization algorithm when the
+//! changes in network, load or data conditions demand recomputing of query
+//! plans and deployments." This module reproduces that loop for network
+//! (link-cost) changes: standing deployments are re-costed against the
+//! updated distances, and any whose cost degraded beyond a configurable
+//! threshold is re-optimized and migrated.
+
+use dsq_core::Environment;
+use dsq_net::{DistanceMatrix, Metric, NodeId};
+use dsq_query::{Deployment, Query, QueryId};
+
+/// A runtime link-cost change (congestion, re-pricing, failure-as-cost).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkChange {
+    /// Link endpoint.
+    pub a: NodeId,
+    /// Link endpoint.
+    pub b: NodeId,
+    /// New per-unit cost of the link.
+    pub new_cost: f64,
+}
+
+/// What an adaptation pass did.
+#[derive(Clone, Debug, Default)]
+pub struct MigrationReport {
+    /// Queries whose deployments were re-optimized.
+    pub migrated: Vec<QueryId>,
+    /// Queries whose replanning produced a better deployment that was
+    /// nevertheless skipped because the state-transfer cost would not pay
+    /// for itself within the migration horizon.
+    pub skipped_unprofitable: Vec<QueryId>,
+    /// Total standing cost right after the change (before migrations).
+    pub cost_before: f64,
+    /// Total standing cost after migrations.
+    pub cost_after: f64,
+    /// Costed migration plans for the queries that moved.
+    pub plans: Vec<crate::migrate::MigrationPlan>,
+    /// Total one-time state-transfer cost paid by the adopted migrations.
+    pub state_transfer_cost: f64,
+}
+
+/// Standing deployments plus the machinery to keep them efficient.
+pub struct AdaptiveRuntime {
+    /// The (mutable) environment; link changes are applied to its network
+    /// and distance matrix.
+    pub env: Environment,
+    queries: Vec<Query>,
+    deployments: Vec<Deployment>,
+    baseline_cost: Vec<f64>,
+    /// Relative cost degradation that triggers re-optimization (e.g. 0.2 =
+    /// re-plan when a deployment got ≥ 20% more expensive).
+    pub threshold: f64,
+    /// Expected remaining lifetime of queries: a replanned deployment is
+    /// only adopted when its one-time state-transfer cost amortizes within
+    /// this horizon ("run-time query plan migrations", Section 5).
+    /// `None` migrates unconditionally on any improvement.
+    pub migration_horizon: Option<f64>,
+    /// Join window length used to estimate operator state sizes.
+    pub window: f64,
+}
+
+impl AdaptiveRuntime {
+    /// Wrap an environment with an empty deployment set (unconditional
+    /// migration; see [`Self::with_migration_horizon`]).
+    pub fn new(env: Environment, threshold: f64) -> Self {
+        AdaptiveRuntime {
+            env,
+            queries: Vec::new(),
+            deployments: Vec::new(),
+            baseline_cost: Vec::new(),
+            threshold,
+            migration_horizon: None,
+            window: 0.5,
+        }
+    }
+
+    /// Only adopt replanned deployments whose state-transfer cost pays for
+    /// itself within `horizon` time units.
+    pub fn with_migration_horizon(mut self, horizon: f64) -> Self {
+        self.migration_horizon = Some(horizon);
+        self
+    }
+
+    /// Register a deployed query.
+    pub fn install(&mut self, query: Query, deployment: Deployment) {
+        self.baseline_cost.push(deployment.cost);
+        self.queries.push(query);
+        self.deployments.push(deployment);
+    }
+
+    /// Standing deployments.
+    pub fn deployments(&self) -> &[Deployment] {
+        &self.deployments
+    }
+
+    /// Total standing cost.
+    pub fn total_cost(&self) -> f64 {
+        self.deployments.iter().map(|d| d.cost).sum()
+    }
+
+    /// Handle the crash of a physical node: fail over its coordinator
+    /// roles, deactivate it in the overlay and redeploy or retire the
+    /// affected queries (see [`crate::failures`]). `replan` receives the
+    /// repaired environment, in which the node is no longer a member.
+    pub fn handle_node_failure(
+        &mut self,
+        catalog: &dsq_query::Catalog,
+        node: dsq_net::NodeId,
+        mut replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
+    ) -> crate::failures::FailureReport {
+        use crate::failures::{unrecoverable, uses_node, FailureReport};
+        let mut report = FailureReport {
+            cost_before: self.total_cost(),
+            ..Default::default()
+        };
+
+        // 1. Hierarchy repair: record the roles being failed over, then
+        //    deactivate the node (coordinator re-election happens inside).
+        report.coordinator_roles_failed_over =
+            self.env.hierarchy.coordinator_roles(node).len();
+        if self.env.hierarchy.is_active(node) {
+            dsq_hierarchy::membership::remove_node(&mut self.env.hierarchy, &self.env.dm, node);
+        }
+
+        // 2. Classify standing deployments.
+        enum Action {
+            Keep,
+            Lost,
+            Replan,
+        }
+        let actions: Vec<Action> = self
+            .deployments
+            .iter()
+            .zip(&self.queries)
+            .map(|(d, q)| {
+                if !uses_node(d, node) {
+                    Action::Keep
+                } else if unrecoverable(d, q, catalog, node) {
+                    Action::Lost
+                } else {
+                    Action::Replan
+                }
+            })
+            .collect();
+
+        // 3. Replan the recoverable ones against the repaired environment.
+        let replacements: Vec<Option<Deployment>> = actions
+            .iter()
+            .zip(&self.queries)
+            .map(|(a, q)| match a {
+                Action::Replan => replan(&self.env, q),
+                _ => None,
+            })
+            .collect();
+
+        // 4. Apply: retire lost/unplaceable queries, install replacements.
+        let mut queries = Vec::new();
+        let mut deployments = Vec::new();
+        let mut baselines = Vec::new();
+        for (i, action) in actions.into_iter().enumerate() {
+            match action {
+                Action::Keep => {
+                    queries.push(self.queries[i].clone());
+                    baselines.push(self.baseline_cost[i]);
+                    deployments.push(self.deployments[i].clone());
+                }
+                Action::Lost => report.lost.push(self.queries[i].id),
+                Action::Replan => match &replacements[i] {
+                    Some(new_d) => {
+                        report.redeployed.push(self.queries[i].id);
+                        queries.push(self.queries[i].clone());
+                        baselines.push(new_d.cost);
+                        deployments.push(new_d.clone());
+                    }
+                    None => report.unplaced.push(self.queries[i].id),
+                },
+            }
+        }
+        self.queries = queries;
+        self.deployments = deployments;
+        self.baseline_cost = baselines;
+        report.cost_after = self.total_cost();
+        report
+    }
+
+    /// Handle *data*-condition changes: the catalog's stream rates /
+    /// selectivities were updated by monitoring (mutate it before calling).
+    /// Standing deployments are re-estimated structurally — same plan, same
+    /// placement, fresh statistics — and those whose cost degraded past the
+    /// threshold are re-optimized, subject to the same migration-horizon
+    /// gate as link changes.
+    pub fn handle_data_changes(
+        &mut self,
+        catalog: &dsq_query::Catalog,
+        mut replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
+    ) -> MigrationReport {
+        let mut report = MigrationReport::default();
+        for (i, d) in self.deployments.iter_mut().enumerate() {
+            *d = d.reestimate(&self.queries[i], catalog, &self.env.dm);
+        }
+        report.cost_before = self.total_cost();
+
+        for i in 0..self.deployments.len() {
+            let degraded = self.deployments[i].cost
+                > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
+            if !degraded {
+                // Data changes can also make a deployment cheaper; adopt the
+                // re-estimated cost as the new baseline so later drift is
+                // measured from reality.
+                self.baseline_cost[i] = self.deployments[i].cost;
+                continue;
+            }
+            if let Some(new_d) = replan(&self.env, &self.queries[i]) {
+                if new_d.cost >= self.deployments[i].cost {
+                    self.baseline_cost[i] = self.deployments[i].cost;
+                    continue;
+                }
+                let plan = crate::migrate::plan_migration(
+                    &self.deployments[i],
+                    &new_d,
+                    &self.env.dm,
+                    self.window,
+                );
+                let adopt = match self.migration_horizon {
+                    Some(h) => plan.worthwhile(h),
+                    None => true,
+                };
+                if adopt {
+                    report.migrated.push(self.queries[i].id);
+                    report.state_transfer_cost += plan.state_transfer_cost;
+                    report.plans.push(plan);
+                    self.baseline_cost[i] = new_d.cost;
+                    self.deployments[i] = new_d;
+                } else {
+                    report.skipped_unprofitable.push(self.queries[i].id);
+                    self.baseline_cost[i] = self.deployments[i].cost;
+                }
+            }
+        }
+        report.cost_after = self.total_cost();
+        report
+    }
+
+    /// Apply link changes, detect degraded deployments and re-trigger
+    /// optimization for them.
+    ///
+    /// `replan` receives the *updated* environment and the degraded query
+    /// and returns a fresh deployment (typically by running one of the
+    /// `dsq-core` optimizers against that environment). A replanned
+    /// deployment is only adopted when it actually improves on the
+    /// re-costed standing one.
+    pub fn handle_changes(
+        &mut self,
+        changes: &[LinkChange],
+        mut replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
+    ) -> MigrationReport {
+        for ch in changes {
+            let applied = self.env.network.set_link_cost(ch.a, ch.b, ch.new_cost);
+            assert!(applied, "link change references a missing link");
+        }
+        // Refresh the distance view and the hierarchy's cost statistics.
+        self.env.dm = DistanceMatrix::build(&self.env.network, Metric::Cost);
+        self.env.hierarchy.refresh_statistics(&self.env.dm);
+
+        let mut report = MigrationReport::default();
+        for d in &mut self.deployments {
+            d.recompute_cost(&self.env.dm);
+        }
+        report.cost_before = self.total_cost();
+
+        for i in 0..self.deployments.len() {
+            let degraded = self.deployments[i].cost
+                > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
+            if !degraded {
+                continue;
+            }
+            if let Some(new_d) = replan(&self.env, &self.queries[i]) {
+                if new_d.cost >= self.deployments[i].cost {
+                    continue;
+                }
+                let plan = crate::migrate::plan_migration(
+                    &self.deployments[i],
+                    &new_d,
+                    &self.env.dm,
+                    self.window,
+                );
+                let adopt = match self.migration_horizon {
+                    Some(h) => plan.worthwhile(h),
+                    None => true,
+                };
+                if adopt {
+                    report.migrated.push(self.queries[i].id);
+                    report.state_transfer_cost += plan.state_transfer_cost;
+                    report.plans.push(plan);
+                    self.baseline_cost[i] = new_d.cost;
+                    self.deployments[i] = new_d;
+                } else {
+                    report.skipped_unprofitable.push(self.queries[i].id);
+                }
+            }
+        }
+        report.cost_after = self.total_cost();
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_core::{Optimal, Optimizer, SearchStats, TopDown};
+    use dsq_net::TransitStubConfig;
+    use dsq_query::ReuseRegistry;
+    use dsq_workload::{WorkloadConfig, WorkloadGenerator};
+
+    fn runtime() -> (AdaptiveRuntime, dsq_workload::Workload) {
+        let net = TransitStubConfig::paper_64().generate(17).network;
+        let env = Environment::build(net, 16);
+        let wl = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: 12,
+                queries: 6,
+                joins_per_query: 2..=3,
+                ..WorkloadConfig::default()
+            },
+            61,
+        )
+        .generate(&env.network);
+        let mut rt = AdaptiveRuntime::new(env, 0.2);
+        let mut reg = ReuseRegistry::new();
+        let mut stats = SearchStats::new();
+        for q in &wl.queries {
+            let d = TopDown::new(&rt.env)
+                .optimize(&wl.catalog, q, &mut reg, &mut stats)
+                .unwrap();
+            rt.install(q.clone(), d);
+        }
+        (rt, wl)
+    }
+
+    /// Links crossing the deployments' hot paths, made 50× more expensive.
+    fn congestion(rt: &AdaptiveRuntime) -> Vec<LinkChange> {
+        let sim = crate::flow::FlowSimulator::new(&rt.env.network);
+        let refs: Vec<&Deployment> = rt.deployments().iter().collect();
+        let report = sim.evaluate(&refs);
+        report
+            .hottest_links(4)
+            .into_iter()
+            .map(|((a, b), _)| {
+                let old = rt.env.network.find_link(a, b).unwrap().cost;
+                LinkChange {
+                    a,
+                    b,
+                    new_cost: old * 50.0,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn congestion_triggers_migration_and_reduces_cost() {
+        let (mut rt, wl) = runtime();
+        let changes = congestion(&rt);
+        let report = rt.handle_changes(&changes, |env, q| {
+            let mut reg = ReuseRegistry::new();
+            let mut stats = SearchStats::new();
+            Optimal::new(env).optimize(&wl.catalog, q, &mut reg, &mut stats)
+        });
+        assert!(
+            !report.migrated.is_empty(),
+            "50× congestion on hot links must trigger migrations"
+        );
+        assert!(
+            report.cost_after <= report.cost_before,
+            "migration must not increase cost: {} -> {}",
+            report.cost_before,
+            report.cost_after
+        );
+    }
+
+    #[test]
+    fn small_changes_do_not_trigger() {
+        let (mut rt, wl) = runtime();
+        let (a, b) = {
+            let n = rt.env.network.nodes().next().unwrap();
+            (n, rt.env.network.neighbors(n)[0].to)
+        };
+        let old = rt.env.network.find_link(a, b).unwrap().cost;
+        let report = rt.handle_changes(
+            &[LinkChange {
+                a,
+                b,
+                new_cost: old * 1.01,
+            }],
+            |env, q| {
+                let mut reg = ReuseRegistry::new();
+                let mut stats = SearchStats::new();
+                Optimal::new(env).optimize(&wl.catalog, q, &mut reg, &mut stats)
+            },
+        );
+        assert!(report.migrated.is_empty());
+    }
+
+    #[test]
+    fn data_rate_surge_triggers_replanning() {
+        let (mut rt, wl) = runtime();
+        // Surge the rates of the first query's sources 20×: its plan's
+        // transport volumes balloon and a different placement (or ordering)
+        // wins.
+        let mut catalog = wl.catalog.clone();
+        let victim = &wl.queries[0];
+        for &s in &victim.sources {
+            let old = catalog.stream(s).rate;
+            catalog.set_rate(s, old * 20.0);
+        }
+        let report = rt.handle_data_changes(&catalog, |env, q| {
+            let mut reg = ReuseRegistry::new();
+            let mut stats = SearchStats::new();
+            Optimal::new(env).optimize(&catalog, q, &mut reg, &mut stats)
+        });
+        assert!(
+            report.cost_before > 0.0,
+            "re-estimated costs reflect the surge"
+        );
+        assert!(
+            report.migrated.contains(&victim.id)
+                || report.cost_after <= report.cost_before,
+            "either the victim migrates or nothing got worse"
+        );
+        // Re-estimated standing costs must match a from-scratch evaluation.
+        for d in rt.deployments() {
+            let q = wl.queries.iter().find(|q| q.id == d.query).unwrap();
+            let fresh = d.reestimate(q, &catalog, &rt.env.dm);
+            assert!((fresh.cost - d.cost).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn improving_data_changes_do_not_churn() {
+        let (mut rt, wl) = runtime();
+        // All rates drop: every deployment gets cheaper, nothing migrates.
+        let mut catalog = wl.catalog.clone();
+        for s in 0..catalog.len() as u32 {
+            let old = catalog.stream(dsq_query::StreamId(s)).rate;
+            catalog.set_rate(dsq_query::StreamId(s), old * 0.5);
+        }
+        let before = rt.total_cost();
+        let report = rt.handle_data_changes(&catalog, |_, _| panic!("must not replan"));
+        assert!(report.migrated.is_empty());
+        assert!(report.cost_after < before);
+    }
+
+    #[test]
+    fn short_horizon_skips_unprofitable_migrations() {
+        let (rt_base, wl) = runtime();
+        let changes = congestion(&rt_base);
+        let replan = |env: &Environment, q: &Query| {
+            let mut reg = ReuseRegistry::new();
+            let mut stats = SearchStats::new();
+            Optimal::new(env).optimize(&wl.catalog, q, &mut reg, &mut stats)
+        };
+
+        // Unconditional migration moves some queries…
+        let mut rt_free = AdaptiveRuntime::new(rt_base.env.clone(), rt_base.threshold);
+        for (q, d) in wl.queries.iter().zip(rt_base.deployments()) {
+            rt_free.install(q.clone(), d.clone());
+        }
+        let free = rt_free.handle_changes(&changes, replan);
+        assert!(!free.migrated.is_empty());
+        assert!(free.state_transfer_cost > 0.0);
+        for p in &free.plans {
+            assert!(p.steady_state_saving > 0.0, "adopted plans must save");
+        }
+
+        // …while a near-zero horizon rejects every one of them.
+        let mut rt_tight = AdaptiveRuntime::new(rt_base.env.clone(), rt_base.threshold)
+            .with_migration_horizon(1e-9);
+        for (q, d) in wl.queries.iter().zip(rt_base.deployments()) {
+            rt_tight.install(q.clone(), d.clone());
+        }
+        let tight = rt_tight.handle_changes(&changes, replan);
+        assert!(tight.migrated.is_empty());
+        assert_eq!(tight.skipped_unprofitable.len(), free.migrated.len());
+        assert_eq!(tight.state_transfer_cost, 0.0);
+    }
+
+    #[test]
+    fn adaptation_is_idempotent_when_nothing_changes() {
+        let (mut rt, wl) = runtime();
+        let before = rt.total_cost();
+        let report = rt.handle_changes(&[], |env, q| {
+            let mut reg = ReuseRegistry::new();
+            let mut stats = SearchStats::new();
+            Optimal::new(env).optimize(&wl.catalog, q, &mut reg, &mut stats)
+        });
+        assert!(report.migrated.is_empty());
+        assert!((rt.total_cost() - before).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,60 @@
+//! Node-failure handling: coordinator failover and operator redeployment.
+//!
+//! "The virtual hierarchy is robust enough to adapt as necessary. … Failure
+//! of coordinator and operator nodes can be handled by maintaining active
+//! back-ups of those nodes within each cluster" (Section 2.1.1). This
+//! module implements the recovery path end to end:
+//!
+//! 1. the failed node is deactivated in the hierarchy (clusters shrink,
+//!    coordinators re-elected — the designated backup, i.e. the next-best
+//!    medoid, takes over);
+//! 2. standing deployments that ran an operator on the node are replanned
+//!    over the surviving overlay;
+//! 3. queries whose *source* or *sink* lived on the node cannot be saved
+//!    and are reported as lost.
+
+use dsq_net::NodeId;
+use dsq_query::{Catalog, Deployment, FlatNode, LeafSource, Query, QueryId};
+
+/// What a failure-recovery pass did.
+#[derive(Clone, Debug, Default)]
+pub struct FailureReport {
+    /// Coordinator roles the failed node held (count of cluster levels it
+    /// coordinated) — each was taken over by the cluster's re-elected
+    /// coordinator.
+    pub coordinator_roles_failed_over: usize,
+    /// Queries redeployed because an operator ran on the failed node.
+    pub redeployed: Vec<QueryId>,
+    /// Queries lost because their source stream or sink was on the node.
+    pub lost: Vec<QueryId>,
+    /// Queries that touched the node but could not be replanned.
+    pub unplaced: Vec<QueryId>,
+    /// Standing cost before the failure was handled.
+    pub cost_before: f64,
+    /// Standing cost after recovery (lost queries excluded).
+    pub cost_after: f64,
+}
+
+/// Does a deployment touch `node` as an operator host, leaf host or sink?
+pub(crate) fn uses_node(d: &Deployment, node: NodeId) -> bool {
+    d.sink == node || d.placement.contains(&node)
+}
+
+/// Is the deployment unrecoverable (source stream or sink on the node)?
+pub(crate) fn unrecoverable(
+    d: &Deployment,
+    q: &Query,
+    catalog: &Catalog,
+    node: NodeId,
+) -> bool {
+    if q.sink == node {
+        return true;
+    }
+    d.plan.nodes().iter().any(|n| match n {
+        FlatNode::Leaf {
+            source: LeafSource::Base(id),
+            ..
+        } => catalog.stream(*id).node == node,
+        _ => false,
+    })
+}

@@ -1,0 +1,247 @@
+//! Run-time query plan migration.
+//!
+//! "In on-going work we are exploring run-time query plan migrations"
+//! (Section 5). When the middleware re-optimizes a standing query, the new
+//! deployment is not free: every stateful operator that moves must ship its
+//! window contents to the new node before the old one can be torn down.
+//! [`MigrationPlan`] prices that transfer and weighs it against the
+//! steady-state saving, yielding a *break-even time* — migrate only if the
+//! query will live longer than that.
+//!
+//! Operator identity across plans is logical: two operators are "the same"
+//! when they produce the same covered source set (the reuse signature), in
+//! which case the old window state is valid for the new operator and can be
+//! shipped instead of warmed up from scratch.
+
+use dsq_net::{DistanceMatrix, NodeId};
+use dsq_query::{Deployment, FlatNode, QueryId, StreamSet};
+
+/// One operator's move.
+#[derive(Clone, Debug)]
+pub struct OperatorMove {
+    /// Covered source set identifying the operator logically.
+    pub covered: StreamSet,
+    /// Node the operator currently runs on.
+    pub from: NodeId,
+    /// Node the new deployment places it on.
+    pub to: NodeId,
+    /// Estimated state size (window contents, in data units).
+    pub state_size: f64,
+}
+
+/// Costed migration from one deployment to another.
+#[derive(Clone, Debug)]
+pub struct MigrationPlan {
+    /// Query being migrated.
+    pub query: QueryId,
+    /// Operators that move (same logical operator, different node).
+    pub moves: Vec<OperatorMove>,
+    /// Logical operators only present in the new plan (fresh windows —
+    /// warm-up, no transfer).
+    pub fresh_operators: usize,
+    /// Logical operators only present in the old plan (torn down).
+    pub retired_operators: usize,
+    /// One-time cost of shipping moved state (Σ state × dist).
+    pub state_transfer_cost: f64,
+    /// Per-unit-time saving of the new deployment (old − new cost).
+    pub steady_state_saving: f64,
+}
+
+impl MigrationPlan {
+    /// Time after which the migration has paid for itself; `None` when the
+    /// new deployment does not actually save anything.
+    pub fn breakeven_time(&self) -> Option<f64> {
+        if self.steady_state_saving > 0.0 {
+            Some(self.state_transfer_cost / self.steady_state_saving)
+        } else {
+            None
+        }
+    }
+
+    /// Is the migration worth it for a query expected to keep running for
+    /// `horizon` more time units?
+    pub fn worthwhile(&self, horizon: f64) -> bool {
+        match self.breakeven_time() {
+            Some(t) => t <= horizon,
+            None => false,
+        }
+    }
+}
+
+/// Per-join window state estimate: both windows hold `rate × window` tuples
+/// of each input.
+fn operator_state(deployment: &Deployment, join_idx: usize, window: f64) -> f64 {
+    match &deployment.plan.nodes()[join_idx] {
+        FlatNode::Join { left, right, .. } => {
+            (deployment.plan.nodes()[*left].rate() + deployment.plan.nodes()[*right].rate())
+                * window
+        }
+        FlatNode::Leaf { .. } => 0.0,
+    }
+}
+
+/// Plan the migration from `old` to `new` (deployments of the same query).
+///
+/// `window` is the join window length (state per operator = input rates ×
+/// window); `dm` prices the state transfer over the network.
+pub fn plan_migration(
+    old: &Deployment,
+    new: &Deployment,
+    dm: &DistanceMatrix,
+    window: f64,
+) -> MigrationPlan {
+    assert_eq!(old.query, new.query, "migration is per query");
+    let collect = |d: &Deployment| -> Vec<(StreamSet, usize)> {
+        d.plan
+            .join_indices()
+            .into_iter()
+            .map(|i| (d.plan.nodes()[i].covered().clone(), i))
+            .collect()
+    };
+    let old_ops = collect(old);
+    let new_ops = collect(new);
+
+    let mut moves = Vec::new();
+    let mut fresh = 0usize;
+    let mut transfer = 0.0;
+    for (covered, ni) in &new_ops {
+        match old_ops.iter().find(|(c, _)| c == covered) {
+            Some((_, oi)) => {
+                let from = old.placement[*oi];
+                let to = new.placement[*ni];
+                if from != to {
+                    let state_size = operator_state(old, *oi, window);
+                    transfer += state_size * dm.get(from, to);
+                    moves.push(OperatorMove {
+                        covered: covered.clone(),
+                        from,
+                        to,
+                        state_size,
+                    });
+                }
+            }
+            None => fresh += 1,
+        }
+    }
+    let retired = old_ops
+        .iter()
+        .filter(|(c, _)| !new_ops.iter().any(|(nc, _)| nc == c))
+        .count();
+
+    MigrationPlan {
+        query: old.query,
+        moves,
+        fresh_operators: fresh,
+        retired_operators: retired,
+        state_transfer_cost: transfer,
+        steady_state_saving: old.cost - new.cost,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::{LinkKind, Metric, Network};
+    use dsq_query::{Catalog, FlatPlan, JoinTree, Query, QueryId, Schema};
+
+    fn two_deployments() -> (DistanceMatrix, Deployment, Deployment) {
+        let mut net = Network::new(4);
+        for i in 0..3u32 {
+            net.add_link(NodeId(i), NodeId(i + 1), 1.0, 1.0, LinkKind::Stub);
+        }
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::default());
+        let b = c.add_stream("B", 4.0, NodeId(3), Schema::default());
+        c.set_selectivity(a, b, 0.1);
+        let q = Query::join(QueryId(0), [a, b], NodeId(2));
+        let tree = JoinTree::join(JoinTree::base(a), JoinTree::base(b));
+        let plan = FlatPlan::from_tree(&tree, &q, &c);
+        let old = Deployment::evaluate(
+            q.id,
+            plan.clone(),
+            vec![NodeId(0), NodeId(3), NodeId(3)],
+            NodeId(2),
+            &dm,
+        );
+        let new = Deployment::evaluate(
+            q.id,
+            plan,
+            vec![NodeId(0), NodeId(3), NodeId(0)],
+            NodeId(2),
+            &dm,
+        );
+        (dm, old, new)
+    }
+
+    #[test]
+    fn migration_prices_moved_state() {
+        let (dm, old, new) = two_deployments();
+        let m = plan_migration(&old, &new, &dm, 0.5);
+        assert_eq!(m.moves.len(), 1);
+        let mv = &m.moves[0];
+        assert_eq!((mv.from, mv.to), (NodeId(3), NodeId(0)));
+        // State = (10 + 4) × 0.5 = 7; distance 3 ⇒ transfer 21.
+        assert!((mv.state_size - 7.0).abs() < 1e-12);
+        assert!((m.state_transfer_cost - 21.0).abs() < 1e-12);
+        assert_eq!(m.fresh_operators, 0);
+        assert_eq!(m.retired_operators, 0);
+        // old: A 0 hops (join at n3? A from n0 to n3 = 30) …
+        assert!((m.steady_state_saving - (old.cost - new.cost)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakeven_logic() {
+        let (dm, old, new) = two_deployments();
+        let m = plan_migration(&old, &new, &dm, 0.5);
+        if m.steady_state_saving > 0.0 {
+            let t = m.breakeven_time().unwrap();
+            assert!(m.worthwhile(t + 1.0));
+            assert!(!m.worthwhile(t - 1.0));
+        } else {
+            assert!(m.breakeven_time().is_none());
+            assert!(!m.worthwhile(f64::INFINITY.min(1e18)));
+        }
+    }
+
+    #[test]
+    fn identical_deployments_need_no_migration() {
+        let (dm, old, _) = two_deployments();
+        let m = plan_migration(&old, &old.clone(), &dm, 0.5);
+        assert!(m.moves.is_empty());
+        assert_eq!(m.state_transfer_cost, 0.0);
+        assert_eq!(m.steady_state_saving, 0.0);
+        assert!(m.breakeven_time().is_none());
+    }
+
+    #[test]
+    fn changed_plan_shape_counts_fresh_and_retired() {
+        let (dm, old, _) = two_deployments();
+        // New plan over a different tree: single leaf reused? Build a
+        // 3-stream query variant is overkill; emulate by comparing against
+        // a plan with a different covered structure via a new catalog.
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::default());
+        let b = c.add_stream("B", 4.0, NodeId(3), Schema::default());
+        let x = c.add_stream("X", 2.0, NodeId(1), Schema::default());
+        c.set_selectivity(a, b, 0.1);
+        c.set_selectivity(a, x, 0.1);
+        let q3 = Query::join(QueryId(0), [a, b, x], NodeId(2));
+        let tree = JoinTree::join(
+            JoinTree::join(JoinTree::base(a), JoinTree::base(x)),
+            JoinTree::base(b),
+        );
+        let plan = FlatPlan::from_tree(&tree, &q3, &c);
+        let new = Deployment::evaluate(
+            QueryId(0),
+            plan,
+            vec![NodeId(0), NodeId(1), NodeId(1), NodeId(3), NodeId(2)],
+            NodeId(2),
+            &dm,
+        );
+        let m = plan_migration(&old, &new, &dm, 0.5);
+        // {A,X} and {A,B,X} are fresh; {A,B} is retired.
+        assert_eq!(m.fresh_operators, 2);
+        assert_eq!(m.retired_operators, 1);
+    }
+}

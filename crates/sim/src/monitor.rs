@@ -1,0 +1,254 @@
+//! Online statistics monitoring.
+//!
+//! "our calculation of the performance metric takes into account the
+//! estimated selectivities of the query operators, measured online or using
+//! gathered statistics over the stream sources … perhaps gathered from
+//! historical observations of the stream-data or measured by special
+//! purpose nodes deployed specifically to gather data statistics"
+//! (Sections 1.1 and 2).
+//!
+//! [`RateEstimator`] turns raw arrival timestamps into a smoothed rate
+//! (bucketed counts + EWMA); [`SelectivityEstimator`] turns join
+//! probe/match counters into a selectivity estimate. [`StatsMonitor`]
+//! aggregates per-stream estimators and writes the estimates back into a
+//! [`Catalog`], closing the monitoring → re-optimization loop the
+//! middleware runs on.
+
+use dsq_query::{Catalog, StreamId};
+
+/// Bucketed-EWMA arrival-rate estimator.
+#[derive(Clone, Debug)]
+pub struct RateEstimator {
+    bucket_len: f64,
+    alpha: f64,
+    bucket_start: f64,
+    bucket_count: u64,
+    ewma: Option<f64>,
+}
+
+impl RateEstimator {
+    /// Estimator with bucket length (time units) and EWMA smoothing factor
+    /// `alpha` (weight of the newest bucket).
+    pub fn new(bucket_len: f64, alpha: f64) -> Self {
+        assert!(bucket_len > 0.0);
+        assert!((0.0..=1.0).contains(&alpha));
+        RateEstimator {
+            bucket_len,
+            alpha,
+            bucket_start: 0.0,
+            bucket_count: 0,
+            ewma: None,
+        }
+    }
+
+    /// Record one arrival at time `t` (non-decreasing).
+    pub fn observe(&mut self, t: f64) {
+        while t >= self.bucket_start + self.bucket_len {
+            self.roll();
+        }
+        self.bucket_count += 1;
+    }
+
+    /// Advance time to `t` without an arrival (flushes empty buckets).
+    pub fn advance_to(&mut self, t: f64) {
+        while t >= self.bucket_start + self.bucket_len {
+            self.roll();
+        }
+    }
+
+    fn roll(&mut self) {
+        let rate = self.bucket_count as f64 / self.bucket_len;
+        self.ewma = Some(match self.ewma {
+            Some(prev) => self.alpha * rate + (1.0 - self.alpha) * prev,
+            None => rate,
+        });
+        self.bucket_start += self.bucket_len;
+        self.bucket_count = 0;
+    }
+
+    /// Current rate estimate (`None` before the first full bucket).
+    pub fn rate(&self) -> Option<f64> {
+        self.ewma
+    }
+}
+
+/// Join-selectivity estimator: matches per probe, normalized by the
+/// opposite window's population.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SelectivityEstimator {
+    pairs_tested: u64,
+    matches: u64,
+}
+
+impl SelectivityEstimator {
+    /// Record one probe against a window of `window_size` tuples that
+    /// produced `matched` matches.
+    pub fn observe_probe(&mut self, window_size: usize, matched: usize) {
+        self.pairs_tested += window_size as u64;
+        self.matches += matched as u64;
+    }
+
+    /// Current selectivity estimate (`None` before any pair was tested).
+    pub fn selectivity(&self) -> Option<f64> {
+        if self.pairs_tested == 0 {
+            None
+        } else {
+            Some(self.matches as f64 / self.pairs_tested as f64)
+        }
+    }
+}
+
+/// Per-stream monitoring front end that publishes estimates into a catalog.
+#[derive(Clone, Debug)]
+pub struct StatsMonitor {
+    rates: Vec<RateEstimator>,
+}
+
+impl StatsMonitor {
+    /// Monitor all `streams` with the given bucket/EWMA parameters.
+    pub fn new(streams: usize, bucket_len: f64, alpha: f64) -> Self {
+        StatsMonitor {
+            rates: vec![RateEstimator::new(bucket_len, alpha); streams],
+        }
+    }
+
+    /// Record an arrival on a stream.
+    pub fn observe(&mut self, stream: StreamId, t: f64) {
+        self.rates[stream.index()].observe(t);
+    }
+
+    /// Advance all estimators to time `t`.
+    pub fn advance_to(&mut self, t: f64) {
+        for r in &mut self.rates {
+            r.advance_to(t);
+        }
+    }
+
+    /// Current estimate for one stream.
+    pub fn rate(&self, stream: StreamId) -> Option<f64> {
+        self.rates[stream.index()].rate()
+    }
+
+    /// Write every available estimate into the catalog (the step that
+    /// precedes re-optimization in the middleware loop). Returns how many
+    /// streams were updated.
+    pub fn publish(&self, catalog: &mut Catalog) -> usize {
+        let mut updated = 0;
+        for (i, r) in self.rates.iter().enumerate() {
+            if let Some(rate) = r.rate() {
+                if rate > 0.0 {
+                    catalog.set_rate(StreamId(i as u32), rate);
+                    updated += 1;
+                }
+            }
+        }
+        updated
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::NodeId;
+    use dsq_query::Schema;
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    fn poisson_arrivals(rate: f64, duration: f64, seed: u64) -> Vec<f64> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut t = 0.0;
+        let mut out = Vec::new();
+        loop {
+            let u: f64 = rng.gen_range(0.0f64..1.0).max(1e-12);
+            t += -u.ln() / rate;
+            if t > duration {
+                break;
+            }
+            out.push(t);
+        }
+        out
+    }
+
+    #[test]
+    fn rate_estimator_converges_to_poisson_rate() {
+        for (rate, seed) in [(20.0, 1u64), (5.0, 2), (80.0, 3)] {
+            let mut est = RateEstimator::new(2.0, 0.1);
+            for t in poisson_arrivals(rate, 400.0, seed) {
+                est.observe(t);
+            }
+            est.advance_to(400.0);
+            let got = est.rate().unwrap();
+            let rel = (got - rate).abs() / rate;
+            assert!(rel < 0.2, "rate {rate}: estimated {got} (rel {rel})");
+        }
+    }
+
+    #[test]
+    fn rate_estimator_tracks_a_step_change() {
+        let mut est = RateEstimator::new(1.0, 0.3);
+        for t in poisson_arrivals(10.0, 100.0, 5) {
+            est.observe(t);
+        }
+        est.advance_to(100.0);
+        let before = est.rate().unwrap();
+        // Rate jumps 5×.
+        for t in poisson_arrivals(50.0, 100.0, 6) {
+            est.observe(100.0 + t);
+        }
+        est.advance_to(200.0);
+        let after = est.rate().unwrap();
+        assert!(before < 15.0, "before: {before}");
+        assert!(after > 35.0, "after: {after}");
+    }
+
+    #[test]
+    fn idle_periods_decay_the_estimate() {
+        let mut est = RateEstimator::new(1.0, 0.5);
+        for t in poisson_arrivals(40.0, 50.0, 7) {
+            est.observe(t);
+        }
+        est.advance_to(50.0);
+        let busy = est.rate().unwrap();
+        est.advance_to(100.0); // silence
+        let quiet = est.rate().unwrap();
+        assert!(quiet < busy * 0.01, "silence must decay: {busy} -> {quiet}");
+    }
+
+    #[test]
+    fn selectivity_estimator_converges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let sigma = 0.03;
+        let mut est = SelectivityEstimator::default();
+        for _ in 0..5000 {
+            let window = rng.gen_range(5..40usize);
+            let matched = (0..window).filter(|_| rng.gen_bool(sigma)).count();
+            est.observe_probe(window, matched);
+        }
+        let got = est.selectivity().unwrap();
+        assert!((got - sigma).abs() / sigma < 0.15, "estimated {got}");
+        assert!(SelectivityEstimator::default().selectivity().is_none());
+    }
+
+    #[test]
+    fn monitor_publishes_into_the_catalog() {
+        let mut catalog = Catalog::new();
+        for i in 0..3 {
+            catalog.add_stream(format!("S{i}"), 1.0, NodeId(0), Schema::default());
+        }
+        let mut mon = StatsMonitor::new(3, 2.0, 0.3);
+        for t in poisson_arrivals(30.0, 200.0, 13) {
+            mon.observe(StreamId(0), t);
+        }
+        for t in poisson_arrivals(8.0, 200.0, 14) {
+            mon.observe(StreamId(1), t);
+        }
+        mon.advance_to(200.0);
+        let updated = mon.publish(&mut catalog);
+        assert_eq!(updated, 2, "stream 2 saw no data");
+        let r0 = catalog.stream(StreamId(0)).rate;
+        let r1 = catalog.stream(StreamId(1)).rate;
+        assert!((r0 - 30.0).abs() / 30.0 < 0.2, "r0 = {r0}");
+        assert!((r1 - 8.0).abs() / 8.0 < 0.2, "r1 = {r1}");
+        assert_eq!(catalog.stream(StreamId(2)).rate, 1.0, "untouched");
+    }
+}

@@ -1,0 +1,22 @@
+//! Workload generation.
+//!
+//! "We used a synthetic workload so that we could experiment with a large
+//! variety of stream rates, query complexities, and operator selectivities.
+//! Our workload was generated using a uniformly random workload generator.
+//! The workload generator generated stream rates, selectivities and source
+//! placements for a specified number of streams according to a uniform
+//! distribution. It also generated queries with the number of joins per
+//! query varying within a specified range (2-5 joins per query) with random
+//! sink placements." (Section 3.)
+//!
+//! [`WorkloadGenerator`] reproduces exactly that, deterministically under a
+//! seed. [`scenario`] additionally provides the paper's motivating airline
+//! OIS example (Section 1.1) as a concrete named workload.
+
+pub mod generator;
+pub mod scenario;
+pub mod trace;
+
+pub use generator::{Workload, WorkloadConfig, WorkloadGenerator};
+pub use scenario::{airline_scenario, AirlineScenario};
+pub use trace::{RateTrace, RateTraceConfig};

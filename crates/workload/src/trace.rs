@@ -1,0 +1,169 @@
+//! Evolving data conditions: stream-rate traces.
+//!
+//! The paper's middleware "re-triggers the query optimization algorithm
+//! when the changes in network, load or **data** conditions demand
+//! recomputing of query plans and deployments". This module generates the
+//! data-condition side of that story: a seeded per-step rate trace where
+//! every stream follows a multiplicative random walk and occasionally
+//! surges (a flash crowd on one stream), to drive the adaptivity loop over
+//! simulated time.
+
+use dsq_query::{Catalog, StreamId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Trace generation parameters.
+#[derive(Clone, Debug)]
+pub struct RateTraceConfig {
+    /// Number of time steps.
+    pub steps: usize,
+    /// Per-step multiplicative drift: each rate is scaled by a uniform
+    /// factor in `[1 − drift, 1 + drift]`.
+    pub drift: f64,
+    /// Probability that a given stream surges in a given step.
+    pub surge_prob: f64,
+    /// Multiplier applied on a surge (decays back through the drift).
+    pub surge_factor: f64,
+    /// Rates are clamped to this range to keep the system stable.
+    pub rate_bounds: (f64, f64),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for RateTraceConfig {
+    fn default() -> Self {
+        RateTraceConfig {
+            steps: 20,
+            drift: 0.05,
+            surge_prob: 0.02,
+            surge_factor: 8.0,
+            rate_bounds: (1.0, 1000.0),
+            seed: 0xDA7A,
+        }
+    }
+}
+
+/// One step of rate updates: `(stream, new_rate)` for every stream.
+pub type RateStep = Vec<(StreamId, f64)>;
+
+/// A generated sequence of rate updates.
+#[derive(Clone, Debug)]
+pub struct RateTrace {
+    /// Per-step new rates, full snapshot each step.
+    pub steps: Vec<RateStep>,
+    /// `(step, stream)` surge events, for assertions and reporting.
+    pub surges: Vec<(usize, StreamId)>,
+}
+
+impl RateTrace {
+    /// Generate a trace starting from the catalog's current rates.
+    pub fn generate(catalog: &Catalog, cfg: &RateTraceConfig) -> Self {
+        assert!(cfg.drift >= 0.0 && cfg.drift < 1.0);
+        assert!(cfg.rate_bounds.0 > 0.0 && cfg.rate_bounds.0 <= cfg.rate_bounds.1);
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut rates: Vec<f64> = catalog.streams().iter().map(|s| s.rate).collect();
+        let mut steps = Vec::with_capacity(cfg.steps);
+        let mut surges = Vec::new();
+        for step in 0..cfg.steps {
+            let mut snapshot = Vec::with_capacity(rates.len());
+            for (i, r) in rates.iter_mut().enumerate() {
+                let factor = if cfg.drift > 0.0 {
+                    rng.gen_range(1.0 - cfg.drift..1.0 + cfg.drift)
+                } else {
+                    1.0
+                };
+                *r *= factor;
+                if cfg.surge_prob > 0.0 && rng.gen_bool(cfg.surge_prob) {
+                    *r *= cfg.surge_factor;
+                    surges.push((step, StreamId(i as u32)));
+                }
+                *r = r.clamp(cfg.rate_bounds.0, cfg.rate_bounds.1);
+                snapshot.push((StreamId(i as u32), *r));
+            }
+            steps.push(snapshot);
+        }
+        RateTrace { steps, surges }
+    }
+
+    /// Apply one step's rates to a catalog.
+    pub fn apply(&self, catalog: &mut Catalog, step: usize) {
+        for &(s, r) in &self.steps[step] {
+            catalog.set_rate(s, r);
+        }
+    }
+
+    /// Number of steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when the trace has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_net::NodeId;
+    use dsq_query::Schema;
+
+    fn catalog(n: usize) -> Catalog {
+        let mut c = Catalog::new();
+        for i in 0..n {
+            c.add_stream(format!("S{i}"), 50.0, NodeId(0), Schema::default());
+        }
+        c
+    }
+
+    #[test]
+    fn trace_is_seeded_and_bounded() {
+        let c = catalog(10);
+        let cfg = RateTraceConfig::default();
+        let a = RateTrace::generate(&c, &cfg);
+        let b = RateTrace::generate(&c, &cfg);
+        assert_eq!(a.len(), cfg.steps);
+        for (sa, sb) in a.steps.iter().zip(&b.steps) {
+            assert_eq!(sa, sb, "deterministic under the seed");
+        }
+        for step in &a.steps {
+            for &(_, r) in step {
+                assert!(r >= cfg.rate_bounds.0 && r <= cfg.rate_bounds.1);
+            }
+        }
+    }
+
+    #[test]
+    fn surges_jump_rates() {
+        let c = catalog(20);
+        let cfg = RateTraceConfig {
+            steps: 50,
+            surge_prob: 0.05,
+            drift: 0.0,
+            ..RateTraceConfig::default()
+        };
+        let t = RateTrace::generate(&c, &cfg);
+        assert!(!t.surges.is_empty(), "50 steps × 20 streams × 5% surges");
+        let (step, stream) = t.surges[0];
+        let rate_at = |st: usize| -> f64 {
+            t.steps[st]
+                .iter()
+                .find(|(s, _)| *s == stream)
+                .unwrap()
+                .1
+        };
+        let before = if step == 0 { 50.0 } else { rate_at(step - 1) };
+        assert!(rate_at(step) > before * 2.0, "surge multiplies the rate");
+    }
+
+    #[test]
+    fn apply_updates_the_catalog() {
+        let mut c = catalog(5);
+        let t = RateTrace::generate(&c, &RateTraceConfig::default());
+        t.apply(&mut c, t.len() - 1);
+        for (i, s) in c.streams().iter().enumerate() {
+            assert_eq!(s.rate, t.steps[t.len() - 1][i].1);
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! `dsqctl` — command-line driver for the distributed stream query
+//! optimizer.
+//!
+//! ```text
+//! dsqctl topology [--size N] [--seed S] [--dot]            topology stats / DOT
+//! dsqctl hierarchy [--size N] [--max-cs M] [--dot]         clustering hierarchy
+//! dsqctl optimize [--size N] [--streams K] [--queries Q]   compare algorithms
+//!                 [--max-cs M] [--skew Z] [--seed S]
+//! dsqctl simulate [--size N] [--duration T] [--seed S]     tuple-level validation
+//! dsqctl sql "<SELECT …>" [--sink NODE]                    parse & deploy on the
+//!                                                          airline scenario
+//! ```
+//!
+//! All arguments are optional; defaults reproduce the paper's ~128-node
+//! evaluation setting.
+
+use dsq::prelude::*;
+use dsq_baselines::{InNetwork, InNetworkRunner, PlanThenDeploy, Relaxation};
+use dsq_core::{consolidate, Optimal, Optimizer};
+use dsq_query::QueryId;
+use dsq_workload::airline_scenario;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match args.first().map(String::as_str) {
+        Some(c) => c,
+        None => {
+            eprintln!("{}", USAGE);
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = Opts::parse(&args[1..]);
+    match cmd {
+        "topology" => topology(&opts),
+        "hierarchy" => hierarchy(&opts),
+        "optimize" => optimize(&opts),
+        "simulate" => simulate(&opts),
+        "sql" => sql(&opts),
+        "help" | "--help" | "-h" => {
+            println!("{}", USAGE);
+            ExitCode::SUCCESS
+        }
+        other => {
+            eprintln!("unknown command {other:?}\n{}", USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "dsqctl <topology|hierarchy|optimize|simulate|sql|help> [options]
+  --size N       target network size (default 128)
+  --seed S       RNG seed (default 1)
+  --max-cs M     cluster size cap (default 32)
+  --streams K    number of streams (default 100)
+  --queries Q    number of queries (default 20)
+  --skew Z       Zipf skew for source popularity (default: uniform)
+  --duration T   tuple-simulation duration (default 200)
+  --sink NODE    sink node id for `sql` (default: scenario Sink4)
+  --save FILE    write the generated topology to FILE (text format)
+  --load FILE    read the topology from FILE instead of generating one
+  --dot          emit Graphviz DOT instead of a summary";
+
+/// Hand-rolled flag parsing (no CLI dependency needed for five commands).
+#[derive(Debug)]
+struct Opts {
+    size: usize,
+    seed: u64,
+    max_cs: usize,
+    streams: usize,
+    queries: usize,
+    skew: Option<f64>,
+    duration: f64,
+    sink: Option<u32>,
+    save: Option<String>,
+    load: Option<String>,
+    dot: bool,
+    positional: Vec<String>,
+}
+
+impl Opts {
+    fn parse(args: &[String]) -> Self {
+        let mut o = Opts {
+            size: 128,
+            seed: 1,
+            max_cs: 32,
+            streams: 100,
+            queries: 20,
+            skew: None,
+            duration: 200.0,
+            sink: None,
+            save: None,
+            load: None,
+            dot: false,
+            positional: Vec::new(),
+        };
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let mut value = |name: &str| -> String {
+                it.next()
+                    .unwrap_or_else(|| {
+                        eprintln!("{name} needs a value");
+                        std::process::exit(2);
+                    })
+                    .clone()
+            };
+            match a.as_str() {
+                "--size" => o.size = value("--size").parse().expect("--size: integer"),
+                "--seed" => o.seed = value("--seed").parse().expect("--seed: integer"),
+                "--max-cs" => o.max_cs = value("--max-cs").parse().expect("--max-cs: integer"),
+                "--streams" => o.streams = value("--streams").parse().expect("--streams: integer"),
+                "--queries" => o.queries = value("--queries").parse().expect("--queries: integer"),
+                "--skew" => o.skew = Some(value("--skew").parse().expect("--skew: float")),
+                "--duration" => {
+                    o.duration = value("--duration").parse().expect("--duration: float")
+                }
+                "--sink" => o.sink = Some(value("--sink").parse().expect("--sink: node id")),
+                "--save" => o.save = Some(value("--save")),
+                "--load" => o.load = Some(value("--load")),
+                "--dot" => o.dot = true,
+                other => o.positional.push(other.to_string()),
+            }
+        }
+        o
+    }
+
+    fn network(&self) -> Network {
+        let net = match &self.load {
+            Some(path) => {
+                let text = std::fs::read_to_string(path)
+                    .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+                dsq_net::parse_topology(&text)
+                    .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+            }
+            None => TransitStubConfig::sized(self.size).generate(self.seed).network,
+        };
+        if let Some(path) = &self.save {
+            std::fs::write(path, dsq_net::write_topology(&net))
+                .unwrap_or_else(|e| panic!("cannot write {path}: {e}"));
+            eprintln!("[topology written to {path}]");
+        }
+        net
+    }
+
+    fn workload(&self, net: &Network) -> Workload {
+        WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: self.streams,
+                queries: self.queries,
+                joins_per_query: 2..=5,
+                source_skew: self.skew,
+                ..WorkloadConfig::default()
+            },
+            self.seed,
+        )
+        .generate(net)
+    }
+}
+
+fn topology(o: &Opts) -> ExitCode {
+    let net = &o.network();
+    if o.dot {
+        // Plain physical-graph DOT.
+        println!("graph topology {{");
+        println!("  node [shape=point];");
+        for u in net.nodes() {
+            for l in net.neighbors(u) {
+                if u < l.to {
+                    println!("  {u} -- {} [label=\"{:.1}\"];", l.to, l.cost);
+                }
+            }
+        }
+        println!("}}");
+        return ExitCode::SUCCESS;
+    }
+    println!(
+        "transit-stub topology: {} nodes ({} transit, {} stub), {} links",
+        net.len(),
+        net.len() - net.stub_nodes().len(),
+        net.stub_nodes().len(),
+        net.link_count()
+    );
+    let dm = DistanceMatrix::build(net, Metric::Cost);
+    println!("cost diameter: {:.1}", dm.diameter());
+    ExitCode::SUCCESS
+}
+
+fn hierarchy(o: &Opts) -> ExitCode {
+    let env = Environment::build(o.network(), o.max_cs);
+    let h = &env.hierarchy;
+    if o.dot {
+        print!("{}", h.to_dot());
+        return ExitCode::SUCCESS;
+    }
+    println!("hierarchy over {} nodes, max_cs {}:", env.network.len(), o.max_cs);
+    for level in 1..=h.height() {
+        let sizes: Vec<usize> = h.level(level).iter().map(|c| c.members.len()).collect();
+        println!(
+            "  level {level}: {} clusters, sizes {:?}, d_{level} = {:.1}",
+            h.level(level).len(),
+            sizes,
+            h.d_at(level)
+        );
+    }
+    println!(
+        "Theorem 1 slack at the top: {:.1}",
+        h.theorem1_slack(h.height())
+    );
+    ExitCode::SUCCESS
+}
+
+fn optimize(o: &Opts) -> ExitCode {
+    let env = Environment::build(o.network(), o.max_cs);
+    let wl = o.workload(&env.network);
+    println!(
+        "{} nodes (h = {}), {} streams, {} queries; reuse on\n",
+        env.network.len(),
+        env.hierarchy.height(),
+        wl.catalog.len(),
+        wl.queries.len()
+    );
+    let zones = InNetwork::new(&env, 5);
+    let algs: Vec<(&str, Box<dyn Optimizer>)> = vec![
+        ("top-down", Box::new(TopDown::new(&env))),
+        ("bottom-up", Box::new(BottomUp::new(&env))),
+        ("optimal", Box::new(Optimal::new(&env))),
+        ("plan-then-deploy", Box::new(PlanThenDeploy::new(&env))),
+        ("relaxation", Box::new(Relaxation::new(&env))),
+        (
+            "in-network",
+            Box::new(InNetworkRunner {
+                zones: &zones,
+                env: &env,
+            }),
+        ),
+    ];
+    println!(
+        "{:<18} {:>14} {:>18} {:>12}",
+        "algorithm", "total cost", "plans considered", "infeasible"
+    );
+    for (name, alg) in &algs {
+        let mut registry = ReuseRegistry::new();
+        let out = consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut registry, true);
+        let infeasible = out.deployments.iter().filter(|d| d.is_none()).count();
+        println!(
+            "{:<18} {:>14.1} {:>18} {:>12}",
+            name,
+            out.total_cost(),
+            out.stats.plans_considered,
+            infeasible
+        );
+    }
+    ExitCode::SUCCESS
+}
+
+fn simulate(o: &Opts) -> ExitCode {
+    let env = Environment::build(o.network(), o.max_cs);
+    let wl = o.workload(&env.network);
+    let sim = TupleSimulator::new(&env.network);
+    let mut registry = ReuseRegistry::new();
+    let mut stats = SearchStats::new();
+    println!(
+        "{:<8} {:>8} {:>12} {:>12} {:>10} {:>12}",
+        "query", "streams", "predicted", "measured", "results", "latency(ms)"
+    );
+    for q in wl.queries.iter().take(5) {
+        let d = match TopDown::new(&env).optimize(&wl.catalog, q, &mut registry, &mut stats) {
+            Some(d) => d,
+            None => continue,
+        };
+        let r = sim.run(
+            &wl.catalog,
+            q,
+            &d,
+            TupleSimConfig {
+                duration: o.duration,
+                warmup: o.duration * 0.1,
+                ..TupleSimConfig::default()
+            },
+        );
+        println!(
+            "{:<8} {:>8} {:>12.1} {:>12.1} {:>10} {:>12.1}",
+            q.id.to_string(),
+            q.sources.len(),
+            r.predicted_cost_per_time,
+            r.measured_cost_per_time,
+            r.results_delivered,
+            r.mean_latency_ms
+        );
+        registry.register_deployment(q, &d);
+    }
+    ExitCode::SUCCESS
+}
+
+fn sql(o: &Opts) -> ExitCode {
+    let stmt = match o.positional.first() {
+        Some(s) => s.clone(),
+        None => {
+            eprintln!("sql: missing statement argument");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scenario = airline_scenario();
+    let env = Environment::build(scenario.network.clone(), 4);
+    let sink = o.sink.map(NodeId).unwrap_or(scenario.nodes.sink4);
+    let query = match dsq_query::parse_query(
+        &stmt,
+        &scenario.catalog,
+        QueryId(0),
+        sink,
+        &SelectivityHints::default(),
+    ) {
+        Ok(q) => q,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut registry = ReuseRegistry::new();
+    let mut stats = SearchStats::new();
+    match TopDown::new(&env).optimize(&scenario.catalog, &query, &mut registry, &mut stats) {
+        Some(d) => {
+            print!("{}", d.describe(&scenario.catalog));
+            if o.dot {
+                print!("{}", dsq_query::deployment_to_dot(&d, &scenario.catalog));
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("query could not be deployed");
+            ExitCode::FAILURE
+        }
+    }
+}

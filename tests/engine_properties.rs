@@ -1,0 +1,185 @@
+//! Property tests for the shared planning engine and the query algebra,
+//! over randomized instances.
+
+use dsq::prelude::*;
+use dsq_core::{ClusterPlanner, PlannerInput};
+use dsq_net::{LinkKind, Network};
+use dsq_query::{DerivedId, LeafSource, QueryId, Schema, StreamSet};
+use proptest::prelude::*;
+use proptest::strategy::ValueTree;
+
+/// A random connected network of `n` nodes (random tree + extra edges).
+fn arb_network() -> impl Strategy<Value = Network> {
+    (4usize..9, proptest::collection::vec((0.5f64..5.0, 0usize..100), 3..9), 0u64..1_000).prop_map(
+        |(n, extra, seed)| {
+            let mut net = Network::new(n);
+            // Deterministic random-ish tree from the seed.
+            let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+            let mut next = move || {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                state
+            };
+            for i in 1..n {
+                let parent = (next() as usize) % i;
+                let cost = 0.5 + (next() % 40) as f64 / 10.0;
+                net.add_link(
+                    NodeId(i as u32),
+                    NodeId(parent as u32),
+                    cost,
+                    1.0,
+                    LinkKind::Stub,
+                );
+            }
+            for (cost, pair_seed) in extra {
+                let a = (pair_seed * 7) % n;
+                let b = (pair_seed * 13 + 1) % n;
+                if a != b && net.find_link(NodeId(a as u32), NodeId(b as u32)).is_none() {
+                    net.add_link(NodeId(a as u32), NodeId(b as u32), cost, 1.0, LinkKind::Stub);
+                }
+            }
+            net
+        },
+    )
+}
+
+fn arb_catalog_query(
+    n_nodes: usize,
+) -> impl Strategy<Value = (dsq_query::Catalog, Query, Vec<LeafSource>)> {
+    (
+        2usize..=4,
+        proptest::collection::vec((1.0f64..30.0, 0usize..100), 4),
+        proptest::collection::vec(0.01f64..0.5, 6),
+        0usize..100,
+        proptest::bool::ANY,
+    )
+        .prop_map(move |(k, rates, sigmas, sink_seed, with_derived)| {
+            let mut c = dsq_query::Catalog::new();
+            let ids: Vec<_> = (0..k)
+                .map(|i| {
+                    c.add_stream(
+                        format!("S{i}"),
+                        rates[i].0,
+                        NodeId((rates[i].1 % n_nodes) as u32),
+                        Schema::default(),
+                    )
+                })
+                .collect();
+            let mut si = 0;
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    c.set_selectivity(ids[i], ids[j], sigmas[si % sigmas.len()]);
+                    si += 1;
+                }
+            }
+            let sink = NodeId((sink_seed % n_nodes) as u32);
+            let q = Query::join(QueryId(0), ids.clone(), sink);
+            let mut deriveds = Vec::new();
+            if with_derived && k >= 3 {
+                let covered = StreamSet::from_iter([ids[0], ids[1]]);
+                let rate = q.effective_rate(&c, ids[0])
+                    * q.effective_rate(&c, ids[1])
+                    * c.selectivity(ids[0], ids[1]);
+                deriveds.push(LeafSource::Derived {
+                    id: DerivedId(0),
+                    covered,
+                    rate,
+                    host: NodeId((sink_seed % n_nodes) as u32),
+                });
+            }
+            (c, q, deriveds)
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The DP engine and the literal exhaustive engine agree on the optimum.
+    #[test]
+    fn dp_equals_exhaustive(net in arb_network(), seed in 0u64..1000) {
+        let n = net.len();
+        let dm = dsq_net::DistanceMatrix::build(&net, Metric::Cost);
+        let strategy = arb_catalog_query(n);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let (c, q, deriveds) = strategy
+            .new_tree(&mut runner)
+            .unwrap()
+            .current();
+        let _ = seed;
+        let planner = ClusterPlanner::new(&c, &q);
+        let mut inputs: Vec<PlannerInput> = q
+            .sources
+            .iter()
+            .map(|&s| PlannerInput::base(&c, s))
+            .collect();
+        for d in &deriveds {
+            inputs.push(PlannerInput::derived(d.clone()));
+        }
+        let candidates: Vec<NodeId> = net.nodes().collect();
+        let mut s1 = SearchStats::new();
+        let mut s2 = SearchStats::new();
+        let dp = planner.plan(&inputs, &candidates, &dm, Some(q.sink), None, &mut s1).unwrap();
+        let ex = planner
+            .plan_exhaustive(&inputs, &candidates, &dm, Some(q.sink), None, &mut s2)
+            .unwrap();
+        prop_assert!(
+            (dp.est_cost - ex.est_cost).abs() < 1e-6 * ex.est_cost.max(1.0),
+            "dp {} vs exhaustive {}",
+            dp.est_cost,
+            ex.est_cost
+        );
+        // The reconstructed tree's deployed cost equals the estimate when
+        // planning with true distances.
+        let d = dp.tree.into_deployment(&q, &c, &dm);
+        prop_assert!((d.cost - dp.est_cost).abs() < 1e-6 * d.cost.max(1.0));
+    }
+
+    /// Adding more candidates never makes the engine's optimum worse.
+    #[test]
+    fn more_candidates_never_hurt(net in arb_network()) {
+        let n = net.len();
+        let dm = dsq_net::DistanceMatrix::build(&net, Metric::Cost);
+        let mut runner = proptest::test_runner::TestRunner::deterministic();
+        let (c, q, _) = arb_catalog_query(n).new_tree(&mut runner).unwrap().current();
+        let planner = ClusterPlanner::new(&c, &q);
+        let inputs: Vec<PlannerInput> =
+            q.sources.iter().map(|&s| PlannerInput::base(&c, s)).collect();
+        let all: Vec<NodeId> = net.nodes().collect();
+        let half: Vec<NodeId> = net.nodes().take(n / 2 + 1).collect();
+        let mut s = SearchStats::new();
+        let full = planner.plan(&inputs, &all, &dm, Some(q.sink), None, &mut s).unwrap();
+        let part = planner.plan(&inputs, &half, &dm, Some(q.sink), None, &mut s).unwrap();
+        prop_assert!(full.est_cost <= part.est_cost + 1e-9);
+    }
+
+    /// StreamSet algebra laws.
+    #[test]
+    fn stream_set_laws(
+        a in proptest::collection::vec(0u32..20, 0..8),
+        b in proptest::collection::vec(0u32..20, 0..8),
+    ) {
+        let sa = StreamSet::from_iter(a.iter().map(|&i| dsq_query::StreamId(i)));
+        let sb = StreamSet::from_iter(b.iter().map(|&i| dsq_query::StreamId(i)));
+        let union = sa.union(&sb);
+        prop_assert!(sa.is_subset_of(&union) && sb.is_subset_of(&union));
+        prop_assert_eq!(sa.union(&sb), sb.union(&sa));
+        let diff = sa.difference(&sb);
+        prop_assert!(diff.is_disjoint_from(&sb));
+        prop_assert_eq!(diff.union(&sa.intersection(&sb)), sa.clone());
+        prop_assert_eq!(
+            sa.intersection(&sb).len() + union.len(),
+            sa.len() + sb.len()
+        );
+    }
+
+    /// Join-tree enumeration count matches the closed form for arbitrary k.
+    #[test]
+    fn enumeration_matches_closed_form(k in 1usize..=6) {
+        let leaves: Vec<_> = (0..k as u32)
+            .map(|i| dsq_query::JoinTree::base(dsq_query::StreamId(i)))
+            .collect();
+        let trees = dsq_query::enumerate_trees(&leaves);
+        prop_assert_eq!(trees.len() as u128, dsq_query::bushy_tree_count(k));
+    }
+}

@@ -1,0 +1,103 @@
+//! Property tests for runtime hierarchy membership: arbitrary join/leave
+//! sequences must preserve every structural invariant, keep the active set
+//! correct, and keep Theorem 1 valid on the evolved hierarchy.
+
+use dsq::prelude::*;
+use dsq_hierarchy::membership::{add_node, join_route, remove_node};
+use proptest::prelude::*;
+
+fn build_base(
+    seed: u64,
+    max_cs: usize,
+) -> (
+    dsq_hierarchy::Hierarchy,
+    DistanceMatrix,
+    Vec<NodeId>,
+    Vec<NodeId>,
+) {
+    let ts = TransitStubConfig::paper_64().generate(seed);
+    let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+    let cs = CostSpace::embed(&dm, seed, 40);
+    let all: Vec<NodeId> = ts.network.nodes().collect();
+    let active: Vec<NodeId> = all.iter().copied().filter(|n| n.0 % 2 == 0).collect();
+    let inactive: Vec<NodeId> = all.iter().copied().filter(|n| n.0 % 2 == 1).collect();
+    let h = dsq_hierarchy::Hierarchy::build(
+        &active,
+        &dm,
+        &cs,
+        dsq_hierarchy::HierarchyConfig::new(max_cs),
+    );
+    (h, dm, active, inactive)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Arbitrary churn sequences keep the hierarchy valid, the active set
+    /// exact, and Theorem 1 intact.
+    #[test]
+    fn churn_preserves_invariants(
+        seed in 0u64..20,
+        max_cs in 3usize..10,
+        ops in proptest::collection::vec((proptest::bool::ANY, 0usize..1000), 1..40),
+    ) {
+        let (mut h, dm, active, inactive) = build_base(seed, max_cs);
+        let mut in_overlay: Vec<NodeId> = active.clone();
+        let mut out_of_overlay: Vec<NodeId> = inactive.clone();
+
+        for (is_join, pick) in ops {
+            if (is_join && !out_of_overlay.is_empty()) || in_overlay.len() <= 2 {
+                if out_of_overlay.is_empty() {
+                    continue;
+                }
+                let node = out_of_overlay.remove(pick % out_of_overlay.len());
+                let via = in_overlay[pick % in_overlay.len()];
+                let outcome = add_node(&mut h, &dm, node, via);
+                prop_assert_eq!(outcome.leaf.level, 1);
+                in_overlay.push(node);
+            } else {
+                let node = in_overlay.remove(pick % in_overlay.len());
+                remove_node(&mut h, &dm, node);
+                out_of_overlay.push(node);
+            }
+            h.check_invariants();
+
+            // Exact active set.
+            let mut got = h.active_nodes();
+            got.sort_unstable();
+            let mut want = in_overlay.clone();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+
+        // Theorem 1 on the churned hierarchy.
+        let nodes = h.active_nodes();
+        let top = h.height();
+        let slack = h.theorem1_slack(top);
+        for (i, &a) in nodes.iter().enumerate().step_by(5) {
+            for &b in nodes.iter().skip(i + 1).step_by(5) {
+                let act = dm.get(a, b);
+                let est = h.estimated_cost(&dm, a, b, top);
+                prop_assert!((act - est).abs() <= slack + 1e-9);
+            }
+        }
+    }
+
+    /// The join route always terminates at a leaf cluster whose coordinator
+    /// chain reaches the top, and message counts are bounded by twice the
+    /// height plus one.
+    #[test]
+    fn join_routes_are_well_formed(seed in 0u64..20, pick in 0usize..1000) {
+        let (h, dm, active, inactive) = build_base(seed, 6);
+        let node = inactive[pick % inactive.len()];
+        let via = active[pick % active.len()];
+        let out = join_route(&h, &dm, node, via);
+        prop_assert_eq!(out.leaf.level, 1);
+        prop_assert!(out.messages <= 2 * h.height() + 1);
+        prop_assert!(out.messages >= h.height());
+        // Every routed coordinator is a real overlay member.
+        for c in &out.route {
+            prop_assert!(h.is_active(*c));
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Cross-crate integration tests for operator reuse (Section 2.1.2 and the
+//! Figure 7 experiment regime): on workloads with realistic source overlap,
+//! every optimizer must find and profit from derived streams.
+
+use dsq::prelude::*;
+use dsq_core::{consolidate, Optimal, Optimizer};
+use dsq_query::{FlatNode, LeafSource};
+
+fn skewed_workload(env: &Environment, seed: u64, queries: usize) -> Workload {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            streams: 100,
+            queries,
+            joins_per_query: 2..=5,
+            source_skew: Some(1.0),
+            ..WorkloadConfig::default()
+        },
+        seed,
+    )
+    .generate(&env.network)
+}
+
+fn count_reused(deployments: &[Option<Deployment>]) -> usize {
+    deployments
+        .iter()
+        .flatten()
+        .flat_map(|d| d.plan.nodes())
+        .filter(|n| {
+            matches!(
+                n,
+                FlatNode::Leaf {
+                    source: LeafSource::Derived { .. },
+                    ..
+                }
+            )
+        })
+        .count()
+}
+
+#[test]
+fn skew_creates_reuse_opportunities_that_optimizers_take() {
+    let net = TransitStubConfig::paper_128().generate(1).network;
+    let env = Environment::build(net, 32);
+    let wl = skewed_workload(&env, 2, 20);
+
+    let mut reg = ReuseRegistry::new();
+    let out = consolidate::deploy_all(&Optimal::new(&env), &wl.catalog, &wl.queries, &mut reg, true);
+    assert!(
+        count_reused(&out.deployments) >= 2,
+        "skewed workload must produce actual reuse (got {})",
+        count_reused(&out.deployments)
+    );
+    assert!(reg.stats().published > 0);
+}
+
+#[test]
+fn reuse_lowers_cumulative_cost_for_every_algorithm() {
+    let net = TransitStubConfig::paper_128().generate(3).network;
+    let env = Environment::build(net, 32);
+    let wl = skewed_workload(&env, 4, 15);
+
+    let algs: Vec<(&str, Box<dyn Optimizer>)> = vec![
+        ("top-down", Box::new(TopDown::new(&env))),
+        ("bottom-up", Box::new(BottomUp::new(&env))),
+        ("optimal", Box::new(Optimal::new(&env))),
+    ];
+    for (name, alg) in &algs {
+        let mut with_reg = ReuseRegistry::new();
+        let with =
+            consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut with_reg, true);
+        let mut without_reg = ReuseRegistry::new();
+        let without =
+            consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut without_reg, false);
+        assert!(
+            with.total_cost() <= without.total_cost() + 1e-6,
+            "{name}: with reuse {} vs without {}",
+            with.total_cost(),
+            without.total_cost()
+        );
+    }
+}
+
+#[test]
+fn derived_streams_survive_registration_round_trip() {
+    let net = TransitStubConfig::paper_64().generate(5).network;
+    let env = Environment::build(net, 16);
+    let wl = skewed_workload(&env, 6, 10);
+    let mut reg = ReuseRegistry::new();
+    let mut stats = SearchStats::new();
+    let td = TopDown::new(&env);
+    for q in &wl.queries {
+        let d = td.optimize(&wl.catalog, q, &mut reg, &mut stats).unwrap();
+        reg.register_deployment(q, &d);
+    }
+    // Registry contents must be internally consistent.
+    for d in reg.deriveds() {
+        assert!(d.covered.len() >= 2);
+        assert!(d.rate > 0.0);
+        assert!((d.host.index()) < env.network.len());
+    }
+    // Duplicate suppression kicks in when re-registering.
+    let before = reg.len();
+    let q = &wl.queries[0];
+    let d = td.optimize(&wl.catalog, q, &mut reg, &mut stats).unwrap();
+    reg.register_deployment(q, &d);
+    let after = reg.len();
+    assert!(after >= before, "registry never shrinks");
+}

@@ -1,0 +1,80 @@
+//! Property tests for the SQL front end: generated SELECT statements parse
+//! back into queries equivalent to the ones that produced them.
+
+use dsq::prelude::*;
+use dsq_query::{parse_query, sql::string_code, CmpOp, QueryId, Schema};
+use proptest::prelude::*;
+
+fn catalog(k: usize) -> Catalog {
+    let mut c = Catalog::new();
+    for i in 0..k {
+        c.add_stream(
+            format!("STREAM{i}"),
+            10.0 + i as f64,
+            NodeId(i as u32),
+            Schema::new([format!("K{i}"), format!("V{i}"), "TS".to_string()]),
+        );
+    }
+    c
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Round trip: render a random query to SQL, parse it back, compare.
+    #[test]
+    fn render_parse_round_trip(
+        k in 2usize..=5,
+        sel_count in 0usize..3,
+        sel_vals in proptest::collection::vec(0.0f64..100.0, 3),
+        ops in proptest::collection::vec(0usize..5, 3),
+    ) {
+        let c = catalog(k);
+        // Chain joins STREAM0.K0 = STREAM1.K1 = …
+        let mut where_parts: Vec<String> = (0..k - 1)
+            .map(|i| format!("STREAM{i}.K{i} = STREAM{}.K{}", i + 1, i + 1))
+            .collect();
+        let op_strs = ["=", "<", "<=", ">", ">="];
+        let cmp_ops = [CmpOp::Eq, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+        let mut expected_sels = Vec::new();
+        for s in 0..sel_count.min(k) {
+            let op_idx = ops[s] % 5;
+            where_parts.push(format!("STREAM{s}.TS {} {}", op_strs[op_idx], sel_vals[s]));
+            expected_sels.push((s as u32, cmp_ops[op_idx], sel_vals[s]));
+        }
+        let from: Vec<String> = (0..k).map(|i| format!("STREAM{i}")).collect();
+        let sql = format!(
+            "SELECT * FROM {} WHERE {}",
+            from.join(", "),
+            where_parts.join(" AND ")
+        );
+        let q = parse_query(&sql, &c, QueryId(1), NodeId(0), &SelectivityHints::default())
+            .expect("generated SQL parses");
+        prop_assert_eq!(q.sources.len(), k);
+        prop_assert_eq!(q.join_predicates.len(), k - 1);
+        prop_assert_eq!(q.selections.len(), expected_sels.len());
+        for (stream, op, val) in expected_sels {
+            let found = q.selections.iter().any(|s| {
+                s.stream == StreamId(stream) && s.op == op && (s.value - val).abs() < 1e-9
+            });
+            prop_assert!(found, "missing selection on stream {stream}");
+        }
+    }
+
+    /// String literals fold to stable case-insensitive codes.
+    #[test]
+    fn string_codes_stable(s in "[A-Za-z ]{1,16}") {
+        let a = string_code(&s);
+        let b = string_code(&s.to_ascii_lowercase());
+        prop_assert_eq!(a, b);
+        prop_assert!((0.0..1e6).contains(&a));
+    }
+
+    /// Whatever garbage comes in, the parser returns an error rather than
+    /// panicking (except for intentionally valid inputs).
+    #[test]
+    fn parser_never_panics(input in "[A-Za-z0-9.,<>= '*]{0,80}") {
+        let c = catalog(3);
+        let _ = parse_query(&input, &c, QueryId(0), NodeId(0), &SelectivityHints::default());
+    }
+}
