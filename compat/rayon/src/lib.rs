@@ -1,0 +1,59 @@
+//! Offline compatibility shim for the subset of `rayon` this workspace
+//! uses. Parallel iterators degrade to their sequential `std` equivalents:
+//! `into_par_iter()` is `into_iter()` and `par_chunks_mut()` is
+//! `chunks_mut()`. Results are identical (the call sites are all
+//! order-independent fan-outs); only the wall-clock parallelism is lost,
+//! which is acceptable in the offline build container.
+
+pub mod prelude {
+    //! Drop-in replacement for `rayon::prelude::*`.
+
+    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub trait IntoParallelIterator {
+        /// The underlying iterator type.
+        type Iter;
+        /// "Parallel" iterator — sequential `into_iter` here.
+        fn into_par_iter(self) -> Self::Iter;
+    }
+
+    impl<I: IntoIterator> IntoParallelIterator for I {
+        type Iter = I::IntoIter;
+        fn into_par_iter(self) -> Self::Iter {
+            self.into_iter()
+        }
+    }
+
+    /// Sequential stand-in for `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T> {
+        /// "Parallel" mutable chunks — sequential `chunks_mut` here.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn into_par_iter_collects_in_order() {
+        let doubled: Vec<usize> = (0..5usize).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+    }
+
+    #[test]
+    fn par_chunks_mut_enumerates_rows() {
+        let mut buf = vec![0u32; 12];
+        buf.par_chunks_mut(4).enumerate().for_each(|(i, row)| {
+            for v in row {
+                *v = i as u32;
+            }
+        });
+        assert_eq!(buf, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+}

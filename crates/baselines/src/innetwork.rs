@@ -36,10 +36,7 @@ impl InNetwork {
             .into_iter()
             .map(|g| g.into_iter().map(|i| nodes[i]).collect())
             .collect();
-        let medoids = zones
-            .iter()
-            .map(|z| env.dm.medoid(z, z))
-            .collect();
+        let medoids = zones.iter().map(|z| env.dm.medoid(z, z)).collect();
         InNetwork { zones, medoids }
     }
 
@@ -108,7 +105,8 @@ impl Optimizer for InNetworkRunner<'_> {
                     // Phase 1: coarse zone decision by medoid estimate.
                     let zi = (0..self.zones.zones.len())
                         .min_by(|&a, &b| {
-                            cost_at(self.zones.medoids[a]).total_cmp(&cost_at(self.zones.medoids[b]))
+                            cost_at(self.zones.medoids[a])
+                                .total_cmp(&cost_at(self.zones.medoids[b]))
                         })
                         .unwrap();
                     // Phase 2: best node inside the chosen zone.
@@ -121,11 +119,7 @@ impl Optimizer for InNetworkRunner<'_> {
             }
         }
         Some(Deployment::evaluate(
-            query.id,
-            plan,
-            placement,
-            query.sink,
-            dm,
+            query.id, plan, placement, query.sink, dm,
         ))
     }
 }
@@ -195,7 +189,10 @@ mod tests {
             let mut r1 = ReuseRegistry::new();
             let mut r2 = ReuseRegistry::new();
             let mut s = SearchStats::new();
-            inw_total += runner.optimize(&wl.catalog, q, &mut r1, &mut s).unwrap().cost;
+            inw_total += runner
+                .optimize(&wl.catalog, q, &mut r1, &mut s)
+                .unwrap()
+                .cost;
             rand_total += crate::RandomPlace::new(&env, 7)
                 .optimize(&wl.catalog, q, &mut r2, &mut s)
                 .unwrap()

@@ -26,16 +26,18 @@ pub fn rate_optimal_tree(
     query: &Query,
     registry: &mut ReuseRegistry,
 ) -> (JoinTree, FlatPlan) {
-    let mut leaves: Vec<LeafSource> = query
-        .sources
-        .iter()
-        .map(|&s| LeafSource::Base(s))
-        .collect();
+    let mut leaves: Vec<LeafSource> = query.sources.iter().map(|&s| LeafSource::Base(s)).collect();
     leaves.extend(registry.usable_for(query));
 
     let sources = query.source_set();
     let mut covers = Vec::new();
-    enumerate_covers(&leaves, &sources, &StreamSet::new(), &mut Vec::new(), &mut covers);
+    enumerate_covers(
+        &leaves,
+        &sources,
+        &StreamSet::new(),
+        &mut Vec::new(),
+        &mut covers,
+    );
     assert!(!covers.is_empty(), "base streams always cover the query");
 
     let mut best: Option<(f64, JoinTree, FlatPlan)> = None;
@@ -102,7 +104,11 @@ mod tests {
     #[test]
     fn picks_the_selective_join_first() {
         let c = catalog();
-        let q = Query::join(QueryId(0), [StreamId(0), StreamId(1), StreamId(2)], NodeId(0));
+        let q = Query::join(
+            QueryId(0),
+            [StreamId(0), StreamId(1), StreamId(2)],
+            NodeId(0),
+        );
         let mut reg = ReuseRegistry::new();
         let (tree, plan) = rate_optimal_tree(&c, &q, &mut reg);
         // Best: (A⋈B) first (rate 1), then join C.
@@ -124,7 +130,11 @@ mod tests {
     #[test]
     fn derived_leaf_participates() {
         let c = catalog();
-        let q = Query::join(QueryId(1), [StreamId(0), StreamId(1), StreamId(2)], NodeId(0));
+        let q = Query::join(
+            QueryId(1),
+            [StreamId(0), StreamId(1), StreamId(2)],
+            NodeId(0),
+        );
         let mut reg = ReuseRegistry::new();
         reg.advertise(
             StreamSet::from_iter([StreamId(0), StreamId(1)]),
@@ -151,6 +161,9 @@ mod tests {
         let mut reg = ReuseRegistry::new();
         let (tree, _) = rate_optimal_tree(&c, &q, &mut reg);
         assert_eq!(tree.join_count(), 1);
-        assert_eq!(tree.covered(), StreamSet::from_iter([StreamId(0), StreamId(2)]));
+        assert_eq!(
+            tree.covered(),
+            StreamSet::from_iter([StreamId(0), StreamId(2)])
+        );
     }
 }

@@ -93,10 +93,7 @@ impl Optimizer for Relaxation<'_> {
                 if let FlatNode::Join { left, right, .. } = node {
                     let mut acc = [0.0f64; 3];
                     let mut weight = 0.0;
-                    for &(j, w) in &[
-                        (*left, nodes[*left].rate()),
-                        (*right, nodes[*right].rate()),
-                    ] {
+                    for &(j, w) in &[(*left, nodes[*left].rate()), (*right, nodes[*right].rate())] {
                         for d in 0..3 {
                             acc[d] += pos[j][d] * w;
                         }

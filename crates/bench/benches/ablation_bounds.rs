@@ -65,11 +65,18 @@ fn bench(c: &mut Criterion) {
         let mut r1 = ReuseRegistry::new();
         let mut r2 = ReuseRegistry::new();
         let mut s = SearchStats::new();
-        let td = TopDown::new(&env).optimize(&wl.catalog, q, &mut r1, &mut s).unwrap();
-        let opt = Optimal::new(&env).optimize(&wl.catalog, q, &mut r2, &mut s).unwrap();
+        let td = TopDown::new(&env)
+            .optimize(&wl.catalog, q, &mut r1, &mut s)
+            .unwrap();
+        let opt = Optimal::new(&env)
+            .optimize(&wl.catalog, q, &mut r2, &mut s)
+            .unwrap();
         let gap = td.cost - opt.cost;
         let bound = bounds::theorem3_bound(&td, &env.hierarchy);
-        assert!(gap <= bound + 1e-6, "Theorem 3 violated: gap {gap} bound {bound}");
+        assert!(
+            gap <= bound + 1e-6,
+            "Theorem 3 violated: gap {gap} bound {bound}"
+        );
         gaps.push(gap);
         bounds_v.push(bound);
     }
@@ -99,7 +106,9 @@ fn bench(c: &mut Criterion) {
     let q = &wl2.queries[0];
     let mut r = ReuseRegistry::new();
     let mut s = SearchStats::new();
-    let d = TopDown::new(&env).optimize(&wl2.catalog, q, &mut r, &mut s).unwrap();
+    let d = TopDown::new(&env)
+        .optimize(&wl2.catalog, q, &mut r, &mut s)
+        .unwrap();
     c.bench_function("ablation_bounds_theorem3_eval", |b| {
         b.iter(|| bounds::theorem3_bound(&d, &env.hierarchy))
     });

@@ -40,7 +40,10 @@ fn bench(c: &mut Criterion) {
             "{name:>14}: top-down batch cost {mean:.1}, hierarchy height {}, Theorem 1 slack {slack:.1}",
             env.hierarchy.height()
         );
-        rows.push((name.to_string(), vec![mean, env.hierarchy.height() as f64, slack]));
+        rows.push((
+            name.to_string(),
+            vec![mean, env.hierarchy.height() as f64, slack],
+        ));
     }
     let ratio = rows[1].1[0] / rows[0].1[0];
     println!(

@@ -44,10 +44,22 @@ fn bench(c: &mut Criterion) {
         }
     }
     println!("\nablation_colocation (sub-optimality vs exact optimum):");
-    println!("  bottom-up descend (default): {:+.1}%", (bud / opt - 1.0) * 100.0);
-    println!("  bottom-up members-only:      {:+.1}%", (bum / opt - 1.0) * 100.0);
-    println!("  bottom-up + co-location:     {:+.1}%", (buc / opt - 1.0) * 100.0);
-    println!("  top-down (for reference):    {:+.1}%", (td / opt - 1.0) * 100.0);
+    println!(
+        "  bottom-up descend (default): {:+.1}%",
+        (bud / opt - 1.0) * 100.0
+    );
+    println!(
+        "  bottom-up members-only:      {:+.1}%",
+        (bum / opt - 1.0) * 100.0
+    );
+    println!(
+        "  bottom-up + co-location:     {:+.1}%",
+        (buc / opt - 1.0) * 100.0
+    );
+    println!(
+        "  top-down (for reference):    {:+.1}%",
+        (td / opt - 1.0) * 100.0
+    );
     println!(
         "  co-location closes {:.0}% of the members-only gap to optimal",
         (bum - buc) / (bum - opt) * 100.0

@@ -54,7 +54,10 @@ fn bench(c: &mut Criterion) {
         );
         agree += 1;
     }
-    println!("\nablation_engines: DP optimum == exhaustive optimum on {agree}/{} cases", cases.len());
+    println!(
+        "\nablation_engines: DP optimum == exhaustive optimum on {agree}/{} cases",
+        cases.len()
+    );
 
     let (q, inputs) = &cases[0];
     let planner = ClusterPlanner::new(&wl.catalog, q);

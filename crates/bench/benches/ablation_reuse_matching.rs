@@ -40,7 +40,10 @@ fn run(
             let mut filtered = ReuseRegistry::new();
             for leaf in &offers {
                 if let LeafSource::Derived {
-                    covered, rate, host, ..
+                    covered,
+                    rate,
+                    host,
+                    ..
                 } = leaf
                 {
                     filtered.advertise(covered.clone(), restrict(q, covered), *rate, *host, q.id);
@@ -107,7 +110,10 @@ fn bench(c: &mut Criterion) {
         x: vec![0.0, 1.0],
         series: vec![
             ("batch_cost".into(), vec![cost_subs, cost_exact]),
-            ("candidates".into(), vec![cand_subs as f64, cand_exact as f64]),
+            (
+                "candidates".into(),
+                vec![cand_subs as f64, cand_exact as f64],
+            ),
         ],
     }
     .emit();

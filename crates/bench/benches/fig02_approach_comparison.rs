@@ -36,9 +36,18 @@ fn experiment() -> (Vec<(&'static str, f64)>, dsq_bench::BenchCase) {
     let ptd = PlanThenDeploy::new(&env);
     let rel = Relaxation::new(&env);
     let rows = vec![
-        ("our-approach (top-down)", run_batch(&td, &wl, true).0.last().copied().unwrap()),
-        ("plan-then-deploy", run_batch(&ptd, &wl, true).0.last().copied().unwrap()),
-        ("relaxation", run_batch(&rel, &wl, true).0.last().copied().unwrap()),
+        (
+            "our-approach (top-down)",
+            run_batch(&td, &wl, true).0.last().copied().unwrap(),
+        ),
+        (
+            "plan-then-deploy",
+            run_batch(&ptd, &wl, true).0.last().copied().unwrap(),
+        ),
+        (
+            "relaxation",
+            run_batch(&rel, &wl, true).0.last().copied().unwrap(),
+        ),
     ];
     (rows, dsq_bench::BenchCase { env, wl })
 }
@@ -60,7 +69,8 @@ fn bench(c: &mut Criterion) {
     );
     Table {
         name: "fig02",
-        caption: "total cost per unit time by approach (row order: ours, plan-then-deploy, relaxation)",
+        caption:
+            "total cost per unit time by approach (row order: ours, plan-then-deploy, relaxation)",
         x_label: "approach_idx",
         x: (0..rows.len()).map(|i| i as f64).collect(),
         series: vec![("total_cost".into(), rows.iter().map(|r| r.1).collect())],

@@ -20,8 +20,18 @@ fn bench(c: &mut Criterion) {
     );
     // Headline ratio from the paper's text: max_cs 64 vs max_cs 8.
     let last = table.x.len() - 1;
-    let cost8 = table.series.iter().find(|(n, _)| n == "max_cs=8").unwrap().1[last];
-    let cost64 = table.series.iter().find(|(n, _)| n == "max_cs=64").unwrap().1[last];
+    let cost8 = table
+        .series
+        .iter()
+        .find(|(n, _)| n == "max_cs=8")
+        .unwrap()
+        .1[last];
+    let cost64 = table
+        .series
+        .iter()
+        .find(|(n, _)| n == "max_cs=64")
+        .unwrap()
+        .1[last];
     println!(
         "\nfig05 headline: max_cs=64 is {:.1}% cheaper than max_cs=8 (paper: ~21%)",
         (1.0 - cost64 / cost8) * 100.0

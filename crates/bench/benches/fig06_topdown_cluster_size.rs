@@ -16,14 +16,7 @@ fn bench(c: &mut Criterion) {
         "Top-Down cumulative cost vs queries, by max_cs",
     );
     let last = table.x.len() - 1;
-    let at = |name: &str| {
-        table
-            .series
-            .iter()
-            .find(|(n, _)| n == name)
-            .unwrap()
-            .1[last]
-    };
+    let at = |name: &str| table.series.iter().find(|(n, _)| n == name).unwrap().1[last];
     let spread_large = (at("max_cs=8") - at("max_cs=64")).abs() / at("max_cs=64");
     println!(
         "\nfig06 headline: max_cs=2 costs {:+.1}% vs max_cs=64; spread among max_cs ≥ 8 is {:.1}% \

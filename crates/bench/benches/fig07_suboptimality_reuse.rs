@@ -10,9 +10,7 @@
 //! uses the Zipf(1.6) source draw (see EXPERIMENTS.md for why).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dsq_bench::{
-    mean_curve, paper_env, paper_workload, run_batch, workload_repeats, Table,
-};
+use dsq_bench::{mean_curve, paper_env, paper_workload, run_batch, workload_repeats, Table};
 use dsq_core::{BottomUp, Optimal, Optimizer, SearchStats, TopDown};
 use dsq_query::ReuseRegistry;
 
@@ -40,9 +38,7 @@ fn bench(c: &mut Criterion) {
     }
     let means: Vec<Vec<f64>> = curves.iter().map(|c| mean_curve(c)).collect();
     let last = means[0].len() - 1;
-    let by_name = |n: &str| -> f64 {
-        means[arms.iter().position(|(a, _)| *a == n).unwrap()][last]
-    };
+    let by_name = |n: &str| -> f64 { means[arms.iter().position(|(a, _)| *a == n).unwrap()][last] };
 
     println!("\nfig07 headlines (paper values in parentheses):");
     println!(
@@ -79,7 +75,10 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig07_single_query");
     group.sample_size(10);
     for (name, alg) in [
-        ("top-down", Box::new(TopDown::new(&env)) as Box<dyn Optimizer>),
+        (
+            "top-down",
+            Box::new(TopDown::new(&env)) as Box<dyn Optimizer>,
+        ),
         ("bottom-up", Box::new(BottomUp::new(&env))),
         ("optimal", Box::new(Optimal::new(&env))),
     ] {
@@ -87,7 +86,9 @@ fn bench(c: &mut Criterion) {
             b.iter(|| {
                 let mut reg = ReuseRegistry::new();
                 let mut stats = SearchStats::new();
-                alg.optimize(&wl.catalog, q, &mut reg, &mut stats).unwrap().cost
+                alg.optimize(&wl.catalog, q, &mut reg, &mut stats)
+                    .unwrap()
+                    .cost
             })
         });
     }

@@ -12,9 +12,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsq_bench::{quick_mode, Table};
-use dsq_core::{
-    bounds, BottomUp, BottomUpPlacement, Environment, Optimizer, SearchStats, TopDown,
-};
+use dsq_core::{bounds, BottomUp, BottomUpPlacement, Environment, Optimizer, SearchStats, TopDown};
 use dsq_net::TransitStubConfig;
 use dsq_query::ReuseRegistry;
 use dsq_workload::{WorkloadConfig, WorkloadGenerator};
@@ -54,11 +52,15 @@ fn bench(c: &mut Criterion) {
         for q in &wl.queries {
             let mut reg = ReuseRegistry::new();
             let mut s = SearchStats::new();
-            TopDown::new(&env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap();
+            TopDown::new(&env)
+                .optimize(&wl.catalog, q, &mut reg, &mut s)
+                .unwrap();
             td_plans += s.plans_considered;
             let mut reg = ReuseRegistry::new();
             let mut s = SearchStats::new();
-            BottomUp::new(&env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap();
+            BottomUp::new(&env)
+                .optimize(&wl.catalog, q, &mut reg, &mut s)
+                .unwrap();
             bu_plans += s.plans_considered;
             let mut reg = ReuseRegistry::new();
             let mut s = SearchStats::new();
@@ -99,7 +101,10 @@ fn bench(c: &mut Criterion) {
             .iter()
             .zip(&exh_s[big..])
             .all(|(t, e)| t / e < 0.01)
-            && bu_s[big..].iter().zip(&exh_s[big..]).all(|(b, e)| b / e < 0.01)
+            && bu_s[big..]
+                .iter()
+                .zip(&exh_s[big..])
+                .all(|(b, e)| b / e < 0.01)
     );
     let avg_bum_vs_td: f64 =
         td_s.iter().zip(&bum_s).map(|(t, b)| b / t).sum::<f64>() / td_s.len() as f64;
@@ -134,14 +139,20 @@ fn bench(c: &mut Criterion) {
         b.iter(|| {
             let mut reg = ReuseRegistry::new();
             let mut s = SearchStats::new();
-            TopDown::new(env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap().cost
+            TopDown::new(env)
+                .optimize(&wl.catalog, q, &mut reg, &mut s)
+                .unwrap()
+                .cost
         })
     });
     group.bench_function("bottom-up", |b| {
         b.iter(|| {
             let mut reg = ReuseRegistry::new();
             let mut s = SearchStats::new();
-            BottomUp::new(env).optimize(&wl.catalog, q, &mut reg, &mut s).unwrap().cost
+            BottomUp::new(env)
+                .optimize(&wl.catalog, q, &mut reg, &mut s)
+                .unwrap()
+                .cost
         })
     });
     group.finish();

@@ -49,7 +49,12 @@ fn bench(c: &mut Criterion) {
             ("bottom-up/members", 1),
             ("top-down", 2),
         ] {
-            let mut cells: Vec<Cell> = (0..8).map(|_| Cell { total_ms: 0.0, count: 0 }).collect();
+            let mut cells: Vec<Cell> = (0..8)
+                .map(|_| Cell {
+                    total_ms: 0.0,
+                    count: 0,
+                })
+                .collect();
             let mut reg = ReuseRegistry::new();
             let mut grand = 0.0;
             for q in &wl.queries {

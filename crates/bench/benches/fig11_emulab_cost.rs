@@ -66,10 +66,20 @@ fn bench(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig11_batch");
     group.sample_size(10);
     group.bench_function("top-down cs=8", |b| {
-        b.iter(|| run_batch(&TopDown::new(&envs[1]), &wl, true).0.last().copied())
+        b.iter(|| {
+            run_batch(&TopDown::new(&envs[1]), &wl, true)
+                .0
+                .last()
+                .copied()
+        })
     });
     group.bench_function("bottom-up cs=8", |b| {
-        b.iter(|| run_batch(&BottomUp::new(&envs[1]), &wl, true).0.last().copied())
+        b.iter(|| {
+            run_batch(&BottomUp::new(&envs[1]), &wl, true)
+                .0
+                .last()
+                .copied()
+        })
     });
     group.finish();
 }

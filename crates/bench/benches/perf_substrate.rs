@@ -72,7 +72,14 @@ fn bench(c: &mut Criterion) {
                 let planner = ClusterPlanner::new(&catalog, &q);
                 let mut stats = SearchStats::new();
                 planner
-                    .plan(&inputs, &candidates, &env.dm, Some(q.sink), None, &mut stats)
+                    .plan(
+                        &inputs,
+                        &candidates,
+                        &env.dm,
+                        Some(q.sink),
+                        None,
+                        &mut stats,
+                    )
                     .unwrap()
                     .est_cost
             })

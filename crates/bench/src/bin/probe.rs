@@ -1,5 +1,5 @@
 //! Calibration probe: reuse savings vs source skew.
-use dsq_core::{consolidate, Optimal, TopDown, BottomUp, Environment};
+use dsq_core::{consolidate, BottomUp, Environment, Optimal, TopDown};
 use dsq_net::TransitStubConfig;
 use dsq_query::ReuseRegistry;
 use dsq_workload::{WorkloadConfig, WorkloadGenerator};
@@ -11,16 +11,59 @@ fn main() {
         for streams in [100usize, 50] {
             let (mut tw, mut to, mut bw, mut bo, mut ow) = (0.0, 0.0, 0.0, 0.0, 0.0);
             for seed in 0..5u64 {
-                let wl = WorkloadGenerator::new(WorkloadConfig{
-                    streams, queries: 20, joins_per_query: 2..=5,
-                    source_skew: Some(skew), ..Default::default()}, 300+seed).generate(&env.network);
+                let wl = WorkloadGenerator::new(
+                    WorkloadConfig {
+                        streams,
+                        queries: 20,
+                        joins_per_query: 2..=5,
+                        source_skew: Some(skew),
+                        ..Default::default()
+                    },
+                    300 + seed,
+                )
+                .generate(&env.network);
                 let td = TopDown::new(&env);
                 let bu = BottomUp::new(&env);
-                tw += consolidate::deploy_all(&td, &wl.catalog, &wl.queries, &mut ReuseRegistry::new(), true).total_cost();
-                to += consolidate::deploy_all(&td, &wl.catalog, &wl.queries, &mut ReuseRegistry::new(), false).total_cost();
-                bw += consolidate::deploy_all(&bu, &wl.catalog, &wl.queries, &mut ReuseRegistry::new(), true).total_cost();
-                bo += consolidate::deploy_all(&bu, &wl.catalog, &wl.queries, &mut ReuseRegistry::new(), false).total_cost();
-                ow += consolidate::deploy_all(&Optimal::new(&env), &wl.catalog, &wl.queries, &mut ReuseRegistry::new(), true).total_cost();
+                tw += consolidate::deploy_all(
+                    &td,
+                    &wl.catalog,
+                    &wl.queries,
+                    &mut ReuseRegistry::new(),
+                    true,
+                )
+                .total_cost();
+                to += consolidate::deploy_all(
+                    &td,
+                    &wl.catalog,
+                    &wl.queries,
+                    &mut ReuseRegistry::new(),
+                    false,
+                )
+                .total_cost();
+                bw += consolidate::deploy_all(
+                    &bu,
+                    &wl.catalog,
+                    &wl.queries,
+                    &mut ReuseRegistry::new(),
+                    true,
+                )
+                .total_cost();
+                bo += consolidate::deploy_all(
+                    &bu,
+                    &wl.catalog,
+                    &wl.queries,
+                    &mut ReuseRegistry::new(),
+                    false,
+                )
+                .total_cost();
+                ow += consolidate::deploy_all(
+                    &Optimal::new(&env),
+                    &wl.catalog,
+                    &wl.queries,
+                    &mut ReuseRegistry::new(),
+                    true,
+                )
+                .total_cost();
             }
             println!("skew {skew} streams {streams}: td reuse saves {:.1}% (paper 27), bu saves {:.1}% (paper 30); td+r vs opt {:+.1}% (10), bu+r vs opt {:+.1}% (34)",
                 (1.0-tw/to)*100.0, (1.0-bw/bo)*100.0, (tw/ow-1.0)*100.0, (bw/ow-1.0)*100.0);

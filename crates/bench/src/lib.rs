@@ -61,11 +61,7 @@ pub fn paper_workload(env: &Environment, seed: u64, skew: Option<f64>) -> Worklo
 }
 
 /// Deploy a workload incrementally and return the cumulative-cost curve.
-pub fn run_batch(
-    alg: &dyn Optimizer,
-    wl: &Workload,
-    reuse: bool,
-) -> (Vec<f64>, SearchStats) {
+pub fn run_batch(alg: &dyn Optimizer, wl: &Workload, reuse: bool) -> (Vec<f64>, SearchStats) {
     let mut registry = ReuseRegistry::new();
     let out = consolidate::deploy_all(alg, &wl.catalog, &wl.queries, &mut registry, reuse);
     (out.cumulative_cost, out.stats)
@@ -219,8 +215,7 @@ pub struct BenchCase {
 
 /// Directory figure CSVs are written to.
 pub fn figures_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("../../target/figures")
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures")
 }
 
 /// Named algorithm set for comparison tables. Zones for In-network follow

@@ -124,7 +124,11 @@ impl Optimizer for BottomUp<'_> {
             // placement mode applies its own visibility).
             let mut inputs: Vec<PlannerInput> = Vec::new();
             if let Some((_, covered, location)) = &partial {
-                inputs.push(PlannerInput::external(PARTIAL_TAG, covered.clone(), *location));
+                inputs.push(PlannerInput::external(
+                    PARTIAL_TAG,
+                    covered.clone(),
+                    *location,
+                ));
             }
             for s in remaining.iter() {
                 let node = catalog.stream(s).node;
@@ -140,10 +144,7 @@ impl Optimizer for BottomUp<'_> {
                 }
             }
 
-            let universe: StreamSet = inputs
-                .iter()
-                .flat_map(|i| i.covered.iter())
-                .collect();
+            let universe: StreamSet = inputs.iter().flat_map(|i| i.covered.iter()).collect();
             if universe.is_empty() {
                 continue; // nothing new at this level
             }
@@ -182,7 +183,14 @@ impl Optimizer for BottomUp<'_> {
                     let td = crate::topdown::TopDown::new(self.env);
                     let out = td.plan_in_cluster(&planner, cluster, &inputs, query.sink, stats)?;
                     let mut next_tag = 0;
-                    td.refine(&planner, cluster, out.tree, query.sink, stats, &mut next_tag)?
+                    td.refine(
+                        &planner,
+                        cluster,
+                        out.tree,
+                        query.sink,
+                        stats,
+                        &mut next_tag,
+                    )?
                 }
                 BottomUpPlacement::MembersOnly => {
                     let seen: Vec<PlannerInput> = inputs
@@ -191,7 +199,12 @@ impl Optimizer for BottomUp<'_> {
                         .collect();
                     let sink_rep = h.representative(query.sink, level);
                     let dest = if completes { Some(sink_rep) } else { None };
-                    stats.record(level, c.coordinator, crate::engine::universe_size(&inputs), c.members.len());
+                    stats.record(
+                        level,
+                        c.coordinator,
+                        crate::engine::universe_size(&inputs),
+                        c.members.len(),
+                    );
                     planner
                         .plan(&seen, &c.members, &self.env.dm, dest, Some(sink_rep), stats)?
                         .tree
@@ -208,7 +221,12 @@ impl Optimizer for BottomUp<'_> {
                         }
                     }
                     let dest = if completes { Some(query.sink) } else { None };
-                    stats.record(level, c.coordinator, crate::engine::universe_size(&inputs), c.members.len());
+                    stats.record(
+                        level,
+                        c.coordinator,
+                        crate::engine::universe_size(&inputs),
+                        c.members.len(),
+                    );
                     planner
                         .plan(
                             &inputs,

@@ -152,7 +152,13 @@ mod tests {
     fn cumulative_costs_are_monotone() {
         let (env, wl) = setup();
         let mut reg = ReuseRegistry::new();
-        let out = deploy_all(&Optimal::new(&env), &wl.catalog, &wl.queries, &mut reg, true);
+        let out = deploy_all(
+            &Optimal::new(&env),
+            &wl.catalog,
+            &wl.queries,
+            &mut reg,
+            true,
+        );
         assert_eq!(out.cumulative_cost.len(), wl.queries.len());
         for w in out.cumulative_cost.windows(2) {
             assert!(w[1] >= w[0]);
@@ -168,13 +174,30 @@ mod tests {
         let sources = wl.queries[0].sources[..3.min(wl.queries[0].sources.len())].to_vec();
         let sinks = env.network.stub_nodes();
         let queries: Vec<Query> = (0..6)
-            .map(|i| Query::join(QueryId(i), sources.clone(), sinks[(i as usize * 7) % sinks.len()]))
+            .map(|i| {
+                Query::join(
+                    QueryId(i),
+                    sources.clone(),
+                    sinks[(i as usize * 7) % sinks.len()],
+                )
+            })
             .collect();
         let mut with_reg = ReuseRegistry::new();
-        let with = deploy_all(&Optimal::new(&env), &wl.catalog, &queries, &mut with_reg, true);
+        let with = deploy_all(
+            &Optimal::new(&env),
+            &wl.catalog,
+            &queries,
+            &mut with_reg,
+            true,
+        );
         let mut without_reg = ReuseRegistry::new();
-        let without =
-            deploy_all(&Optimal::new(&env), &wl.catalog, &queries, &mut without_reg, false);
+        let without = deploy_all(
+            &Optimal::new(&env),
+            &wl.catalog,
+            &queries,
+            &mut without_reg,
+            false,
+        );
         assert!(
             with.total_cost() < without.total_cost(),
             "with reuse {} vs without {}",
@@ -207,11 +230,9 @@ mod tests {
         let batch = vec![wide, narrow_a, narrow_b];
 
         let mut reg1 = ReuseRegistry::new();
-        let incremental =
-            deploy_all(&Optimal::new(&env), &wl.catalog, &batch, &mut reg1, true);
+        let incremental = deploy_all(&Optimal::new(&env), &wl.catalog, &batch, &mut reg1, true);
         let mut reg2 = ReuseRegistry::new();
-        let consolidated =
-            deploy_consolidated(&Optimal::new(&env), &wl.catalog, &batch, &mut reg2);
+        let consolidated = deploy_consolidated(&Optimal::new(&env), &wl.catalog, &batch, &mut reg2);
         assert!(
             consolidated.total_cost() <= incremental.total_cost() + 1e-6,
             "consolidated {} vs incremental {}",
@@ -220,6 +241,9 @@ mod tests {
         );
         // Results come back in arrival order.
         assert_eq!(consolidated.deployments.len(), 3);
-        assert_eq!(consolidated.deployments[0].as_ref().unwrap().query, QueryId(0));
+        assert_eq!(
+            consolidated.deployments[0].as_ref().unwrap().query,
+            QueryId(0)
+        );
     }
 }

@@ -420,14 +420,7 @@ impl<'a> ClusterPlanner<'a> {
                 let mut placement = vec![0usize; joins];
                 loop {
                     let (cost, out_seen, tree) = self.eval_shape(
-                        &shape,
-                        &placement,
-                        &mut 0,
-                        inputs,
-                        candidates,
-                        &rate,
-                        &atoms,
-                        dm,
+                        &shape, &placement, &mut 0, inputs, candidates, &rate, &atoms, dm,
                     );
                     let total = match dest {
                         Some(d) => cost + rate[full as usize] * dm.get(out_seen, d),
@@ -510,10 +503,7 @@ impl<'a> ClusterPlanner<'a> {
                     + rc
                     + rate[lmask as usize] * dm.get(lo, node)
                     + rate[rmask as usize] * dm.get(ro, node)
-                    + self.placement_penalty(
-                        node,
-                        rate[lmask as usize] + rate[rmask as usize],
-                    );
+                    + self.placement_penalty(node, rate[lmask as usize] + rate[rmask as usize]);
                 (
                     cost,
                     node,
@@ -578,10 +568,7 @@ pub fn universe_size(inputs: &[PlannerInput]) -> usize {
 
 /// Sorted universe of atoms covered by the inputs.
 fn atom_universe(inputs: &[PlannerInput]) -> Vec<StreamId> {
-    let mut atoms: Vec<StreamId> = inputs
-        .iter()
-        .flat_map(|i| i.covered.iter())
-        .collect();
+    let mut atoms: Vec<StreamId> = inputs.iter().flat_map(|i| i.covered.iter()).collect();
     atoms.sort_unstable();
     atoms.dedup();
     atoms
@@ -657,7 +644,10 @@ fn enumerate_shapes(items: &[usize]) -> Vec<Shape> {
         }
         for lt in enumerate_shapes(&left) {
             for rt in enumerate_shapes(&right) {
-                out.push(Shape::Join(Box::new(clone_shape(&lt)), Box::new(clone_shape(&rt))));
+                out.push(Shape::Join(
+                    Box::new(clone_shape(&lt)),
+                    Box::new(clone_shape(&rt)),
+                ));
             }
         }
     }
@@ -777,7 +767,9 @@ mod tests {
             .plan(&inputs, &[], &dm, Some(NodeId(2)), None, &mut stats)
             .unwrap();
         assert!((out.est_cost - 20.0).abs() < 1e-9, "10·dist(0,2) = 20");
-        let out2 = planner.plan(&inputs, &[], &dm, None, None, &mut stats).unwrap();
+        let out2 = planner
+            .plan(&inputs, &[], &dm, None, None, &mut stats)
+            .unwrap();
         assert_eq!(out2.est_cost, 0.0);
     }
 
@@ -879,11 +871,10 @@ mod tests {
         // The tree still records B's true location for deployment.
         fn find_base_location(t: &PlacedTree, id: StreamId, c: &Catalog) -> Option<NodeId> {
             match t {
-                PlacedTree::Leaf(LeafSource::Base(b)) if *b == id => {
-                    Some(c.stream(id).node)
+                PlacedTree::Leaf(LeafSource::Base(b)) if *b == id => Some(c.stream(id).node),
+                PlacedTree::Join { left, right, .. } => {
+                    find_base_location(left, id, c).or_else(|| find_base_location(right, id, c))
                 }
-                PlacedTree::Join { left, right, .. } => find_base_location(left, id, c)
-                    .or_else(|| find_base_location(right, id, c)),
                 _ => None,
             }
         }

@@ -111,12 +111,8 @@ impl Environment {
     /// the max_cs parameter".
     pub fn reclustered(&self, max_cs: usize) -> Self {
         let active: Vec<NodeId> = self.network.nodes().collect();
-        let hierarchy = Hierarchy::build(
-            &active,
-            &self.dm,
-            &self.space,
-            HierarchyConfig::new(max_cs),
-        );
+        let hierarchy =
+            Hierarchy::build(&active, &self.dm, &self.space, HierarchyConfig::new(max_cs));
         Environment {
             network: self.network.clone(),
             dm: self.dm.clone(),
@@ -183,7 +179,12 @@ mod tests {
             // Deployment cost is rate-weighted latency under this metric.
             assert!(d.cost.is_finite() && d.cost > 0.0);
             let opt = crate::Optimal::new(&lat_env)
-                .optimize(&wl.catalog, q, &mut dsq_query::ReuseRegistry::new(), &mut stats)
+                .optimize(
+                    &wl.catalog,
+                    q,
+                    &mut dsq_query::ReuseRegistry::new(),
+                    &mut stats,
+                )
                 .unwrap();
             assert!(d.cost >= opt.cost - 1e-6);
         }

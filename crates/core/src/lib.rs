@@ -57,8 +57,8 @@ pub mod bottomup;
 pub mod bounds;
 pub mod consolidate;
 pub mod engine;
-pub mod load;
 pub mod env;
+pub mod load;
 pub mod optimal;
 pub mod placed;
 pub mod stats;

@@ -110,10 +110,7 @@ impl LoadModel {
                     FlatNode::Join { left, right, .. } => (*left, *right),
                     FlatNode::Leaf { .. } => unreachable!("join_indices yields joins"),
                 };
-                (
-                    deployment.placement[i],
-                    nodes[l].rate() + nodes[r].rate(),
-                )
+                (deployment.placement[i], nodes[l].rate() + nodes[r].rate())
             })
             .collect()
     }
@@ -167,7 +164,13 @@ mod tests {
         let q = Query::join(QueryId(0), [a, b], NodeId(2));
         let tree = JoinTree::join(JoinTree::base(a), JoinTree::base(b));
         let plan = FlatPlan::from_tree(&tree, &q, &c);
-        let d = Deployment::evaluate(q.id, plan, vec![NodeId(0), NodeId(2), NodeId(1)], NodeId(2), &dm);
+        let d = Deployment::evaluate(
+            q.id,
+            plan,
+            vec![NodeId(0), NodeId(2), NodeId(1)],
+            NodeId(2),
+            &dm,
+        );
         (c, d)
     }
 
@@ -179,7 +182,11 @@ mod tests {
         m.set_load(NodeId(0), 8.0);
         assert_eq!(m.penalty(NodeId(0), 5.0), 6.0, "3 units over × 2.0");
         m.set_load(NodeId(0), 12.0);
-        assert_eq!(m.penalty(NodeId(0), 5.0), 10.0, "already over: all 5 priced");
+        assert_eq!(
+            m.penalty(NodeId(0), 5.0),
+            10.0,
+            "already over: all 5 priced"
+        );
     }
 
     #[test]

@@ -138,9 +138,8 @@ mod tests {
                 .expect("feasible");
             // Naive comparison: left-deep plan, all joins at the sink.
             let naive = {
-                let mut tree = crate::placed::PlacedTree::Leaf(dsq_query::LeafSource::Base(
-                    q.sources[0],
-                ));
+                let mut tree =
+                    crate::placed::PlacedTree::Leaf(dsq_query::LeafSource::Base(q.sources[0]));
                 for &s in &q.sources[1..] {
                     tree = crate::placed::PlacedTree::Join {
                         left: Box::new(tree),
@@ -184,7 +183,11 @@ mod tests {
 
         // A second identical-sources query: with reuse available the optimum
         // can only improve (the option set is a superset).
-        let q1 = Query::join(QueryId(99), wl.queries[0].sources.clone(), wl.queries[1].sink);
+        let q1 = Query::join(
+            QueryId(99),
+            wl.queries[0].sources.clone(),
+            wl.queries[1].sink,
+        );
         let with_reuse = Optimal::new(&env)
             .optimize(&wl.catalog, &q1, &mut reg, &mut stats)
             .unwrap();
@@ -195,8 +198,12 @@ mod tests {
         assert!(with_reuse.cost <= without.cost + 1e-9);
         // The full result of q0 exists as a derived stream, so q1 should be
         // able to tap it and pay only delivery.
-        assert!(with_reuse.cost < without.cost * 0.9 || without.cost < 1e-9,
-            "expected substantial reuse savings: {} vs {}", with_reuse.cost, without.cost);
+        assert!(
+            with_reuse.cost < without.cost * 0.9 || without.cost < 1e-9,
+            "expected substantial reuse savings: {} vs {}",
+            with_reuse.cost,
+            without.cost
+        );
     }
 
     #[test]

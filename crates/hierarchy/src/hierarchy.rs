@@ -391,13 +391,7 @@ impl Hierarchy {
 
     /// Distance between two nodes as estimated at `level`: the actual
     /// distance between their level-`level` representatives (`c_est^l`).
-    pub fn estimated_cost(
-        &self,
-        dm: &DistanceMatrix,
-        a: NodeId,
-        b: NodeId,
-        level: usize,
-    ) -> f64 {
+    pub fn estimated_cost(&self, dm: &DistanceMatrix, a: NodeId, b: NodeId, level: usize) -> f64 {
         dm.get(self.representative(a, level), self.representative(b, level))
     }
 
@@ -418,14 +412,16 @@ impl Hierarchy {
         use std::fmt::Write;
         let mut out = String::new();
         let _ = writeln!(out, "digraph hierarchy {{");
-        let _ = writeln!(out, "  rankdir=BT; node [shape=box,fontname=\"monospace\"];");
+        let _ = writeln!(
+            out,
+            "  rankdir=BT; node [shape=box,fontname=\"monospace\"];"
+        );
         for (li, clusters) in self.levels.iter().enumerate() {
             let level = li + 1;
             let _ = writeln!(out, "  subgraph cluster_level{level} {{");
             let _ = writeln!(out, "    label=\"level {level}\";");
             for (ci, c) in clusters.iter().enumerate() {
-                let members: Vec<String> =
-                    c.members.iter().map(|m| m.to_string()).collect();
+                let members: Vec<String> = c.members.iter().map(|m| m.to_string()).collect();
                 let _ = writeln!(
                     out,
                     "    l{level}c{ci} [label=\"coord {}\\n[{}]\"];",

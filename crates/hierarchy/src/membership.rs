@@ -30,12 +30,7 @@ pub struct JoinOutcome {
 
 /// Route a join request for `node`, contacted via existing member `via`.
 /// Pure decision: the hierarchy is not modified.
-pub fn join_route(
-    h: &Hierarchy,
-    dm: &DistanceMatrix,
-    node: NodeId,
-    via: NodeId,
-) -> JoinOutcome {
+pub fn join_route(h: &Hierarchy, dm: &DistanceMatrix, node: NodeId, via: NodeId) -> JoinOutcome {
     assert!(h.is_active(via), "contact node must be an overlay member");
     let mut route = Vec::new();
     // Upward propagation: the contact's coordinator chain to the top.
@@ -49,7 +44,11 @@ pub fn join_route(
         let nearest = *c
             .members
             .iter()
-            .min_by(|&&a, &&b| dm.get(a, node).total_cmp(&dm.get(b, node)).then(a.0.cmp(&b.0)))
+            .min_by(|&&a, &&b| {
+                dm.get(a, node)
+                    .total_cmp(&dm.get(b, node))
+                    .then(a.0.cmp(&b.0))
+            })
             .expect("clusters are never empty");
         route.push(nearest);
         if cluster.level == 1 {
@@ -68,12 +67,7 @@ pub fn join_route(
 /// Add `node` to the overlay: route the join, insert into the chosen leaf
 /// cluster, split any cluster that overflows, refresh coordinators and
 /// statistics. Returns the routing outcome.
-pub fn add_node(
-    h: &mut Hierarchy,
-    dm: &DistanceMatrix,
-    node: NodeId,
-    via: NodeId,
-) -> JoinOutcome {
+pub fn add_node(h: &mut Hierarchy, dm: &DistanceMatrix, node: NodeId, via: NodeId) -> JoinOutcome {
     assert!(!h.is_active(node), "node is already an overlay member");
     let outcome = join_route(h, dm, node, via);
     let leaf_idx = outcome.leaf.index;
@@ -251,11 +245,7 @@ fn remove_cluster(h: &mut Hierarchy, level: usize, index: usize) {
             if pc.members[k] == removed.coordinator {
                 pc.members.remove(k);
                 pc.children.remove(k);
-            } else if let Some(k2) = pc
-                .members
-                .iter()
-                .position(|&m| m == removed.coordinator)
-            {
+            } else if let Some(k2) = pc.members.iter().position(|&m| m == removed.coordinator) {
                 pc.members.remove(k2);
                 pc.children.remove(k2);
             }
@@ -417,5 +407,90 @@ mod tests {
         h.check_invariants();
         assert!(!h.is_active(coord));
         assert_ne!(h.cluster(h.top()).coordinator, coord);
+    }
+
+    #[test]
+    fn removing_the_last_member_of_a_leaf_collapses_the_cluster() {
+        let (mut h, dm, _) = setup(4);
+        // Drain one leaf cluster down to a single member…
+        let leaf = h.level(1)[0].clone();
+        for &n in &leaf.members[1..] {
+            remove_node(&mut h, &dm, n);
+        }
+        let survivor = leaf.members[0];
+        assert_eq!(h.cluster(h.leaf_cluster(survivor)).members, vec![survivor]);
+        let leaves_before = h.level(1).len();
+        // …then remove that last member: the emptied cluster must vanish
+        // (and its parent's member/child lists must be fixed up).
+        remove_node(&mut h, &dm, survivor);
+        h.check_invariants();
+        assert!(!h.is_active(survivor));
+        assert_eq!(h.level(1).len(), leaves_before - 1);
+    }
+
+    #[test]
+    fn backup_coordinator_takeover_survives_immediate_refailure() {
+        let (mut h, dm, _) = setup(8);
+        let top = h.top();
+        assert!(
+            h.backup_coordinator(top, &dm).is_some(),
+            "multi-member clusters always designate a backup"
+        );
+        let first = h.cluster(top).coordinator;
+        remove_node(&mut h, &dm, first);
+        h.check_invariants();
+        let second = h.cluster(h.top()).coordinator;
+        assert_ne!(second, first);
+        assert!(h.is_active(second));
+        // The just-elected backup fails before it ever hands off: the
+        // overlay must re-elect a third, distinct coordinator.
+        remove_node(&mut h, &dm, second);
+        h.check_invariants();
+        let third = h.cluster(h.top()).coordinator;
+        assert!(third != first && third != second);
+        assert!(!h.is_active(first) && !h.is_active(second));
+        assert!(h.is_active(third));
+    }
+
+    proptest::proptest! {
+        #![proptest_config(proptest::prelude::ProptestConfig::with_cases(8))]
+
+        /// Seeded join/leave/rejoin churn preserves every structural
+        /// invariant *and* the Theorem 1 estimate bound after each step:
+        /// `|c_act − c_est^l| ≤ Σ_{i<l} 2·d_i` must keep holding as the
+        /// clusters shrink, split and re-elect.
+        #[test]
+        fn churn_preserves_invariants_and_theorem1(seed in 0u64..1000, max_cs in 3usize..=8) {
+            let (mut h, dm, mut pool) = setup(max_cs);
+            let mut rng = ChaCha8Rng::seed_from_u64(seed);
+            for _ in 0..30 {
+                let active = h.active_nodes();
+                if (rng.gen_bool(0.5) && !pool.is_empty()) || active.len() <= 2 {
+                    let n = pool.pop().unwrap();
+                    let via = *active.choose(&mut rng).unwrap();
+                    add_node(&mut h, &dm, n, via);
+                } else {
+                    let n = *active.choose(&mut rng).unwrap();
+                    remove_node(&mut h, &dm, n);
+                    pool.push(n);
+                }
+                h.check_invariants();
+                let nodes = h.active_nodes();
+                for level in 1..=h.height() {
+                    let slack = h.theorem1_slack(level);
+                    for (i, &a) in nodes.iter().enumerate().step_by(5) {
+                        for &b in nodes.iter().skip(i + 1).step_by(5) {
+                            let act = dm.get(a, b);
+                            let est = h.estimated_cost(&dm, a, b, level);
+                            proptest::prop_assert!(
+                                (act - est).abs() <= slack + 1e-9,
+                                "Theorem 1 violated at level {level}: \
+                                 act {act} est {est} slack {slack}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 }

@@ -27,7 +27,11 @@ pub struct TopologyParseError {
 
 impl fmt::Display for TopologyParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "topology parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "topology parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -85,9 +89,7 @@ pub fn parse_topology(text: &str) -> Result<Network, TopologyParseError> {
                 if fields.len() != 3 {
                     return Err(err(lineno, "node lines are `node <id> <kind>`"));
                 }
-                let id: usize = fields[1]
-                    .parse()
-                    .map_err(|_| err(lineno, "bad node id"))?;
+                let id: usize = fields[1].parse().map_err(|_| err(lineno, "bad node id"))?;
                 if id != nodes.len() {
                     return Err(err(lineno, "node ids must be dense and in order"));
                 }
@@ -191,7 +193,11 @@ mod tests {
             ("node 0 blimp\n", "transit|stub", 1),
             ("node 0 stub\nlink 0 0 1 1 stub\n", "self-loop", 2),
             ("frob 1 2\n", "unknown directive", 1),
-            ("node 0 stub\nnode 1 stub\nlink 0 1 -4 1 stub\n", "positive", 3),
+            (
+                "node 0 stub\nnode 1 stub\nlink 0 1 -4 1 stub\n",
+                "positive",
+                3,
+            ),
             ("node 0 stub\nlink 0 1 x 1 stub\n", "bad cost", 2),
             ("node 0 stub\nlink 0 1 1 1\n", "link lines are", 2),
         ] {
@@ -203,9 +209,9 @@ mod tests {
         }
         // Undeclared endpoints and duplicates are structural errors.
         assert!(parse_topology("node 0 stub\nlink 0 5 1 1 stub\n").is_err());
-        assert!(parse_topology(
-            "node 0 stub\nnode 1 stub\nlink 0 1 1 1 stub\nlink 1 0 1 1 stub\n"
-        )
-        .is_err());
+        assert!(
+            parse_topology("node 0 stub\nnode 1 stub\nlink 0 1 1 1 stub\nlink 1 0 1 1 stub\n")
+                .is_err()
+        );
     }
 }

@@ -264,8 +264,12 @@ mod tests {
 
     #[test]
     fn sized_presets_cover_fig9_range() {
-        for (target, lo, hi) in [(64, 50, 80), (128, 100, 200), (512, 400, 600), (1024, 900, 1100)]
-        {
+        for (target, lo, hi) in [
+            (64, 50, 80),
+            (128, 100, 200),
+            (512, 400, 600),
+            (1024, 900, 1100),
+        ] {
             let cfg = TransitStubConfig::sized(target);
             let n = cfg.total_nodes();
             assert!(n >= lo && n <= hi, "target {target} produced {n}");

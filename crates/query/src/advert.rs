@@ -89,7 +89,11 @@ impl ReuseRegistry {
     /// Register a finished deployment: every join operator (and the sink
     /// output, hosted at the sink) is advertised as a derived stream.
     /// Returns the ids of the newly published advertisements.
-    pub fn register_deployment(&mut self, query: &Query, deployment: &Deployment) -> Vec<DerivedId> {
+    pub fn register_deployment(
+        &mut self,
+        query: &Query,
+        deployment: &Deployment,
+    ) -> Vec<DerivedId> {
         let mut published = Vec::new();
         for i in deployment.plan.join_indices() {
             let node = &deployment.plan.nodes()[i];
@@ -320,7 +324,11 @@ mod tests {
         reg.register_deployment(&q, &d);
 
         // Query over {A, B, C} can reuse the {A, B} operator.
-        let q2 = Query::join(QueryId(1), [StreamId(0), StreamId(1), StreamId(2)], NodeId(0));
+        let q2 = Query::join(
+            QueryId(1),
+            [StreamId(0), StreamId(1), StreamId(2)],
+            NodeId(0),
+        );
         let leaves = reg.usable_for(&q2);
         assert_eq!(leaves.len(), 2, "operator copy and sink copy both usable");
 

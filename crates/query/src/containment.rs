@@ -133,7 +133,13 @@ mod tests {
         let lo = q(0, vec![lt(6.0)], vec![]);
         let hi = q(
             1,
-            vec![SelectionPredicate::new(StreamId(0), "ts", CmpOp::Gt, 12.0, 0.5)],
+            vec![SelectionPredicate::new(
+                StreamId(0),
+                "ts",
+                CmpOp::Gt,
+                12.0,
+                0.5,
+            )],
             vec![],
         );
         assert_eq!(compare(&lo, &hi), Containment::Incomparable);
@@ -142,16 +148,8 @@ mod tests {
     #[test]
     fn answerability_requires_columns() {
         let provider_all = q(0, vec![lt(24.0)], vec![]);
-        let provider_narrow_cols = q(
-            1,
-            vec![lt(24.0)],
-            vec![(StreamId(0), "x".into())],
-        );
-        let consumer = q(
-            2,
-            vec![lt(6.0)],
-            vec![(StreamId(0), "x".into())],
-        );
+        let provider_narrow_cols = q(1, vec![lt(24.0)], vec![(StreamId(0), "x".into())]);
+        let consumer = q(2, vec![lt(6.0)], vec![(StreamId(0), "x".into())]);
         let consumer_more_cols = q(
             3,
             vec![lt(6.0)],

@@ -19,7 +19,10 @@ use crate::plan::JoinTree;
 /// The number of trees grows as `(2k-3)!!`; callers cap `k` (the paper's
 /// queries join at most 6 streams).
 pub fn enumerate_trees(leaves: &[JoinTree]) -> Vec<JoinTree> {
-    assert!(!leaves.is_empty(), "cannot enumerate trees over zero leaves");
+    assert!(
+        !leaves.is_empty(),
+        "cannot enumerate trees over zero leaves"
+    );
     assert!(
         leaves.len() <= 12,
         "tree enumeration over {} leaves would explode",

@@ -276,7 +276,9 @@ impl FlatPlan {
         let mut nodes = self.nodes.clone();
         for i in 0..nodes.len() {
             match &nodes[i] {
-                FlatNode::Leaf { source, covered, .. } => {
+                FlatNode::Leaf {
+                    source, covered, ..
+                } => {
                     let rate = match source {
                         LeafSource::Base(id) => query.effective_rate(catalog, *id),
                         LeafSource::Derived { .. } => {

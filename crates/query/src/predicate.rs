@@ -204,7 +204,10 @@ mod tests {
         assert!(!p(CmpOp::Le, 4.0).implies(&p(CmpOp::Lt, 4.0)));
         assert!(p(CmpOp::Gt, 5.0).implies(&p(CmpOp::Ge, 5.0)));
         assert!(!p(CmpOp::Ge, 5.0).implies(&p(CmpOp::Gt, 5.0)));
-        assert!(!p(CmpOp::Lt, 3.0).implies(&p(CmpOp::Gt, 1.0)), "ranges overlap but neither contains");
+        assert!(
+            !p(CmpOp::Lt, 3.0).implies(&p(CmpOp::Gt, 1.0)),
+            "ranges overlap but neither contains"
+        );
     }
 
     #[test]

@@ -269,8 +269,13 @@ mod tests {
     #[should_panic(expected = "non-source")]
     fn selection_on_foreign_stream_rejected() {
         let mut q = Query::join(QueryId(0), [StreamId(1)], NodeId(0));
-        q.selections
-            .push(SelectionPredicate::new(StreamId(9), "x", CmpOp::Eq, 1.0, 0.5));
+        q.selections.push(SelectionPredicate::new(
+            StreamId(9),
+            "x",
+            CmpOp::Eq,
+            1.0,
+            0.5,
+        ));
         q.validate();
     }
 }

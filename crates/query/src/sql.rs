@@ -149,7 +149,9 @@ pub fn parse_query(
             if !sources.contains(&sid) {
                 return err(format!("projected stream {stream} not in FROM"));
             }
-            if !catalog.stream(sid).schema.has(&attr) && !catalog.stream(sid).schema.attributes.is_empty() {
+            if !catalog.stream(sid).schema.has(&attr)
+                && !catalog.stream(sid).schema.attributes.is_empty()
+            {
                 return err(format!("unknown attribute {stream}.{attr}"));
             }
             projection.push((sid, attr));
@@ -219,7 +221,11 @@ fn split_conjuncts(clause: &str) -> Vec<String> {
         // Look for the word AND outside quotes.
         if !depth_quote
             && i + 3 <= chars.len()
-            && chars[i..].iter().take(3).collect::<String>().eq_ignore_ascii_case("and")
+            && chars[i..]
+                .iter()
+                .take(3)
+                .collect::<String>()
+                .eq_ignore_ascii_case("and")
             && (i == 0 || chars[i - 1].is_whitespace())
             && (i + 3 == chars.len() || chars[i + 3].is_whitespace())
         {
@@ -247,7 +253,13 @@ fn parse_condition(
     joins: &mut Vec<JoinPredicate>,
 ) -> Result<(), ParseError> {
     // Find the comparison operator (longest first).
-    let ops = [("<=", CmpOp::Le), (">=", CmpOp::Ge), ("=", CmpOp::Eq), ("<", CmpOp::Lt), (">", CmpOp::Gt)];
+    let ops = [
+        ("<=", CmpOp::Le),
+        (">=", CmpOp::Ge),
+        ("=", CmpOp::Eq),
+        ("<", CmpOp::Lt),
+        (">", CmpOp::Gt),
+    ];
     let (op_str, op, pos) = ops
         .iter()
         .filter_map(|(s, o)| cond.find(s).map(|p| (*s, *o, p)))
@@ -291,7 +303,13 @@ fn parse_condition(
                 .map_err(|_| ParseError(format!("bad literal {rhs:?}")))?
         };
         let selectivity = hints.lookup(&lattr, op);
-        selections.push(SelectionPredicate::new(lstream, lattr, op, value, selectivity));
+        selections.push(SelectionPredicate::new(
+            lstream,
+            lattr,
+            op,
+            value,
+            selectivity,
+        ));
     }
     Ok(())
 }
@@ -309,8 +327,18 @@ mod tests {
             NodeId(0),
             Schema::new(["NUM", "STATUS", "DEPARTING", "DESTN", "DP-TIME"]),
         );
-        c.add_stream("WEATHER", 40.0, NodeId(1), Schema::new(["CITY", "FORECAST"]));
-        c.add_stream("CHECK-INS", 80.0, NodeId(2), Schema::new(["FLNUM", "STATUS"]));
+        c.add_stream(
+            "WEATHER",
+            40.0,
+            NodeId(1),
+            Schema::new(["CITY", "FORECAST"]),
+        );
+        c.add_stream(
+            "CHECK-INS",
+            80.0,
+            NodeId(2),
+            Schema::new(["FLNUM", "STATUS"]),
+        );
         c
     }
 

@@ -62,9 +62,7 @@ pub fn deployment_to_dot(d: &Deployment, catalog: &Catalog) -> String {
             .nodes()
             .iter()
             .enumerate()
-            .position(|(i, n)| {
-                d.placement[i] == edge.from && (n.rate() - edge.rate).abs() < 1e-12
-            })
+            .position(|(i, n)| d.placement[i] == edge.from && (n.rate() - edge.rate).abs() < 1e-12)
             .map(|i| format!("n{i}"))
             .unwrap_or_else(|| format!("\"{}\"", edge.from));
         let _ = writeln!(out, "  {from} -> {to} [label=\"{:.1}\"];", edge.rate);

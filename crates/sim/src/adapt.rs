@@ -50,6 +50,9 @@ pub struct AdaptiveRuntime {
     queries: Vec<Query>,
     deployments: Vec<Deployment>,
     baseline_cost: Vec<f64>,
+    /// Queries that lost their deployment and could not be replanned yet;
+    /// retried on membership changes instead of being silently retired.
+    parked: Vec<Query>,
     /// Relative cost degradation that triggers re-optimization (e.g. 0.2 =
     /// re-plan when a deployment got ≥ 20% more expensive).
     pub threshold: f64,
@@ -71,6 +74,7 @@ impl AdaptiveRuntime {
             queries: Vec::new(),
             deployments: Vec::new(),
             baseline_cost: Vec::new(),
+            parked: Vec::new(),
             threshold,
             migration_horizon: None,
             window: 0.5,
@@ -96,6 +100,16 @@ impl AdaptiveRuntime {
         &self.deployments
     }
 
+    /// Installed queries, parallel to [`Self::deployments`].
+    pub fn queries(&self) -> &[Query] {
+        &self.queries
+    }
+
+    /// Queries waiting for a placement to become feasible again.
+    pub fn parked(&self) -> &[Query] {
+        &self.parked
+    }
+
     /// Total standing cost.
     pub fn total_cost(&self) -> f64 {
         self.deployments.iter().map(|d| d.cost).sum()
@@ -119,8 +133,7 @@ impl AdaptiveRuntime {
 
         // 1. Hierarchy repair: record the roles being failed over, then
         //    deactivate the node (coordinator re-election happens inside).
-        report.coordinator_roles_failed_over =
-            self.env.hierarchy.coordinator_roles(node).len();
+        report.coordinator_roles_failed_over = self.env.hierarchy.coordinator_roles(node).len();
         if self.env.hierarchy.is_active(node) {
             dsq_hierarchy::membership::remove_node(&mut self.env.hierarchy, &self.env.dm, node);
         }
@@ -156,7 +169,8 @@ impl AdaptiveRuntime {
             })
             .collect();
 
-        // 4. Apply: retire lost/unplaceable queries, install replacements.
+        // 4. Apply: retire lost queries (accounting for their forfeited
+        //    service), park the unplaceable ones, install replacements.
         let mut queries = Vec::new();
         let mut deployments = Vec::new();
         let mut baselines = Vec::new();
@@ -167,15 +181,28 @@ impl AdaptiveRuntime {
                     baselines.push(self.baseline_cost[i]);
                     deployments.push(self.deployments[i].clone());
                 }
-                Action::Lost => report.lost.push(self.queries[i].id),
+                Action::Lost => {
+                    report.lost.push(self.queries[i].id);
+                    report.forfeited_cost += self.deployments[i].cost;
+                }
                 Action::Replan => match &replacements[i] {
                     Some(new_d) => {
                         report.redeployed.push(self.queries[i].id);
+                        report.redeploy_cost_delta += new_d.cost - self.deployments[i].cost;
                         queries.push(self.queries[i].clone());
-                        baselines.push(new_d.cost);
+                        // A replacement is a *repair*, not a re-baselining:
+                        // keep measuring degradation against the cost the
+                        // query was originally admitted at, otherwise a bad
+                        // emergency placement silently becomes the new
+                        // normal and adaptation stops firing for it.
+                        baselines.push(self.baseline_cost[i]);
                         deployments.push(new_d.clone());
                     }
-                    None => report.unplaced.push(self.queries[i].id),
+                    None => {
+                        report.unplaced.push(self.queries[i].id);
+                        report.parked_cost += self.deployments[i].cost;
+                        self.parked.push(self.queries[i].clone());
+                    }
                 },
             }
         }
@@ -184,6 +211,48 @@ impl AdaptiveRuntime {
         self.baseline_cost = baselines;
         report.cost_after = self.total_cost();
         report
+    }
+
+    /// Re-attempt placement of every parked query against the current
+    /// environment; successfully placed ones are (re)installed with their
+    /// new cost as the baseline. Returns the ids that found a home.
+    pub fn retry_parked(
+        &mut self,
+        mut replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
+    ) -> Vec<QueryId> {
+        let mut placed = Vec::new();
+        let mut still_parked = Vec::new();
+        for q in std::mem::take(&mut self.parked) {
+            match replan(&self.env, &q) {
+                Some(d) => {
+                    placed.push(q.id);
+                    self.install(q, d);
+                }
+                None => still_parked.push(q),
+            }
+        }
+        self.parked = still_parked;
+        placed
+    }
+
+    /// Handle the recovery of a previously failed node: rejoin it to the
+    /// overlay via the membership protocol (contacting active member `via`)
+    /// and retry the parked queries, whose placement may now be feasible on
+    /// the enlarged overlay.
+    pub fn handle_node_recovery(
+        &mut self,
+        node: dsq_net::NodeId,
+        via: dsq_net::NodeId,
+        replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
+    ) -> crate::failures::RecoveryReport {
+        let outcome =
+            dsq_hierarchy::membership::add_node(&mut self.env.hierarchy, &self.env.dm, node, via);
+        let redeployed = self.retry_parked(replan);
+        crate::failures::RecoveryReport {
+            join_messages: outcome.messages,
+            redeployed,
+            still_parked: self.parked.len(),
+        }
     }
 
     /// Handle *data*-condition changes: the catalog's stream rates /
@@ -204,8 +273,8 @@ impl AdaptiveRuntime {
         report.cost_before = self.total_cost();
 
         for i in 0..self.deployments.len() {
-            let degraded = self.deployments[i].cost
-                > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
+            let degraded =
+                self.deployments[i].cost > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
             if !degraded {
                 // Data changes can also make a deployment cheaper; adopt the
                 // re-estimated cost as the new baseline so later drift is
@@ -272,8 +341,8 @@ impl AdaptiveRuntime {
         report.cost_before = self.total_cost();
 
         for i in 0..self.deployments.len() {
-            let degraded = self.deployments[i].cost
-                > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
+            let degraded =
+                self.deployments[i].cost > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
             if !degraded {
                 continue;
             }
@@ -425,8 +494,7 @@ mod tests {
             "re-estimated costs reflect the surge"
         );
         assert!(
-            report.migrated.contains(&victim.id)
-                || report.cost_after <= report.cost_before,
+            report.migrated.contains(&victim.id) || report.cost_after <= report.cost_before,
             "either the victim migrates or nothing got worse"
         );
         // Re-estimated standing costs must match a from-scratch evaluation.

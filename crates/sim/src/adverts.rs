@@ -103,10 +103,8 @@ mod tests {
         .generate(&env.network);
         let mut registry = ReuseRegistry::new();
         let td = TopDown::new(&env);
-        let out =
-            consolidate::deploy_all(&td, &wl.catalog, &wl.queries, &mut registry, true);
-        let ds: Vec<&dsq_query::Deployment> =
-            out.deployments.iter().flatten().collect();
+        let out = consolidate::deploy_all(&td, &wl.catalog, &wl.queries, &mut registry, true);
+        let ds: Vec<&dsq_query::Deployment> = out.deployments.iter().flatten().collect();
         let traffic = advertisement_traffic(&env, &registry, &ds);
         assert!(traffic.messages > 0, "operators were advertised");
         assert!(traffic.stream_cost_per_time > 0.0);
@@ -137,7 +135,9 @@ mod tests {
         let td = TopDown::new(&env);
         for q in &wl.queries {
             let mut stats = dsq_core::SearchStats::new();
-            let d = td.optimize(&wl.catalog, q, &mut registry, &mut stats).unwrap();
+            let d = td
+                .optimize(&wl.catalog, q, &mut registry, &mut stats)
+                .unwrap();
             registry.register_deployment(q, &d);
         }
         let traffic = advertisement_traffic(&env, &registry, &[]);

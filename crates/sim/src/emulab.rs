@@ -20,6 +20,8 @@
 use dsq_core::{PlanEvent, SearchStats};
 use dsq_net::{DistanceMatrix, Metric, Network, NodeId};
 use dsq_query::Deployment;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
 
 /// Deployment-time breakdown in milliseconds.
 #[derive(Clone, Copy, Debug, Default)]
@@ -28,12 +30,17 @@ pub struct DeploymentTime {
     pub messaging_ms: f64,
     /// Plan-search work at the coordinators.
     pub planning_ms: f64,
+    /// Time spent waiting out timeouts of dropped messages (zero on the
+    /// reliable model).
+    pub retry_ms: f64,
+    /// Messages that had to be re-sent after a timeout.
+    pub retries: usize,
 }
 
 impl DeploymentTime {
     /// Total deployment time.
     pub fn total_ms(&self) -> f64 {
-        self.messaging_ms + self.planning_ms
+        self.messaging_ms + self.planning_ms + self.retry_ms
     }
 }
 
@@ -78,16 +85,14 @@ impl EmulabModel {
         // Query routing between planning sites, starting from the sink.
         let mut at = submit;
         for ev in &stats.events {
-            t.messaging_ms +=
-                self.delays.get(at, ev.coordinator) + self.per_message_overhead_ms;
+            t.messaging_ms += self.delays.get(at, ev.coordinator) + self.per_message_overhead_ms;
             at = ev.coordinator;
             t.planning_ms += self.planning_ms(ev);
         }
         // Operator instantiation: one round trip from the last planning
         // site to each operator node, plus result wiring to the sink.
         for &op in &deployment.operator_nodes() {
-            t.messaging_ms +=
-                2.0 * (self.delays.get(at, op) + self.per_message_overhead_ms);
+            t.messaging_ms += 2.0 * (self.delays.get(at, op) + self.per_message_overhead_ms);
         }
         t.messaging_ms += self.delays.get(at, deployment.sink) + self.per_message_overhead_ms;
         t
@@ -96,6 +101,182 @@ impl EmulabModel {
     /// Search time one planning event costs.
     pub fn planning_ms(&self, ev: &PlanEvent) -> f64 {
         ev.plans as f64 * self.per_plan_us / 1000.0
+    }
+}
+
+/// Retry policy of the lossy deployment protocol: per-message drop
+/// probability, initial retransmission timeout, exponential backoff and a
+/// retry cap after which the message (and the deployment it carries) is
+/// given up on.
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Probability that any single protocol message is lost in flight.
+    pub drop_probability: f64,
+    /// Initial retransmission timeout in milliseconds. Calibrated to 100 ms
+    /// — ~4× the worst-case round trip on the 1–6 ms testbed links plus the
+    /// 25 ms software overhead ([`EmulabModel::per_message_overhead_ms`]).
+    pub timeout_ms: f64,
+    /// Multiplier applied to the timeout after every loss (classic
+    /// exponential backoff; 2.0 doubles the wait each attempt).
+    pub backoff: f64,
+    /// Maximum number of retransmissions per message before the protocol
+    /// declares the send failed.
+    pub max_retries: usize,
+}
+
+impl RetryPolicy {
+    /// The reliable protocol: no losses, so no retries ever happen and
+    /// deployment times match [`EmulabModel::deployment_time`] exactly.
+    pub fn reliable() -> Self {
+        RetryPolicy {
+            drop_probability: 0.0,
+            timeout_ms: 100.0,
+            backoff: 2.0,
+            max_retries: 0,
+        }
+    }
+
+    /// A lossy protocol with the calibrated timeout/backoff constants and
+    /// the given drop probability.
+    pub fn lossy(drop_probability: f64) -> Self {
+        assert!((0.0..=1.0).contains(&drop_probability));
+        RetryPolicy {
+            drop_probability,
+            timeout_ms: 100.0,
+            backoff: 2.0,
+            max_retries: 5,
+        }
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        Self::reliable()
+    }
+}
+
+/// Outcome of pushing one message through the lossy protocol.
+#[derive(Clone, Copy, Debug)]
+pub struct SendOutcome {
+    /// Link latency + software overhead actually paid (per attempt that
+    /// made it onto the wire and was not dropped; zero when every attempt
+    /// was lost).
+    pub transit_ms: f64,
+    /// Timeout time burned on dropped attempts.
+    pub wait_ms: f64,
+    /// Retransmissions performed.
+    pub retries: usize,
+    /// Whether the message was eventually delivered.
+    pub delivered: bool,
+}
+
+/// The lossy deployment-protocol model: an [`EmulabModel`] whose protocol
+/// messages can be dropped, retried with exponential backoff, and — past
+/// the retry cap — fail the deployment they carry.
+///
+/// With `policy.drop_probability == 0.0` the model reproduces
+/// [`EmulabModel::deployment_time`] exactly (the RNG is never consulted),
+/// which keeps the Figure 10 calibration intact.
+#[derive(Clone, Debug)]
+pub struct LossyProtocol {
+    /// The underlying delay/search-cost model.
+    pub model: EmulabModel,
+    /// Drop/timeout/backoff/cap parameters.
+    pub policy: RetryPolicy,
+    rng: ChaCha8Rng,
+}
+
+impl LossyProtocol {
+    /// Wrap `model` with `policy`, seeding the loss process.
+    pub fn new(model: EmulabModel, policy: RetryPolicy, seed: u64) -> Self {
+        LossyProtocol {
+            model,
+            policy,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// Send one protocol message from `from` to `to`, retrying on loss.
+    pub fn send(&mut self, from: NodeId, to: NodeId) -> SendOutcome {
+        let one_way = self.model.delays.get(from, to) + self.model.per_message_overhead_ms;
+        let mut outcome = SendOutcome {
+            transit_ms: 0.0,
+            wait_ms: 0.0,
+            retries: 0,
+            delivered: false,
+        };
+        let mut timeout = self.policy.timeout_ms;
+        for attempt in 0..=self.policy.max_retries {
+            let dropped = self.policy.drop_probability > 0.0
+                && self.rng.gen_bool(self.policy.drop_probability);
+            if !dropped {
+                outcome.transit_ms = one_way;
+                outcome.retries = attempt;
+                outcome.delivered = true;
+                return outcome;
+            }
+            // The sender only learns about the loss by timing out.
+            outcome.wait_ms += timeout;
+            timeout *= self.policy.backoff;
+        }
+        outcome.retries = self.policy.max_retries;
+        outcome
+    }
+
+    /// Deployment time for one optimized query under the lossy protocol:
+    /// the same message walk as [`EmulabModel::deployment_time`], but every
+    /// hop can be dropped and retried. Returns `None` when any message
+    /// exhausts its retry budget — the deployment failed to instantiate and
+    /// the accumulated time (routing, search, timeouts) is reported
+    /// alongside so callers can charge it before parking the query.
+    pub fn deployment_time(
+        &mut self,
+        submit: NodeId,
+        stats: &SearchStats,
+        deployment: &Deployment,
+    ) -> (DeploymentTime, bool) {
+        let mut t = DeploymentTime::default();
+        let mut at = submit;
+        for ev in &stats.events {
+            if !self.hop(&mut t, at, ev.coordinator) {
+                return (t, false);
+            }
+            at = ev.coordinator;
+            t.planning_ms += self.model.planning_ms(ev);
+        }
+        for &op in &deployment.operator_nodes() {
+            // Instantiation round trip: request out, acknowledgment back.
+            // Delays are symmetric, so the two delivered legs are charged
+            // as one doubled term — the same expression the reliable model
+            // uses, keeping the zero-drop calibration bit-exact.
+            let request = self.send(at, op);
+            t.retry_ms += request.wait_ms;
+            t.retries += request.retries;
+            if !request.delivered {
+                return (t, false);
+            }
+            let ack = self.send(op, at);
+            t.retry_ms += ack.wait_ms;
+            t.retries += ack.retries;
+            if !ack.delivered {
+                t.messaging_ms += request.transit_ms;
+                return (t, false);
+            }
+            t.messaging_ms += 2.0 * request.transit_ms;
+        }
+        if !self.hop(&mut t, at, deployment.sink) {
+            return (t, false);
+        }
+        (t, true)
+    }
+
+    /// Charge one message to `t`; `false` when it was never delivered.
+    fn hop(&mut self, t: &mut DeploymentTime, from: NodeId, to: NodeId) -> bool {
+        let s = self.send(from, to);
+        t.messaging_ms += s.transit_ms;
+        t.retry_ms += s.wait_ms;
+        t.retries += s.retries;
+        s.delivered
     }
 }
 
@@ -138,10 +319,9 @@ mod tests {
             let d_bu = BottomUp::new(&env)
                 .optimize(&wl.catalog, q, &mut r1, &mut s_bu)
                 .unwrap();
-            let d_bum =
-                BottomUp::with_placement(&env, dsq_core::BottomUpPlacement::MembersOnly)
-                    .optimize(&wl.catalog, q, &mut r3, &mut s_bum)
-                    .unwrap();
+            let d_bum = BottomUp::with_placement(&env, dsq_core::BottomUpPlacement::MembersOnly)
+                .optimize(&wl.catalog, q, &mut r3, &mut s_bum)
+                .unwrap();
             let d_td = TopDown::new(&env)
                 .optimize(&wl.catalog, q, &mut r2, &mut s_td)
                 .unwrap();
@@ -208,5 +388,100 @@ mod tests {
         assert!(t.messaging_ms > 0.0);
         assert!(t.planning_ms > 0.0);
         assert!(t.total_ms() >= t.messaging_ms.max(t.planning_ms));
+    }
+
+    /// Per-query optimizer outputs for the protocol tests.
+    fn planned(
+        env: &Environment,
+        wl: &dsq_workload::Workload,
+    ) -> Vec<(dsq_net::NodeId, SearchStats, Deployment)> {
+        wl.queries
+            .iter()
+            .map(|q| {
+                let mut s = SearchStats::new();
+                let mut r = ReuseRegistry::new();
+                let d = TopDown::new(env)
+                    .optimize(&wl.catalog, q, &mut r, &mut s)
+                    .unwrap();
+                (q.sink, s, d)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn zero_drop_protocol_matches_reliable_model_exactly() {
+        let (env, wl) = testbed();
+        let model = EmulabModel::new(&env.network);
+        let mut lossless = LossyProtocol::new(model.clone(), RetryPolicy::reliable(), 3);
+        for (sink, stats, d) in planned(&env, &wl) {
+            let reliable = model.deployment_time(sink, &stats, &d);
+            let (lossy, delivered) = lossless.deployment_time(sink, &stats, &d);
+            assert!(delivered);
+            assert_eq!(lossy.retries, 0);
+            assert_eq!(lossy.retry_ms, 0.0);
+            assert_eq!(lossy.messaging_ms, reliable.messaging_ms, "bit-exact");
+            assert_eq!(lossy.planning_ms, reliable.planning_ms, "bit-exact");
+            assert_eq!(lossy.total_ms(), reliable.total_ms(), "bit-exact");
+        }
+    }
+
+    #[test]
+    fn losses_add_retry_time_and_count() {
+        let (env, wl) = testbed();
+        let model = EmulabModel::new(&env.network);
+        let mut proto = LossyProtocol::new(model.clone(), RetryPolicy::lossy(0.3), 7);
+        let (mut retries, mut retry_ms, mut delivered_all) = (0usize, 0.0, 0usize);
+        for (sink, stats, d) in planned(&env, &wl) {
+            let (t, delivered) = proto.deployment_time(sink, &stats, &d);
+            retries += t.retries;
+            retry_ms += t.retry_ms;
+            delivered_all += usize::from(delivered);
+            let reliable = model.deployment_time(sink, &stats, &d);
+            assert!(
+                t.total_ms() >= reliable.total_ms() - 1e-9 || !delivered,
+                "losses can only slow a delivered deployment down"
+            );
+        }
+        assert!(retries > 0, "30% drop over dozens of messages must retry");
+        assert!(retry_ms > 0.0);
+        assert!(delivered_all > 0, "most deployments still make it through");
+    }
+
+    #[test]
+    fn certain_loss_exhausts_the_retry_budget() {
+        let (env, wl) = testbed();
+        let policy = RetryPolicy {
+            drop_probability: 1.0,
+            ..RetryPolicy::lossy(1.0)
+        };
+        let mut proto = LossyProtocol::new(EmulabModel::new(&env.network), policy, 5);
+        let (sink, stats, d) = planned(&env, &wl).remove(0);
+        let (t, delivered) = proto.deployment_time(sink, &stats, &d);
+        assert!(!delivered, "nothing gets through at p = 1");
+        assert_eq!(t.messaging_ms, 0.0, "no message ever transited");
+        // First message: initial timeout plus max_retries backed-off waits.
+        let expected: f64 = (0..=proto.policy.max_retries)
+            .map(|i| proto.policy.timeout_ms * proto.policy.backoff.powi(i as i32))
+            .sum();
+        assert!((t.retry_ms - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backoff_grows_waits_exponentially() {
+        let net = TransitStubConfig::emulab_32().generate(9).network;
+        let policy = RetryPolicy {
+            drop_probability: 1.0,
+            timeout_ms: 10.0,
+            backoff: 3.0,
+            max_retries: 3,
+        };
+        let mut proto = LossyProtocol::new(EmulabModel::new(&net), policy, 1);
+        let a = net.nodes().next().unwrap();
+        let b = net.nodes().nth(1).unwrap();
+        let out = proto.send(a, b);
+        assert!(!out.delivered);
+        assert_eq!(out.retries, 3);
+        // 10 + 30 + 90 + 270.
+        assert!((out.wait_ms - 400.0).abs() < 1e-9);
     }
 }

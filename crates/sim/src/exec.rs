@@ -242,7 +242,9 @@ mod tests {
             // the batch produces data, keep the numeric window.
             let mut q = q.clone();
             q.selections.retain(|s| s.value < 1000.0);
-            let d = td.optimize(&sc.catalog, &q, &mut registry, &mut stats).unwrap();
+            let d = td
+                .optimize(&sc.catalog, &q, &mut registry, &mut stats)
+                .unwrap();
             let got = execute_deployment(&tables, &q, &d);
             let want = reference_result(&tables, &q);
             assert!(
@@ -256,7 +258,7 @@ mod tests {
             registry.register_deployment(&q, &d);
         }
         // The second query reused the first's operator and still matched.
-        assert!(registry.len() > 0);
+        assert!(!registry.is_empty());
     }
 
     /// Random join-graph queries: every optimizer's plan must equal the
@@ -294,13 +296,8 @@ mod tests {
                 ));
             }
             // One numeric selection.
-            q.selections.push(SelectionPredicate::new(
-                ids[0],
-                "v0",
-                CmpOp::Lt,
-                3.0,
-                0.6,
-            ));
+            q.selections
+                .push(SelectionPredicate::new(ids[0], "v0", CmpOp::Lt, 3.0, 0.6));
             q.validate();
 
             let tables = generate_tables(&catalog, 40, 5, case as u64);

@@ -27,12 +27,33 @@ pub struct FailureReport {
     pub redeployed: Vec<QueryId>,
     /// Queries lost because their source stream or sink was on the node.
     pub lost: Vec<QueryId>,
-    /// Queries that touched the node but could not be replanned.
+    /// Queries that touched the node but could not be replanned; they are
+    /// *parked* in the runtime and retried on later membership changes.
     pub unplaced: Vec<QueryId>,
     /// Standing cost before the failure was handled.
     pub cost_before: f64,
     /// Standing cost after recovery (lost queries excluded).
     pub cost_after: f64,
+    /// Standing cost forfeited by the lost queries: the steady-state service
+    /// they were receiving at failure time, now permanently gone.
+    pub forfeited_cost: f64,
+    /// Standing cost of the deployments torn down for parked queries; it
+    /// comes back (possibly at a different level) when a retry places them.
+    pub parked_cost: f64,
+    /// `Σ (new − old)` over the redeployed queries' costs: the per-event
+    /// recovery cost inflation.
+    pub redeploy_cost_delta: f64,
+}
+
+/// What a node-recovery (rejoin) pass did.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Protocol messages the join routing exchanged (Section 2.1.1).
+    pub join_messages: usize,
+    /// Parked queries successfully placed after the rejoin.
+    pub redeployed: Vec<QueryId>,
+    /// Queries still parked after the retry pass.
+    pub still_parked: usize,
 }
 
 /// Does a deployment touch `node` as an operator host, leaf host or sink?
@@ -41,12 +62,7 @@ pub(crate) fn uses_node(d: &Deployment, node: NodeId) -> bool {
 }
 
 /// Is the deployment unrecoverable (source stream or sink on the node)?
-pub(crate) fn unrecoverable(
-    d: &Deployment,
-    q: &Query,
-    catalog: &Catalog,
-    node: NodeId,
-) -> bool {
+pub(crate) fn unrecoverable(d: &Deployment, q: &Query, catalog: &Catalog, node: NodeId) -> bool {
     if q.sink == node {
         return true;
     }

@@ -247,14 +247,15 @@ mod tests {
         let a = catalog.add_stream("A", 5.0, node, dsq_query::Schema::default());
         let b = catalog.add_stream("B", 5.0, node, dsq_query::Schema::default());
         let q = dsq_query::Query::join(dsq_query::QueryId(0), [a, b], node);
-        let tree = dsq_query::JoinTree::join(
-            dsq_query::JoinTree::base(a),
-            dsq_query::JoinTree::base(b),
-        );
+        let tree =
+            dsq_query::JoinTree::join(dsq_query::JoinTree::base(a), dsq_query::JoinTree::base(b));
         let plan = dsq_query::FlatPlan::from_tree(&tree, &q, &catalog);
         let d = Deployment::evaluate(q.id, plan, vec![node, node, node], node, sim.distances());
         let report = sim.evaluate(&[&d]);
         assert_eq!(report.total_cost, 0.0);
-        assert!(report.node_load[&node] > 0.0, "processing load still counted");
+        assert!(
+            report.node_load[&node] > 0.0,
+            "processing load still counted"
+        );
     }
 }

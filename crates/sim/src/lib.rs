@@ -22,6 +22,7 @@
 
 pub mod adapt;
 pub mod adverts;
+pub mod chaos;
 pub mod emulab;
 pub mod exec;
 pub mod failures;
@@ -32,7 +33,8 @@ pub mod tuple_sim;
 
 pub use adapt::{AdaptiveRuntime, LinkChange, MigrationReport};
 pub use adverts::{advertisement_traffic, AdvertTraffic};
-pub use emulab::{DeploymentTime, EmulabModel};
+pub use chaos::{ChaosReport, ChaosRunner, Fault, FaultConfig, FaultSchedule, TimedFault};
+pub use emulab::{DeploymentTime, EmulabModel, LossyProtocol, RetryPolicy};
 pub use exec::{execute_deployment, generate_tables, reference_result, same_result, Row, Tables};
 pub use failures::FailureReport;
 pub use flow::{FlowReport, FlowSimulator, UtilizationSummary};

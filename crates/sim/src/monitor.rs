@@ -247,8 +247,11 @@ mod tests {
         assert_eq!(updated, 2, "stream 2 saw no data");
         let r0 = catalog.stream(StreamId(0)).rate;
         let r1 = catalog.stream(StreamId(1)).rate;
+        // The decay-weighted estimator is unbiased but high-variance on the
+        // slow stream (~8 arrivals per time constant), so the tolerance is
+        // wider than plain 1/sqrt(n) would suggest.
         assert!((r0 - 30.0).abs() / 30.0 < 0.2, "r0 = {r0}");
-        assert!((r1 - 8.0).abs() / 8.0 < 0.2, "r1 = {r1}");
+        assert!((r1 - 8.0).abs() / 8.0 < 0.3, "r1 = {r1}");
         assert_eq!(catalog.stream(StreamId(2)).rate, 1.0, "untouched");
     }
 }

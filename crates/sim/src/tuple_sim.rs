@@ -74,9 +74,17 @@ enum EventKind {
     /// A leaf emits its next tuple.
     Emit { leaf: usize },
     /// A tuple arrives at a consumer (`usize::MAX` = the sink).
-    Arrive { consumer: usize, from: usize, birth: f64 },
+    Arrive {
+        consumer: usize,
+        from: usize,
+        birth: f64,
+    },
     /// A tuple finishes processing at a join (post-queueing).
-    Process { consumer: usize, from: usize, birth: f64 },
+    Process {
+        consumer: usize,
+        from: usize,
+        birth: f64,
+    },
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -190,10 +198,10 @@ impl<'a> TupleSimulator<'a> {
         assert!(measure_span > 0.0, "duration must exceed warmup");
 
         let send = |time: f64,
-                        from: usize,
-                        birth: f64,
-                        cost_accum: &mut f64,
-                        heap: &mut BinaryHeap<Reverse<Event>>| {
+                    from: usize,
+                    birth: f64,
+                    cost_accum: &mut f64,
+                    heap: &mut BinaryHeap<Reverse<Event>>| {
             let to = consumer[from];
             let (from_node, to_node) = (place(from), place(to));
             if time >= cfg.warmup {
@@ -314,8 +322,8 @@ fn exp_sample(rng: &mut ChaCha8Rng, rate: f64) -> f64 {
 mod tests {
     use super::*;
     use dsq_core::{Environment, Optimizer, SearchStats, TopDown};
-    use dsq_query::ReuseRegistry;
     use dsq_net::TransitStubConfig;
+    use dsq_query::ReuseRegistry;
     use dsq_workload::{WorkloadConfig, WorkloadGenerator};
 
     fn simulated_case(seed: u64) -> (Environment, dsq_workload::Workload, Deployment) {

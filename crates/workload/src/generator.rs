@@ -79,8 +79,10 @@ pub struct WorkloadGenerator {
 impl WorkloadGenerator {
     /// Create a generator with the given configuration and seed.
     pub fn new(config: WorkloadConfig, seed: u64) -> Self {
-        assert!(config.streams > *config.joins_per_query.end(),
-            "need at least max joins + 1 streams");
+        assert!(
+            config.streams > *config.joins_per_query.end(),
+            "need at least max joins + 1 streams"
+        );
         assert!(*config.joins_per_query.start() >= 1);
         WorkloadGenerator {
             config,
@@ -127,9 +129,7 @@ impl WorkloadGenerator {
         let mut queries = Vec::with_capacity(self.config.queries);
         let all_streams: Vec<StreamId> = (0..self.config.streams as u32).map(StreamId).collect();
         for qi in 0..self.config.queries {
-            let joins = self
-                .rng
-                .gen_range(self.config.joins_per_query.clone());
+            let joins = self.rng.gen_range(self.config.joins_per_query.clone());
             let k = joins + 1;
             let sources: Vec<StreamId> = match self.config.source_skew {
                 None => all_streams
@@ -238,7 +238,10 @@ mod tests {
         let a = WorkloadGenerator::new(WorkloadConfig::default(), 1).generate(&net);
         let b = WorkloadGenerator::new(WorkloadConfig::default(), 2).generate(&net);
         assert!(
-            a.queries.iter().zip(&b.queries).any(|(x, y)| x.sources != y.sources)
+            a.queries
+                .iter()
+                .zip(&b.queries)
+                .any(|(x, y)| x.sources != y.sources)
                 || a.catalog
                     .streams()
                     .iter()
@@ -253,7 +256,11 @@ mod tests {
         let mut gen = WorkloadGenerator::new(WorkloadConfig::default(), 5);
         let a = gen.generate(&net);
         let b = gen.generate(&net);
-        assert!(a.queries.iter().zip(&b.queries).any(|(x, y)| x.sources != y.sources));
+        assert!(a
+            .queries
+            .iter()
+            .zip(&b.queries)
+            .any(|(x, y)| x.sources != y.sources));
     }
 
     #[test]
@@ -333,15 +340,21 @@ mod tests {
             ..WorkloadConfig::default()
         };
         let wl = WorkloadGenerator::new(cfg, 13).generate(&net);
-        let with_sel = wl.queries.iter().filter(|q| !q.selections.is_empty()).count();
+        let with_sel = wl
+            .queries
+            .iter()
+            .filter(|q| !q.selections.is_empty())
+            .count();
         assert!(with_sel > wl.queries.len() / 2);
         for q in &wl.queries {
             for sel in &q.selections {
                 assert_eq!(sel.attr, "ts");
                 assert!(sel.selectivity > 0.0 && sel.selectivity <= 1.0);
                 // Effective rate shrinks accordingly.
-                assert!(q.effective_rate(&wl.catalog, sel.stream)
-                    <= wl.catalog.stream(sel.stream).rate + 1e-9);
+                assert!(
+                    q.effective_rate(&wl.catalog, sel.stream)
+                        <= wl.catalog.stream(sel.stream).rate + 1e-9
+                );
             }
         }
     }

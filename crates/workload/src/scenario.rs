@@ -100,17 +100,13 @@ pub fn airline_scenario() -> AirlineScenario {
 
     // Shared filters of Q1/Q2: departing Atlanta within 12 hours. Constants
     // are numeric codes ("ATLANTA" hashed to 1.0; hours as numbers).
-    let departing_atlanta =
-        SelectionPredicate::new(flights, "DEPARTING", CmpOp::Eq, 1.0, 0.2);
+    let departing_atlanta = SelectionPredicate::new(flights, "DEPARTING", CmpOp::Eq, 1.0, 0.2);
     let within_12h = SelectionPredicate::new(flights, "DP-TIME", CmpOp::Lt, 12.0, 0.5);
 
     let mut q2 = Query::join(QueryId(0), [flights, checkins], sink3);
     q2.selections = vec![departing_atlanta.clone(), within_12h.clone()];
     q2.join_predicates = vec![JoinPredicate::new(flights, "NUM", checkins, "FLNUM")];
-    q2.projection = vec![
-        (flights, "STATUS".into()),
-        (checkins, "STATUS".into()),
-    ];
+    q2.projection = vec![(flights, "STATUS".into()), (checkins, "STATUS".into())];
     q2.validate();
 
     let mut q1 = Query::join(QueryId(1), [flights, weather, checkins], sink4);

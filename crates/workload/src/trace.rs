@@ -146,13 +146,8 @@ mod tests {
         let t = RateTrace::generate(&c, &cfg);
         assert!(!t.surges.is_empty(), "50 steps × 20 streams × 5% surges");
         let (step, stream) = t.surges[0];
-        let rate_at = |st: usize| -> f64 {
-            t.steps[st]
-                .iter()
-                .find(|(s, _)| *s == stream)
-                .unwrap()
-                .1
-        };
+        let rate_at =
+            |st: usize| -> f64 { t.steps[st].iter().find(|(s, _)| *s == stream).unwrap().1 };
         let before = if step == 0 { 50.0 } else { rate_at(step - 1) };
         assert!(rate_at(step) > before * 2.0, "surge multiplies the rate");
     }

@@ -48,7 +48,10 @@ fn main() {
         .iter()
         .map(|&((a, b), rate)| {
             let old = runtime.env.network.find_link(a, b).unwrap().cost;
-            println!("congesting {a} <-> {b} (carrying {rate:.1}): cost {old:.1} -> {:.1}", old * 25.0);
+            println!(
+                "congesting {a} <-> {b} (carrying {rate:.1}): cost {old:.1} -> {:.1}",
+                old * 25.0
+            );
             LinkChange {
                 a,
                 b,

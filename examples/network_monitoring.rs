@@ -59,7 +59,8 @@ fn main() {
     let mut td_deployments = Vec::new();
     for (name, alg) in &algorithms {
         let mut registry = ReuseRegistry::new();
-        let out = consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut registry, true);
+        let out =
+            consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut registry, true);
         let reused = out
             .deployments
             .iter()

@@ -30,14 +30,22 @@ fn main() {
                     AND FLIGHTS.NUM = CHECK-INS.FLNUM \
                     AND FLIGHTS.DP-TIME < 12";
 
-    let q2 = parse_query(q2_sql, catalog, QueryId(0), scenario.nodes.sink3, &hints)
-        .expect("Q2 parses");
-    let q1 = parse_query(q1_sql, catalog, QueryId(1), scenario.nodes.sink4, &hints)
-        .expect("Q1 parses");
-    println!("parsed Q2: {} sources, {} selections, {} join predicates",
-        q2.sources.len(), q2.selections.len(), q2.join_predicates.len());
-    println!("parsed Q1: {} sources, {} selections, {} join predicates",
-        q1.sources.len(), q1.selections.len(), q1.join_predicates.len());
+    let q2 =
+        parse_query(q2_sql, catalog, QueryId(0), scenario.nodes.sink3, &hints).expect("Q2 parses");
+    let q1 =
+        parse_query(q1_sql, catalog, QueryId(1), scenario.nodes.sink4, &hints).expect("Q1 parses");
+    println!(
+        "parsed Q2: {} sources, {} selections, {} join predicates",
+        q2.sources.len(),
+        q2.selections.len(),
+        q2.join_predicates.len()
+    );
+    println!(
+        "parsed Q1: {} sources, {} selections, {} join predicates",
+        q1.sources.len(),
+        q1.selections.len(),
+        q1.join_predicates.len()
+    );
 
     let mut registry = ReuseRegistry::new();
     let mut stats = SearchStats::new();
@@ -52,7 +60,10 @@ fn main() {
     let d1 = optimizer
         .optimize(catalog, &q1, &mut registry, &mut stats)
         .expect("Q1 deploys");
-    println!("Q1 deployed (reusing Q2 where profitable):\n{}", d1.describe(catalog));
+    println!(
+        "Q1 deployed (reusing Q2 where profitable):\n{}",
+        d1.describe(catalog)
+    );
     println!(
         "search examined {} plan/deployment combinations across both queries",
         stats.plans_considered

@@ -9,6 +9,8 @@
 //! dsqctl simulate [--size N] [--duration T] [--seed S]     tuple-level validation
 //! dsqctl sql "<SELECT …>" [--sink NODE]                    parse & deploy on the
 //!                                                          airline scenario
+//! dsqctl chaos [--events N] [--drop P] [--seed S]          seeded fault-injection
+//!                                                          soak of the runtime
 //! ```
 //!
 //! All arguments are optional; defaults reproduce the paper's ~128-node
@@ -37,6 +39,7 @@ fn main() -> ExitCode {
         "optimize" => optimize(&opts),
         "simulate" => simulate(&opts),
         "sql" => sql(&opts),
+        "chaos" => chaos(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             ExitCode::SUCCESS
@@ -48,7 +51,7 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "dsqctl <topology|hierarchy|optimize|simulate|sql|help> [options]
+const USAGE: &str = "dsqctl <topology|hierarchy|optimize|simulate|sql|chaos|help> [options]
   --size N       target network size (default 128)
   --seed S       RNG seed (default 1)
   --max-cs M     cluster size cap (default 32)
@@ -57,6 +60,8 @@ const USAGE: &str = "dsqctl <topology|hierarchy|optimize|simulate|sql|help> [opt
   --skew Z       Zipf skew for source popularity (default: uniform)
   --duration T   tuple-simulation duration (default 200)
   --sink NODE    sink node id for `sql` (default: scenario Sink4)
+  --events N     fault events for `chaos` (default 60)
+  --drop P       message drop probability for `chaos` (default 0.1)
   --save FILE    write the generated topology to FILE (text format)
   --load FILE    read the topology from FILE instead of generating one
   --dot          emit Graphviz DOT instead of a summary";
@@ -71,6 +76,8 @@ struct Opts {
     queries: usize,
     skew: Option<f64>,
     duration: f64,
+    events: usize,
+    drop: f64,
     sink: Option<u32>,
     save: Option<String>,
     load: Option<String>,
@@ -88,6 +95,8 @@ impl Opts {
             queries: 20,
             skew: None,
             duration: 200.0,
+            events: 60,
+            drop: 0.1,
             sink: None,
             save: None,
             load: None,
@@ -114,6 +123,8 @@ impl Opts {
                 "--duration" => {
                     o.duration = value("--duration").parse().expect("--duration: float")
                 }
+                "--events" => o.events = value("--events").parse().expect("--events: integer"),
+                "--drop" => o.drop = value("--drop").parse().expect("--drop: float"),
                 "--sink" => o.sink = Some(value("--sink").parse().expect("--sink: node id")),
                 "--save" => o.save = Some(value("--save")),
                 "--load" => o.load = Some(value("--load")),
@@ -132,7 +143,11 @@ impl Opts {
                 dsq_net::parse_topology(&text)
                     .unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
             }
-            None => TransitStubConfig::sized(self.size).generate(self.seed).network,
+            None => {
+                TransitStubConfig::sized(self.size)
+                    .generate(self.seed)
+                    .network
+            }
         };
         if let Some(path) = &self.save {
             std::fs::write(path, dsq_net::write_topology(&net))
@@ -192,7 +207,11 @@ fn hierarchy(o: &Opts) -> ExitCode {
         print!("{}", h.to_dot());
         return ExitCode::SUCCESS;
     }
-    println!("hierarchy over {} nodes, max_cs {}:", env.network.len(), o.max_cs);
+    println!(
+        "hierarchy over {} nodes, max_cs {}:",
+        env.network.len(),
+        o.max_cs
+    );
     for level in 1..=h.height() {
         let sizes: Vec<usize> = h.level(level).iter().map(|c| c.members.len()).collect();
         println!(
@@ -240,7 +259,8 @@ fn optimize(o: &Opts) -> ExitCode {
     );
     for (name, alg) in &algs {
         let mut registry = ReuseRegistry::new();
-        let out = consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut registry, true);
+        let out =
+            consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut registry, true);
         let infeasible = out.deployments.iter().filter(|d| d.is_none()).count();
         println!(
             "{:<18} {:>14.1} {:>18} {:>12}",
@@ -289,6 +309,67 @@ fn simulate(o: &Opts) -> ExitCode {
         );
         registry.register_deployment(q, &d);
     }
+    ExitCode::SUCCESS
+}
+
+fn chaos(o: &Opts) -> ExitCode {
+    use dsq::sim::chaos::{ChaosRunner, FaultConfig, FaultSchedule};
+    use dsq::sim::emulab::RetryPolicy;
+    let env = Environment::build(o.network(), o.max_cs);
+    let wl = o.workload(&env.network);
+    let cfg = FaultConfig {
+        events: o.events,
+        ..FaultConfig::default()
+    };
+    let schedule = FaultSchedule::generate(&env, &cfg, o.seed);
+    let runner = ChaosRunner {
+        policy: if o.drop > 0.0 {
+            RetryPolicy::lossy(o.drop)
+        } else {
+            RetryPolicy::reliable()
+        },
+        protocol_seed: o.seed,
+        threshold: 0.2,
+    };
+    println!(
+        "chaos: {} nodes, {} queries, {} events, drop probability {}\n",
+        env.network.len(),
+        wl.queries.len(),
+        o.events,
+        o.drop
+    );
+    let r = runner.run(env, &wl.catalog, &wl.queries, &schedule);
+    println!(
+        "events            {:>8} applied, {} skipped over {:.1} s simulated",
+        r.applied,
+        r.skipped,
+        r.duration_ms / 1000.0
+    );
+    println!(
+        "queries           {:>8} installed -> {} live, {} parked, {} lost",
+        r.installed_initially,
+        r.final_installed,
+        r.final_parked,
+        r.lost.len()
+    );
+    println!(
+        "redeployments     {:>8} ({} instantiation failures parked for retry)",
+        r.redeployments, r.instantiation_failures
+    );
+    println!("availability      {:>8.4}", r.availability);
+    println!(
+        "MTTR              {:>8.1} ms (simulated protocol time)",
+        r.mttr_ms
+    );
+    println!(
+        "protocol          {:>8} retransmissions, {:.1} ms in timeouts",
+        r.protocol_retries, r.protocol_retry_ms
+    );
+    println!(
+        "standing cost     {:>8.1} -> {:.1}",
+        r.cost_initial, r.cost_final
+    );
+    println!("invariant checks  {:>8} (all passed)", r.invariant_checks);
     ExitCode::SUCCESS
 }
 

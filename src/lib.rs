@@ -65,9 +65,7 @@ pub mod prelude {
         bounds, BottomUp, BottomUpPlacement, Environment, Optimizer, SearchStats, TopDown,
     };
     pub use dsq_hierarchy::{Hierarchy, HierarchyConfig};
-    pub use dsq_net::{
-        CostSpace, DistanceMatrix, Metric, Network, NodeId, TransitStubConfig,
-    };
+    pub use dsq_net::{CostSpace, DistanceMatrix, Metric, Network, NodeId, TransitStubConfig};
     pub use dsq_query::{
         parse_query, Catalog, Deployment, JoinTree, Query, ReuseRegistry, SelectivityHints,
         StreamId,

@@ -36,7 +36,10 @@ fn bottomup_placement_is_within_bound_of_same_tree_optimum() {
             .unwrap();
         // Optimal placement of the very same plan (tree shape fixed).
         let fixed = optimal_placement(bu.plan.clone(), q, &wl.catalog, &env.dm, &candidates);
-        assert!(bu.cost >= fixed.cost - 1e-6, "fixed-tree optimum is a floor");
+        assert!(
+            bu.cost >= fixed.cost - 1e-6,
+            "fixed-tree optimum is a floor"
+        );
         let bound = bounds::placement_bound(&bu, &env.hierarchy);
         assert!(
             bu.cost - fixed.cost <= bound + 1e-6,

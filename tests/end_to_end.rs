@@ -56,7 +56,10 @@ fn fig7_shape_reuse_and_suboptimality_ordering() {
     assert!(td_r < td, "reuse must help top-down: {td_r} vs {td}");
     assert!(bu_r < bu, "reuse must help bottom-up: {bu_r} vs {bu}");
     assert!(opt <= td_r + 1e-6, "optimal is the floor");
-    assert!(td_r <= bu_r * 1.02, "top-down ≲ bottom-up: {td_r} vs {bu_r}");
+    assert!(
+        td_r <= bu_r * 1.02,
+        "top-down ≲ bottom-up: {td_r} vs {bu_r}"
+    );
 }
 
 /// Figure 8's shape: hierarchical algorithms beat both published baselines.

@@ -10,8 +10,12 @@ use proptest::strategy::ValueTree;
 
 /// A random connected network of `n` nodes (random tree + extra edges).
 fn arb_network() -> impl Strategy<Value = Network> {
-    (4usize..9, proptest::collection::vec((0.5f64..5.0, 0usize..100), 3..9), 0u64..1_000).prop_map(
-        |(n, extra, seed)| {
+    (
+        4usize..9,
+        proptest::collection::vec((0.5f64..5.0, 0usize..100), 3..9),
+        0u64..1_000,
+    )
+        .prop_map(|(n, extra, seed)| {
             let mut net = Network::new(n);
             // Deterministic random-ish tree from the seed.
             let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
@@ -36,12 +40,17 @@ fn arb_network() -> impl Strategy<Value = Network> {
                 let a = (pair_seed * 7) % n;
                 let b = (pair_seed * 13 + 1) % n;
                 if a != b && net.find_link(NodeId(a as u32), NodeId(b as u32)).is_none() {
-                    net.add_link(NodeId(a as u32), NodeId(b as u32), cost, 1.0, LinkKind::Stub);
+                    net.add_link(
+                        NodeId(a as u32),
+                        NodeId(b as u32),
+                        cost,
+                        1.0,
+                        LinkKind::Stub,
+                    );
                 }
             }
             net
-        },
-    )
+        })
 }
 
 fn arb_catalog_query(

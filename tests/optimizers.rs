@@ -120,10 +120,7 @@ fn flat_hierarchy_collapses_hierarchical_algorithms_to_optimal() {
         let opt = Optimal::new(&env)
             .optimize(&wl.catalog, q, &mut ReuseRegistry::new(), &mut stats)
             .unwrap();
-        for alg in [
-            &TopDown::new(&env) as &dyn Optimizer,
-            &BottomUp::new(&env),
-        ] {
+        for alg in [&TopDown::new(&env) as &dyn Optimizer, &BottomUp::new(&env)] {
             let d = alg
                 .optimize(&wl.catalog, q, &mut ReuseRegistry::new(), &mut stats)
                 .unwrap();
@@ -183,7 +180,11 @@ fn derived_only_plan_when_full_result_already_deployed() {
         matches!(n, FlatNode::Leaf { source: LeafSource::Derived { covered, .. }, .. }
             if *covered == StreamSet::from_iter(q0.sources.iter().copied()))
     });
-    assert!(derived_full, "expected full-result reuse:\n{}", d1.describe(&wl.catalog));
+    assert!(
+        derived_full,
+        "expected full-result reuse:\n{}",
+        d1.describe(&wl.catalog)
+    );
     // Cost is exactly rate × distance(host, new sink).
     assert!(d1.plan.nodes().len() <= 3);
 }

@@ -44,7 +44,13 @@ fn skew_creates_reuse_opportunities_that_optimizers_take() {
     let wl = skewed_workload(&env, 2, 20);
 
     let mut reg = ReuseRegistry::new();
-    let out = consolidate::deploy_all(&Optimal::new(&env), &wl.catalog, &wl.queries, &mut reg, true);
+    let out = consolidate::deploy_all(
+        &Optimal::new(&env),
+        &wl.catalog,
+        &wl.queries,
+        &mut reg,
+        true,
+    );
     assert!(
         count_reused(&out.deployments) >= 2,
         "skewed workload must produce actual reuse (got {})",
@@ -69,8 +75,13 @@ fn reuse_lowers_cumulative_cost_for_every_algorithm() {
         let with =
             consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut with_reg, true);
         let mut without_reg = ReuseRegistry::new();
-        let without =
-            consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut without_reg, false);
+        let without = consolidate::deploy_all(
+            alg.as_ref(),
+            &wl.catalog,
+            &wl.queries,
+            &mut without_reg,
+            false,
+        );
         assert!(
             with.total_cost() <= without.total_cost() + 1e-6,
             "{name}: with reuse {} vs without {}",

@@ -9,11 +9,11 @@ use proptest::prelude::*;
 /// A random small transit-stub configuration.
 fn arb_topology() -> impl Strategy<Value = (TransitStubConfig, u64)> {
     (
-        1usize..=2,  // transit domains
-        2usize..=4,  // transit nodes per domain
-        1usize..=3,  // stub domains per transit node
-        3usize..=6,  // stub nodes per domain
-        0u64..1000,  // seed
+        1usize..=2, // transit domains
+        2usize..=4, // transit nodes per domain
+        1usize..=3, // stub domains per transit node
+        3usize..=6, // stub nodes per domain
+        0u64..1000, // seed
     )
         .prop_map(|(td, tn, sd, sn, seed)| {
             (
