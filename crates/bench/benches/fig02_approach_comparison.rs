@@ -17,7 +17,8 @@ use dsq_core::{Optimizer, SearchStats, TopDown};
 use dsq_query::ReuseRegistry;
 use dsq_workload::{WorkloadConfig, WorkloadGenerator};
 
-fn experiment() -> (Vec<(&'static str, f64)>, dsq_bench::BenchCase) {
+/// Per-approach rows of `(name, total cost, wall ms)` plus the shared case.
+fn experiment() -> (Vec<(&'static str, f64, f64)>, dsq_bench::BenchCase) {
     let env = small_env(16, 2);
     let queries = if quick_mode() { 25 } else { 100 };
     let wl = WorkloadGenerator::new(
@@ -35,30 +36,40 @@ fn experiment() -> (Vec<(&'static str, f64)>, dsq_bench::BenchCase) {
     let td = TopDown::new(&env);
     let ptd = PlanThenDeploy::new(&env);
     let rel = Relaxation::new(&env);
+    let timed = |name: &'static str, alg: &dyn Optimizer| {
+        let t0 = std::time::Instant::now();
+        let cost = run_batch(alg, &wl, true).0.last().copied().unwrap();
+        (name, cost, t0.elapsed().as_secs_f64() * 1e3)
+    };
     let rows = vec![
-        (
-            "our-approach (top-down)",
-            run_batch(&td, &wl, true).0.last().copied().unwrap(),
-        ),
-        (
-            "plan-then-deploy",
-            run_batch(&ptd, &wl, true).0.last().copied().unwrap(),
-        ),
-        (
-            "relaxation",
-            run_batch(&rel, &wl, true).0.last().copied().unwrap(),
-        ),
+        timed("our-approach (top-down)", &td),
+        timed("plan-then-deploy", &ptd),
+        timed("relaxation", &rel),
     ];
     (rows, dsq_bench::BenchCase { env, wl })
 }
 
 fn bench(c: &mut Criterion) {
-    let (rows, case) = experiment();
+    // Capture planner counters for the whole experiment and emit them with
+    // the per-approach wall times as BENCH_plan.json (CI uploads it).
+    let sink = dsq_obs::Sink::new(dsq_obs::ClockMode::Monotonic);
+    let (rows, case) = {
+        let _scope = dsq_obs::scoped(sink.clone());
+        experiment()
+    };
+    dsq_bench::emit_bench_json(
+        "plan",
+        &rows
+            .iter()
+            .map(|&(name, _, ms)| (name, ms))
+            .collect::<Vec<_>>(),
+        &sink.snapshot(),
+    );
     let ours = rows[0].1;
     println!("\n=== fig02 — total cost of 100 5-source queries, 64-node network ===");
-    for (name, cost) in &rows {
+    for (name, cost, wall_ms) in &rows {
         println!(
-            "{name:>26}: {cost:>12.1}  ({:+.1}% vs ours)",
+            "{name:>26}: {cost:>12.1}  ({:+.1}% vs ours, {wall_ms:.0} ms)",
             (cost / ours - 1.0) * 100.0
         );
     }

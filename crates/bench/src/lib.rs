@@ -218,6 +218,42 @@ pub fn figures_dir() -> PathBuf {
     PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../target/figures")
 }
 
+/// Workspace root, where `BENCH_*.json` summaries land (CI uploads them as
+/// artifacts; `.gitignore` keeps them out of the tree).
+pub fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+/// Write `BENCH_<name>.json` at the workspace root: per-series wall times
+/// plus the counters and histograms captured by an observability sink
+/// during the run.
+///
+/// The JSON is hand-assembled through [`dsq_obs::json`] so the bench
+/// harness stays dependency-free like the rest of the workspace.
+pub fn emit_bench_json(name: &str, wall_ms: &[(&str, f64)], snapshot: &dsq_obs::Snapshot) {
+    let mut out = String::from("{\"bench\":");
+    dsq_obs::json::push_str(&mut out, name);
+    out.push_str(",\"wall_ms\":{");
+    for (i, (series, ms)) in wall_ms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        dsq_obs::json::push_str(&mut out, series);
+        out.push(':');
+        dsq_obs::json::push_f64(&mut out, *ms);
+    }
+    out.push_str("},\"observability\":");
+    out.push_str(&snapshot.to_json());
+    out.push('}');
+    out.push('\n');
+    let path = workspace_root().join(format!("BENCH_{name}.json"));
+    if let Err(e) = fs::write(&path, out) {
+        eprintln!("could not write {}: {e}", path.display());
+    } else {
+        println!("[written {}]", path.display());
+    }
+}
+
 /// Named algorithm set for comparison tables. Zones for In-network follow
 /// the paper's 5-zone setup.
 pub struct AlgorithmSet<'a> {
@@ -273,6 +309,28 @@ mod tests {
         let path = figures_dir().join("test_table.csv");
         let content = std::fs::read_to_string(path).unwrap();
         assert!(content.contains("x,a,b"));
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_complete() {
+        let sink = dsq_obs::Sink::new(dsq_obs::ClockMode::Virtual);
+        {
+            let _scope = dsq_obs::scoped(sink.clone());
+            dsq_obs::counter("selftest.counter", 3);
+            dsq_obs::observe("selftest.hist", 1.5);
+        }
+        emit_bench_json(
+            "selftest",
+            &[("series-a", 12.5), ("series-b", 0.25)],
+            &sink.snapshot(),
+        );
+        let path = workspace_root().join("BENCH_selftest.json");
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("\"bench\":\"selftest\""));
+        assert!(content.contains("\"series-a\":12.5"));
+        assert!(content.contains("\"selftest.counter\":3"));
+        assert!(content.contains("\"selftest.hist\""));
+        let _ = std::fs::remove_file(path);
     }
 
     #[test]

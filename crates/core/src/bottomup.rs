@@ -105,6 +105,7 @@ impl Optimizer for BottomUp<'_> {
         registry: &mut ReuseRegistry,
         stats: &mut SearchStats,
     ) -> Option<Deployment> {
+        let _span = dsq_obs::span("bottomup.optimize", || vec![("query", query.id.0.into())]);
         let h = &self.env.hierarchy;
         let load = self.env.load_snapshot();
         let planner = ClusterPlanner::new(catalog, query).with_load(load.as_ref());
@@ -173,6 +174,34 @@ impl Optimizer for BottomUp<'_> {
             // The level at which coverage completes also routes the result
             // toward the sink; intermediate levels leave it at the operator.
             let completes = universe == query.source_set();
+            dsq_obs::counter("bottomup.merge_steps", 1);
+            if dsq_obs::enabled() {
+                let candidates_evaluated = match self.placement {
+                    // Descend and MembersOnly search the cluster's members;
+                    // InputColocation adds the distinct input hosts.
+                    BottomUpPlacement::Descend | BottomUpPlacement::MembersOnly => c.members.len(),
+                    BottomUpPlacement::InputColocation => {
+                        let mut extra_hosts: Vec<NodeId> = Vec::new();
+                        for i in &inputs {
+                            if !c.members.contains(&i.location)
+                                && !extra_hosts.contains(&i.location)
+                            {
+                                extra_hosts.push(i.location);
+                            }
+                        }
+                        c.members.len() + extra_hosts.len()
+                    }
+                };
+                dsq_obs::counter("bottomup.candidates_evaluated", candidates_evaluated as u64);
+                dsq_obs::event("bottomup.level", || {
+                    vec![
+                        ("level", level.into()),
+                        ("inputs", inputs.len().into()),
+                        ("candidates", candidates_evaluated.into()),
+                        ("completes", u64::from(completes).into()),
+                    ]
+                });
+            }
             let planned = match self.placement {
                 BottomUpPlacement::Descend => {
                     // Plan over the cluster's members, then refine down
@@ -261,6 +290,9 @@ impl Optimizer for BottomUp<'_> {
             return None; // sources outside the hierarchy's reach
         }
         let (tree, _, _) = partial?;
+        if tree.uses_derived() {
+            dsq_obs::counter("reuse.hits", 1);
+        }
         Some(tree.into_deployment(query, catalog, &self.env.dm))
     }
 }

@@ -205,6 +205,16 @@ impl<'a> ClusterPlanner<'a> {
         let m = candidates.len();
         let states = ((full as usize + 1) * m.max(1)) as u64 * 2;
         stats.record_dp_states(states);
+        let _span = dsq_obs::span("engine.plan", || {
+            vec![
+                ("atoms", a.into()),
+                ("inputs", inputs.len().into()),
+                ("candidates", m.into()),
+                ("dp_states", states.into()),
+            ]
+        });
+        dsq_obs::counter("engine.plan_invocations", 1);
+        dsq_obs::counter("engine.dp_states", states);
 
         let idx = |mask: u32, mi: usize| mask as usize * m + mi;
         let mut deliv = vec![f64::INFINITY; (full as usize + 1) * m.max(1)];

@@ -94,6 +94,19 @@ impl<'a> TopDown<'a> {
             crate::engine::universe_size(inputs),
             c.members.len(),
         );
+        dsq_obs::counter("topdown.cells_opened", 1);
+        dsq_obs::event("topdown.cell", || {
+            vec![
+                ("level", cluster.level.into()),
+                ("coordinator", c.coordinator.0.into()),
+                ("members", c.members.len().into()),
+                ("inputs", inputs.len().into()),
+                (
+                    "theorem1_slack",
+                    self.env.hierarchy.theorem1_slack(cluster.level).into(),
+                ),
+            ]
+        });
         planner.plan(
             &seen_inputs,
             &c.members,
@@ -117,7 +130,9 @@ impl<'a> TopDown<'a> {
     ) -> Option<PlacedTree> {
         if cluster.level == 1 || tree.join_count() == 0 {
             // Level-1 assignments are physical; operator-free trees have
-            // nothing to refine.
+            // nothing to refine — this cluster's whole subtree is pruned
+            // from the descent.
+            dsq_obs::counter("topdown.cells_pruned", 1);
             return Some(tree);
         }
         let (fragments, root) = decompose(tree, next_tag);
@@ -288,6 +303,7 @@ impl Optimizer for TopDown<'_> {
         registry: &mut ReuseRegistry,
         stats: &mut SearchStats,
     ) -> Option<Deployment> {
+        let _span = dsq_obs::span("topdown.optimize", || vec![("query", query.id.0.into())]);
         let load = self.env.load_snapshot();
         let planner = ClusterPlanner::new(catalog, query).with_load(load.as_ref());
         let mut inputs: Vec<PlannerInput> = query
@@ -302,6 +318,9 @@ impl Optimizer for TopDown<'_> {
         let out = self.plan_in_cluster(&planner, top, &inputs, query.sink, stats)?;
         let mut next_tag = 0;
         let tree = self.refine(&planner, top, out.tree, query.sink, stats, &mut next_tag)?;
+        if tree.uses_derived() {
+            dsq_obs::counter("reuse.hits", 1);
+        }
         Some(tree.into_deployment(query, catalog, &self.env.dm))
     }
 }

@@ -121,6 +121,7 @@ impl Hierarchy {
             let mut clusters = Vec::with_capacity(groups.len());
             for group in &groups {
                 let members: Vec<NodeId> = group.iter().map(|&i| current[i]).collect();
+                dsq_obs::counter("hierarchy.coordinator_elections", 1);
                 let coordinator = dm.medoid(&members, &members);
                 let children = match &child_indices {
                     Some(ci) => group.iter().map(|&i| ci[i]).collect(),

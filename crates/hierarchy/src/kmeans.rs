@@ -30,9 +30,13 @@ pub fn capped_kmeans(points: &[Point], max_cs: usize, seed: u64) -> Vec<Vec<usiz
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut centroids = kmeanspp_init(points, k, &mut rng);
 
+    dsq_obs::counter("kmeans.invocations", 1);
     let mut assignment = vec![0usize; n];
+    // Scratch for capped_assign, reused across Lloyd rounds.
+    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
     for _round in 0..25 {
-        let new_assignment = capped_assign(points, &centroids, max_cs);
+        dsq_obs::counter("kmeans.rounds", 1);
+        let new_assignment = capped_assign(points, &centroids, max_cs, &mut pairs);
         let changed = new_assignment != assignment;
         assignment = new_assignment;
         // Recompute centroids as member means.
@@ -101,20 +105,30 @@ fn kmeanspp_init(points: &[Point], k: usize, rng: &mut ChaCha8Rng) -> Vec<Point>
 /// Greedy capacity-constrained assignment: consider all (point, centroid)
 /// pairs in ascending distance and assign each point to the closest centroid
 /// with remaining capacity.
-fn capped_assign(points: &[Point], centroids: &[Point], max_cs: usize) -> Vec<usize> {
+///
+/// `pairs` is caller-provided scratch so the n·k buffer is allocated once per
+/// K-Means run, not once per Lloyd round. The unstable sort is safe because
+/// the `(distance, point, centroid)` key is a total order over distinct
+/// entries — every `(point, centroid)` pair occurs exactly once.
+fn capped_assign(
+    points: &[Point],
+    centroids: &[Point],
+    max_cs: usize,
+    pairs: &mut Vec<(f64, usize, usize)>,
+) -> Vec<usize> {
     let n = points.len();
     let k = centroids.len();
-    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
+    pairs.clear();
     for (i, p) in points.iter().enumerate() {
         for (c, ctr) in centroids.iter().enumerate() {
             pairs.push((euclid(p, ctr), i, c));
         }
     }
-    pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+    pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut assignment = vec![usize::MAX; n];
     let mut load = vec![0usize; k];
     let mut assigned = 0;
-    for (_, i, c) in pairs {
+    for &(_, i, c) in pairs.iter() {
         if assignment[i] == usize::MAX && load[c] < max_cs {
             assignment[i] = c;
             load[c] += 1;
@@ -198,5 +212,99 @@ mod tests {
     #[test]
     fn empty_input() {
         assert!(capped_kmeans(&[], 4, 0).is_empty());
+    }
+
+    /// The original assignment before the buffer-hoist/unstable-sort fix:
+    /// fresh n·k allocation and a stable sort every Lloyd round.
+    fn reference_assign(points: &[Point], centroids: &[Point], max_cs: usize) -> Vec<usize> {
+        let n = points.len();
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * centroids.len());
+        for (i, p) in points.iter().enumerate() {
+            for (c, ctr) in centroids.iter().enumerate() {
+                pairs.push((euclid(p, ctr), i, c));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut assignment = vec![usize::MAX; n];
+        let mut load = vec![0usize; centroids.len()];
+        for (_, i, c) in pairs {
+            if assignment[i] == usize::MAX && load[c] < max_cs {
+                assignment[i] = c;
+                load[c] += 1;
+            }
+        }
+        assignment
+    }
+
+    /// `capped_kmeans` with the assignment step swapped for the reference.
+    fn reference_kmeans(points: &[Point], max_cs: usize, seed: u64) -> Vec<Vec<usize>> {
+        let n = points.len();
+        let k = n.div_ceil(max_cs);
+        if k == 1 {
+            return vec![(0..n).collect()];
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut centroids = kmeanspp_init(points, k, &mut rng);
+        let mut assignment = vec![0usize; n];
+        for _round in 0..25 {
+            let new_assignment = reference_assign(points, &centroids, max_cs);
+            let changed = new_assignment != assignment;
+            assignment = new_assignment;
+            let mut sums = vec![[0.0f64; 3]; k];
+            let mut counts = vec![0usize; k];
+            for (i, &c) in assignment.iter().enumerate() {
+                for d in 0..3 {
+                    sums[c][d] += points[i][d];
+                }
+                counts[c] += 1;
+            }
+            for c in 0..k {
+                if counts[c] > 0 {
+                    for d in 0..3 {
+                        centroids[c][d] = sums[c][d] / counts[c] as f64;
+                    }
+                }
+            }
+            if !changed {
+                break;
+            }
+        }
+        let mut clusters = vec![Vec::new(); k];
+        for (i, &c) in assignment.iter().enumerate() {
+            clusters[c].push(i);
+        }
+        clusters.retain(|c| !c.is_empty());
+        clusters
+    }
+
+    #[test]
+    fn hoisted_unstable_sort_matches_original_clusters() {
+        // Regression for the buffer-hoist + sort_unstable_by rewrite: the
+        // (distance, point, centroid) key is a total order over distinct
+        // pairs, so clusters must be bit-for-bit what the old stable-sort,
+        // allocate-per-round implementation produced — across seeds, caps
+        // and point sets (including coincident points, where distances tie).
+        let mut pseudo_random = Vec::new();
+        let mut rng = ChaCha8Rng::seed_from_u64(99);
+        for _ in 0..57 {
+            pseudo_random.push([
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+                rng.gen_range(0.0..10.0),
+            ]);
+        }
+        let coincident = vec![[2.5, 2.5, 2.5]; 20];
+        for pts in [&grid_points(), &pseudo_random, &coincident] {
+            for max_cs in [2, 3, 5, 8] {
+                for seed in [0, 7, 11, 42] {
+                    assert_eq!(
+                        capped_kmeans(pts, max_cs, seed),
+                        reference_kmeans(pts, max_cs, seed),
+                        "diverged for n={} max_cs={max_cs} seed={seed}",
+                        pts.len()
+                    );
+                }
+            }
+        }
     }
 }

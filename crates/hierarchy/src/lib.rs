@@ -44,3 +44,4 @@ pub mod membership;
 
 pub use hierarchy::{Cluster, ClusterId, ClusteringMethod, Hierarchy, HierarchyConfig};
 pub use kmeans::capped_kmeans;
+pub use membership::MembershipError;

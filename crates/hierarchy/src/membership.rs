@@ -16,6 +16,35 @@
 use crate::hierarchy::{Cluster, ClusterId, Hierarchy};
 use dsq_net::{DistanceMatrix, NodeId};
 
+/// Why a membership operation could not be applied.
+///
+/// Returned (never panicked) so callers driving the overlay from fault
+/// schedules — the chaos harness, the adaptivity runtime — can degrade
+/// gracefully instead of aborting the whole run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MembershipError {
+    /// The node is not currently an overlay member.
+    NotAMember(NodeId),
+    /// Removing the node would leave the overlay empty: a one-member
+    /// hierarchy has no surviving cluster to re-elect or collapse into.
+    LastMember,
+}
+
+impl std::fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MembershipError::NotAMember(n) => {
+                write!(f, "node {} is not an overlay member", n.0)
+            }
+            MembershipError::LastMember => {
+                write!(f, "cannot remove the last overlay member")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
 /// Result of routing a join request through the hierarchy.
 #[derive(Clone, Debug)]
 pub struct JoinOutcome {
@@ -81,10 +110,22 @@ pub fn add_node(h: &mut Hierarchy, dm: &DistanceMatrix, node: NodeId, via: NodeI
 }
 
 /// Remove `node` from the overlay, re-electing coordinators and collapsing
-/// empty clusters/levels. Panics when removing the last member.
-pub fn remove_node(h: &mut Hierarchy, dm: &DistanceMatrix, node: NodeId) {
-    assert!(h.is_active(node), "node is not an overlay member");
-    assert!(h.active_nodes().len() > 1, "cannot remove the last member");
+/// empty clusters/levels.
+///
+/// Returns [`MembershipError::NotAMember`] if `node` is not active and
+/// [`MembershipError::LastMember`] if it is the only member left; in both
+/// cases the hierarchy is untouched.
+pub fn remove_node(
+    h: &mut Hierarchy,
+    dm: &DistanceMatrix,
+    node: NodeId,
+) -> Result<(), MembershipError> {
+    if !h.is_active(node) {
+        return Err(MembershipError::NotAMember(node));
+    }
+    if h.active_nodes().len() <= 1 {
+        return Err(MembershipError::LastMember);
+    }
     let leaf_idx = h.leaf_cluster(node).index;
     let members = &mut h.level_mut(1)[leaf_idx].members;
     members.retain(|&m| m != node);
@@ -97,6 +138,7 @@ pub fn remove_node(h: &mut Hierarchy, dm: &DistanceMatrix, node: NodeId) {
     refresh(h, dm);
     #[cfg(debug_assertions)]
     h.check_invariants();
+    Ok(())
 }
 
 /// Split cluster `index` at `level` while it exceeds `max_cs`, propagating
@@ -273,6 +315,7 @@ fn collapse_redundant_top(h: &mut Hierarchy) {
 fn refresh(h: &mut Hierarchy, dm: &DistanceMatrix) {
     for level in 1..=h.height() {
         let n = h.level(level).len();
+        dsq_obs::counter("hierarchy.coordinator_elections", n as u64);
         for i in 0..n {
             if level > 1 {
                 let children = h.level(level)[i].children.clone();
@@ -362,7 +405,7 @@ mod tests {
             assert!(h.is_active(n));
         }
         for &n in inactive.iter().take(12) {
-            remove_node(&mut h, &dm, n);
+            remove_node(&mut h, &dm, n).unwrap();
             h.check_invariants();
             assert!(!h.is_active(n));
         }
@@ -391,7 +434,7 @@ mod tests {
                 add_node(&mut h, &dm, n, via);
             } else {
                 let n = *active.choose(&mut rng).unwrap();
-                remove_node(&mut h, &dm, n);
+                remove_node(&mut h, &dm, n).unwrap();
                 pool.push(n);
             }
             h.check_invariants();
@@ -400,10 +443,41 @@ mod tests {
     }
 
     #[test]
+    fn remove_errors_are_typed_and_leave_the_hierarchy_untouched() {
+        let (mut h, dm, inactive) = setup(8);
+        // Not a member → NotAMember, nothing changes.
+        let outsider = inactive[0];
+        assert_eq!(
+            remove_node(&mut h, &dm, outsider),
+            Err(MembershipError::NotAMember(outsider))
+        );
+        h.check_invariants();
+
+        // Drain down to a single member: that removal must refuse with
+        // LastMember instead of panicking (the chaos harness relies on this
+        // when a schedule crashes every overlay member).
+        let mut active = h.active_nodes();
+        while active.len() > 1 {
+            remove_node(&mut h, &dm, active[0]).unwrap();
+            active = h.active_nodes();
+        }
+        let last = active[0];
+        assert_eq!(
+            remove_node(&mut h, &dm, last),
+            Err(MembershipError::LastMember)
+        );
+        assert!(
+            h.is_active(last),
+            "failed removal must not alter membership"
+        );
+        h.check_invariants();
+    }
+
+    #[test]
     fn removing_coordinator_reelects() {
         let (mut h, dm, _) = setup(8);
         let coord = h.cluster(h.top()).coordinator;
-        remove_node(&mut h, &dm, coord);
+        remove_node(&mut h, &dm, coord).unwrap();
         h.check_invariants();
         assert!(!h.is_active(coord));
         assert_ne!(h.cluster(h.top()).coordinator, coord);
@@ -415,14 +489,14 @@ mod tests {
         // Drain one leaf cluster down to a single member…
         let leaf = h.level(1)[0].clone();
         for &n in &leaf.members[1..] {
-            remove_node(&mut h, &dm, n);
+            remove_node(&mut h, &dm, n).unwrap();
         }
         let survivor = leaf.members[0];
         assert_eq!(h.cluster(h.leaf_cluster(survivor)).members, vec![survivor]);
         let leaves_before = h.level(1).len();
         // …then remove that last member: the emptied cluster must vanish
         // (and its parent's member/child lists must be fixed up).
-        remove_node(&mut h, &dm, survivor);
+        remove_node(&mut h, &dm, survivor).unwrap();
         h.check_invariants();
         assert!(!h.is_active(survivor));
         assert_eq!(h.level(1).len(), leaves_before - 1);
@@ -437,14 +511,14 @@ mod tests {
             "multi-member clusters always designate a backup"
         );
         let first = h.cluster(top).coordinator;
-        remove_node(&mut h, &dm, first);
+        remove_node(&mut h, &dm, first).unwrap();
         h.check_invariants();
         let second = h.cluster(h.top()).coordinator;
         assert_ne!(second, first);
         assert!(h.is_active(second));
         // The just-elected backup fails before it ever hands off: the
         // overlay must re-elect a third, distinct coordinator.
-        remove_node(&mut h, &dm, second);
+        remove_node(&mut h, &dm, second).unwrap();
         h.check_invariants();
         let third = h.cluster(h.top()).coordinator;
         assert!(third != first && third != second);
@@ -471,7 +545,7 @@ mod tests {
                     add_node(&mut h, &dm, n, via);
                 } else {
                     let n = *active.choose(&mut rng).unwrap();
-                    remove_node(&mut h, &dm, n);
+                    remove_node(&mut h, &dm, n).unwrap();
                     pool.push(n);
                 }
                 h.check_invariants();

@@ -93,17 +93,31 @@ pub struct DistanceMatrix {
     metric: Metric,
 }
 
+/// Node count at or above which the all-pairs builders fan the per-source
+/// Dijkstra runs out over the Rayon thread pool. Below it the fork/join
+/// overhead outweighs the win (the Figure 9 sweep builds 1000-node
+/// matrices; the dsqctl default of 128 stays sequential).
+pub const PARALLEL_THRESHOLD: usize = 192;
+
 impl DistanceMatrix {
     /// Compute all-pairs shortest paths by running Dijkstra from every node.
     ///
     /// The per-source runs are independent, so they are distributed over
-    /// the Rayon thread pool for networks large enough to amortize the
-    /// fork/join overhead (the Figure 9 sweep builds 1000-node matrices).
+    /// the Rayon thread pool for networks of at least
+    /// [`PARALLEL_THRESHOLD`] nodes. Each source's row is written whole by
+    /// exactly one task, so the parallel and sequential paths are
+    /// bit-identical (see `threshold_does_not_change_bits`).
     pub fn build(net: &Network, metric: Metric) -> Self {
+        Self::build_with_parallel_threshold(net, metric, PARALLEL_THRESHOLD)
+    }
+
+    /// [`build`](Self::build) with an explicit parallelism cut-over, for
+    /// tests that must force one path or the other.
+    pub fn build_with_parallel_threshold(net: &Network, metric: Metric, threshold: usize) -> Self {
         use rayon::prelude::*;
         let n = net.len();
         let mut dist = vec![f64::INFINITY; n * n];
-        if n >= 192 {
+        if n >= threshold {
             dist.par_chunks_mut(n.max(1))
                 .enumerate()
                 .for_each(|(s, row_out)| {
@@ -174,12 +188,19 @@ pub struct RouteTable {
 
 impl RouteTable {
     /// Build the table by running Dijkstra from every node (parallel for
-    /// large networks, like [`DistanceMatrix::build`]).
+    /// networks of at least [`PARALLEL_THRESHOLD`] nodes, like
+    /// [`DistanceMatrix::build`]).
     pub fn build(net: &Network, metric: Metric) -> Self {
+        Self::build_with_parallel_threshold(net, metric, PARALLEL_THRESHOLD)
+    }
+
+    /// [`build`](Self::build) with an explicit parallelism cut-over, for
+    /// tests that must force one path or the other.
+    pub fn build_with_parallel_threshold(net: &Network, metric: Metric, threshold: usize) -> Self {
         use rayon::prelude::*;
         let n = net.len();
         let mut pred = vec![u32::MAX; n * n];
-        if n >= 192 {
+        if n >= threshold {
             pred.par_chunks_mut(n.max(1))
                 .enumerate()
                 .for_each(|(s, row_out)| {
@@ -310,6 +331,40 @@ mod tests {
         let route = rt.route(some, far).unwrap();
         assert_eq!(route.first(), Some(&some));
         assert_eq!(route.last(), Some(&far));
+    }
+
+    #[test]
+    fn threshold_does_not_change_bits() {
+        // The `n >= PARALLEL_THRESHOLD` cut-over must be a pure scheduling
+        // decision: forcing the parallel path (threshold 0), forcing the
+        // sequential path (threshold usize::MAX), and the default must all
+        // produce bit-identical matrices and route tables, under both
+        // metrics, on a topology straddling the real threshold.
+        let ts = crate::topology::TransitStubConfig::sized(512).generate(11);
+        let net = &ts.network;
+        assert!(
+            net.len() >= PARALLEL_THRESHOLD,
+            "topology must exercise the default parallel path"
+        );
+        for metric in [Metric::Cost, Metric::DelayMs] {
+            let forced_par = DistanceMatrix::build_with_parallel_threshold(net, metric, 0);
+            let forced_seq = DistanceMatrix::build_with_parallel_threshold(net, metric, usize::MAX);
+            let auto = DistanceMatrix::build(net, metric);
+            for a in net.nodes() {
+                for b in net.nodes() {
+                    let bits = forced_seq.get(a, b).to_bits();
+                    assert_eq!(forced_par.get(a, b).to_bits(), bits);
+                    assert_eq!(auto.get(a, b).to_bits(), bits);
+                }
+            }
+            let rt_par = RouteTable::build_with_parallel_threshold(net, metric, 0);
+            let rt_seq = RouteTable::build_with_parallel_threshold(net, metric, usize::MAX);
+            for a in net.nodes().step_by(17) {
+                for b in net.nodes() {
+                    assert_eq!(rt_par.route(a, b), rt_seq.route(a, b));
+                }
+            }
+        }
     }
 
     #[test]

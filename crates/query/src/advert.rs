@@ -145,6 +145,7 @@ impl ReuseRegistry {
         });
         if duplicate {
             self.stats.suppressed += 1;
+            dsq_obs::counter("advert.suppressed", 1);
             return None;
         }
         let id = DerivedId(self.deriveds.len() as u32);
@@ -159,6 +160,7 @@ impl ReuseRegistry {
             origin,
         });
         self.stats.published += 1;
+        dsq_obs::counter("advert.published", 1);
         Some(id)
     }
 
@@ -190,6 +192,7 @@ impl ReuseRegistry {
             });
         }
         self.stats.reuse_candidates_served += out.len() as u64;
+        dsq_obs::counter("advert.reuse_candidates_served", out.len() as u64);
         out
     }
 

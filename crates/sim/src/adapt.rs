@@ -133,10 +133,29 @@ impl AdaptiveRuntime {
 
         // 1. Hierarchy repair: record the roles being failed over, then
         //    deactivate the node (coordinator re-election happens inside).
+        //    A one-member overlay cannot be repaired — there is nothing to
+        //    fail over to — so the affected queries are forfeited below
+        //    instead of replanned.
         report.coordinator_roles_failed_over = self.env.hierarchy.coordinator_roles(node).len();
-        if self.env.hierarchy.is_active(node) {
-            dsq_hierarchy::membership::remove_node(&mut self.env.hierarchy, &self.env.dm, node);
-        }
+        let overlay_repaired = if self.env.hierarchy.is_active(node) {
+            use dsq_hierarchy::MembershipError;
+            match dsq_hierarchy::membership::remove_node(
+                &mut self.env.hierarchy,
+                &self.env.dm,
+                node,
+            ) {
+                Ok(()) => true,
+                Err(MembershipError::LastMember) => false,
+                Err(e @ MembershipError::NotAMember(_)) => {
+                    unreachable!("guarded by is_active: {e}")
+                }
+            }
+        } else {
+            // Already excised (e.g. a repeated crash report): the standing
+            // deployments can still be repaired against the current overlay.
+            true
+        };
+        report.last_member_forfeit = !overlay_repaired;
 
         // 2. Classify standing deployments.
         enum Action {
@@ -151,7 +170,7 @@ impl AdaptiveRuntime {
             .map(|(d, q)| {
                 if !uses_node(d, node) {
                     Action::Keep
-                } else if unrecoverable(d, q, catalog, node) {
+                } else if !overlay_repaired || unrecoverable(d, q, catalog, node) {
                     Action::Lost
                 } else {
                     Action::Replan
@@ -210,6 +229,57 @@ impl AdaptiveRuntime {
         self.deployments = deployments;
         self.baseline_cost = baselines;
         report.cost_after = self.total_cost();
+        dsq_obs::counter("adapt.node_failures", 1);
+        dsq_obs::counter("adapt.redeployed", report.redeployed.len() as u64);
+        dsq_obs::counter("adapt.lost", report.lost.len() as u64);
+        dsq_obs::counter("adapt.parked", report.unplaced.len() as u64);
+        dsq_obs::observe("adapt.redeploy_cost_delta", report.redeploy_cost_delta);
+        dsq_obs::event("adapt.node_failure", || {
+            vec![
+                ("node", node.0.into()),
+                ("redeployed", report.redeployed.len().into()),
+                ("lost", report.lost.len().into()),
+                ("parked", report.unplaced.len().into()),
+                ("cost_delta", report.redeploy_cost_delta.into()),
+            ]
+        });
+        report
+    }
+
+    /// Forfeit every standing deployment that touches `node` without any
+    /// hierarchy surgery or replanning: the last-resort path for when the
+    /// overlay is at its minimum population and the node cannot be excised
+    /// (the machine is gone, but its membership slot must survive). Used by
+    /// the chaos harness to record such events as forfeited instead of
+    /// aborting the run.
+    pub fn forfeit_node_queries(
+        &mut self,
+        node: dsq_net::NodeId,
+    ) -> crate::failures::FailureReport {
+        use crate::failures::{uses_node, FailureReport};
+        let mut report = FailureReport {
+            cost_before: self.total_cost(),
+            last_member_forfeit: true,
+            ..Default::default()
+        };
+        let mut queries = Vec::new();
+        let mut deployments = Vec::new();
+        let mut baselines = Vec::new();
+        for i in 0..self.deployments.len() {
+            if uses_node(&self.deployments[i], node) {
+                report.lost.push(self.queries[i].id);
+                report.forfeited_cost += self.deployments[i].cost;
+            } else {
+                queries.push(self.queries[i].clone());
+                deployments.push(self.deployments[i].clone());
+                baselines.push(self.baseline_cost[i]);
+            }
+        }
+        self.queries = queries;
+        self.deployments = deployments;
+        self.baseline_cost = baselines;
+        report.cost_after = self.total_cost();
+        dsq_obs::counter("adapt.forfeited", report.lost.len() as u64);
         report
     }
 

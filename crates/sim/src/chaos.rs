@@ -222,8 +222,10 @@ impl FaultSchedule {
 pub struct EventOutcome {
     /// Injection time of the fault.
     pub at_ms: f64,
-    /// Short class tag: `crash`, `crash-cluster`, `rejoin`, `degrade-link`
-    /// or `skipped`.
+    /// Short class tag: `crash`, `crash-cluster`, `rejoin`, `degrade-link`,
+    /// `forfeited` (a crash hit the overlay's two-member floor, so the
+    /// victim's queries were given up without hierarchy surgery) or
+    /// `skipped`.
     pub kind: &'static str,
     /// Queries lost to this event (source/sink on a dead node).
     pub lost: usize,
@@ -262,6 +264,11 @@ pub struct ChaosReport {
     /// Replacement deployments the lossy protocol failed to instantiate
     /// (the query was parked, not dropped).
     pub instantiation_failures: usize,
+    /// Queries forfeited because a crash hit the overlay's two-member
+    /// floor: the node's machine is gone but its membership slot cannot be
+    /// excised (see [`dsq_hierarchy::MembershipError::LastMember`]), so its
+    /// queries are recorded as lost without replanning.
+    pub forfeited: usize,
     /// Queries still installed when the run ended.
     pub final_installed: usize,
     /// Queries still parked when the run ended.
@@ -354,6 +361,9 @@ impl ChaosRunner {
             live_time += rt.deployments().len() as f64 * (tf.at_ms - prev_t);
             prev_t = tf.at_ms;
             let outcome = self.apply(&mut rt, &mut protocol, catalog, tf, &mut report);
+            if dsq_obs::enabled() {
+                dsq_obs::counter(&format!("chaos.event.{}", outcome.kind), 1);
+            }
             if outcome.kind == "skipped" {
                 report.skipped += 1;
             } else {
@@ -405,18 +415,25 @@ impl ChaosRunner {
             ..Default::default()
         };
         match &tf.fault {
-            Fault::Crash(n) => {
-                if self.crash_one(rt, protocol, catalog, *n, &mut out, report) {
-                    out.kind = "crash";
-                }
-            }
+            Fault::Crash(n) => match self.crash_one(rt, protocol, catalog, *n, &mut out, report) {
+                CrashEffect::Skipped => {}
+                CrashEffect::Applied => out.kind = "crash",
+                CrashEffect::Forfeited => out.kind = "forfeited",
+            },
             Fault::CrashCluster(members) => {
-                let mut any = false;
+                let mut repaired = false;
+                let mut forfeited = false;
                 for &n in members {
-                    any |= self.crash_one(rt, protocol, catalog, n, &mut out, report);
+                    match self.crash_one(rt, protocol, catalog, n, &mut out, report) {
+                        CrashEffect::Skipped => {}
+                        CrashEffect::Applied => repaired = true,
+                        CrashEffect::Forfeited => forfeited = true,
+                    }
                 }
-                if any {
+                if repaired {
                     out.kind = "crash-cluster";
+                } else if forfeited {
+                    out.kind = "forfeited";
                 }
             }
             Fault::Rejoin(n) => {
@@ -467,7 +484,10 @@ impl ChaosRunner {
         out
     }
 
-    /// Crash one node through the failure path; `false` when inapplicable.
+    /// Crash one node through the failure path; [`CrashEffect::Skipped`]
+    /// when inapplicable (already dead), [`CrashEffect::Forfeited`] when the
+    /// overlay sits at the two-member floor and the node's queries were
+    /// given up instead of the run aborting on an irreparable hierarchy.
     fn crash_one(
         &self,
         rt: &mut AdaptiveRuntime,
@@ -476,9 +496,27 @@ impl ChaosRunner {
         n: NodeId,
         out: &mut EventOutcome,
         report: &mut ChaosReport,
-    ) -> bool {
-        if !rt.env.hierarchy.is_active(n) || rt.env.hierarchy.active_nodes().len() <= 2 {
-            return false;
+    ) -> CrashEffect {
+        if !rt.env.hierarchy.is_active(n) {
+            return CrashEffect::Skipped;
+        }
+        if rt.env.hierarchy.active_nodes().len() <= 2 {
+            // Generated schedules never cross the floor, but handcrafted
+            // ones can (e.g. crash-everything): removing the node would
+            // strand the overlay (MembershipError::LastMember one step
+            // later), so forfeit its queries and keep the structure.
+            let fr = rt.forfeit_node_queries(n);
+            let expected = fr.cost_before - fr.forfeited_cost;
+            assert!(
+                (fr.cost_after - expected).abs() <= 1e-6 * fr.cost_before.max(1.0),
+                "cost accounting violated forfeiting at {n:?}: after {} vs expected {expected}",
+                fr.cost_after
+            );
+            out.lost += fr.lost.len();
+            report.forfeited += fr.lost.len();
+            report.lost.extend(fr.lost);
+            dsq_obs::counter("chaos.forfeited", 1);
+            return CrashEffect::Forfeited;
         }
         let mut repair = RepairTally::default();
         let fr = rt.handle_node_failure(catalog, n, |env, q| {
@@ -503,8 +541,18 @@ impl ChaosRunner {
         report.instantiation_failures += repair.instantiation_failures;
         report.protocol_retries += repair.retries;
         report.protocol_retry_ms += repair.retry_ms;
-        true
+        CrashEffect::Applied
     }
+}
+
+/// What [`ChaosRunner::crash_one`] did with a crash.
+enum CrashEffect {
+    /// Node already dead — nothing to do.
+    Skipped,
+    /// Normal path: hierarchy repaired, queries replanned.
+    Applied,
+    /// Overlay at the two-member floor: queries forfeited, structure kept.
+    Forfeited,
 }
 
 /// Protocol-side bookkeeping for one recovery pass.
@@ -678,6 +726,46 @@ mod tests {
         let r1 = runner.run(env.clone(), &wl.catalog, &wl.queries, &schedule);
         let r2 = runner.run(env, &wl.catalog, &wl.queries, &schedule);
         assert_eq!(format!("{r1:?}"), format!("{r2:?}"));
+    }
+
+    #[test]
+    fn crashing_every_member_forfeits_instead_of_aborting() {
+        // Handcrafted worst case the generator never emits: a schedule that
+        // crashes every single overlay member. The runner must complete —
+        // crashes at the two-member floor are recorded as `forfeited`
+        // (hierarchy/src/membership.rs would refuse the removal with
+        // MembershipError::LastMember) — rather than panicking mid-run.
+        let (env, wl) = setup();
+        let all = env.hierarchy.active_nodes();
+        let population = all.len();
+        let faults = all
+            .into_iter()
+            .enumerate()
+            .map(|(i, n)| TimedFault {
+                at_ms: (i as f64 + 1.0) * 100.0,
+                fault: Fault::Crash(n),
+            })
+            .collect();
+        let schedule = FaultSchedule { faults };
+        let runner = ChaosRunner::default();
+        let report = runner.run(env, &wl.catalog, &wl.queries, &schedule);
+        assert_eq!(report.applied + report.skipped, population);
+        assert_eq!(
+            report
+                .events
+                .iter()
+                .filter(|e| e.kind == "forfeited")
+                .count(),
+            2,
+            "the last two crashes hit the floor and must be forfeited"
+        );
+        // Every query ended somewhere: nothing standing (every sink died at
+        // some point), so the population splits exactly into lost + parked.
+        assert_eq!(report.final_installed, 0);
+        assert_eq!(
+            report.lost.len() + report.final_parked,
+            report.installed_initially
+        );
     }
 
     #[test]

@@ -213,13 +213,20 @@ impl LossyProtocol {
                 outcome.transit_ms = one_way;
                 outcome.retries = attempt;
                 outcome.delivered = true;
-                return outcome;
+                break;
             }
             // The sender only learns about the loss by timing out.
             outcome.wait_ms += timeout;
             timeout *= self.policy.backoff;
         }
-        outcome.retries = self.policy.max_retries;
+        if !outcome.delivered {
+            outcome.retries = self.policy.max_retries;
+            dsq_obs::counter("protocol.sends_failed", 1);
+        }
+        if outcome.retries > 0 {
+            dsq_obs::counter("protocol.retries", outcome.retries as u64);
+            dsq_obs::observe("protocol.backoff_wait_ms", outcome.wait_ms);
+        }
         outcome
     }
 

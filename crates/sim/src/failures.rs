@@ -43,6 +43,11 @@ pub struct FailureReport {
     /// `Σ (new − old)` over the redeployed queries' costs: the per-event
     /// recovery cost inflation.
     pub redeploy_cost_delta: f64,
+    /// True when the overlay could not excise the node (it was at the
+    /// minimum population, see
+    /// [`MembershipError::LastMember`](dsq_hierarchy::MembershipError)):
+    /// every affected query was forfeited without replanning.
+    pub last_member_forfeit: bool,
 }
 
 /// What a node-recovery (rejoin) pass did.

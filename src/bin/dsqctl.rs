@@ -11,6 +11,10 @@
 //!                                                          airline scenario
 //! dsqctl chaos [--events N] [--drop P] [--seed S]          seeded fault-injection
 //!                                                          soak of the runtime
+//! dsqctl trace [--size N] [--streams K] [--queries Q]      JSONL event trace of a
+//!                                                          full planning run
+//! dsqctl stats [--size N] [--streams K] [--queries Q]      counter/histogram
+//!                                                          summary of the same run
 //! ```
 //!
 //! All arguments are optional; defaults reproduce the paper's ~128-node
@@ -40,6 +44,8 @@ fn main() -> ExitCode {
         "simulate" => simulate(&opts),
         "sql" => sql(&opts),
         "chaos" => chaos(&opts),
+        "trace" => trace(&opts),
+        "stats" => stats(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             ExitCode::SUCCESS
@@ -51,7 +57,8 @@ fn main() -> ExitCode {
     }
 }
 
-const USAGE: &str = "dsqctl <topology|hierarchy|optimize|simulate|sql|chaos|help> [options]
+const USAGE: &str =
+    "dsqctl <topology|hierarchy|optimize|simulate|sql|chaos|trace|stats|help> [options]
   --size N       target network size (default 128)
   --seed S       RNG seed (default 1)
   --max-cs M     cluster size cap (default 32)
@@ -370,6 +377,70 @@ fn chaos(o: &Opts) -> ExitCode {
         r.cost_initial, r.cost_final
     );
     println!("invariant checks  {:>8} (all passed)", r.invariant_checks);
+    ExitCode::SUCCESS
+}
+
+/// Run the canonical planning workload (top-down then bottom-up over the
+/// generated query batch, reuse on) under a scoped virtual-clock sink and
+/// return the captured trace.
+///
+/// The virtual clock makes timestamps deterministic event ordinals, so the
+/// same seed always produces a byte-identical trace — that property is
+/// pinned by `tests/observability.rs`.
+fn traced_run(o: &Opts) -> std::sync::Arc<dsq::obs::Sink> {
+    let sink = dsq::obs::Sink::new(dsq::obs::ClockMode::Virtual);
+    {
+        let _scope = dsq::obs::scoped(sink.clone());
+        let env = Environment::build(o.network(), o.max_cs);
+        let wl = o.workload(&env.network);
+        let algs: Vec<(&str, Box<dyn Optimizer>)> = vec![
+            ("top-down", Box::new(TopDown::new(&env))),
+            ("bottom-up", Box::new(BottomUp::new(&env))),
+        ];
+        for (_, alg) in &algs {
+            let mut registry = ReuseRegistry::new();
+            consolidate::deploy_all(alg.as_ref(), &wl.catalog, &wl.queries, &mut registry, true);
+        }
+    }
+    sink
+}
+
+fn trace(o: &Opts) -> ExitCode {
+    let sink = traced_run(o);
+    print!("{}", sink.to_jsonl());
+    ExitCode::SUCCESS
+}
+
+fn stats(o: &Opts) -> ExitCode {
+    let sink = traced_run(o);
+    let snap = sink.snapshot();
+    println!(
+        "observability summary ({} events, size {}, seed {}, {} streams, {} queries)\n",
+        sink.event_count(),
+        o.size,
+        o.seed,
+        o.streams,
+        o.queries
+    );
+    println!("{:<36} {:>12}", "counter", "value");
+    for (name, value) in &snap.counters {
+        println!("{name:<36} {value:>12}");
+    }
+    if !snap.histograms.is_empty() {
+        println!(
+            "\n{:<36} {:>8} {:>10} {:>10} {:>10}",
+            "histogram", "count", "mean", "min", "max"
+        );
+        for (name, h) in &snap.histograms {
+            println!(
+                "{name:<36} {:>8} {:>10.2} {:>10.2} {:>10.2}",
+                h.count,
+                h.mean(),
+                h.min,
+                h.max
+            );
+        }
+    }
     ExitCode::SUCCESS
 }
 

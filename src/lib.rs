@@ -21,6 +21,8 @@
 //!   plan-then-deploy and random placement comparators.
 //! * [`sim`] — flow-level and tuple-level simulators, the Emulab-style
 //!   deployment-time model and the self-adaptivity middleware.
+//! * [`obs`] — zero-dependency structured observability: event traces,
+//!   counters and histograms behind a no-op default (see `dsqctl trace`).
 //! * [`workload`] — the seeded uniformly-random workload generator and the
 //!   airline OIS scenario from the paper's Section 1.1.
 //!
@@ -55,6 +57,7 @@ pub use dsq_baselines as baselines;
 pub use dsq_core as core;
 pub use dsq_hierarchy as hierarchy;
 pub use dsq_net as net;
+pub use dsq_obs as obs;
 pub use dsq_query as query;
 pub use dsq_sim as sim;
 pub use dsq_workload as workload;

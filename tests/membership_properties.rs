@@ -57,7 +57,7 @@ proptest! {
                 in_overlay.push(node);
             } else {
                 let node = in_overlay.remove(pick % in_overlay.len());
-                remove_node(&mut h, &dm, node);
+                remove_node(&mut h, &dm, node).unwrap();
                 out_of_overlay.push(node);
             }
             h.check_invariants();
