@@ -1,37 +1,218 @@
 //! Offline compatibility shim for the subset of `rayon` this workspace
-//! uses. Parallel iterators degrade to their sequential `std` equivalents:
-//! `into_par_iter()` is `into_iter()` and `par_chunks_mut()` is
-//! `chunks_mut()`. Results are identical (the call sites are all
-//! order-independent fan-outs); only the wall-clock parallelism is lost,
-//! which is acceptable in the offline build container.
+//! uses, backed by real `std::thread::scope` workers.
+//!
+//! Semantics are deliberately simpler than upstream rayon but sufficient
+//! here — and, crucially, **order-deterministic**:
+//!
+//! - `into_par_iter()` materialises the items, and `map`/`for_each` split
+//!   them into contiguous runs, one per worker thread; results are
+//!   concatenated back in the original item order, so a parallel
+//!   `map(...).collect()` is byte-identical to the sequential one.
+//! - `par_chunks_mut()` hands disjoint `&mut [T]` chunks to workers.
+//! - The global thread count comes from `ThreadPoolBuilder::build_global`,
+//!   the `RAYON_NUM_THREADS` env var, or `available_parallelism()`, in
+//!   that order. With one thread (or inside an already-parallel region —
+//!   nested parallelism runs inline to avoid thread explosion) everything
+//!   degrades to the plain sequential path with identical results.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Configured global thread count; 0 means "not configured" (use the
+/// environment / hardware default).
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Set inside worker closures so nested parallel calls run inline
+    /// instead of spawning threads-of-threads.
+    static IN_POOL: Cell<bool> = const { Cell::new(false) };
+}
+
+fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_THREADS.load(Ordering::Relaxed) {
+        0 => default_threads(),
+        n => n,
+    }
+}
+
+/// Error type for [`ThreadPoolBuilder::build_global`]. The shim never
+/// actually fails, but call sites match upstream's fallible signature.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Global thread-count configuration, mirroring
+/// `rayon::ThreadPoolBuilder`. Unlike upstream, reconfiguring is allowed
+/// (there is no persistent pool to rebuild — workers are scoped).
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` restores the automatic (env / hardware) default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Run `f` over `items` on up to `current_num_threads()` scoped workers,
+/// returning results in the original item order.
+fn execute<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let threads = current_num_threads();
+    let nested = IN_POOL.with(Cell::get);
+    if threads <= 1 || items.len() <= 1 || nested {
+        return items.into_iter().map(f).collect();
+    }
+    let workers = threads.min(items.len());
+    let chunk = items.len().div_ceil(workers);
+    let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+    let mut rest = items;
+    while rest.len() > chunk {
+        let tail = rest.split_off(chunk);
+        parts.push(std::mem::replace(&mut rest, tail));
+    }
+    parts.push(rest);
+    let f = &f;
+    let per_worker: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|part| {
+                s.spawn(move || {
+                    IN_POOL.with(|c| c.set(true));
+                    part.into_iter().map(f).collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("parallel worker panicked"))
+            .collect()
+    });
+    per_worker.into_iter().flatten().collect()
+}
+
+/// An order-preserving parallel iterator over materialised items.
+/// Adapters that run user closures (`map`, `for_each`) execute on the
+/// worker pool; structural adapters (`enumerate`, `filter`, `collect`)
+/// are cheap and sequential.
+pub struct ParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParIter<T> {
+    pub fn map<R, F>(self, f: F) -> ParIter<R>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        ParIter {
+            items: execute(self.items, f),
+        }
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(T) + Sync,
+    {
+        execute(self.items, f);
+    }
+
+    pub fn enumerate(self) -> ParIter<(usize, T)> {
+        ParIter {
+            items: self.items.into_iter().enumerate().collect(),
+        }
+    }
+
+    pub fn filter<P>(self, p: P) -> ParIter<T>
+    where
+        P: Fn(&T) -> bool,
+    {
+        ParIter {
+            items: self.items.into_iter().filter(|t| p(t)).collect(),
+        }
+    }
+
+    pub fn collect<C: FromIterator<T>>(self) -> C {
+        self.items.into_iter().collect()
+    }
+
+    #[allow(clippy::len_without_is_empty)]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+}
 
 pub mod prelude {
     //! Drop-in replacement for `rayon::prelude::*`.
 
-    /// Sequential stand-in for `rayon::iter::IntoParallelIterator`.
+    pub use super::ParIter;
+
+    /// Stand-in for `rayon::iter::IntoParallelIterator`.
     pub trait IntoParallelIterator {
-        /// The underlying iterator type.
-        type Iter;
-        /// "Parallel" iterator — sequential `into_iter` here.
-        fn into_par_iter(self) -> Self::Iter;
+        type Item: Send;
+        fn into_par_iter(self) -> ParIter<Self::Item>;
     }
 
-    impl<I: IntoIterator> IntoParallelIterator for I {
-        type Iter = I::IntoIter;
-        fn into_par_iter(self) -> Self::Iter {
-            self.into_iter()
+    impl<I> IntoParallelIterator for I
+    where
+        I: IntoIterator,
+        I::Item: Send,
+    {
+        type Item = I::Item;
+        fn into_par_iter(self) -> ParIter<I::Item> {
+            ParIter {
+                items: self.into_iter().collect(),
+            }
         }
     }
 
-    /// Sequential stand-in for `rayon::slice::ParallelSliceMut`.
-    pub trait ParallelSliceMut<T> {
-        /// "Parallel" mutable chunks — sequential `chunks_mut` here.
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    /// Stand-in for `rayon::slice::ParallelSliceMut`.
+    pub trait ParallelSliceMut<T: Send> {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]>;
     }
 
-    impl<T> ParallelSliceMut<T> for [T] {
-        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
-            self.chunks_mut(chunk_size)
+    impl<T: Send> ParallelSliceMut<T> for [T] {
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> ParIter<&mut [T]> {
+            ParIter {
+                items: self.chunks_mut(chunk_size).collect(),
+            }
         }
     }
 }
@@ -39,6 +220,7 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::*;
 
     #[test]
     fn into_par_iter_collects_in_order() {
@@ -55,5 +237,44 @@ mod tests {
             }
         });
         assert_eq!(buf, [0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2]);
+    }
+
+    #[test]
+    fn order_preserved_with_many_threads() {
+        ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global()
+            .unwrap();
+        let out: Vec<usize> = (0..1000usize).into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, (1..=1000).collect::<Vec<_>>());
+        ThreadPoolBuilder::new()
+            .num_threads(0)
+            .build_global()
+            .unwrap();
+    }
+
+    #[test]
+    fn nested_parallelism_runs_inline() {
+        let out: Vec<usize> = (0..8usize)
+            .into_par_iter()
+            .map(|i| {
+                (0..4usize)
+                    .into_par_iter()
+                    .map(|j| i * 4 + j)
+                    .collect::<Vec<_>>()
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .flatten()
+            .collect();
+        assert_eq!(out, (0..32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn filter_and_len() {
+        let it = (0..10usize).into_par_iter().filter(|x| x % 2 == 0);
+        assert_eq!(it.len(), 5);
+        let v: Vec<usize> = it.collect();
+        assert_eq!(v, vec![0, 2, 4, 6, 8]);
     }
 }

@@ -36,7 +36,14 @@ impl InNetwork {
             .into_iter()
             .map(|g| g.into_iter().map(|i| nodes[i]).collect())
             .collect();
-        let medoids = zones.iter().map(|z| env.dm.medoid(z, z)).collect();
+        let medoids = zones
+            .iter()
+            .map(|z| {
+                env.dm
+                    .medoid(z, z)
+                    .expect("capped k-means never emits an empty zone")
+            })
+            .collect();
         InNetwork { zones, medoids }
     }
 

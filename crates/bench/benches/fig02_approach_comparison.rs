@@ -13,9 +13,63 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use dsq_baselines::{PlanThenDeploy, Relaxation};
 use dsq_bench::{quick_mode, run_batch, small_env, Table};
-use dsq_core::{Optimizer, SearchStats, TopDown};
+use dsq_core::{optimize_all, Optimizer, ParallelConfig, SearchStats, TopDown};
 use dsq_query::ReuseRegistry;
 use dsq_workload::{WorkloadConfig, WorkloadGenerator};
+
+/// Wall-clock of the multi-query planning driver on a fig09-style sweep
+/// (~1024 nodes full mode, ~128 quick): serial without the subplan cache,
+/// parallel (4-thread pool) with a cold cache, and a warm-cache replanning
+/// pass — the adaptation scenario where the cache pays off. Returns
+/// `(name, ms)` rows plus the cache-hit count for `BENCH_plan.json`.
+fn driver_experiment() -> (Vec<(&'static str, f64)>, u64) {
+    let _ = rayon::ThreadPoolBuilder::new()
+        .num_threads(4)
+        .build_global();
+    let size = if quick_mode() { 128 } else { 1024 };
+    let net = dsq_net::TransitStubConfig::sized(size).generate(9).network;
+    let env = dsq_core::Environment::build(net, 32);
+    let wl = WorkloadGenerator::new(
+        WorkloadConfig {
+            streams: 100,
+            queries: if quick_mode() { 10 } else { 40 },
+            joins_per_query: 4..=4, // 5 stream sources each, as in fig02
+            source_skew: Some(1.0), // shared hot streams => shared subplans
+            ..WorkloadConfig::default()
+        },
+        33,
+    )
+    .generate(&env.network);
+    let td = TopDown::new(&env);
+    let timed = |cfg: &ParallelConfig| {
+        let t0 = std::time::Instant::now();
+        let out = optimize_all(
+            &env,
+            &td,
+            &wl.catalog,
+            &wl.queries,
+            &ReuseRegistry::new(),
+            cfg,
+        );
+        assert!(out.planned() > 0);
+        t0.elapsed().as_secs_f64() * 1e3
+    };
+
+    env.plan_cache.set_enabled(false);
+    let serial_ms = timed(&ParallelConfig::serial());
+    env.plan_cache.set_enabled(true);
+    let parallel_ms = timed(&ParallelConfig::default());
+    // Second pass over the warmed cache: what a replan after an adaptation
+    // check (no epoch bump) costs.
+    let replanning_ms = timed(&ParallelConfig::default());
+    let rows = vec![
+        ("planning-serial", serial_ms),
+        ("planning-parallel-4t", parallel_ms),
+        ("replanning-parallel-4t", replanning_ms),
+        ("planning-speedup-x", serial_ms / replanning_ms.max(1e-9)),
+    ];
+    (rows, env.plan_cache.hits())
+}
 
 /// Per-approach rows of `(name, total cost, wall ms)` plus the shared case.
 fn experiment() -> (Vec<(&'static str, f64, f64)>, dsq_bench::BenchCase) {
@@ -53,17 +107,19 @@ fn bench(c: &mut Criterion) {
     // Capture planner counters for the whole experiment and emit them with
     // the per-approach wall times as BENCH_plan.json (CI uploads it).
     let sink = dsq_obs::Sink::new(dsq_obs::ClockMode::Monotonic);
-    let (rows, case) = {
+    let (rows, case, driver_rows, cache_hits) = {
         let _scope = dsq_obs::scoped(sink.clone());
-        experiment()
+        let (rows, case) = experiment();
+        let (driver_rows, cache_hits) = driver_experiment();
+        (rows, case, driver_rows, cache_hits)
     };
-    dsq_bench::emit_bench_json(
-        "plan",
-        &rows
-            .iter()
-            .map(|&(name, _, ms)| (name, ms))
-            .collect::<Vec<_>>(),
-        &sink.snapshot(),
+    let mut wall_rows: Vec<(&str, f64)> = rows.iter().map(|&(name, _, ms)| (name, ms)).collect();
+    wall_rows.extend_from_slice(&driver_rows);
+    dsq_bench::emit_bench_json("plan", &wall_rows, &sink.snapshot());
+    println!(
+        "multi-query driver: serial {:.0} ms, parallel-4t cold {:.0} ms, warm replan {:.0} ms \
+         (speedup {:.1}x, cache hits {cache_hits})",
+        driver_rows[0].1, driver_rows[1].1, driver_rows[2].1, driver_rows[3].1,
     );
     let ours = rows[0].1;
     println!("\n=== fig02 — total cost of 100 5-source queries, 64-node network ===");

@@ -130,8 +130,45 @@ fn bench(c: &mut Criterion) {
     }
     .emit();
 
-    // Criterion: per-query optimization latency at the largest size.
+    // Multi-query driver wall time at the largest size: serial one-at-a-time
+    // vs the parallel driver with the shared subplan cache, plus a
+    // warm-cache replanning pass (the adaptation path).
     let (env, wl) = envs.last().unwrap();
+    {
+        use dsq_core::{optimize_all, ParallelConfig};
+        let _ = rayon::ThreadPoolBuilder::new()
+            .num_threads(4)
+            .build_global();
+        let td = TopDown::new(env);
+        let timed = |cfg: &ParallelConfig| {
+            let t0 = std::time::Instant::now();
+            let out = optimize_all(
+                env,
+                &td,
+                &wl.catalog,
+                &wl.queries,
+                &ReuseRegistry::new(),
+                cfg,
+            );
+            assert!(out.planned() > 0);
+            t0.elapsed().as_secs_f64() * 1e3
+        };
+        env.plan_cache.set_enabled(false);
+        let serial_ms = timed(&ParallelConfig::serial());
+        env.plan_cache.set_enabled(true);
+        let parallel_ms = timed(&ParallelConfig::default());
+        let replan_ms = timed(&ParallelConfig::default());
+        println!(
+            "  multi-query planning wall time at n = {}: serial {serial_ms:.1} ms, \
+             parallel-4t cold {parallel_ms:.1} ms, warm replan {replan_ms:.1} ms \
+             ({:.1}x, {} cache hits)",
+            env.network.len(),
+            serial_ms / replan_ms.max(1e-9),
+            env.plan_cache.hits(),
+        );
+    }
+
+    // Criterion: per-query optimization latency at the largest size.
     let q = &wl.queries[0];
     let mut group = c.benchmark_group("fig09_largest_network");
     group.sample_size(10);

@@ -105,6 +105,22 @@ impl Optimizer for BottomUp<'_> {
         registry: &mut ReuseRegistry,
         stats: &mut SearchStats,
     ) -> Option<Deployment> {
+        let out = self.optimize_inner(catalog, query, registry, stats);
+        // End-of-query commit barrier for subplans staged during Descend
+        // refinement (see `PlanCache::commit`).
+        self.env.plan_cache.commit();
+        out
+    }
+}
+
+impl BottomUp<'_> {
+    fn optimize_inner(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        registry: &mut ReuseRegistry,
+        stats: &mut SearchStats,
+    ) -> Option<Deployment> {
         let _span = dsq_obs::span("bottomup.optimize", || vec![("query", query.id.0.into())]);
         let h = &self.env.hierarchy;
         let load = self.env.load_snapshot();
@@ -211,15 +227,8 @@ impl Optimizer for BottomUp<'_> {
                     // it records the per-level search statistics).
                     let td = crate::topdown::TopDown::new(self.env);
                     let out = td.plan_in_cluster(&planner, cluster, &inputs, query.sink, stats)?;
-                    let mut next_tag = 0;
-                    td.refine(
-                        &planner,
-                        cluster,
-                        out.tree,
-                        query.sink,
-                        stats,
-                        &mut next_tag,
-                    )?
+                    let mut tags = crate::topdown::TagAlloc::new();
+                    td.refine(&planner, cluster, out.tree, query.sink, stats, &mut tags)?
                 }
                 BottomUpPlacement::MembersOnly => {
                     let seen: Vec<PlannerInput> = inputs

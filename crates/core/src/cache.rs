@@ -1,0 +1,554 @@
+//! Shared memoized subplan cache (multi-query planning).
+//!
+//! Hierarchical planning decomposes every query into within-cluster DP
+//! invocations ([`crate::topdown::TopDown::plan_in_cluster`]). Across a
+//! workload those invocations repeat heavily: queries that share source
+//! streams resolve to the *same* (cluster, inputs, destination) subproblem
+//! again and again — the common case with operator reuse and overlapping
+//! adverts. The [`PlanCache`] memoizes those invocations so coordinators
+//! recompute each distinct subproblem once.
+//!
+//! ## Determinism: frozen reads, staged commits
+//!
+//! The parallel driver ([`crate::parallel`]) must produce byte-identical
+//! results to the serial path, so cache *visibility* cannot depend on thread
+//! scheduling. The cache therefore distinguishes:
+//!
+//! * [`lookup`](PlanCache::lookup) — reads the **committed** map only;
+//! * [`stage`](PlanCache::stage) — misses park their results in a staging
+//!   area that lookups cannot see;
+//! * [`commit`](PlanCache::commit) — promotes staged entries, called only at
+//!   structural barriers (end of a query wave, end of a standalone
+//!   `optimize`), which fall at identical points in the serial and parallel
+//!   schedules.
+//!
+//! Within a parallel region the committed map is frozen, so every task sees
+//! the same hits regardless of interleaving; first-staged-wins resolution at
+//! commit time is order-independent because two stages under the same key
+//! hold identical payloads (the planner is deterministic).
+//!
+//! ## Keying and safety
+//!
+//! Keys capture everything the DP outcome depends on: the epoch (bumped by
+//! adaptation whenever distances, the hierarchy, or the catalog change), the
+//! cluster, the destination, and the canonical input list including each
+//! input's *effective rate* bits (selection predicates make the same stream
+//! arrive at different rates for different queries).
+//!
+//! [`InputKind::External`] inputs are keyed by what the DP actually
+//! consumes — covered streams, production site, and per-stream effective
+//! rates. Their *tags* are mere reconstruction labels scoped to one
+//! refinement, so the entry records the original invocation's tags and a
+//! hit [re-tags](retag) the stored tree into the caller's namespace.
+//!
+//! Planning under a [`LoadModel`](crate::load::LoadModel) bypasses the
+//! cache entirely: standing load mutates between queries, so equal keys
+//! would not mean equal penalties.
+
+use crate::engine::{ClusterPlanner, InputKind, PlannerInput, PlannerOutput};
+use crate::placed::PlacedTree;
+use crate::stats::SearchStats;
+use dsq_hierarchy::ClusterId;
+use dsq_net::NodeId;
+use dsq_query::{DerivedId, LeafSource, StreamId, StreamSet};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Committed entries are capped; beyond this the cache stops accepting new
+/// stages (existing entries keep hitting).
+const MAX_ENTRIES: usize = 1 << 18;
+
+/// Canonical form of one planner input, as it affects the DP outcome.
+///
+/// `seen` locations are *not* part of the key: `plan_in_cluster` derives
+/// them from the input's true location and the hierarchy, both covered by
+/// the epoch.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+enum InputKey {
+    /// A base stream: location comes from the catalog (epoch-covered), the
+    /// effective rate folds in this query's selection predicates.
+    Base { stream: StreamId, rate_bits: u64 },
+    /// A reused derived stream: every field that feeds costing.
+    Derived {
+        id: DerivedId,
+        covered: StreamSet,
+        rate_bits: u64,
+        host: NodeId,
+    },
+    /// Another fragment's output. The tag is *not* keyed (it is a
+    /// reconstruction label, remapped on hit); the DP sees only the covered
+    /// streams, where they are produced, and their effective rates.
+    External {
+        covered: StreamSet,
+        location: NodeId,
+        rate_bits: Vec<u64>,
+    },
+}
+
+/// Cache key for one `plan_in_cluster` invocation.
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct PlanKey {
+    epoch: u64,
+    cluster: ClusterId,
+    dest: NodeId,
+    inputs: Vec<InputKey>,
+}
+
+/// Memoized result of one invocation: the planner's output (possibly
+/// infeasible) plus the [`SearchStats`] delta it recorded, replayed verbatim
+/// on every hit so accounting stays bit-identical to recomputation.
+pub struct CacheEntry {
+    /// The planner's result (`None` = infeasible, cached too).
+    pub output: Option<PlannerOutput>,
+    /// Stats recorded by the original invocation.
+    pub stats: SearchStats,
+    /// Tags of the original invocation's `External` inputs, in input
+    /// order. A hit whose own tags differ re-tags the stored tree
+    /// positionally (the key guarantees the input lists line up).
+    pub ext_tags: Vec<usize>,
+}
+
+/// Tags of the `External` inputs, in input order.
+pub fn external_tags(inputs: &[PlannerInput]) -> Vec<usize> {
+    inputs
+        .iter()
+        .filter_map(|i| match &i.kind {
+            InputKind::External { tag } => Some(*tag),
+            InputKind::Leaf(_) => None,
+        })
+        .collect()
+}
+
+/// Rewrite a cached tree's `External` tags into the hitting caller's
+/// namespace: `from[i]` (the entry's original tag at position `i`) becomes
+/// `to[i]`. Leaves and join placements are untouched — the tag is the only
+/// caller-scoped bit of a [`PlacedTree`].
+pub fn retag(tree: &PlacedTree, from: &[usize], to: &[usize]) -> PlacedTree {
+    debug_assert_eq!(from.len(), to.len());
+    match tree {
+        PlacedTree::Leaf(l) => PlacedTree::Leaf(l.clone()),
+        PlacedTree::External {
+            tag,
+            covered,
+            location,
+        } => {
+            let i = from
+                .iter()
+                .position(|t| t == tag)
+                .expect("cached tree only references its own external inputs");
+            PlacedTree::External {
+                tag: to[i],
+                covered: covered.clone(),
+                location: *location,
+            }
+        }
+        PlacedTree::Join { left, right, node } => PlacedTree::Join {
+            left: Box::new(retag(left, from, to)),
+            right: Box::new(retag(right, from, to)),
+            node: *node,
+        },
+    }
+}
+
+#[derive(Default)]
+struct CacheInner {
+    committed: HashMap<PlanKey, Arc<CacheEntry>>,
+    staged: Vec<(PlanKey, Arc<CacheEntry>)>,
+}
+
+/// A shared, epoch-versioned subplan cache. Disabled by default; enable via
+/// [`set_enabled`](PlanCache::set_enabled) (the `dsqctl` flags and the
+/// parallel driver do this).
+pub struct PlanCache {
+    enabled: AtomicBool,
+    epoch: AtomicU64,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    holds: AtomicU64,
+    inner: Mutex<CacheInner>,
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for PlanCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlanCache")
+            .field("enabled", &self.is_enabled())
+            .field("epoch", &self.epoch())
+            .field("entries", &self.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// A fresh, disabled cache at epoch 0.
+    pub fn new() -> Self {
+        PlanCache {
+            enabled: AtomicBool::new(false),
+            epoch: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            holds: AtomicU64::new(0),
+            inner: Mutex::new(CacheInner::default()),
+        }
+    }
+
+    /// A fresh cache with the given enablement (used when re-deriving an
+    /// environment, so the operator's choice survives reclustering).
+    pub fn new_with_enabled(enabled: bool) -> Self {
+        let c = Self::new();
+        c.set_enabled(enabled);
+        c
+    }
+
+    /// Whether lookups and stages are active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Turn the cache on or off (off also means `key_for` returns `None`,
+    /// so planning takes the exact pre-cache path).
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Current epoch (bumped by [`invalidate`](PlanCache::invalidate)).
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime hit count (out-of-band; the deterministic per-run counters
+    /// are the `planner.cache_hits/misses` dsq-obs counters).
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime miss count (cacheable invocations that recomputed).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of committed entries.
+    pub fn len(&self) -> usize {
+        self.inner.lock().unwrap().committed.len()
+    }
+
+    /// True when no entries are committed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every entry (committed and staged) and advance the epoch, so
+    /// keys built before the invalidation can never match again. Called on
+    /// every adaptation that changes distances, the hierarchy, or the
+    /// catalog.
+    pub fn invalidate(&self) {
+        self.epoch.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().unwrap();
+        inner.committed.clear();
+        inner.staged.clear();
+        dsq_obs::counter("planner.cache_invalidations", 1);
+    }
+
+    /// Build the cache key for an invocation, or `None` when the invocation
+    /// must bypass the cache (cache disabled or load model attached).
+    pub fn key_for(
+        &self,
+        planner: &ClusterPlanner<'_>,
+        cluster: ClusterId,
+        inputs: &[PlannerInput],
+        dest: NodeId,
+    ) -> Option<PlanKey> {
+        if !self.is_enabled() || planner.has_load() {
+            return None;
+        }
+        let mut keys = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            match &input.kind {
+                InputKind::Leaf(LeafSource::Base(id)) => keys.push(InputKey::Base {
+                    stream: *id,
+                    rate_bits: planner
+                        .query()
+                        .effective_rate(planner.catalog(), *id)
+                        .to_bits(),
+                }),
+                InputKind::Leaf(LeafSource::Derived {
+                    id,
+                    covered,
+                    rate,
+                    host,
+                }) => keys.push(InputKey::Derived {
+                    id: *id,
+                    covered: covered.clone(),
+                    rate_bits: rate.to_bits(),
+                    host: *host,
+                }),
+                InputKind::External { .. } => keys.push(InputKey::External {
+                    covered: input.covered.clone(),
+                    location: input.location,
+                    rate_bits: input
+                        .covered
+                        .iter()
+                        .map(|s| {
+                            planner
+                                .query()
+                                .effective_rate(planner.catalog(), s)
+                                .to_bits()
+                        })
+                        .collect(),
+                }),
+            }
+        }
+        Some(PlanKey {
+            epoch: self.epoch(),
+            cluster,
+            dest,
+            inputs: keys,
+        })
+    }
+
+    /// Look `key` up in the **committed** map (staged entries are
+    /// invisible, by design — see the module docs).
+    pub fn lookup(&self, key: &PlanKey) -> Option<Arc<CacheEntry>> {
+        let hit = self.inner.lock().unwrap().committed.get(key).cloned();
+        if hit.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        hit
+    }
+
+    /// Park a freshly computed entry for the next [`commit`](PlanCache::commit).
+    /// Entries staged under a pre-invalidation epoch are discarded at commit
+    /// time (their key epoch no longer matches lookups).
+    pub fn stage(&self, key: PlanKey, entry: Arc<CacheEntry>) {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.committed.len() + inner.staged.len() < MAX_ENTRIES {
+            inner.staged.push((key, entry));
+        }
+    }
+
+    /// Promote staged entries into the committed map (first stage of a key
+    /// wins; duplicates carry identical payloads). Call only at structural
+    /// barriers — never while planning tasks are in flight. No-op while a
+    /// [`hold`](PlanCache::hold) is live (the multi-query driver suspends
+    /// the per-query commits inside its waves and commits at wave barriers
+    /// itself, via [`barrier_commit`](PlanCache::barrier_commit)).
+    pub fn commit(&self) {
+        if self.holds.load(Ordering::Relaxed) > 0 {
+            return;
+        }
+        self.barrier_commit();
+    }
+
+    /// Promote staged entries unconditionally — the caller asserts no
+    /// planning task is in flight (a wave barrier).
+    pub fn barrier_commit(&self) {
+        let epoch = self.epoch();
+        let mut inner = self.inner.lock().unwrap();
+        let staged = std::mem::take(&mut inner.staged);
+        for (key, entry) in staged {
+            if key.epoch == epoch {
+                inner.committed.entry(key).or_insert(entry);
+            }
+        }
+    }
+
+    /// Suspend [`commit`](PlanCache::commit) until the guard drops. Taken
+    /// by the multi-query driver around its waves so that per-query commit
+    /// points inside a wave (which would race with concurrently planning
+    /// queries) become no-ops.
+    pub fn hold(&self) -> CommitHold<'_> {
+        self.holds.fetch_add(1, Ordering::Relaxed);
+        CommitHold { cache: self }
+    }
+}
+
+/// RAII guard returned by [`PlanCache::hold`].
+pub struct CommitHold<'a> {
+    cache: &'a PlanCache,
+}
+
+impl Drop for CommitHold<'_> {
+    fn drop(&mut self) {
+        self.cache.holds.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dsq_query::{Catalog, Query, QueryId, Schema};
+
+    fn setup() -> (Catalog, Query) {
+        let mut c = Catalog::new();
+        let a = c.add_stream("A", 10.0, NodeId(0), Schema::default());
+        let b = c.add_stream("B", 4.0, NodeId(3), Schema::default());
+        c.set_selectivity(a, b, 0.1);
+        let q = Query::join(QueryId(0), [a, b], NodeId(2));
+        (c, q)
+    }
+
+    fn cluster() -> ClusterId {
+        ClusterId { level: 2, index: 0 }
+    }
+
+    #[test]
+    fn disabled_cache_yields_no_keys() {
+        let (c, q) = setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let cache = PlanCache::new();
+        let inputs = vec![PlannerInput::base(&c, StreamId(0))];
+        assert!(cache
+            .key_for(&planner, cluster(), &inputs, NodeId(2))
+            .is_none());
+        cache.set_enabled(true);
+        assert!(cache
+            .key_for(&planner, cluster(), &inputs, NodeId(2))
+            .is_some());
+    }
+
+    #[test]
+    fn external_inputs_are_keyed_by_content_not_tag() {
+        let (c, q) = setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let cache = PlanCache::new_with_enabled(true);
+        let with_tag = |tag: usize, loc: NodeId| {
+            vec![
+                PlannerInput::base(&c, StreamId(0)),
+                PlannerInput::external(tag, StreamSet::singleton(StreamId(1)), loc),
+            ]
+        };
+        let k7 = cache
+            .key_for(&planner, cluster(), &with_tag(7, NodeId(1)), NodeId(2))
+            .unwrap();
+        let k9 = cache
+            .key_for(&planner, cluster(), &with_tag(9, NodeId(1)), NodeId(2))
+            .unwrap();
+        assert_eq!(k7, k9, "tags are labels, not key material");
+        let moved = cache
+            .key_for(&planner, cluster(), &with_tag(7, NodeId(3)), NodeId(2))
+            .unwrap();
+        assert_ne!(k7, moved, "production site is key material");
+    }
+
+    #[test]
+    fn retag_rewrites_only_external_tags() {
+        let tree = PlacedTree::Join {
+            left: Box::new(PlacedTree::Leaf(dsq_query::LeafSource::Base(StreamId(0)))),
+            right: Box::new(PlacedTree::External {
+                tag: 7,
+                covered: StreamSet::singleton(StreamId(1)),
+                location: NodeId(1),
+            }),
+            node: NodeId(2),
+        };
+        let out = retag(&tree, &[7], &[42]);
+        match out {
+            PlacedTree::Join { left, right, node } => {
+                assert_eq!(node, NodeId(2));
+                assert!(matches!(*left, PlacedTree::Leaf(_)));
+                match *right {
+                    PlacedTree::External { tag, location, .. } => {
+                        assert_eq!(tag, 42);
+                        assert_eq!(location, NodeId(1));
+                    }
+                    other => panic!("expected External, got {other:?}"),
+                }
+            }
+            other => panic!("expected Join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn staged_entries_are_invisible_until_commit() {
+        let (c, q) = setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let cache = PlanCache::new_with_enabled(true);
+        let inputs = vec![PlannerInput::base(&c, StreamId(0))];
+        let key = cache
+            .key_for(&planner, cluster(), &inputs, NodeId(2))
+            .unwrap();
+        cache.stage(
+            key.clone(),
+            Arc::new(CacheEntry {
+                output: None,
+                stats: SearchStats::new(),
+                ext_tags: Vec::new(),
+            }),
+        );
+        assert!(cache.lookup(&key).is_none());
+        cache.commit();
+        assert!(cache.lookup(&key).is_some());
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn invalidation_bumps_epoch_and_rejects_stale_keys() {
+        let (c, q) = setup();
+        let planner = ClusterPlanner::new(&c, &q);
+        let cache = PlanCache::new_with_enabled(true);
+        let inputs = vec![PlannerInput::base(&c, StreamId(0))];
+        let old_key = cache
+            .key_for(&planner, cluster(), &inputs, NodeId(2))
+            .unwrap();
+        cache.stage(
+            old_key.clone(),
+            Arc::new(CacheEntry {
+                output: None,
+                stats: SearchStats::new(),
+                ext_tags: Vec::new(),
+            }),
+        );
+        cache.invalidate();
+        cache.commit(); // stale staged entry must be discarded
+        assert!(cache.is_empty());
+        assert!(cache.lookup(&old_key).is_none());
+        let new_key = cache
+            .key_for(&planner, cluster(), &inputs, NodeId(2))
+            .unwrap();
+        assert_ne!(old_key, new_key, "epoch is part of the key");
+    }
+
+    #[test]
+    fn rate_bits_distinguish_predicated_queries() {
+        let (c, q_plain) = setup();
+        // Same sources, but a selection predicate halves A's rate.
+        let mut q_sel = Query::join(QueryId(1), q_plain.sources.clone(), NodeId(2));
+        q_sel.selections.push(dsq_query::SelectionPredicate {
+            stream: StreamId(0),
+            attr: "x".into(),
+            op: dsq_query::CmpOp::Lt,
+            value: 1.0,
+            selectivity: 0.5,
+        });
+        let cache = PlanCache::new_with_enabled(true);
+        let inputs = vec![PlannerInput::base(&c, StreamId(0))];
+        let k_plain = cache
+            .key_for(
+                &ClusterPlanner::new(&c, &q_plain),
+                cluster(),
+                &inputs,
+                NodeId(2),
+            )
+            .unwrap();
+        let k_sel = cache
+            .key_for(
+                &ClusterPlanner::new(&c, &q_sel),
+                cluster(),
+                &inputs,
+                NodeId(2),
+            )
+            .unwrap();
+        assert_ne!(k_plain, k_sel);
+    }
+}

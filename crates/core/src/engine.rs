@@ -168,6 +168,12 @@ impl<'a> ClusterPlanner<'a> {
         self.catalog
     }
 
+    /// Whether a load model is attached (placements pay overload penalties;
+    /// such invocations must bypass the subplan cache).
+    pub fn has_load(&self) -> bool {
+        self.load.is_some()
+    }
+
     /// The query being planned.
     pub fn query(&self) -> &'a Query {
         self.query

@@ -31,6 +31,11 @@ pub struct Environment {
     /// so standing load survives across queries (commit with
     /// [`Environment::commit_load`]).
     pub load: Option<Arc<RwLock<LoadModel>>>,
+    /// Shared memoized subplan cache (disabled by default; see
+    /// [`crate::cache::PlanCache`]). Cloned environments share it; the
+    /// adaptive runtime invalidates it whenever distances, the hierarchy, or
+    /// the catalog change.
+    pub plan_cache: Arc<crate::cache::PlanCache>,
 }
 
 impl Environment {
@@ -72,6 +77,7 @@ impl Environment {
             hierarchy,
             metric,
             load: None,
+            plan_cache: Arc::new(crate::cache::PlanCache::new()),
         }
     }
 
@@ -120,6 +126,11 @@ impl Environment {
             hierarchy,
             metric: self.metric,
             load: self.load.clone(),
+            // The new hierarchy makes old cluster keys meaningless: start a
+            // fresh cache, preserving only the operator's on/off choice.
+            plan_cache: Arc::new(crate::cache::PlanCache::new_with_enabled(
+                self.plan_cache.is_enabled(),
+            )),
         }
     }
 }

@@ -55,20 +55,24 @@
 
 pub mod bottomup;
 pub mod bounds;
+pub mod cache;
 pub mod consolidate;
 pub mod engine;
 pub mod env;
 pub mod load;
 pub mod optimal;
+pub mod parallel;
 pub mod placed;
 pub mod stats;
 pub mod topdown;
 
 pub use bottomup::{BottomUp, BottomUpPlacement};
+pub use cache::{PlanCache, PlanKey};
 pub use engine::{ClusterPlanner, InputKind, PlannerInput, PlannerOutput};
 pub use env::Environment;
 pub use load::LoadModel;
 pub use optimal::Optimal;
+pub use parallel::{optimize_all, MultiQueryOutcome, ParallelConfig};
 pub use placed::PlacedTree;
 pub use stats::{PlanEvent, SearchStats};
 pub use topdown::TopDown;

@@ -17,7 +17,7 @@ use crate::bounds::lemma1_space;
 use dsq_net::NodeId;
 
 /// One within-cluster planning step.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct PlanEvent {
     /// Hierarchy level the step ran at (1-based; 0 for flat planners that
     /// search the whole network).
@@ -33,7 +33,7 @@ pub struct PlanEvent {
 }
 
 /// Accumulated search statistics across one or more optimizations.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SearchStats {
     /// Total plan/deployment combinations examined.
     pub plans_considered: u128,

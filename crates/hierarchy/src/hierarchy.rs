@@ -122,7 +122,9 @@ impl Hierarchy {
             for group in &groups {
                 let members: Vec<NodeId> = group.iter().map(|&i| current[i]).collect();
                 dsq_obs::counter("hierarchy.coordinator_elections", 1);
-                let coordinator = dm.medoid(&members, &members);
+                let coordinator = dm
+                    .medoid(&members, &members)
+                    .expect("clustering never produces an empty group");
                 let children = match &child_indices {
                     Some(ci) => group.iter().map(|&i| ci[i]).collect(),
                     None => Vec::new(),
@@ -360,11 +362,7 @@ impl Hierarchy {
             .copied()
             .filter(|&m| m != c.coordinator)
             .collect();
-        if candidates.is_empty() {
-            None
-        } else {
-            Some(dm.medoid(&candidates, &c.members))
-        }
+        dm.medoid(&candidates, &c.members)
     }
 
     /// Every coordinator role a physical node currently holds, as the

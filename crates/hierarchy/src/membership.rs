@@ -172,8 +172,12 @@ fn split_overflowing(h: &mut Hierarchy, dm: &DistanceMatrix, level: usize, index
     }
     debug_assert!(!keep_members.is_empty() && !new_members.is_empty());
 
-    let keep_coord = dm.medoid(&keep_members, &keep_members);
-    let new_coord = dm.medoid(&new_members, &new_members);
+    let keep_coord = dm
+        .medoid(&keep_members, &keep_members)
+        .expect("split halves are non-empty");
+    let new_coord = dm
+        .medoid(&new_members, &new_members)
+        .expect("split halves are non-empty");
     let parent = cluster.parent;
 
     // Rewrite the kept half in place; push the split-off half.
@@ -213,7 +217,9 @@ fn split_overflowing(h: &mut Hierarchy, dm: &DistanceMatrix, level: usize, index
         None => {
             // The root split: create a new top level over both halves.
             let members = vec![keep_coord, new_coord];
-            let coordinator = dm.medoid(&members, &members);
+            let coordinator = dm
+                .medoid(&members, &members)
+                .expect("root split has two members");
             let top_level = level + 1;
             let new_top = Cluster {
                 members,
@@ -326,7 +332,9 @@ fn refresh(h: &mut Hierarchy, dm: &DistanceMatrix) {
                 h.level_mut(level)[i].members = members;
             }
             let members = h.level(level)[i].members.clone();
-            h.level_mut(level)[i].coordinator = dm.medoid(&members, &members);
+            h.level_mut(level)[i].coordinator = dm
+                .medoid(&members, &members)
+                .expect("surgery never leaves an empty cluster");
         }
     }
     h.recompute_d(dm);

@@ -165,17 +165,18 @@ impl DistanceMatrix {
     }
 
     /// The node of `candidates` minimizing the summed distance to all
-    /// `members` — the *medoid*, used for coordinator election.
-    pub fn medoid(&self, candidates: &[NodeId], members: &[NodeId]) -> NodeId {
-        assert!(!candidates.is_empty());
-        *candidates
+    /// `members` — the *medoid*, used for coordinator election. `None`
+    /// when there are no candidates (an empty electorate is a caller-level
+    /// condition — e.g. a cluster with no eligible backup — not a panic).
+    pub fn medoid(&self, candidates: &[NodeId], members: &[NodeId]) -> Option<NodeId> {
+        candidates
             .iter()
             .min_by(|&&a, &&b| {
                 let sa: f64 = members.iter().map(|&m| self.get(a, m)).sum();
                 let sb: f64 = members.iter().map(|&m| self.get(b, m)).sum();
                 sa.total_cmp(&sb).then(a.0.cmp(&b.0))
             })
-            .unwrap()
+            .copied()
     }
 }
 
@@ -372,6 +373,13 @@ mod tests {
         let net = line_with_shortcut();
         let m = DistanceMatrix::build(&net, Metric::Cost);
         let all = [NodeId(0), NodeId(1), NodeId(2)];
-        assert_eq!(m.medoid(&all, &all), NodeId(1));
+        assert_eq!(m.medoid(&all, &all), Some(NodeId(1)));
+    }
+
+    #[test]
+    fn medoid_of_empty_candidates_is_none() {
+        let net = line_with_shortcut();
+        let m = DistanceMatrix::build(&net, Metric::Cost);
+        assert_eq!(m.medoid(&[], &[NodeId(0), NodeId(1)]), None);
     }
 }

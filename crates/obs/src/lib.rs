@@ -162,6 +162,21 @@ impl Histogram {
             self.sum / self.count as f64
         }
     }
+
+    /// Fold another histogram's aggregate into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
 }
 
 #[derive(Default)]
@@ -193,6 +208,15 @@ impl Sink {
     /// Current timestamp in clock units (advances the virtual clock).
     pub fn now_us(&self) -> u64 {
         self.clock.now_us()
+    }
+
+    /// The clock mode this sink stamps events with (lets parallel regions
+    /// create sub-sinks that tick the same way as their parent).
+    pub fn clock_mode(&self) -> ClockMode {
+        match self.clock {
+            Clock::Monotonic(_) => ClockMode::Monotonic,
+            Clock::Virtual(_) => ClockMode::Virtual,
+        }
     }
 
     /// Record a structured event.
@@ -245,6 +269,42 @@ impl Sink {
     /// Number of events recorded so far.
     pub fn event_count(&self) -> usize {
         self.inner.lock().unwrap().events.len()
+    }
+
+    /// Fold another sink's recorded data into this one, in a deterministic
+    /// order: events are appended in `sub`'s recording order with their
+    /// timestamps **re-stamped** from this sink's clock (one tick per event
+    /// under the virtual clock, durations preserved as recorded), then
+    /// counters and histograms are merged by name.
+    ///
+    /// This is the reduction step for parallel instrumentation: give each
+    /// worker its own virtual-clock sub-sink, then absorb the sub-sinks in a
+    /// fixed order. The merged trace is byte-identical regardless of how the
+    /// workers were scheduled — or whether they ran on threads at all.
+    pub fn absorb(&self, sub: &Sink) {
+        if std::ptr::eq(self, sub) {
+            return;
+        }
+        // Copy out of `sub` before touching our own lock (no nested locks).
+        let (events, counters, histograms) = {
+            let inner = sub.inner.lock().unwrap();
+            (
+                inner.events.clone(),
+                inner.counters.clone(),
+                inner.histograms.clone(),
+            )
+        };
+        for mut ev in events {
+            ev.ts_us = self.clock.now_us();
+            self.push(ev);
+        }
+        let mut inner = self.inner.lock().unwrap();
+        for (name, delta) in counters {
+            *inner.counters.entry(name).or_insert(0) += delta;
+        }
+        for (name, h) in histograms {
+            inner.histograms.entry(name).or_default().merge(&h);
+        }
     }
 
     /// Serialize the full sink as JSON Lines.
@@ -447,6 +507,78 @@ pub fn set_global(sink: Arc<Sink>) -> bool {
     installed
 }
 
+/// A cloneable, `Send` handle to the sink that was current when it was
+/// captured — the bridge that carries [`scoped`] instrumentation across
+/// thread boundaries.
+///
+/// [`scoped`] sinks live in a thread-local stack, so code running inside a
+/// rayon worker (or any spawned thread) silently loses its events: the
+/// worker's stack is empty and, absent a global sink, everything emitted
+/// there is dropped. Capture a handle *before* fanning out and
+/// [`install`](SinkHandle::install) it inside each task:
+///
+/// ```
+/// use dsq_obs::{scoped, ClockMode, Sink, SinkHandle};
+///
+/// let sink = Sink::new(ClockMode::Virtual);
+/// let guard = scoped(sink.clone());
+/// let handle = SinkHandle::capture();
+/// std::thread::scope(|s| {
+///     s.spawn(|| {
+///         let _g = handle.install();
+///         dsq_obs::counter("worker.items", 1); // reaches `sink`
+///     });
+/// });
+/// drop(guard);
+/// assert_eq!(sink.snapshot().counters["worker.items"], 1);
+/// ```
+///
+/// A handle captured with no current sink installs nothing (instrumentation
+/// inside the task falls back to the global sink, matching the behaviour on
+/// the capturing thread).
+#[derive(Clone, Default)]
+pub struct SinkHandle {
+    sink: Option<Arc<Sink>>,
+}
+
+impl SinkHandle {
+    /// Capture the calling thread's current sink (scoped innermost, else
+    /// global, else none).
+    pub fn capture() -> SinkHandle {
+        SinkHandle { sink: current() }
+    }
+
+    /// A handle that installs nothing (instrumentation falls through to the
+    /// installing thread's own resolution).
+    pub fn inactive() -> SinkHandle {
+        SinkHandle { sink: None }
+    }
+
+    /// True when a sink was captured and `install` would route to it.
+    pub fn is_active(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// The captured sink, if any.
+    pub fn sink(&self) -> Option<&Arc<Sink>> {
+        self.sink.as_ref()
+    }
+
+    /// Make the captured sink current on *this* thread until the returned
+    /// guard drops. With no captured sink this is a no-op guard.
+    pub fn install(&self) -> HandleGuard {
+        HandleGuard {
+            _guard: self.sink.clone().map(scoped),
+        }
+    }
+}
+
+/// RAII guard returned by [`SinkHandle::install`]; like [`ScopeGuard`] it
+/// must be dropped on the thread that created it.
+pub struct HandleGuard {
+    _guard: Option<ScopeGuard>,
+}
+
 // --- free recording functions ------------------------------------------------
 
 /// Add `delta` to the named counter on the current sink (no-op when none).
@@ -634,6 +766,117 @@ mod tests {
         }
         let jsonl = sink.to_jsonl();
         assert!(jsonl.contains("\"dur_us\":2"), "{jsonl}");
+    }
+
+    #[test]
+    fn scoped_sink_does_not_reach_spawned_threads_without_a_handle() {
+        // The latent bug SinkHandle exists to fix: a scoped sink is
+        // thread-local, so a bare spawned thread drops everything.
+        let sink = Sink::new(ClockMode::Virtual);
+        let _g = scoped(sink.clone());
+        std::thread::scope(|s| {
+            s.spawn(|| counter("lost", 1));
+        });
+        assert!(!sink.snapshot().counters.contains_key("lost"));
+    }
+
+    #[test]
+    fn sink_handle_carries_scoped_sink_into_threads() {
+        let sink = Sink::new(ClockMode::Virtual);
+        let guard = scoped(sink.clone());
+        let handle = SinkHandle::capture();
+        assert!(handle.is_active());
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let handle = handle.clone();
+                s.spawn(move || {
+                    let _g = handle.install();
+                    counter("worker.items", 1);
+                    observe("worker.load", 2.0);
+                });
+            }
+        });
+        drop(guard);
+        let snap = sink.snapshot();
+        assert_eq!(snap.counters["worker.items"], 4);
+        assert_eq!(snap.histograms["worker.load"].count, 4);
+    }
+
+    #[test]
+    fn inactive_handle_installs_nothing() {
+        let handle = SinkHandle::capture(); // no sink current
+        assert!(!handle.is_active());
+        let _g = handle.install();
+        counter("nowhere", 1); // must not panic
+    }
+
+    #[test]
+    fn absorb_restamps_events_and_merges_aggregates() {
+        let parent = Sink::new(ClockMode::Virtual);
+        parent.event("before", vec![]); // tick 0
+        let sub = Sink::new(ClockMode::Virtual);
+        sub.event("sub.a", vec![]);
+        sub.counter("c", 3);
+        sub.observe("h", 1.0);
+        {
+            let _g = scoped(sub.clone());
+            let s = span("sub.work", Vec::new);
+            drop(s);
+        }
+        parent.absorb(&sub);
+        parent.counter("c", 2);
+        let jsonl = parent.to_jsonl();
+        // Absorbed events are re-stamped with consecutive parent ticks, in
+        // the sub-sink's recording order, durations preserved.
+        assert!(
+            jsonl.contains("{\"ts_us\":0,\"event\":\"before\"}"),
+            "{jsonl}"
+        );
+        assert!(
+            jsonl.contains("{\"ts_us\":1,\"event\":\"sub.a\"}"),
+            "{jsonl}"
+        );
+        assert!(
+            jsonl.contains("{\"ts_us\":2,\"event\":\"sub.work\",\"dur_us\":1}"),
+            "{jsonl}"
+        );
+        let snap = parent.snapshot();
+        assert_eq!(snap.counters["c"], 5);
+        assert_eq!(snap.histograms["h"].count, 1);
+    }
+
+    #[test]
+    fn absorb_merge_is_schedule_independent() {
+        // Two sub-sinks filled "concurrently" merge to the same bytes as
+        // when filled serially, because absorption order is fixed.
+        let fill = |sink: &Sink, tag: u64| {
+            sink.event("unit", vec![("tag", tag.into())]);
+            sink.counter("n", tag);
+        };
+        let merged = |order: &[u64]| {
+            let parent = Sink::new(ClockMode::Virtual);
+            let subs: Vec<_> = (0..2).map(|_| Sink::new(ClockMode::Virtual)).collect();
+            for &i in order {
+                fill(&subs[i as usize], i + 1);
+            }
+            for sub in &subs {
+                parent.absorb(sub);
+            }
+            parent.to_jsonl()
+        };
+        assert_eq!(merged(&[0, 1]), merged(&[1, 0]));
+    }
+
+    #[test]
+    fn histogram_merge_handles_empties() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        b.record(2.0);
+        b.record(6.0);
+        a.merge(&b);
+        assert_eq!((a.count, a.sum, a.min, a.max), (2, 8.0, 2.0, 6.0));
+        a.merge(&Histogram::default());
+        assert_eq!(a.count, 2);
     }
 
     #[test]

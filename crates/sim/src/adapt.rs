@@ -156,6 +156,9 @@ impl AdaptiveRuntime {
             true
         };
         report.last_member_forfeit = !overlay_repaired;
+        // Hierarchy membership changed: memoized subplans are keyed by
+        // cluster + epoch, so retire them all.
+        self.env.plan_cache.invalidate();
 
         // 2. Classify standing deployments.
         enum Action {
@@ -317,6 +320,7 @@ impl AdaptiveRuntime {
     ) -> crate::failures::RecoveryReport {
         let outcome =
             dsq_hierarchy::membership::add_node(&mut self.env.hierarchy, &self.env.dm, node, via);
+        self.env.plan_cache.invalidate();
         let redeployed = self.retry_parked(replan);
         crate::failures::RecoveryReport {
             join_messages: outcome.messages,
@@ -336,6 +340,9 @@ impl AdaptiveRuntime {
         catalog: &dsq_query::Catalog,
         mut replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
     ) -> MigrationReport {
+        // The catalog's rates/selectivities feed the cache keys and the
+        // cached costs — everything memoized is stale now.
+        self.env.plan_cache.invalidate();
         let mut report = MigrationReport::default();
         for (i, d) in self.deployments.iter_mut().enumerate() {
             *d = d.reestimate(&self.queries[i], catalog, &self.env.dm);
@@ -400,9 +407,11 @@ impl AdaptiveRuntime {
             let applied = self.env.network.set_link_cost(ch.a, ch.b, ch.new_cost);
             assert!(applied, "link change references a missing link");
         }
-        // Refresh the distance view and the hierarchy's cost statistics.
+        // Refresh the distance view and the hierarchy's cost statistics,
+        // and retire every memoized subplan costed against the old metric.
         self.env.dm = DistanceMatrix::build(&self.env.network, Metric::Cost);
         self.env.hierarchy.refresh_statistics(&self.env.dm);
+        self.env.plan_cache.invalidate();
 
         let mut report = MigrationReport::default();
         for d in &mut self.deployments {

@@ -6,6 +6,8 @@
 //! dsqctl hierarchy [--size N] [--max-cs M] [--dot]         clustering hierarchy
 //! dsqctl optimize [--size N] [--streams K] [--queries Q]   compare algorithms
 //!                 [--max-cs M] [--skew Z] [--seed S]
+//! dsqctl plan [--size N] [--streams K] [--queries Q]       parallel multi-query
+//!             [--threads T] [--no-parallel] [--no-cache]   planning driver
 //! dsqctl simulate [--size N] [--duration T] [--seed S]     tuple-level validation
 //! dsqctl sql "<SELECT …>" [--sink NODE]                    parse & deploy on the
 //!                                                          airline scenario
@@ -41,6 +43,7 @@ fn main() -> ExitCode {
         "topology" => topology(&opts),
         "hierarchy" => hierarchy(&opts),
         "optimize" => optimize(&opts),
+        "plan" => plan(&opts),
         "simulate" => simulate(&opts),
         "sql" => sql(&opts),
         "chaos" => chaos(&opts),
@@ -58,7 +61,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "dsqctl <topology|hierarchy|optimize|simulate|sql|chaos|trace|stats|help> [options]
+    "dsqctl <topology|hierarchy|optimize|plan|simulate|sql|chaos|trace|stats|help> [options]
   --size N       target network size (default 128)
   --seed S       RNG seed (default 1)
   --max-cs M     cluster size cap (default 32)
@@ -69,6 +72,9 @@ const USAGE: &str =
   --sink NODE    sink node id for `sql` (default: scenario Sink4)
   --events N     fault events for `chaos` (default 60)
   --drop P       message drop probability for `chaos` (default 0.1)
+  --threads T    worker threads for `plan` (default: all cores)
+  --no-parallel  plan queries one at a time (results are bit-identical)
+  --no-cache     disable the shared subplan cache
   --save FILE    write the generated topology to FILE (text format)
   --load FILE    read the topology from FILE instead of generating one
   --dot          emit Graphviz DOT instead of a summary";
@@ -86,6 +92,9 @@ struct Opts {
     events: usize,
     drop: f64,
     sink: Option<u32>,
+    threads: Option<usize>,
+    no_parallel: bool,
+    no_cache: bool,
     save: Option<String>,
     load: Option<String>,
     dot: bool,
@@ -105,6 +114,9 @@ impl Opts {
             events: 60,
             drop: 0.1,
             sink: None,
+            threads: None,
+            no_parallel: false,
+            no_cache: false,
             save: None,
             load: None,
             dot: false,
@@ -133,6 +145,11 @@ impl Opts {
                 "--events" => o.events = value("--events").parse().expect("--events: integer"),
                 "--drop" => o.drop = value("--drop").parse().expect("--drop: float"),
                 "--sink" => o.sink = Some(value("--sink").parse().expect("--sink: node id")),
+                "--threads" => {
+                    o.threads = Some(value("--threads").parse().expect("--threads: integer"))
+                }
+                "--no-parallel" => o.no_parallel = true,
+                "--no-cache" => o.no_cache = true,
                 "--save" => o.save = Some(value("--save")),
                 "--load" => o.load = Some(value("--load")),
                 "--dot" => o.dot = true,
@@ -277,6 +294,53 @@ fn optimize(o: &Opts) -> ExitCode {
             infeasible
         );
     }
+    ExitCode::SUCCESS
+}
+
+fn plan(o: &Opts) -> ExitCode {
+    use dsq::prelude::{optimize_all, ParallelConfig};
+    if let Some(t) = o.threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(t)
+            .build_global()
+            .expect("configure worker pool");
+    }
+    let env = Environment::build(o.network(), o.max_cs);
+    let wl = o.workload(&env.network);
+    env.plan_cache.set_enabled(!o.no_cache);
+    let cfg = ParallelConfig {
+        parallel: !o.no_parallel,
+        ..ParallelConfig::default()
+    };
+    println!(
+        "{} nodes (h = {}), {} streams, {} queries; {} threads, parallel {}, cache {}\n",
+        env.network.len(),
+        env.hierarchy.height(),
+        wl.catalog.len(),
+        wl.queries.len(),
+        rayon::current_num_threads(),
+        if cfg.parallel { "on" } else { "off" },
+        if o.no_cache { "off" } else { "on" },
+    );
+    let td = TopDown::new(&env);
+    let start = std::time::Instant::now();
+    let out = optimize_all(
+        &env,
+        &td,
+        &wl.catalog,
+        &wl.queries,
+        &ReuseRegistry::new(),
+        &cfg,
+    );
+    let wall = start.elapsed();
+    let infeasible = out.deployments.len() - out.planned();
+    println!("planned           {:>12} queries", out.planned());
+    println!("infeasible        {:>12}", infeasible);
+    println!("total cost        {:>12.1}", out.total_cost);
+    println!("plans considered  {:>12}", out.stats.plans_considered);
+    println!("cache hits        {:>12}", env.plan_cache.hits());
+    println!("cache misses      {:>12}", env.plan_cache.misses());
+    println!("wall time         {:>12.1} ms", wall.as_secs_f64() * 1e3);
     ExitCode::SUCCESS
 }
 

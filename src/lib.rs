@@ -65,7 +65,8 @@ pub use dsq_workload as workload;
 /// Commonly used items across the workspace.
 pub mod prelude {
     pub use dsq_core::{
-        bounds, BottomUp, BottomUpPlacement, Environment, Optimizer, SearchStats, TopDown,
+        bounds, optimize_all, BottomUp, BottomUpPlacement, Environment, MultiQueryOutcome,
+        Optimizer, ParallelConfig, SearchStats, TopDown,
     };
     pub use dsq_hierarchy::{Hierarchy, HierarchyConfig};
     pub use dsq_net::{CostSpace, DistanceMatrix, Metric, Network, NodeId, TransitStubConfig};

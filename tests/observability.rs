@@ -64,6 +64,35 @@ fn trace_covers_both_planners_and_counters() {
 }
 
 #[test]
+fn scoped_sink_reaches_rayon_workers_via_handle() {
+    // `obs::scoped` is thread-local, so instrumentation emitted from a
+    // rayon worker thread would silently vanish. A captured `SinkHandle`
+    // re-installs the ambient sink inside each task; this pins the pattern
+    // the parallel planning driver relies on.
+    use rayon::prelude::*;
+    let sink = obs::Sink::new(obs::ClockMode::Virtual);
+    {
+        let _scope = obs::scoped(sink.clone());
+        let handle = obs::SinkHandle::capture();
+        assert!(handle.is_active());
+        let emitted: Vec<u64> = (0u64..16)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|i| {
+                let _guard = handle.clone().install();
+                obs::counter("test.rayon_emit", 1);
+                obs::observe("test.rayon_hist", i as f64);
+                i
+            })
+            .collect();
+        assert_eq!(emitted.len(), 16);
+    }
+    let snap = sink.snapshot();
+    assert_eq!(snap.counters.get("test.rayon_emit"), Some(&16));
+    assert_eq!(snap.histograms.get("test.rayon_hist").unwrap().count, 16);
+}
+
+#[test]
 fn nothing_leaks_outside_the_scope() {
     // The scoped sink above must not install itself globally: with no scope
     // active, instrumentation is a no-op and traces stay empty.
