@@ -59,6 +59,7 @@ fn bench(c: &mut Criterion) {
                 policy: *policy,
                 protocol_seed: 9,
                 threshold: 0.2,
+                ..ChaosRunner::default()
             };
             let r = runner.run(env.clone(), &wl.catalog, &wl.queries, &schedule);
             availability[i].1.push(r.availability);
@@ -103,6 +104,7 @@ fn bench(c: &mut Criterion) {
         policy: RetryPolicy::lossy(0.1),
         protocol_seed: 3,
         threshold: 0.2,
+        ..ChaosRunner::default()
     };
     c.bench_function("ablation_chaos_run_20_events", |b| {
         b.iter(|| runner.run(env.clone(), &wl.catalog, &wl.queries, &schedule))

@@ -19,9 +19,11 @@ use dsq_workload::{WorkloadConfig, WorkloadGenerator};
 
 /// Wall-clock of the multi-query planning driver on a fig09-style sweep
 /// (~1024 nodes full mode, ~128 quick): serial without the subplan cache,
-/// parallel (4-thread pool) with a cold cache, and a warm-cache replanning
-/// pass — the adaptation scenario where the cache pays off. Returns
-/// `(name, ms)` rows plus the cache-hit count for `BENCH_plan.json`.
+/// parallel (4-thread pool) with a cold cache, a warm-cache replanning
+/// pass, and an adaptation-after-change pair — full replan (flush) vs
+/// incremental (scoped retirement + `optimize_dirty`) after a localized
+/// link-cost drift. Returns `(name, ms)` rows plus the cache-hit count for
+/// `BENCH_plan.json`.
 fn driver_experiment() -> (Vec<(&'static str, f64)>, u64) {
     let _ = rayon::ThreadPoolBuilder::new()
         .num_threads(4)
@@ -62,11 +64,90 @@ fn driver_experiment() -> (Vec<(&'static str, f64)>, u64) {
     // Second pass over the warmed cache: what a replan after an adaptation
     // check (no epoch bump) costs.
     let replanning_ms = timed(&ParallelConfig::default());
+
+    // Adaptation-after-change scenario: one stub access link drifts 40x,
+    // the way `sim::adapt` sees metric drift. Full replan flushes the cache
+    // and replans every query; incremental replanning retires only the
+    // entries whose DP consulted a drifted distance (`retire_metric`) and
+    // replans only the queries whose standing deployment touches the dirty
+    // set (`optimize_dirty`).
+    let drift = dsq_bench::localized_drift(&env);
+    let cfg = ParallelConfig::default();
+
+    let mut full_env = env.clone();
+    full_env.isolate_cache(true); // flush semantics: enabled but empty
+    assert!(full_env
+        .network
+        .set_link_cost(drift.a, drift.b, drift.new_cost));
+    full_env.dm = drift.new_dm.clone();
+    full_env.hierarchy.refresh_statistics(&full_env.dm);
+    let (full_ms, full_out) = {
+        let td = TopDown::new(&full_env);
+        let t0 = std::time::Instant::now();
+        let out = optimize_all(
+            &full_env,
+            &td,
+            &wl.catalog,
+            &wl.queries,
+            &ReuseRegistry::new(),
+            &cfg,
+        );
+        (t0.elapsed().as_secs_f64() * 1e3, out)
+    };
+
+    // Standing deployments for the incremental arm (pure warm hits, untimed).
+    let warm = optimize_all(
+        &env,
+        &td,
+        &wl.catalog,
+        &wl.queries,
+        &ReuseRegistry::new(),
+        &cfg,
+    );
+    let mut inc_env = env.clone(); // shares the warmed cache
+    assert!(inc_env
+        .network
+        .set_link_cost(drift.a, drift.b, drift.new_cost));
+    let dirty = drift.dirty;
+    inc_env.dm = drift.new_dm;
+    inc_env.hierarchy.refresh_statistics(&inc_env.dm);
+    let (incremental_ms, inc_out, retired) = {
+        let td = TopDown::new(&inc_env);
+        let t0 = std::time::Instant::now();
+        let retired = inc_env.plan_cache.retire_metric(&env.dm, &inc_env.dm);
+        let out = dsq_core::optimize_dirty(
+            &inc_env,
+            &td,
+            &wl.catalog,
+            &wl.queries,
+            &warm.deployments,
+            &dirty,
+            &ReuseRegistry::new(),
+            &cfg,
+        );
+        (t0.elapsed().as_secs_f64() * 1e3, out, retired)
+    };
+    assert!(
+        retired > 0,
+        "the drift must retire memoized subplans (emits planner.cache_retired)"
+    );
+    assert_eq!(
+        inc_out.total_cost.to_bits(),
+        full_out.total_cost.to_bits(),
+        "incremental replanning diverged from the full replan"
+    );
+
     let rows = vec![
         ("planning-serial", serial_ms),
         ("planning-parallel-4t", parallel_ms),
         ("replanning-parallel-4t", replanning_ms),
         ("planning-speedup-x", serial_ms / replanning_ms.max(1e-9)),
+        ("replanning-full-after-change", full_ms),
+        ("planning-replanning-incremental", incremental_ms),
+        (
+            "replanning-incremental-speedup-x",
+            full_ms / incremental_ms.max(1e-9),
+        ),
     ];
     (rows, env.plan_cache.hits())
 }
@@ -120,6 +201,11 @@ fn bench(c: &mut Criterion) {
         "multi-query driver: serial {:.0} ms, parallel-4t cold {:.0} ms, warm replan {:.0} ms \
          (speedup {:.1}x, cache hits {cache_hits})",
         driver_rows[0].1, driver_rows[1].1, driver_rows[2].1, driver_rows[3].1,
+    );
+    println!(
+        "after a 40x link drift: full replan {:.1} ms, incremental (scoped retire + dirty-set \
+         replan) {:.1} ms ({:.1}x)",
+        driver_rows[4].1, driver_rows[5].1, driver_rows[6].1,
     );
     let ours = rows[0].1;
     println!("\n=== fig02 — total cost of 100 5-source queries, 64-node network ===");

@@ -166,6 +166,69 @@ fn bench(c: &mut Criterion) {
             serial_ms / replan_ms.max(1e-9),
             env.plan_cache.hits(),
         );
+
+        // Incremental replanning after a localized link-cost drift: scoped
+        // retirement + dirty-set replan against the warmed cache vs a full
+        // (flush-style) replan of every query over a cold cache.
+        let warm = optimize_all(
+            env,
+            &td,
+            &wl.catalog,
+            &wl.queries,
+            &ReuseRegistry::new(),
+            &ParallelConfig::default(),
+        );
+        let drift = dsq_bench::localized_drift(env);
+        let mut full_env = env.clone();
+        full_env.isolate_cache(true);
+        assert!(full_env
+            .network
+            .set_link_cost(drift.a, drift.b, drift.new_cost));
+        full_env.dm = drift.new_dm.clone();
+        full_env.hierarchy.refresh_statistics(&full_env.dm);
+        let t0 = std::time::Instant::now();
+        let full = optimize_all(
+            &full_env,
+            &TopDown::new(&full_env),
+            &wl.catalog,
+            &wl.queries,
+            &ReuseRegistry::new(),
+            &ParallelConfig::default(),
+        );
+        let full_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+        let mut inc_env = env.clone(); // shares the warmed cache
+        assert!(inc_env
+            .network
+            .set_link_cost(drift.a, drift.b, drift.new_cost));
+        let dirty = drift.dirty;
+        inc_env.dm = drift.new_dm;
+        inc_env.hierarchy.refresh_statistics(&inc_env.dm);
+        let t0 = std::time::Instant::now();
+        let retired = inc_env.plan_cache.retire_metric(&env.dm, &inc_env.dm);
+        let inc = dsq_core::optimize_dirty(
+            &inc_env,
+            &TopDown::new(&inc_env),
+            &wl.catalog,
+            &wl.queries,
+            &warm.deployments,
+            &dirty,
+            &ReuseRegistry::new(),
+            &ParallelConfig::default(),
+        );
+        let inc_ms = t0.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            inc.total_cost.to_bits(),
+            full.total_cost.to_bits(),
+            "incremental replanning diverged from the full replan"
+        );
+        println!(
+            "  after a 40x link drift at n = {}: full replan {full_ms:.1} ms, incremental \
+             {inc_ms:.1} ms ({:.1}x; {} dirty nodes, {retired} subplans retired)",
+            env.network.len(),
+            full_ms / inc_ms.max(1e-9),
+            dirty.len(),
+        );
     }
 
     // Criterion: per-query optimization latency at the largest size.

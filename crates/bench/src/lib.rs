@@ -254,6 +254,64 @@ pub fn emit_bench_json(name: &str, wall_ms: &[(&str, f64)], snapshot: &dsq_obs::
     }
 }
 
+/// A localized metric drift for the incremental-replanning measurements:
+/// a link whose 40x cost increase moves only a small set of shortest-path
+/// distances, so the dirty set (`metric_dirty_nodes`) stays a fraction of
+/// the network.
+pub struct DriftScenario {
+    /// Drifted link endpoints.
+    pub a: dsq_net::NodeId,
+    /// Drifted link endpoints.
+    pub b: dsq_net::NodeId,
+    /// The link's post-drift cost.
+    pub new_cost: f64,
+    /// Distance matrix rebuilt over the drifted network.
+    pub new_dm: dsq_net::DistanceMatrix,
+    /// Nodes with at least one changed shortest-path distance.
+    pub dirty: std::collections::HashSet<dsq_net::NodeId>,
+}
+
+/// Search the network (stub side first) for a [`DriftScenario`]. Links
+/// without path redundancy are poor candidates — drifting a degree-1
+/// leaf's access link changes that leaf's distance to *every* node, which
+/// dirties the whole network and turns incremental replanning into a full
+/// replan. The search keeps the candidate with the smallest nonempty dirty
+/// set, returning early once the set is under 1/8 of the network.
+pub fn localized_drift(env: &Environment) -> DriftScenario {
+    let n = env.network.len();
+    let mut best: Option<DriftScenario> = None;
+    let mut tried = 0usize;
+    'outer: for i in (0..n).rev() {
+        let u = dsq_net::NodeId(i as u32);
+        for l in env.network.neighbors(u) {
+            if tried >= 24 {
+                break 'outer;
+            }
+            tried += 1;
+            let mut net = env.network.clone();
+            assert!(net.set_link_cost(u, l.to, l.cost * 40.0));
+            let dm = dsq_net::DistanceMatrix::build(&net, dsq_net::Metric::Cost);
+            let dirty = dsq_core::metric_dirty_nodes(&env.dm, &dm);
+            if dirty.is_empty() {
+                continue; // link carries no unique shortest path
+            }
+            if best.as_ref().is_none_or(|b| dirty.len() < b.dirty.len()) {
+                best = Some(DriftScenario {
+                    a: u,
+                    b: l.to,
+                    new_cost: l.cost * 40.0,
+                    new_dm: dm,
+                    dirty,
+                });
+            }
+            if best.as_ref().unwrap().dirty.len() <= n / 8 {
+                break 'outer;
+            }
+        }
+    }
+    best.expect("some link drift must change a distance")
+}
+
 /// Named algorithm set for comparison tables. Zones for In-network follow
 /// the paper's 5-zone setup.
 pub struct AlgorithmSet<'a> {

@@ -437,6 +437,44 @@ mod tests {
     }
 
     #[test]
+    fn descend_refinement_cache_never_changes_answers() {
+        // The Descend placement mode refines through TopDown's recursive
+        // machinery, which stages and commits into the shared subplan
+        // cache — a second client of the memoization beyond the
+        // multi-query driver. Distinct queries rarely share cells (the
+        // key carries the full canonical input list and the sink
+        // representative), so the hit path is exercised by a second pass
+        // over the warmed cache: it must replay every cell and land on
+        // the same bits, and both passes must match the cache-off run.
+        let env = env(8);
+        let wl = workload(&env, 7, 10);
+        let run = |enabled: bool| {
+            let env = env.reclustered(8); // fresh cache, identical hierarchy
+            env.plan_cache.set_enabled(enabled);
+            let bu = BottomUp::new(&env);
+            let pass = || -> Vec<Option<u64>> {
+                wl.queries
+                    .iter()
+                    .map(|q| {
+                        let mut reg = ReuseRegistry::new();
+                        let mut stats = SearchStats::new();
+                        bu.optimize(&wl.catalog, q, &mut reg, &mut stats)
+                            .map(|d| d.cost.to_bits())
+                    })
+                    .collect()
+            };
+            let cold = pass();
+            let warm = pass();
+            assert_eq!(cold, warm, "warm replay changed an answer");
+            (cold, env.plan_cache.hits())
+        };
+        let (off, _) = run(false);
+        let (on, hits) = run(true);
+        assert_eq!(off, on);
+        assert!(hits > 0, "bottom-up refinement must exercise the cache");
+    }
+
+    #[test]
     fn single_source_query_works() {
         let env = env(8);
         let mut catalog = Catalog::new();

@@ -48,12 +48,28 @@
 use crate::engine::{ClusterPlanner, InputKind, PlannerInput, PlannerOutput};
 use crate::placed::PlacedTree;
 use crate::stats::SearchStats;
-use dsq_hierarchy::ClusterId;
-use dsq_net::NodeId;
-use dsq_query::{DerivedId, LeafSource, StreamId, StreamSet};
-use std::collections::HashMap;
+use dsq_hierarchy::{ClusterId, Hierarchy, HierarchyDelta};
+use dsq_net::{DistanceMatrix, NodeId};
+use dsq_query::{Catalog, DerivedId, LeafSource, StreamId, StreamSet};
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// How adaptation retires memoized subplans when the world changes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum InvalidationMode {
+    /// Retire only the entries the change could have affected (dirty
+    /// clusters / drifted distances / touched streams); everything else
+    /// keeps hitting across the adaptation.
+    #[default]
+    Scoped,
+    /// Drop every entry on every change — the original global epoch bump.
+    /// Kept as the always-sound reference the differential harness
+    /// (`tests/incremental_equivalence.rs`) compares [`Scoped`] against.
+    ///
+    /// [`Scoped`]: InvalidationMode::Scoped
+    Flush,
+}
 
 /// Committed entries are capped; beyond this the cache stops accepting new
 /// stages (existing entries keep hitting).
@@ -107,6 +123,30 @@ pub struct CacheEntry {
     /// order. A hit whose own tags differ re-tags the stored tree
     /// positionally (the key guarantees the input lists line up).
     pub ext_tags: Vec<usize>,
+    /// What the invocation depended on, for scoped retirement.
+    pub deps: EntryDeps,
+}
+
+/// Everything a memoized `plan_in_cluster` outcome depends on beyond its
+/// key, recorded at stage time so adaptation can retire exactly the entries
+/// a change could have affected (see the `retire_*` methods).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct EntryDeps {
+    /// Nodes whose pairwise distances the DP consulted: the cluster's
+    /// members, every input's *seen* (representative) location, and the seen
+    /// destination. Sorted and deduplicated. A distance change between any
+    /// two nodes outside this set cannot move the cached outcome.
+    pub metric_nodes: Vec<NodeId>,
+    /// Raw (pre-representative) locations the invocation referenced: input
+    /// production sites plus the actual destination. Membership surgery
+    /// invalidates the entry iff one of these went inactive or has a dirty
+    /// cluster on its ancestor chain (the representatives may have moved).
+    pub locations: Vec<NodeId>,
+    /// Base streams covered by the inputs. Catalog changes (rates, origin
+    /// nodes, pairwise selectivities) retire entries covering a touched
+    /// stream — selectivities are *not* part of the key, so such entries
+    /// would otherwise keep hitting with stale costs.
+    pub streams: Vec<StreamId>,
 }
 
 /// Tags of the `External` inputs, in input order.
@@ -165,6 +205,7 @@ pub struct PlanCache {
     epoch: AtomicU64,
     hits: AtomicU64,
     misses: AtomicU64,
+    retired: AtomicU64,
     holds: AtomicU64,
     inner: Mutex<CacheInner>,
 }
@@ -183,6 +224,7 @@ impl std::fmt::Debug for PlanCache {
             .field("entries", &self.len())
             .field("hits", &self.hits())
             .field("misses", &self.misses())
+            .field("retired", &self.retired())
             .finish()
     }
 }
@@ -195,6 +237,7 @@ impl PlanCache {
             epoch: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            retired: AtomicU64::new(0),
             holds: AtomicU64::new(0),
             inner: Mutex::new(CacheInner::default()),
         }
@@ -235,6 +278,12 @@ impl PlanCache {
         self.misses.load(Ordering::Relaxed)
     }
 
+    /// Lifetime count of entries dropped by invalidation or scoped
+    /// retirement (out-of-band, like [`hits`](PlanCache::hits)).
+    pub fn retired(&self) -> u64 {
+        self.retired.load(Ordering::Relaxed)
+    }
+
     /// Number of committed entries.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().committed.len()
@@ -252,9 +301,108 @@ impl PlanCache {
     pub fn invalidate(&self) {
         self.epoch.fetch_add(1, Ordering::Relaxed);
         let mut inner = self.inner.lock().unwrap();
+        let dropped = (inner.committed.len() + inner.staged.len()) as u64;
+        self.retired.fetch_add(dropped, Ordering::Relaxed);
         inner.committed.clear();
         inner.staged.clear();
         dsq_obs::counter("planner.cache_invalidations", 1);
+    }
+
+    /// Drop exactly the entries matching `stale`, committed and staged,
+    /// without touching the epoch (surviving keys keep matching). Returns
+    /// the number retired and emits it on the `planner.cache_retired`
+    /// counter. Call only at adaptation points — never while planning tasks
+    /// are in flight.
+    fn retire_where(&self, stale: impl Fn(&PlanKey, &CacheEntry) -> bool) -> u64 {
+        let mut inner = self.inner.lock().unwrap();
+        let before = inner.committed.len() + inner.staged.len();
+        inner.committed.retain(|k, e| !stale(k, e));
+        inner.staged.retain(|(k, e)| !stale(k, e));
+        let retired = (before - inner.committed.len() - inner.staged.len()) as u64;
+        self.retired.fetch_add(retired, Ordering::Relaxed);
+        if retired > 0 {
+            dsq_obs::counter("planner.cache_retired", retired);
+        }
+        retired
+    }
+
+    /// Scoped retirement after hierarchy membership surgery (crash /
+    /// rejoin). `delta` is the fingerprint diff across the surgery
+    /// ([`dsq_hierarchy::HierarchySnapshot::diff`]); `hierarchy` is the
+    /// *post-surgery* structure. An entry is stale iff
+    ///
+    /// * its own cluster is dirty (members/coordinator changed, or the id
+    ///   was remapped by a swap-remove), or
+    /// * a referenced raw location went inactive, or
+    /// * a referenced raw location has a dirty cluster on its ancestor chain
+    ///   up to the entry's level — `seen_in` derives representatives from
+    ///   the coordinators along exactly that chain, so an unchanged chain
+    ///   (content-identical clusters at the same ids) reproduces the same
+    ///   representatives the entry was planned with.
+    ///
+    /// Returns the number of entries retired.
+    pub fn retire_membership(&self, hierarchy: &Hierarchy, delta: &HierarchyDelta) -> u64 {
+        if delta.is_empty() {
+            return 0;
+        }
+        if delta.full {
+            // Height changed: ClusterId levels shifted meaning entirely.
+            let n = {
+                let inner = self.inner.lock().unwrap();
+                (inner.committed.len() + inner.staged.len()) as u64
+            };
+            self.invalidate();
+            if n > 0 {
+                dsq_obs::counter("planner.cache_retired", n);
+            }
+            return n;
+        }
+        self.retire_where(|key, entry| {
+            delta.dirty.contains(&key.cluster)
+                || entry.deps.locations.iter().any(|&loc| {
+                    !hierarchy.is_active(loc)
+                        || hierarchy
+                            .ancestor_chain(loc, key.cluster.level)
+                            .iter()
+                            .any(|c| delta.dirty.contains(c))
+                })
+        })
+    }
+
+    /// Scoped retirement after a distance change: drop entries whose DP
+    /// consulted a *pair* of nodes whose distance moved between `old` and
+    /// `new` (compared bit-exactly). The check is pair-wise within each
+    /// entry's [`EntryDeps::metric_nodes`], not node-wise: degrading a
+    /// degree-one node's only link changes its distance to *every* other
+    /// node — so every node is an endpoint of some changed pair — yet an
+    /// entry that never consulted a distance involving that node saw only
+    /// unchanged values and keeps hitting. Two identical matrices retire
+    /// nothing — a monitor round that rebuilt the matrix to the same values
+    /// keeps the whole cache. Returns the number of entries retired.
+    pub fn retire_metric(&self, old: &DistanceMatrix, new: &DistanceMatrix) -> u64 {
+        let dirty = metric_dirty_nodes(old, new);
+        if dirty.is_empty() {
+            return 0;
+        }
+        self.retire_where(|_, entry| {
+            let m = &entry.deps.metric_nodes;
+            m.iter().enumerate().any(|(i, &u)| {
+                dirty.contains(&u)
+                    && m[i + 1..]
+                        .iter()
+                        .any(|&v| old.get(u, v).to_bits() != new.get(u, v).to_bits())
+            })
+        })
+    }
+
+    /// Scoped retirement after a catalog change: drop entries covering a
+    /// touched stream (see [`catalog_dirty_streams`]). Returns the number of
+    /// entries retired.
+    pub fn retire_catalog(&self, dirty: &HashSet<StreamId>) -> u64 {
+        if dirty.is_empty() {
+            return 0;
+        }
+        self.retire_where(|_, entry| entry.deps.streams.iter().any(|s| dirty.contains(s)))
     }
 
     /// Build the cache key for an invocation, or `None` when the invocation
@@ -383,6 +531,59 @@ impl Drop for CommitHold<'_> {
     }
 }
 
+/// Nodes involved in at least one changed pairwise distance between two
+/// matrices (compared bit-exactly). By construction, the distance between
+/// two nodes *outside* the returned set is unchanged — which is what makes
+/// deployment-intersection a sound dirty test: an untouched deployment's
+/// edges all run between clean nodes, so its cost is bit-identical too.
+pub fn metric_dirty_nodes(old: &DistanceMatrix, new: &DistanceMatrix) -> HashSet<NodeId> {
+    assert_eq!(old.len(), new.len(), "matrices must cover the same network");
+    let mut dirty = HashSet::new();
+    let n = old.len();
+    for i in 0..n {
+        let a = NodeId(i as u32);
+        for j in (i + 1)..n {
+            let b = NodeId(j as u32);
+            if old.get(a, b).to_bits() != new.get(a, b).to_bits() {
+                dirty.insert(a);
+                dirty.insert(b);
+            }
+        }
+    }
+    dirty
+}
+
+/// Streams whose planning-relevant statistics differ between two catalog
+/// versions: a changed rate or origin node dirties the stream; a changed
+/// pairwise join selectivity dirties both endpoints (selectivities are not
+/// part of the cache key, so entries covering either stream must go). A
+/// changed stream count dirties everything.
+pub fn catalog_dirty_streams(old: &Catalog, new: &Catalog) -> HashSet<StreamId> {
+    let mut dirty = HashSet::new();
+    if old.len() != new.len() {
+        for i in 0..old.len().max(new.len()) {
+            dirty.insert(StreamId(i as u32));
+        }
+        return dirty;
+    }
+    for (o, n) in old.streams().iter().zip(new.streams()) {
+        if o.rate.to_bits() != n.rate.to_bits() || o.node != n.node {
+            dirty.insert(o.id);
+        }
+    }
+    for i in 0..old.len() {
+        let a = StreamId(i as u32);
+        for j in (i + 1)..old.len() {
+            let b = StreamId(j as u32);
+            if old.selectivity(a, b).to_bits() != new.selectivity(a, b).to_bits() {
+                dirty.insert(a);
+                dirty.insert(b);
+            }
+        }
+    }
+    dirty
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -483,6 +684,7 @@ mod tests {
                 output: None,
                 stats: SearchStats::new(),
                 ext_tags: Vec::new(),
+                deps: EntryDeps::default(),
             }),
         );
         assert!(cache.lookup(&key).is_none());
@@ -507,6 +709,7 @@ mod tests {
                 output: None,
                 stats: SearchStats::new(),
                 ext_tags: Vec::new(),
+                deps: EntryDeps::default(),
             }),
         );
         cache.invalidate();

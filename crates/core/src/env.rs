@@ -109,6 +109,15 @@ impl Environment {
         }
     }
 
+    /// Swap the shared subplan cache for a fresh, private one with the
+    /// given enablement. Cloned environments share the cache `Arc`, so
+    /// harnesses that compare runs bit-for-bit (e.g. the chaos runner)
+    /// call this at run start — one run's entries and hit counts must not
+    /// leak into the next.
+    pub fn isolate_cache(&mut self, enabled: bool) {
+        self.plan_cache = Arc::new(crate::cache::PlanCache::new_with_enabled(enabled));
+    }
+
     /// A copy of this environment re-clustered with a different `max_cs`
     /// (reuses the distance matrix and embedding — the expensive parts).
     ///

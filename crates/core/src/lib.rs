@@ -67,12 +67,16 @@ pub mod stats;
 pub mod topdown;
 
 pub use bottomup::{BottomUp, BottomUpPlacement};
-pub use cache::{PlanCache, PlanKey};
+pub use cache::{
+    catalog_dirty_streams, metric_dirty_nodes, EntryDeps, InvalidationMode, PlanCache, PlanKey,
+};
 pub use engine::{ClusterPlanner, InputKind, PlannerInput, PlannerOutput};
 pub use env::Environment;
 pub use load::LoadModel;
 pub use optimal::Optimal;
-pub use parallel::{optimize_all, MultiQueryOutcome, ParallelConfig};
+pub use parallel::{
+    deployment_touches, optimize_all, optimize_dirty, MultiQueryOutcome, ParallelConfig,
+};
 pub use placed::PlacedTree;
 pub use stats::{PlanEvent, SearchStats};
 pub use topdown::TopDown;

@@ -27,8 +27,10 @@
 use crate::env::Environment;
 use crate::stats::SearchStats;
 use crate::Optimizer;
+use dsq_net::NodeId;
 use dsq_query::{Catalog, Deployment, Query, ReuseRegistry};
 use rayon::prelude::*;
+use std::collections::HashSet;
 use std::sync::Arc;
 
 /// Queries per wave. A structural constant — deliberately **not** derived
@@ -145,6 +147,104 @@ pub fn optimize_all<O: Optimizer + Sync>(
     }
     drop(hold);
     dsq_obs::counter("planner.queries_planned", outcome.planned() as u64);
+    outcome
+}
+
+/// True when `d` places an operator on, or delivers to, a node in `dirty`.
+pub fn deployment_touches(d: &Deployment, dirty: &HashSet<NodeId>) -> bool {
+    dirty.contains(&d.sink) || d.placement.iter().any(|n| dirty.contains(n))
+}
+
+/// Incrementally replan a workload after an adaptation.
+///
+/// Queries whose standing deployment in `prior` touches a node in `dirty`
+/// — or that have no standing deployment — are replanned through the same
+/// wave machinery as [`optimize_all`]; every other query keeps its prior
+/// deployment verbatim. The selection is sound because `dirty` (as produced
+/// by [`crate::cache::metric_dirty_nodes`] or a membership delta) contains
+/// *both* endpoints of every changed distance: a deployment placed entirely
+/// on clean nodes ships data only over unchanged distances, so its cost
+/// bits are unchanged too.
+///
+/// Pair with the cache's scoped retirement (`PlanCache::retire_*`): the
+/// replanned queries then rebuild only the subplans the change actually
+/// dirtied, reusing committed entries everywhere else.
+#[allow(clippy::too_many_arguments)]
+pub fn optimize_dirty<O: Optimizer + Sync>(
+    env: &Environment,
+    optimizer: &O,
+    catalog: &Catalog,
+    queries: &[Query],
+    prior: &[Option<Deployment>],
+    dirty: &HashSet<NodeId>,
+    registry: &ReuseRegistry,
+    cfg: &ParallelConfig,
+) -> MultiQueryOutcome {
+    assert_eq!(queries.len(), prior.len(), "prior must parallel queries");
+    let wave = cfg.wave.max(1);
+    let replan_idx: Vec<usize> = (0..queries.len())
+        .filter(|&i| match &prior[i] {
+            None => true,
+            Some(d) => deployment_touches(d, dirty),
+        })
+        .collect();
+    let _span = dsq_obs::span("planner.optimize_dirty", || {
+        vec![
+            ("queries", queries.len().into()),
+            ("replanned", replan_idx.len().into()),
+            ("dirty_nodes", dirty.len().into()),
+            ("wave", wave.into()),
+        ]
+    });
+    let handle = dsq_obs::SinkHandle::capture();
+    let sub_mode = handle.sink().map(|s| s.clock_mode());
+
+    let mut outcome = MultiQueryOutcome::default();
+    let mut fresh: Vec<Option<Deployment>> = Vec::with_capacity(replan_idx.len());
+    let hold = env.plan_cache.hold();
+    for wave_idx in replan_idx.chunks(wave) {
+        let job = |&qi: &usize| {
+            let sub = sub_mode.map(dsq_obs::Sink::new);
+            let _guard = sub.clone().map(dsq_obs::scoped);
+            let mut reg = registry.clone();
+            let mut stats = SearchStats::new();
+            let d = optimizer.optimize(catalog, &queries[qi], &mut reg, &mut stats);
+            (d, stats, sub)
+        };
+        let results: Vec<(Option<Deployment>, SearchStats, Option<Arc<dsq_obs::Sink>>)> =
+            if cfg.parallel {
+                wave_idx.into_par_iter().map(job).collect()
+            } else {
+                wave_idx.iter().map(job).collect()
+            };
+        for (d, stats, sub) in results {
+            outcome.stats.merge(&stats);
+            if let (Some(sub), Some(parent)) = (sub, handle.sink()) {
+                parent.absorb(&sub);
+            }
+            fresh.push(d);
+        }
+        env.plan_cache.barrier_commit();
+    }
+    drop(hold);
+
+    // Assemble in query order: replanned slots take their fresh result,
+    // clean slots keep their standing deployment bit-for-bit.
+    let mut fresh = fresh.into_iter();
+    let mut replan_it = replan_idx.iter().peekable();
+    for (i, standing) in prior.iter().enumerate() {
+        let d = if replan_it.peek() == Some(&&i) {
+            replan_it.next();
+            fresh.next().expect("one fresh result per replanned query")
+        } else {
+            standing.clone()
+        };
+        if let Some(d) = &d {
+            outcome.total_cost += d.cost;
+        }
+        outcome.deployments.push(d);
+    }
+    dsq_obs::counter("planner.queries_replanned", replan_idx.len() as u64);
     outcome
 }
 

@@ -24,7 +24,7 @@
 //!   enter the top-level search as ordinary inputs, so "operator reuse is
 //!   automatically considered in the planning process".
 
-use crate::cache::CacheEntry;
+use crate::cache::{CacheEntry, EntryDeps};
 use crate::engine::{ClusterPlanner, PlannerInput, PlannerOutput};
 use crate::env::Environment;
 use crate::placed::PlacedTree;
@@ -176,10 +176,41 @@ impl<'a> TopDown<'a> {
                     output: out.clone(),
                     stats: local,
                     ext_tags: crate::cache::external_tags(inputs),
+                    deps: self.entry_deps(cluster, inputs, dest),
                 }),
             );
         }
         out
+    }
+
+    /// Dependency record for a cacheable invocation: the nodes whose
+    /// distances the DP can consult (members + seen inputs + seen
+    /// destination), the raw locations the representatives were derived
+    /// from, and the covered base streams. Consumed by the cache's scoped
+    /// retirement (`PlanCache::retire_*`).
+    fn entry_deps(&self, cluster: ClusterId, inputs: &[PlannerInput], dest: NodeId) -> EntryDeps {
+        let c = self.env.hierarchy.cluster(cluster);
+        let mut metric_nodes = c.members.clone();
+        let mut locations = Vec::with_capacity(inputs.len() + 1);
+        let mut streams = Vec::new();
+        for i in inputs {
+            locations.push(i.location);
+            metric_nodes.push(self.seen_in(cluster, i.location));
+            streams.extend(i.covered.iter());
+        }
+        locations.push(dest);
+        metric_nodes.push(self.seen_in(cluster, dest));
+        metric_nodes.sort_unstable();
+        metric_nodes.dedup();
+        locations.sort_unstable();
+        locations.dedup();
+        streams.sort_unstable();
+        streams.dedup();
+        EntryDeps {
+            metric_nodes,
+            locations,
+            streams,
+        }
     }
 
     fn plan_in_cluster_uncached(

@@ -1,0 +1,168 @@
+//! Property tests for the subplan cache's canonicalization machinery:
+//! positional tag remapping must be a lossless round trip, cache keys must
+//! ignore tag labels (and nothing else), and a cache hit whose tags are
+//! remapped must rebuild the same deployment a cold miss computes.
+
+use dsq_core::cache::{external_tags, retag, PlanCache};
+use dsq_core::engine::{ClusterPlanner, PlannerInput};
+use dsq_core::placed::PlacedTree;
+use dsq_core::{optimize_all, Environment, ParallelConfig};
+use dsq_hierarchy::ClusterId;
+use dsq_net::{NodeId, TransitStubConfig};
+use dsq_query::{Catalog, Query, QueryId, ReuseRegistry, Schema, StreamId, StreamSet};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A random `PlacedTree` whose `External` leaves use exactly `tags` (each
+/// once), mixed with base-stream leaves, joined in random shape.
+fn random_tree(rng: &mut ChaCha8Rng, tags: &[usize]) -> PlacedTree {
+    let mut leaves: Vec<PlacedTree> = tags
+        .iter()
+        .map(|&t| PlacedTree::External {
+            tag: t,
+            covered: StreamSet::singleton(StreamId(rng.gen_range(0..8))),
+            location: NodeId(rng.gen_range(0..16)),
+        })
+        .collect();
+    for _ in 0..rng.gen_range(0..3) {
+        leaves.push(PlacedTree::Leaf(dsq_query::LeafSource::Base(StreamId(
+            rng.gen_range(0..8),
+        ))));
+    }
+    while leaves.len() > 1 {
+        let l = leaves.remove(rng.gen_range(0..leaves.len()));
+        let r = leaves.remove(rng.gen_range(0..leaves.len()));
+        leaves.push(PlacedTree::Join {
+            left: Box::new(l),
+            right: Box::new(r),
+            node: NodeId(rng.gen_range(0..16)),
+        });
+    }
+    leaves.pop().unwrap()
+}
+
+/// Distinct random tags (labels can be any usize; the cache only needs
+/// positional correspondence).
+fn random_tags(rng: &mut ChaCha8Rng, n: usize) -> Vec<usize> {
+    let mut tags: Vec<usize> = Vec::with_capacity(n);
+    while tags.len() < n {
+        let t = rng.gen_range(0..1000usize);
+        if !tags.contains(&t) {
+            tags.push(t);
+        }
+    }
+    tags
+}
+
+proptest::proptest! {
+    #![proptest_config(proptest::prelude::ProptestConfig::with_cases(32))]
+
+    /// `retag(from -> to)` then `retag(to -> from)` reproduces the
+    /// original tree exactly, whatever the tree shape and label values.
+    #[test]
+    fn retag_round_trips(seed in 0u64..500, n in 1usize..=4) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let from = random_tags(&mut rng, n);
+        let to = random_tags(&mut rng, n);
+        let tree = random_tree(&mut rng, &from);
+        let there = retag(&tree, &from, &to);
+        let back = retag(&there, &to, &from);
+        proptest::prop_assert_eq!(
+            format!("{tree:?}"),
+            format!("{back:?}"),
+            "retag must be a lossless positional round trip"
+        );
+    }
+
+    /// Cache keys are canonical: relabeling `External` tags never changes
+    /// the key, while moving an external's production site always does.
+    #[test]
+    fn keys_ignore_tags_but_not_content(seed in 0u64..500) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut catalog = Catalog::new();
+        let a = catalog.add_stream("A", 10.0, NodeId(0), Schema::default());
+        let b = catalog.add_stream("B", 4.0, NodeId(3), Schema::default());
+        let query = Query::join(QueryId(0), [a, b], NodeId(2));
+        let planner = ClusterPlanner::new(&catalog, &query);
+        let cache = PlanCache::new_with_enabled(true);
+        let cluster = ClusterId { level: 2, index: 0 };
+
+        let loc = NodeId(rng.gen_range(0..8));
+        let covered = StreamSet::singleton(b);
+        let inputs = |tag: usize, loc: NodeId| {
+            vec![
+                PlannerInput::base(&catalog, a),
+                PlannerInput::external(tag, covered.clone(), loc),
+            ]
+        };
+        let t1 = rng.gen_range(0..1000usize);
+        let t2 = rng.gen_range(0..1000usize);
+        let k1 = cache.key_for(&planner, cluster, &inputs(t1, loc), NodeId(2)).unwrap();
+        let k2 = cache.key_for(&planner, cluster, &inputs(t2, loc), NodeId(2)).unwrap();
+        proptest::prop_assert_eq!(&k1, &k2, "tags are labels, not key material");
+
+        let moved = NodeId(loc.0 + 8); // any different node
+        let k3 = cache.key_for(&planner, cluster, &inputs(t1, moved), NodeId(2)).unwrap();
+        proptest::prop_assert!(k1 != k3, "production site must be key material");
+
+        // The positional tag record used on hits follows input order.
+        proptest::prop_assert_eq!(external_tags(&inputs(t1, loc)), vec![t1]);
+    }
+
+    /// End to end over random workloads: planning with the cache on (hits
+    /// served via positional retag) is bit-identical to planning with the
+    /// cache off — warm replays included.
+    #[test]
+    fn cache_hits_rebuild_cold_miss_deployments(seed in 0u64..64) {
+        let net = TransitStubConfig::sized(48).generate(seed + 1).network;
+        let env = Environment::build(net, 8);
+        let wl = dsq_workload::WorkloadGenerator::new(
+            dsq_workload::WorkloadConfig {
+                streams: 8,
+                queries: 6,
+                joins_per_query: 2..=3,
+                source_skew: Some(1.0), // overlap => external-input reuse
+                ..dsq_workload::WorkloadConfig::default()
+            },
+            seed,
+        )
+        .generate(&env.network);
+        let run = |enabled: bool, passes: usize| {
+            let mut env = env.clone();
+            env.isolate_cache(enabled);
+            let td = dsq_core::TopDown::new(&env);
+            let mut last = None;
+            for _ in 0..passes {
+                last = Some(optimize_all(
+                    &env,
+                    &td,
+                    &wl.catalog,
+                    &wl.queries,
+                    &ReuseRegistry::new(),
+                    &ParallelConfig::serial(),
+                ));
+            }
+            (last.unwrap(), env.plan_cache.hits())
+        };
+        let (cold, no_hits) = run(false, 1);
+        let (warm, hits) = run(true, 2); // second pass replays pure hits
+        proptest::prop_assert_eq!(no_hits, 0);
+        proptest::prop_assert!(hits > 0, "two passes over a skewed workload must hit");
+        proptest::prop_assert_eq!(
+            cold.total_cost.to_bits(),
+            warm.total_cost.to_bits(),
+            "cached replay diverged from cold planning"
+        );
+        for (c, w) in cold.deployments.iter().zip(&warm.deployments) {
+            match (c, w) {
+                (None, None) => {}
+                (Some(c), Some(w)) => {
+                    proptest::prop_assert_eq!(c.cost.to_bits(), w.cost.to_bits());
+                    proptest::prop_assert_eq!(&c.placement, &w.placement);
+                    proptest::prop_assert_eq!(c.plan.nodes().len(), w.plan.nodes().len());
+                }
+                _ => proptest::prop_assert!(false, "feasibility differs"),
+            }
+        }
+    }
+}

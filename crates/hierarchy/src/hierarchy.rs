@@ -493,6 +493,111 @@ impl Hierarchy {
             }
         }
     }
+
+    /// Content fingerprint of every cluster, for diffing across membership
+    /// surgery. Keyed by [`ClusterId`], which is *positional*: surgery may
+    /// reuse an index for a different cluster (`remove_cluster` swap-removes),
+    /// so the snapshot records the content — members and coordinator — and
+    /// [`HierarchySnapshot::diff`] reports any id whose content moved.
+    pub fn snapshot(&self) -> HierarchySnapshot {
+        let mut clusters = std::collections::HashMap::new();
+        for (li, level) in self.levels.iter().enumerate() {
+            for (ci, c) in level.iter().enumerate() {
+                let id = ClusterId {
+                    level: li + 1,
+                    index: ci,
+                };
+                clusters.insert(id, (c.members.clone(), c.coordinator));
+            }
+        }
+        HierarchySnapshot {
+            height: self.height(),
+            clusters,
+        }
+    }
+
+    /// The ancestors of `node` from its leaf cluster up to `max_level`
+    /// (clamped to the height). Empty when `node` is not an active overlay
+    /// member. This is the "dirty-ancestor walk": a memoized subplan that
+    /// referenced `node` is stale exactly when some cluster on this chain
+    /// changed, because `node`'s level-`l` representative is the coordinator
+    /// of its level-(`l`−1) ancestor.
+    pub fn ancestor_chain(&self, node: NodeId, max_level: usize) -> Vec<ClusterId> {
+        if !self.is_active(node) {
+            return Vec::new();
+        }
+        let top = max_level.min(self.height());
+        let mut chain = Vec::with_capacity(top);
+        let mut idx = self.leaf_of[node.index()].expect("checked active");
+        chain.push(ClusterId {
+            level: 1,
+            index: idx,
+        });
+        for l in 2..=top {
+            idx = self.levels[l - 2][idx]
+                .parent
+                .expect("non-top cluster must have a parent");
+            chain.push(ClusterId {
+                level: l,
+                index: idx,
+            });
+        }
+        chain
+    }
+}
+
+/// Per-cluster content fingerprints of a [`Hierarchy`] at one instant
+/// (see [`Hierarchy::snapshot`]).
+#[derive(Clone, Debug, PartialEq)]
+pub struct HierarchySnapshot {
+    height: usize,
+    clusters: std::collections::HashMap<ClusterId, (Vec<NodeId>, NodeId)>,
+}
+
+impl HierarchySnapshot {
+    /// Diff against a later snapshot: which [`ClusterId`]s now denote a
+    /// cluster whose members or coordinator differ from what this snapshot
+    /// recorded (including ids that appeared or disappeared). If the height
+    /// changed, every level's numbering shifted meaning and the delta is
+    /// marked [`full`](HierarchyDelta::full) instead.
+    pub fn diff(&self, new: &HierarchySnapshot) -> HierarchyDelta {
+        if self.height != new.height {
+            return HierarchyDelta {
+                full: true,
+                dirty: std::collections::HashSet::new(),
+            };
+        }
+        let mut dirty = std::collections::HashSet::new();
+        for (id, content) in &new.clusters {
+            if self.clusters.get(id) != Some(content) {
+                dirty.insert(*id);
+            }
+        }
+        for id in self.clusters.keys() {
+            if !new.clusters.contains_key(id) {
+                dirty.insert(*id);
+            }
+        }
+        HierarchyDelta { full: false, dirty }
+    }
+}
+
+/// Dirty-cluster set between two hierarchy snapshots; consumed by the plan
+/// cache's scoped retirement.
+#[derive(Clone, Debug, Default)]
+pub struct HierarchyDelta {
+    /// The hierarchy's height changed: level numbering itself shifted, so
+    /// nothing keyed on [`ClusterId`]s can be trusted.
+    pub full: bool,
+    /// Ids whose cluster content (members or coordinator) changed.
+    pub dirty: std::collections::HashSet<ClusterId>,
+}
+
+impl HierarchyDelta {
+    /// True when the change touched nothing (no retirement needed).
+    pub fn is_empty(&self) -> bool {
+        !self.full && self.dirty.is_empty()
+    }
 }
 
 fn max_pairwise(members: &[NodeId], dm: &DistanceMatrix) -> f64 {
@@ -678,5 +783,67 @@ mod tests {
         assert!(h.is_active(NodeId(0)));
         assert!(!h.is_active(NodeId(1)));
         assert_eq!(h.active_nodes().len(), active.len());
+    }
+
+    #[test]
+    fn ancestor_chain_matches_ancestor_and_clamps() {
+        let (h, _) = build(8);
+        for node in h.active_nodes() {
+            let chain = h.ancestor_chain(node, h.height());
+            assert_eq!(chain.len(), h.height());
+            for (i, &id) in chain.iter().enumerate() {
+                assert_eq!(id, h.ancestor(node, i + 1));
+            }
+            // Clamped walks are prefixes; over-asking clamps to the height.
+            assert_eq!(h.ancestor_chain(node, 2)[..], chain[..2.min(chain.len())]);
+            assert_eq!(h.ancestor_chain(node, h.height() + 7), chain);
+        }
+        assert!(
+            h.ancestor_chain(NodeId(u32::MAX - 1), 3).is_empty(),
+            "inactive nodes have no chain"
+        );
+    }
+
+    #[test]
+    fn snapshot_diff_is_empty_without_surgery_and_local_after_removal() {
+        let (mut h, dm) = build(8);
+        let before = h.snapshot();
+        assert!(before.diff(&h.snapshot()).is_empty(), "no-op diff is empty");
+
+        // Remove one ordinary (non-coordinator) node: its leaf cluster must
+        // be dirty, and the delta must cover every cluster whose coordinator
+        // re-election actually changed something.
+        let victim = *h
+            .level(1)
+            .iter()
+            .flat_map(|c| c.members.iter())
+            .find(|&&m| {
+                h.coordinator_roles(m).is_empty()
+                    && h.level(1)[h.leaf_cluster(m).index].members.len() > 1
+            })
+            .expect("some non-coordinator exists");
+        let leaf = h.leaf_cluster(victim);
+        crate::membership::remove_node(&mut h, &dm, victim).unwrap();
+        let delta = before.diff(&h.snapshot());
+        assert!(
+            !delta.full,
+            "single removal does not change the height here"
+        );
+        assert!(delta.dirty.contains(&leaf), "the victim's leaf is dirty");
+        // Soundness of the fingerprint: every id *not* in the delta holds a
+        // cluster with identical members and coordinator as before surgery.
+        for l in 1..=h.height() {
+            for i in 0..h.level(l).len() {
+                let id = ClusterId { level: l, index: i };
+                if !delta.dirty.contains(&id) {
+                    let c = h.cluster(id);
+                    assert_eq!(
+                        before.clusters.get(&id),
+                        Some(&(c.members.clone(), c.coordinator)),
+                        "undirty cluster {id:?} changed content"
+                    );
+                }
+            }
+        }
     }
 }

@@ -42,6 +42,9 @@ pub mod hierarchy;
 pub mod kmeans;
 pub mod membership;
 
-pub use hierarchy::{Cluster, ClusterId, ClusteringMethod, Hierarchy, HierarchyConfig};
+pub use hierarchy::{
+    Cluster, ClusterId, ClusteringMethod, Hierarchy, HierarchyConfig, HierarchyDelta,
+    HierarchySnapshot,
+};
 pub use kmeans::capped_kmeans;
 pub use membership::MembershipError;

@@ -8,9 +8,10 @@
 //! updated distances, and any whose cost degraded beyond a configurable
 //! threshold is re-optimized and migrated.
 
-use dsq_core::Environment;
+use dsq_core::{catalog_dirty_streams, Environment, InvalidationMode};
+use dsq_hierarchy::HierarchySnapshot;
 use dsq_net::{DistanceMatrix, Metric, NodeId};
-use dsq_query::{Deployment, Query, QueryId};
+use dsq_query::{Catalog, Deployment, Query, QueryId};
 
 /// A runtime link-cost change (congestion, re-pricing, failure-as-cost).
 #[derive(Clone, Copy, Debug)]
@@ -63,6 +64,20 @@ pub struct AdaptiveRuntime {
     pub migration_horizon: Option<f64>,
     /// Join window length used to estimate operator state sizes.
     pub window: f64,
+    /// How stale memoized subplans are retired when conditions change:
+    /// [`InvalidationMode::Scoped`] (the default) computes a dirty set from
+    /// the actual change and retires only the entries it can reach;
+    /// [`InvalidationMode::Flush`] is the conservative full flush.
+    pub invalidation: InvalidationMode,
+    /// Catalog as of the last observed data conditions; the baseline that
+    /// [`Self::handle_data_changes`] diffs against to scope retirement.
+    /// `None` until primed ([`Self::observe_catalog`]) — the first data
+    /// change then falls back to a full flush.
+    last_catalog: Option<Catalog>,
+    /// Lifetime count of replanning invocations this runtime issued
+    /// (failure repairs, parked retries, degradation-triggered
+    /// re-optimizations); see [`Self::queries_replanned`].
+    queries_replanned: u64,
 }
 
 impl AdaptiveRuntime {
@@ -78,6 +93,53 @@ impl AdaptiveRuntime {
             threshold,
             migration_horizon: None,
             window: 0.5,
+            invalidation: InvalidationMode::default(),
+            last_catalog: None,
+            queries_replanned: 0,
+        }
+    }
+
+    /// How many replanning invocations this runtime has issued over its
+    /// lifetime — the incremental-replanning work metric the chaos soak
+    /// bounds against the event count.
+    pub fn queries_replanned(&self) -> u64 {
+        self.queries_replanned
+    }
+
+    /// Lifetime count of memoized subplans retired from this runtime's
+    /// cache (scoped retirement and full flushes alike).
+    pub fn cache_retired(&self) -> u64 {
+        self.env.plan_cache.retired()
+    }
+
+    /// Record the current data conditions so the next
+    /// [`Self::handle_data_changes`] can diff against them instead of
+    /// flushing the whole plan cache.
+    pub fn observe_catalog(&mut self, catalog: &Catalog) {
+        self.last_catalog = Some(catalog.clone());
+    }
+
+    /// Pre-surgery hierarchy fingerprint, taken only when scoped
+    /// retirement will want to diff against it.
+    fn membership_baseline(&self) -> Option<HierarchySnapshot> {
+        match self.invalidation {
+            InvalidationMode::Scoped => Some(self.env.hierarchy.snapshot()),
+            InvalidationMode::Flush => None,
+        }
+    }
+
+    /// Retire memoized subplans made stale by hierarchy surgery: scoped to
+    /// the clusters whose content actually changed when a pre-surgery
+    /// baseline is available, a full flush otherwise.
+    fn retire_membership(&self, before: Option<HierarchySnapshot>) {
+        match before {
+            Some(before) => {
+                let delta = before.diff(&self.env.hierarchy.snapshot());
+                self.env
+                    .plan_cache
+                    .retire_membership(&self.env.hierarchy, &delta);
+            }
+            None => self.env.plan_cache.invalidate(),
         }
     }
 
@@ -137,6 +199,7 @@ impl AdaptiveRuntime {
         //    fail over to — so the affected queries are forfeited below
         //    instead of replanned.
         report.coordinator_roles_failed_over = self.env.hierarchy.coordinator_roles(node).len();
+        let membership_before = self.membership_baseline();
         let overlay_repaired = if self.env.hierarchy.is_active(node) {
             use dsq_hierarchy::MembershipError;
             match dsq_hierarchy::membership::remove_node(
@@ -156,14 +219,20 @@ impl AdaptiveRuntime {
             true
         };
         report.last_member_forfeit = !overlay_repaired;
-        // Hierarchy membership changed: memoized subplans are keyed by
-        // cluster + epoch, so retire them all.
-        self.env.plan_cache.invalidate();
+        // Hierarchy membership (possibly) changed: retire the memoized
+        // subplans the surgery reached — just the crashed node's ancestor
+        // chain in scoped mode, everything in flush mode. No surgery (the
+        // node was already excised, or is the overlay's last member) means
+        // an empty delta, so scoped mode keeps the whole cache.
+        let retired_before = self.env.plan_cache.retired();
+        self.retire_membership(membership_before);
+        report.cache_retired = self.env.plan_cache.retired() - retired_before;
 
         // 2. Classify standing deployments.
         enum Action {
             Keep,
             Lost,
+            Park,
             Replan,
         }
         let actions: Vec<Action> = self
@@ -173,8 +242,14 @@ impl AdaptiveRuntime {
             .map(|(d, q)| {
                 if !uses_node(d, node) {
                     Action::Keep
-                } else if !overlay_repaired || unrecoverable(d, q, catalog, node) {
+                } else if !overlay_repaired || q.sink == node {
                     Action::Lost
+                } else if unrecoverable(d, q, catalog, node) {
+                    // A source stream's origin crashed: its data stops
+                    // flowing, but resumes if the node ever rejoins — park
+                    // the query for retry on later membership changes
+                    // instead of forfeiting it forever.
+                    Action::Park
                 } else {
                     Action::Replan
                 }
@@ -182,6 +257,14 @@ impl AdaptiveRuntime {
             .collect();
 
         // 3. Replan the recoverable ones against the repaired environment.
+        let to_replan = actions
+            .iter()
+            .filter(|a| matches!(a, Action::Replan))
+            .count();
+        if to_replan > 0 {
+            dsq_obs::counter("adapt.queries_replanned", to_replan as u64);
+        }
+        self.queries_replanned += to_replan as u64;
         let replacements: Vec<Option<Deployment>> = actions
             .iter()
             .zip(&self.queries)
@@ -206,6 +289,11 @@ impl AdaptiveRuntime {
                 Action::Lost => {
                     report.lost.push(self.queries[i].id);
                     report.forfeited_cost += self.deployments[i].cost;
+                }
+                Action::Park => {
+                    report.source_parked.push(self.queries[i].id);
+                    report.parked_cost += self.deployments[i].cost;
+                    self.parked.push(self.queries[i].clone());
                 }
                 Action::Replan => match &replacements[i] {
                     Some(new_d) => {
@@ -235,14 +323,20 @@ impl AdaptiveRuntime {
         dsq_obs::counter("adapt.node_failures", 1);
         dsq_obs::counter("adapt.redeployed", report.redeployed.len() as u64);
         dsq_obs::counter("adapt.lost", report.lost.len() as u64);
-        dsq_obs::counter("adapt.parked", report.unplaced.len() as u64);
+        dsq_obs::counter(
+            "adapt.parked",
+            (report.unplaced.len() + report.source_parked.len()) as u64,
+        );
         dsq_obs::observe("adapt.redeploy_cost_delta", report.redeploy_cost_delta);
         dsq_obs::event("adapt.node_failure", || {
             vec![
                 ("node", node.0.into()),
                 ("redeployed", report.redeployed.len().into()),
                 ("lost", report.lost.len().into()),
-                ("parked", report.unplaced.len().into()),
+                (
+                    "parked",
+                    (report.unplaced.len() + report.source_parked.len()).into(),
+                ),
                 ("cost_delta", report.redeploy_cost_delta.into()),
             ]
         });
@@ -286,16 +380,35 @@ impl AdaptiveRuntime {
         report
     }
 
-    /// Re-attempt placement of every parked query against the current
-    /// environment; successfully placed ones are (re)installed with their
-    /// new cost as the baseline. Returns the ids that found a home.
+    /// Is every node the query needs for *data* — each source stream's
+    /// origin and the result sink — an active overlay member? A parked
+    /// query failing this check cannot be replanned no matter what the
+    /// optimizer does, so the retry pass skips it without an attempt.
+    fn data_available(&self, catalog: &Catalog, q: &Query) -> bool {
+        self.env.hierarchy.is_active(q.sink)
+            && q.sources
+                .iter()
+                .all(|&s| self.env.hierarchy.is_active(catalog.stream(s).node))
+    }
+
+    /// Re-attempt placement of every parked query whose data is available
+    /// again (see [`Self::data_available`]); successfully placed ones are
+    /// (re)installed with their new cost as the baseline. Returns the ids
+    /// that found a home.
     pub fn retry_parked(
         &mut self,
+        catalog: &Catalog,
         mut replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
     ) -> Vec<QueryId> {
         let mut placed = Vec::new();
         let mut still_parked = Vec::new();
+        let mut attempts = 0u64;
         for q in std::mem::take(&mut self.parked) {
+            if !self.data_available(catalog, &q) {
+                still_parked.push(q);
+                continue;
+            }
+            attempts += 1;
             match replan(&self.env, &q) {
                 Some(d) => {
                     placed.push(q.id);
@@ -304,28 +417,39 @@ impl AdaptiveRuntime {
                 None => still_parked.push(q),
             }
         }
+        if attempts > 0 {
+            dsq_obs::counter("adapt.queries_replanned", attempts);
+        }
+        self.queries_replanned += attempts;
         self.parked = still_parked;
         placed
     }
 
     /// Handle the recovery of a previously failed node: rejoin it to the
     /// overlay via the membership protocol (contacting active member `via`)
-    /// and retry the parked queries, whose placement may now be feasible on
-    /// the enlarged overlay.
+    /// and retry the parked queries, whose placement (or source data) may
+    /// now be available again on the enlarged overlay.
     pub fn handle_node_recovery(
         &mut self,
+        catalog: &Catalog,
         node: dsq_net::NodeId,
         via: dsq_net::NodeId,
         replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
     ) -> crate::failures::RecoveryReport {
+        let membership_before = self.membership_baseline();
         let outcome =
             dsq_hierarchy::membership::add_node(&mut self.env.hierarchy, &self.env.dm, node, via);
-        self.env.plan_cache.invalidate();
-        let redeployed = self.retry_parked(replan);
+        // Scoped: only the rejoined node's new ancestor chain gained a
+        // member, so only entries reaching those clusters retire.
+        let retired_before = self.env.plan_cache.retired();
+        self.retire_membership(membership_before);
+        let cache_retired = self.env.plan_cache.retired() - retired_before;
+        let redeployed = self.retry_parked(catalog, replan);
         crate::failures::RecoveryReport {
             join_messages: outcome.messages,
             redeployed,
             still_parked: self.parked.len(),
+            cache_retired,
         }
     }
 
@@ -341,14 +465,24 @@ impl AdaptiveRuntime {
         mut replan: impl FnMut(&Environment, &Query) -> Option<Deployment>,
     ) -> MigrationReport {
         // The catalog's rates/selectivities feed the cache keys and the
-        // cached costs — everything memoized is stale now.
-        self.env.plan_cache.invalidate();
+        // cached costs. With a baseline catalog on hand, only the entries
+        // covering a stream whose statistics actually moved are stale;
+        // without one (first observation) everything might be.
+        match (self.invalidation, self.last_catalog.take()) {
+            (InvalidationMode::Scoped, Some(old)) => {
+                let dirty = catalog_dirty_streams(&old, catalog);
+                self.env.plan_cache.retire_catalog(&dirty);
+            }
+            _ => self.env.plan_cache.invalidate(),
+        }
+        self.last_catalog = Some(catalog.clone());
         let mut report = MigrationReport::default();
         for (i, d) in self.deployments.iter_mut().enumerate() {
             *d = d.reestimate(&self.queries[i], catalog, &self.env.dm);
         }
         report.cost_before = self.total_cost();
 
+        let mut replanned = 0u64;
         for i in 0..self.deployments.len() {
             let degraded =
                 self.deployments[i].cost > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
@@ -359,6 +493,7 @@ impl AdaptiveRuntime {
                 self.baseline_cost[i] = self.deployments[i].cost;
                 continue;
             }
+            replanned += 1;
             if let Some(new_d) = replan(&self.env, &self.queries[i]) {
                 if new_d.cost >= self.deployments[i].cost {
                     self.baseline_cost[i] = self.deployments[i].cost;
@@ -386,6 +521,10 @@ impl AdaptiveRuntime {
                 }
             }
         }
+        if replanned > 0 {
+            dsq_obs::counter("adapt.queries_replanned", replanned);
+        }
+        self.queries_replanned += replanned;
         report.cost_after = self.total_cost();
         report
     }
@@ -408,10 +547,20 @@ impl AdaptiveRuntime {
             assert!(applied, "link change references a missing link");
         }
         // Refresh the distance view and the hierarchy's cost statistics,
-        // and retire every memoized subplan costed against the old metric.
-        self.env.dm = DistanceMatrix::build(&self.env.network, Metric::Cost);
+        // and retire the memoized subplans costed against distances that
+        // actually moved. Retirement is pair-aware: an entry goes only if
+        // two of the nodes *it consulted* moved apart, so a drift on some
+        // far-away link — or a no-op refresh that rebuilt identical
+        // distances — leaves the cache intact across monitor rounds.
+        let new_dm = DistanceMatrix::build(&self.env.network, Metric::Cost);
+        match self.invalidation {
+            InvalidationMode::Scoped => {
+                self.env.plan_cache.retire_metric(&self.env.dm, &new_dm);
+            }
+            InvalidationMode::Flush => self.env.plan_cache.invalidate(),
+        }
+        self.env.dm = new_dm;
         self.env.hierarchy.refresh_statistics(&self.env.dm);
-        self.env.plan_cache.invalidate();
 
         let mut report = MigrationReport::default();
         for d in &mut self.deployments {
@@ -419,12 +568,14 @@ impl AdaptiveRuntime {
         }
         report.cost_before = self.total_cost();
 
+        let mut replanned = 0u64;
         for i in 0..self.deployments.len() {
             let degraded =
                 self.deployments[i].cost > self.baseline_cost[i] * (1.0 + self.threshold) + 1e-12;
             if !degraded {
                 continue;
             }
+            replanned += 1;
             if let Some(new_d) = replan(&self.env, &self.queries[i]) {
                 if new_d.cost >= self.deployments[i].cost {
                     continue;
@@ -450,6 +601,10 @@ impl AdaptiveRuntime {
                 }
             }
         }
+        if replanned > 0 {
+            dsq_obs::counter("adapt.queries_replanned", replanned);
+        }
+        self.queries_replanned += replanned;
         report.cost_after = self.total_cost();
         report
     }

@@ -15,7 +15,7 @@
 
 use crate::adapt::{AdaptiveRuntime, LinkChange};
 use crate::emulab::{EmulabModel, LossyProtocol, RetryPolicy};
-use dsq_core::{Environment, Optimizer, SearchStats, TopDown};
+use dsq_core::{Environment, InvalidationMode, Optimizer, SearchStats, TopDown};
 use dsq_net::NodeId;
 use dsq_query::{Catalog, Deployment, Query, QueryId, ReuseRegistry};
 use rand::seq::SliceRandom;
@@ -285,6 +285,18 @@ pub struct ChaosReport {
     pub protocol_retry_ms: f64,
     /// Invariant suites evaluated (one per event, plus one final).
     pub invariant_checks: usize,
+    /// Subplan-cache hits across the whole run (initial install + every
+    /// recovery replan). Zero when the runner's cache is off.
+    pub cache_hits: u64,
+    /// Subplan-cache misses across the whole run.
+    pub cache_misses: u64,
+    /// Memoized subplans retired by adaptation over the run — scoped dirty
+    /// sets under [`InvalidationMode::Scoped`], whole-cache flushes under
+    /// [`InvalidationMode::Flush`].
+    pub cache_retired: u64,
+    /// Replanning invocations the runtime issued over the run (repairs,
+    /// parked retries, degradation re-optimizations).
+    pub queries_replanned: u64,
     /// Standing cost when the run started.
     pub cost_initial: f64,
     /// Standing cost when the run ended.
@@ -305,6 +317,14 @@ pub struct ChaosRunner {
     /// Adaptation threshold handed to the runtime (see
     /// [`AdaptiveRuntime::threshold`]).
     pub threshold: f64,
+    /// Run with the memoized subplan cache enabled. The runner always
+    /// swaps a *fresh private* cache into the environment at run start
+    /// ([`Environment::isolate_cache`]) so reports stay deterministic even
+    /// when the caller's environment clones share a warmed cache.
+    pub cache: bool,
+    /// How adaptation retires memoized subplans (see
+    /// [`AdaptiveRuntime::invalidation`]).
+    pub invalidation: InvalidationMode,
 }
 
 impl Default for ChaosRunner {
@@ -313,6 +333,8 @@ impl Default for ChaosRunner {
             policy: RetryPolicy::lossy(0.1),
             protocol_seed: 1,
             threshold: 0.2,
+            cache: true,
+            invalidation: InvalidationMode::Scoped,
         }
     }
 }
@@ -332,14 +354,16 @@ impl ChaosRunner {
     /// is a test harness, not production error handling.
     pub fn run(
         &self,
-        env: Environment,
+        mut env: Environment,
         catalog: &Catalog,
         queries: &[Query],
         schedule: &FaultSchedule,
     ) -> ChaosReport {
+        env.isolate_cache(self.cache);
         let model = EmulabModel::new(&env.network);
         let mut protocol = LossyProtocol::new(model, self.policy, self.protocol_seed);
         let mut rt = AdaptiveRuntime::new(env, self.threshold);
+        rt.invalidation = self.invalidation;
         for q in queries {
             if let Some((d, _)) = plan(&rt.env, catalog, q) {
                 rt.install(q.clone(), d);
@@ -385,6 +409,10 @@ impl ChaosRunner {
         report.final_installed = rt.deployments().len();
         report.final_parked = rt.parked().len();
         report.cost_final = rt.total_cost();
+        report.cache_hits = rt.env.plan_cache.hits();
+        report.cache_misses = rt.env.plan_cache.misses();
+        report.cache_retired = rt.cache_retired();
+        report.queries_replanned = rt.queries_replanned();
         let repairs: Vec<f64> = report
             .events
             .iter()
@@ -457,7 +485,7 @@ impl ChaosRunner {
                     })
                     .expect("overlay is never empty");
                 let mut repair = RepairTally::default();
-                let recovery = rt.handle_node_recovery(*n, via, |env, q| {
+                let recovery = rt.handle_node_recovery(catalog, *n, via, |env, q| {
                     instantiate(env, catalog, q, protocol, &mut repair)
                 });
                 out.redeployed = recovery.redeployed.len();
@@ -533,7 +561,7 @@ impl ChaosRunner {
         );
         out.lost += fr.lost.len();
         out.redeployed += fr.redeployed.len();
-        out.parked += fr.unplaced.len();
+        out.parked += fr.unplaced.len() + fr.source_parked.len();
         out.recovery_cost_delta += fr.redeploy_cost_delta;
         out.repair_ms += repair.time_ms;
         report.lost.extend(fr.lost);
@@ -721,7 +749,7 @@ mod tests {
         let runner = ChaosRunner {
             policy: RetryPolicy::lossy(0.15),
             protocol_seed: 4,
-            threshold: 0.2,
+            ..ChaosRunner::default()
         };
         let r1 = runner.run(env.clone(), &wl.catalog, &wl.queries, &schedule);
         let r2 = runner.run(env, &wl.catalog, &wl.queries, &schedule);
@@ -769,6 +797,39 @@ mod tests {
     }
 
     #[test]
+    fn cache_and_invalidation_mode_do_not_change_outcomes() {
+        // The memoized subplan cache (and how it is retired) is a pure
+        // performance artifact: a run with the cache off, one with scoped
+        // retirement and one with full flushes must agree on every event
+        // outcome, every cost bit and every protocol timing.
+        let (env, wl) = setup();
+        let cfg = FaultConfig {
+            events: 30,
+            mean_gap_ms: 1_000.0,
+            ..FaultConfig::default()
+        };
+        let schedule = FaultSchedule::generate(&env, &cfg, 9);
+        let run = |cache: bool, invalidation: InvalidationMode| {
+            let runner = ChaosRunner {
+                cache,
+                invalidation,
+                ..ChaosRunner::default()
+            };
+            let mut r = runner.run(env.clone(), &wl.catalog, &wl.queries, &schedule);
+            // Cache accounting legitimately differs across the arms.
+            r.cache_hits = 0;
+            r.cache_misses = 0;
+            r.cache_retired = 0;
+            r
+        };
+        let off = run(false, InvalidationMode::Scoped);
+        let scoped = run(true, InvalidationMode::Scoped);
+        let flush = run(true, InvalidationMode::Flush);
+        assert_eq!(format!("{off:?}"), format!("{scoped:?}"));
+        assert_eq!(format!("{off:?}"), format!("{flush:?}"));
+    }
+
+    #[test]
     fn reliable_protocol_never_fails_instantiation() {
         let (env, wl) = setup();
         let cfg = FaultConfig {
@@ -780,7 +841,7 @@ mod tests {
         let runner = ChaosRunner {
             policy: RetryPolicy::reliable(),
             protocol_seed: 2,
-            threshold: 0.2,
+            ..ChaosRunner::default()
         };
         let report = runner.run(env, &wl.catalog, &wl.queries, &schedule);
         assert_eq!(report.instantiation_failures, 0);

@@ -10,8 +10,10 @@
 //!    medoid, takes over);
 //! 2. standing deployments that ran an operator on the node are replanned
 //!    over the surviving overlay;
-//! 3. queries whose *source* or *sink* lived on the node cannot be saved
-//!    and are reported as lost.
+//! 3. queries whose *sink* lived on the node cannot be saved and are
+//!    reported as lost; queries whose *source stream origin* lived on the
+//!    node are parked — their data resumes if the origin rejoins, at which
+//!    point the retry pass replans them.
 
 use dsq_net::NodeId;
 use dsq_query::{Catalog, Deployment, FlatNode, LeafSource, Query, QueryId};
@@ -30,6 +32,11 @@ pub struct FailureReport {
     /// Queries that touched the node but could not be replanned; they are
     /// *parked* in the runtime and retried on later membership changes.
     pub unplaced: Vec<QueryId>,
+    /// Queries parked because a *source stream's origin* crashed: their
+    /// data stops flowing, but resumes if the origin rejoins, so they wait
+    /// in the parked pool (gated on data availability) instead of being
+    /// forfeited like sink losses.
+    pub source_parked: Vec<QueryId>,
     /// Standing cost before the failure was handled.
     pub cost_before: f64,
     /// Standing cost after recovery (lost queries excluded).
@@ -48,6 +55,10 @@ pub struct FailureReport {
     /// [`MembershipError::LastMember`](dsq_hierarchy::MembershipError)):
     /// every affected query was forfeited without replanning.
     pub last_member_forfeit: bool,
+    /// Memoized subplans retired by this failure's hierarchy surgery —
+    /// just the crashed node's dirty ancestor chain under scoped
+    /// invalidation, the whole cache under a full flush.
+    pub cache_retired: u64,
 }
 
 /// What a node-recovery (rejoin) pass did.
@@ -59,6 +70,9 @@ pub struct RecoveryReport {
     pub redeployed: Vec<QueryId>,
     /// Queries still parked after the retry pass.
     pub still_parked: usize,
+    /// Memoized subplans retired because the rejoin changed cluster
+    /// membership along the recovered node's ancestor chain.
+    pub cache_retired: u64,
 }
 
 /// Does a deployment touch `node` as an operator host, leaf host or sink?

@@ -75,6 +75,9 @@ const USAGE: &str =
   --threads T    worker threads for `plan` (default: all cores)
   --no-parallel  plan queries one at a time (results are bit-identical)
   --no-cache     disable the shared subplan cache
+  --flush-invalidation
+                 retire the whole subplan cache on every adaptation in
+                 `chaos` instead of the scoped dirty sets (reference mode)
   --save FILE    write the generated topology to FILE (text format)
   --load FILE    read the topology from FILE instead of generating one
   --dot          emit Graphviz DOT instead of a summary";
@@ -95,6 +98,7 @@ struct Opts {
     threads: Option<usize>,
     no_parallel: bool,
     no_cache: bool,
+    flush_invalidation: bool,
     save: Option<String>,
     load: Option<String>,
     dot: bool,
@@ -117,6 +121,7 @@ impl Opts {
             threads: None,
             no_parallel: false,
             no_cache: false,
+            flush_invalidation: false,
             save: None,
             load: None,
             dot: false,
@@ -150,6 +155,7 @@ impl Opts {
                 }
                 "--no-parallel" => o.no_parallel = true,
                 "--no-cache" => o.no_cache = true,
+                "--flush-invalidation" => o.flush_invalidation = true,
                 "--save" => o.save = Some(value("--save")),
                 "--load" => o.load = Some(value("--load")),
                 "--dot" => o.dot = true,
@@ -393,6 +399,11 @@ fn chaos(o: &Opts) -> ExitCode {
         ..FaultConfig::default()
     };
     let schedule = FaultSchedule::generate(&env, &cfg, o.seed);
+    let invalidation = if o.flush_invalidation {
+        dsq::core::InvalidationMode::Flush
+    } else {
+        dsq::core::InvalidationMode::Scoped
+    };
     let runner = ChaosRunner {
         policy: if o.drop > 0.0 {
             RetryPolicy::lossy(o.drop)
@@ -401,13 +412,17 @@ fn chaos(o: &Opts) -> ExitCode {
         },
         protocol_seed: o.seed,
         threshold: 0.2,
+        cache: !o.no_cache,
+        invalidation,
     };
     println!(
-        "chaos: {} nodes, {} queries, {} events, drop probability {}\n",
+        "chaos: {} nodes, {} queries, {} events, drop probability {}, cache {} ({:?} invalidation)\n",
         env.network.len(),
         wl.queries.len(),
         o.events,
-        o.drop
+        o.drop,
+        if o.no_cache { "off" } else { "on" },
+        invalidation
     );
     let r = runner.run(env, &wl.catalog, &wl.queries, &schedule);
     println!(
@@ -440,6 +455,11 @@ fn chaos(o: &Opts) -> ExitCode {
         "standing cost     {:>8.1} -> {:.1}",
         r.cost_initial, r.cost_final
     );
+    println!(
+        "subplan cache     {:>8} hits, {} misses, {} retired",
+        r.cache_hits, r.cache_misses, r.cache_retired
+    );
+    println!("replan calls      {:>8}", r.queries_replanned);
     println!("invariant checks  {:>8} (all passed)", r.invariant_checks);
     ExitCode::SUCCESS
 }

@@ -22,9 +22,19 @@ fn soak_setup() -> (Environment, Workload, FaultSchedule) {
         19,
     )
     .generate(&env.network);
+    // Rejoin-favoring mix: with the default crash-heavy weights the 64-node
+    // population bleeds out (every query's source origin eventually dies
+    // and stays dead), and a soak with nothing left standing stops
+    // exercising steady-state adaptation. Matching rejoins to crashes
+    // keeps queries cycling through park → data-available → replan, which
+    // is the regime the incremental-replanning assertions below measure.
     let cfg = FaultConfig {
         events: 200,
         mean_gap_ms: 2_000.0,
+        crash_weight: 0.25,
+        correlated_weight: 0.05,
+        rejoin_weight: 0.50,
+        degrade_weight: 0.20,
         ..FaultConfig::default()
     };
     let schedule = FaultSchedule::generate(&env, &cfg, 2024);
@@ -60,7 +70,7 @@ fn two_hundred_event_soak_survives_with_invariants() {
     let runner = ChaosRunner {
         policy: RetryPolicy::lossy(0.1),
         protocol_seed: 7,
-        threshold: 0.2,
+        ..ChaosRunner::default()
     };
     // The runner panics on any post-event invariant violation (hierarchy
     // structure, deployments referencing inactive nodes, cost accounting).
@@ -82,6 +92,31 @@ fn two_hundred_event_soak_survives_with_invariants() {
         report.installed_initially
     );
     assert!(report.duration_ms > 0.0);
+
+    // Incremental-replanning economics over the soak. Scoped invalidation
+    // (the runner's default) must let memoized subplans survive across
+    // adaptations — the cache keeps hitting through 200 faults — while the
+    // dirty-set selection keeps replanning work proportional to what the
+    // faults actually touched, not to the standing population.
+    assert!(
+        report.cache_hits > 0,
+        "scoped invalidation must preserve cache hits across the soak"
+    );
+    assert!(
+        report.cache_retired > 0,
+        "200 faults must retire at least one memoized subplan"
+    );
+    let replan_ratio = report.queries_replanned as f64
+        / (report.applied as f64 * report.installed_initially as f64);
+    assert!(
+        replan_ratio < 0.5,
+        "incremental replanning must not approach replan-everything-per-event \
+         (got {:.3}: {} replans over {} applied events x {} queries)",
+        replan_ratio,
+        report.queries_replanned,
+        report.applied,
+        report.installed_initially
+    );
 }
 
 #[test]
@@ -90,7 +125,7 @@ fn soak_report_is_deterministic_for_a_fixed_seed() {
     let runner = ChaosRunner {
         policy: RetryPolicy::lossy(0.1),
         protocol_seed: 7,
-        threshold: 0.2,
+        ..ChaosRunner::default()
     };
     let first = runner.run(env.clone(), &wl.catalog, &wl.queries, &schedule);
     let second = runner.run(env, &wl.catalog, &wl.queries, &schedule);

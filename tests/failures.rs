@@ -56,11 +56,16 @@ fn coordinator_failure_fails_over_and_redeploys() {
     for d in rt.deployments() {
         assert!(!d.operator_nodes().contains(&top_coord));
     }
-    // Accounting adds up: surviving deployments (kept + redeployed) plus
-    // retired ones cover every installed query.
+    // Accounting adds up: surviving deployments (kept + redeployed), the
+    // parked pool (unplaced plus source-outage waits) and the lost cover
+    // every installed query.
     assert_eq!(
-        rt.deployments().len() + report.lost.len() + report.unplaced.len(),
+        rt.deployments().len() + rt.parked().len() + report.lost.len(),
         wl.queries.len(),
+    );
+    assert_eq!(
+        rt.parked().len(),
+        report.unplaced.len() + report.source_parked.len()
     );
 }
 
@@ -91,8 +96,15 @@ fn source_node_failure_loses_the_dependent_queries() {
     for qid in &report.lost {
         assert!(dependent.contains(qid), "{qid} lost but not dependent");
     }
-    // Every dependent query that had a deployment touching the node is lost.
-    assert!(report.lost.iter().all(|id| dependent.contains(id)));
+    // Source-outage parking only applies to queries that depended on the
+    // node; sink-on-node losses stay losses.
+    for qid in &report.source_parked {
+        assert!(dependent.contains(qid), "{qid} parked but not dependent");
+    }
+    assert!(
+        !report.lost.is_empty() || !report.source_parked.is_empty(),
+        "killing a source origin must cost somebody their data"
+    );
     rt.env.hierarchy.check_invariants();
 }
 

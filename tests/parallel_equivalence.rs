@@ -181,3 +181,86 @@ fn epoch_bump_keeps_replanning_correct() {
     };
     assert_outcomes_identical(&replanned, &reference);
 }
+
+#[test]
+fn scoped_retirement_keeps_replanning_correct() {
+    ensure_pool();
+    // Same shape as the epoch-bump test, but instead of flushing the warm
+    // cache we retire only the entries whose DP consulted a drifted
+    // distance (`metric_dirty_nodes` + `retire_metric`). Replanning over
+    // the partially retained cache must still match a cold planner over
+    // the same mutated environment — the surviving entries are exactly the
+    // ones the change could not have touched.
+    use dsq::core::metric_dirty_nodes;
+    let wl_env = fresh_env(9);
+    let wl = workload(&wl_env);
+    let cfg = ParallelConfig::default();
+
+    let mut env = fresh_env(9);
+    env.plan_cache.set_enabled(true);
+    {
+        let td = TopDown::new(&env);
+        let warm = optimize_all(
+            &env,
+            &td,
+            &wl.catalog,
+            &wl.queries,
+            &ReuseRegistry::new(),
+            &cfg,
+        );
+        assert!(warm.planned() > 0);
+    }
+    let entries_before = env.plan_cache.len();
+    assert!(entries_before > 0);
+
+    let (a, b) = {
+        let u = env.network.nodes().next().unwrap();
+        let l = env.network.neighbors(u).first().unwrap();
+        (u, l.to)
+    };
+    assert!(env.network.set_link_cost(a, b, 500.0));
+    let new_dm = DistanceMatrix::build(&env.network, Metric::Cost);
+    let dirty = metric_dirty_nodes(&env.dm, &new_dm);
+    assert!(!dirty.is_empty());
+    let retired = env.plan_cache.retire_metric(&env.dm, &new_dm);
+    env.dm = new_dm;
+    env.hierarchy.refresh_statistics(&env.dm);
+    assert!(retired > 0, "the drift must retire something");
+    assert_eq!(
+        env.plan_cache.epoch(),
+        0,
+        "scoped retirement must not bump the epoch"
+    );
+
+    let replanned = {
+        let td = TopDown::new(&env);
+        optimize_all(
+            &env,
+            &td,
+            &wl.catalog,
+            &wl.queries,
+            &ReuseRegistry::new(),
+            &cfg,
+        )
+    };
+
+    let reference_env = {
+        let mut e = fresh_env(9);
+        assert!(e.network.set_link_cost(a, b, 500.0));
+        e.dm = DistanceMatrix::build(&e.network, Metric::Cost);
+        e.hierarchy.refresh_statistics(&e.dm);
+        e
+    };
+    let reference = {
+        let td = TopDown::new(&reference_env);
+        optimize_all(
+            &reference_env,
+            &td,
+            &wl.catalog,
+            &wl.queries,
+            &ReuseRegistry::new(),
+            &cfg,
+        )
+    };
+    assert_outcomes_identical(&replanned, &reference);
+}
