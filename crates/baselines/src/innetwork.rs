@@ -109,18 +109,29 @@ impl Optimizer for InNetworkRunner<'_> {
                         }
                         c
                     };
+                    // The zone structure is computed once per environment,
+                    // so after membership churn a zone may be partially or
+                    // fully dead: only zones with at least one still-active
+                    // member participate, and the in-zone pick considers
+                    // only active nodes. A network with no active zone at
+                    // all has no feasible placement.
+                    let active = |n: &&NodeId| self.env.hierarchy.is_active(**n);
                     // Phase 1: coarse zone decision by medoid estimate.
                     let zi = (0..self.zones.zones.len())
+                        .filter(|&z| {
+                            self.zones.zones[z]
+                                .iter()
+                                .any(|&n| self.env.hierarchy.is_active(n))
+                        })
                         .min_by(|&a, &b| {
                             cost_at(self.zones.medoids[a])
                                 .total_cmp(&cost_at(self.zones.medoids[b]))
-                        })
-                        .unwrap();
-                    // Phase 2: best node inside the chosen zone.
+                        })?;
+                    // Phase 2: best active node inside the chosen zone.
                     let best = *self.zones.zones[zi]
                         .iter()
-                        .min_by(|&&a, &&b| cost_at(a).total_cmp(&cost_at(b)))
-                        .unwrap();
+                        .filter(active)
+                        .min_by(|&&a, &&b| cost_at(a).total_cmp(&cost_at(b)))?;
                     placement.push(best);
                 }
             }

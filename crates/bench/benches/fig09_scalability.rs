@@ -134,7 +134,9 @@ fn bench(c: &mut Criterion) {
     // vs the parallel driver with the shared subplan cache, plus a
     // warm-cache replanning pass (the adaptation path).
     let (env, wl) = envs.last().unwrap();
+    let obs_sink = dsq_obs::Sink::new(dsq_obs::ClockMode::Monotonic);
     {
+        let _obs_scope = dsq_obs::scoped(obs_sink.clone());
         use dsq_core::{optimize_all, ParallelConfig};
         let _ = rayon::ThreadPoolBuilder::new()
             .num_threads(4)
@@ -228,6 +230,20 @@ fn bench(c: &mut Criterion) {
             env.network.len(),
             full_ms / inc_ms.max(1e-9),
             dirty.len(),
+        );
+
+        // fig02 writes the same summary file; the `fig09.` prefix keeps the
+        // row namespaces disjoint so the key-wise merge preserves both.
+        dsq_bench::emit_bench_json(
+            "plan",
+            &[
+                ("fig09.serial", serial_ms),
+                ("fig09.parallel_cold", parallel_ms),
+                ("fig09.warm_replan", replan_ms),
+                ("fig09.full_replan", full_ms),
+                ("fig09.incremental", inc_ms),
+            ],
+            &obs_sink.snapshot(),
         );
     }
 

@@ -17,6 +17,8 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
+pub mod mini_json;
+
 /// True when quick (smoke) mode is requested.
 pub fn quick_mode() -> bool {
     std::env::var("DSQ_BENCH_QUICK").is_ok_and(|v| v != "0" && !v.is_empty())
@@ -228,25 +230,45 @@ pub fn workspace_root() -> PathBuf {
 /// plus the counters and histograms captured by an observability sink
 /// during the run.
 ///
-/// The JSON is hand-assembled through [`dsq_obs::json`] so the bench
-/// harness stays dependency-free like the rest of the workspace.
+/// Several bench targets share one summary (fig02 and fig09 both report
+/// planning wall times under `BENCH_plan.json`), so an existing file is
+/// *merged into*, not clobbered: wall-time rows, counters, and histograms
+/// union key-wise with the latest run winning on collisions. A file that
+/// fails to parse (corrupt or hand-edited) is replaced outright with a
+/// warning. The JSON is hand-assembled via [`mini_json`] / [`dsq_obs::json`]
+/// so the bench harness stays dependency-free like the rest of the
+/// workspace.
 pub fn emit_bench_json(name: &str, wall_ms: &[(&str, f64)], snapshot: &dsq_obs::Snapshot) {
-    let mut out = String::from("{\"bench\":");
-    dsq_obs::json::push_str(&mut out, name);
-    out.push_str(",\"wall_ms\":{");
-    for (i, (series, ms)) in wall_ms.iter().enumerate() {
-        if i > 0 {
-            out.push(',');
-        }
-        dsq_obs::json::push_str(&mut out, series);
-        out.push(':');
-        dsq_obs::json::push_f64(&mut out, *ms);
-    }
-    out.push_str("},\"observability\":");
-    out.push_str(&snapshot.to_json());
-    out.push('}');
-    out.push('\n');
+    use mini_json::Json;
+    let fresh = Json::Obj(vec![
+        ("bench".into(), Json::Str(name.to_string())),
+        (
+            "wall_ms".into(),
+            Json::Obj(
+                wall_ms
+                    .iter()
+                    .map(|(series, ms)| (series.to_string(), Json::Num(*ms)))
+                    .collect(),
+            ),
+        ),
+        (
+            "observability".into(),
+            mini_json::parse(&snapshot.to_json()).expect("Snapshot::to_json emits valid JSON"),
+        ),
+    ]);
     let path = workspace_root().join(format!("BENCH_{name}.json"));
+    let merged = match fs::read_to_string(&path) {
+        Ok(existing) => match mini_json::parse(existing.trim()) {
+            Ok(prior) => mini_json::merge(&prior, &fresh),
+            Err(e) => {
+                eprintln!("replacing unparseable {}: {e}", path.display());
+                fresh
+            }
+        },
+        Err(_) => fresh,
+    };
+    let mut out = merged.to_string();
+    out.push('\n');
     if let Err(e) = fs::write(&path, out) {
         eprintln!("could not write {}: {e}", path.display());
     } else {
@@ -388,6 +410,58 @@ mod tests {
         assert!(content.contains("\"series-a\":12.5"));
         assert!(content.contains("\"selftest.counter\":3"));
         assert!(content.contains("\"selftest.hist\""));
+        let _ = std::fs::remove_file(path);
+    }
+
+    #[test]
+    fn bench_json_merges_rows_across_runs() {
+        let path = workspace_root().join("BENCH_mergetest.json");
+        let _ = std::fs::remove_file(&path);
+        // First writer (fig02's role): two rows + a counter.
+        let sink1 = dsq_obs::Sink::new(dsq_obs::ClockMode::Virtual);
+        {
+            let _scope = dsq_obs::scoped(sink1.clone());
+            dsq_obs::counter("mergetest.first", 1);
+        }
+        emit_bench_json(
+            "mergetest",
+            &[("serial", 10.0), ("shared", 1.0)],
+            &sink1.snapshot(),
+        );
+        // Second writer (fig09's role): disjoint row, one colliding row,
+        // its own counter. Nothing from the first run may be lost.
+        let sink2 = dsq_obs::Sink::new(dsq_obs::ClockMode::Virtual);
+        {
+            let _scope = dsq_obs::scoped(sink2.clone());
+            dsq_obs::counter("mergetest.second", 2);
+        }
+        emit_bench_json(
+            "mergetest",
+            &[("scaling", 20.0), ("shared", 2.0)],
+            &sink2.snapshot(),
+        );
+        let merged = mini_json::parse(std::fs::read_to_string(&path).unwrap().trim()).unwrap();
+        let wall = merged.get("wall_ms").unwrap();
+        assert_eq!(wall.get("serial"), Some(&mini_json::Json::Num(10.0)));
+        assert_eq!(wall.get("scaling"), Some(&mini_json::Json::Num(20.0)));
+        assert_eq!(
+            wall.get("shared"),
+            Some(&mini_json::Json::Num(2.0)),
+            "latest run wins on collisions"
+        );
+        let counters = merged
+            .get("observability")
+            .and_then(|o| o.get("counters"))
+            .unwrap();
+        assert_eq!(
+            counters.get("mergetest.first"),
+            Some(&mini_json::Json::Num(1.0)),
+            "first run's counters must survive the second write"
+        );
+        assert_eq!(
+            counters.get("mergetest.second"),
+            Some(&mini_json::Json::Num(2.0))
+        );
         let _ = std::fs::remove_file(path);
     }
 

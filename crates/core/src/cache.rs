@@ -164,31 +164,59 @@ pub fn external_tags(inputs: &[PlannerInput]) -> Vec<usize> {
 /// namespace: `from[i]` (the entry's original tag at position `i`) becomes
 /// `to[i]`. Leaves and join placements are untouched — the tag is the only
 /// caller-scoped bit of a [`PlacedTree`].
+///
+/// Tag labels need not be unique: when `from` contains the same label at
+/// several positions (two externals with identical or merely same-labeled
+/// content), occurrences are matched *in traversal order* — the k-th
+/// `External` node carrying that label maps to the k-th position holding
+/// it. This is exactly input order, because planner trees reference their
+/// external inputs in the same left-to-right walk that
+/// [`external_tags`] / `collect_inputs` use. A first-match rewrite would
+/// instead collapse every duplicate onto `to[first]`, silently dropping
+/// the caller's other fragment.
 pub fn retag(tree: &PlacedTree, from: &[usize], to: &[usize]) -> PlacedTree {
     debug_assert_eq!(from.len(), to.len());
-    match tree {
-        PlacedTree::Leaf(l) => PlacedTree::Leaf(l.clone()),
-        PlacedTree::External {
-            tag,
-            covered,
-            location,
-        } => {
-            let i = from
-                .iter()
-                .position(|t| t == tag)
-                .expect("cached tree only references its own external inputs");
-            PlacedTree::External {
-                tag: to[i],
-                covered: covered.clone(),
-                location: *location,
-            }
-        }
-        PlacedTree::Join { left, right, node } => PlacedTree::Join {
-            left: Box::new(retag(left, from, to)),
-            right: Box::new(retag(right, from, to)),
-            node: *node,
-        },
+    let mut positions: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, &t) in from.iter().enumerate() {
+        positions.entry(t).or_default().push(i);
     }
+    fn go(
+        tree: &PlacedTree,
+        positions: &HashMap<usize, Vec<usize>>,
+        cursor: &mut HashMap<usize, usize>,
+        to: &[usize],
+    ) -> PlacedTree {
+        match tree {
+            PlacedTree::Leaf(l) => PlacedTree::Leaf(l.clone()),
+            PlacedTree::External {
+                tag,
+                covered,
+                location,
+            } => {
+                let occ = positions
+                    .get(tag)
+                    .expect("cached tree only references its own external inputs");
+                let c = cursor.entry(*tag).or_insert(0);
+                // A planner tree consumes each input once; a tree that
+                // references a label more often than it has positions (only
+                // possible for a unique label) keeps mapping to the last
+                // position, matching the old behavior for unique tags.
+                let i = occ[(*c).min(occ.len() - 1)];
+                *c += 1;
+                PlacedTree::External {
+                    tag: to[i],
+                    covered: covered.clone(),
+                    location: *location,
+                }
+            }
+            PlacedTree::Join { left, right, node } => PlacedTree::Join {
+                left: Box::new(go(left, positions, cursor, to)),
+                right: Box::new(go(right, positions, cursor, to)),
+                node: *node,
+            },
+        }
+    }
+    go(tree, &positions, &mut HashMap::new(), to)
 }
 
 #[derive(Default)]
@@ -665,6 +693,33 @@ mod tests {
                     other => panic!("expected External, got {other:?}"),
                 }
             }
+            other => panic!("expected Join, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn retag_maps_duplicate_labels_by_occurrence() {
+        // Two external inputs share the label 7 (content-keyed duplicates):
+        // the first occurrence in traversal order must take the caller's
+        // first tag, the second the caller's second — not both the first.
+        let ext = |tag: usize, s: u32, n: u32| PlacedTree::External {
+            tag,
+            covered: StreamSet::singleton(StreamId(s)),
+            location: NodeId(n),
+        };
+        let tree = PlacedTree::Join {
+            left: Box::new(ext(7, 0, 1)),
+            right: Box::new(ext(7, 1, 4)),
+            node: NodeId(2),
+        };
+        let out = retag(&tree, &[7, 7], &[40, 41]);
+        match out {
+            PlacedTree::Join { left, right, .. } => match (*left, *right) {
+                (PlacedTree::External { tag: lt, .. }, PlacedTree::External { tag: rt, .. }) => {
+                    assert_eq!((lt, rt), (40, 41));
+                }
+                other => panic!("expected two Externals, got {other:?}"),
+            },
             other => panic!("expected Join, got {other:?}"),
         }
     }

@@ -73,7 +73,7 @@ pub use cache::{
 pub use engine::{ClusterPlanner, InputKind, PlannerInput, PlannerOutput};
 pub use env::Environment;
 pub use load::LoadModel;
-pub use optimal::Optimal;
+pub use optimal::{Optimal, PlacementError};
 pub use parallel::{
     deployment_touches, optimize_all, optimize_dirty, MultiQueryOutcome, ParallelConfig,
 };

@@ -19,6 +19,37 @@ use crate::Optimizer;
 use dsq_net::NodeId;
 use dsq_query::{Catalog, Deployment, Query, ReuseRegistry};
 
+/// Why a (restricted) placement attempt produced no deployment. Callers
+/// that pass a candidate set after membership churn need to distinguish
+/// "you gave me nothing to place on" from "the DP found no feasible plan" —
+/// planning against a stale or arbitrary node is never an acceptable
+/// fallback.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PlacementError {
+    /// The candidate set was empty.
+    NoCandidates,
+    /// Every candidate has been deactivated (failed or departed the
+    /// overlay) since the set was computed.
+    NoActiveCandidates,
+    /// The planner examined the (active) candidates and found no feasible
+    /// joint plan + placement.
+    Infeasible,
+}
+
+impl std::fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlacementError::NoCandidates => write!(f, "empty placement candidate set"),
+            PlacementError::NoActiveCandidates => {
+                write!(f, "every placement candidate is inactive")
+            }
+            PlacementError::Infeasible => write!(f, "no feasible placement over the candidates"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
 /// Exact single-query optimizer (reuse-aware through the registry).
 #[derive(Clone, Copy, Debug)]
 pub struct Optimal<'a> {
@@ -44,20 +75,37 @@ impl<'a> Optimal<'a> {
             restrict: Some(candidates),
         }
     }
-}
 
-impl Optimizer for Optimal<'_> {
-    fn name(&self) -> &'static str {
-        "optimal"
-    }
-
-    fn optimize(
+    /// Like [`Optimizer::optimize`], but with a typed error: an empty or
+    /// fully-inactive restricted candidate set is reported as such instead
+    /// of being conflated with plan infeasibility (or, worse, silently
+    /// planned against stale nodes).
+    pub fn try_optimize(
         &self,
         catalog: &Catalog,
         query: &Query,
         registry: &mut ReuseRegistry,
         stats: &mut SearchStats,
-    ) -> Option<Deployment> {
+    ) -> Result<Deployment, PlacementError> {
+        let candidates: Vec<NodeId> = match self.restrict {
+            Some(c) => {
+                if c.is_empty() {
+                    return Err(PlacementError::NoCandidates);
+                }
+                // Churn between computing the set and planning over it must
+                // not leave operators on dead nodes.
+                let active: Vec<NodeId> = c
+                    .iter()
+                    .copied()
+                    .filter(|&n| self.env.hierarchy.is_active(n))
+                    .collect();
+                if active.is_empty() {
+                    return Err(PlacementError::NoActiveCandidates);
+                }
+                active
+            }
+            None => self.env.hierarchy.active_nodes(),
+        };
         let mut inputs: Vec<PlannerInput> = query
             .sources
             .iter()
@@ -66,27 +114,19 @@ impl Optimizer for Optimal<'_> {
         for leaf in registry.usable_for(query) {
             inputs.push(PlannerInput::derived(leaf));
         }
-        let all_nodes: Vec<NodeId>;
-        let candidates: &[NodeId] = match self.restrict {
-            Some(c) => c,
-            None => {
-                // Active overlay members only, so failed/departed nodes
-                // (deactivated in the hierarchy) are never chosen.
-                all_nodes = self.env.hierarchy.active_nodes();
-                &all_nodes
-            }
-        };
         stats.record(0, query.sink, query.sources.len(), candidates.len());
         let load = self.env.load_snapshot();
         let planner = ClusterPlanner::new(catalog, query).with_load(load.as_ref());
-        let out = planner.plan(
-            &inputs,
-            candidates,
-            &self.env.dm,
-            Some(query.sink),
-            None,
-            stats,
-        )?;
+        let out = planner
+            .plan(
+                &inputs,
+                &candidates,
+                &self.env.dm,
+                Some(query.sink),
+                None,
+                stats,
+            )
+            .ok_or(PlacementError::Infeasible)?;
         let deployment = out.tree.into_deployment(query, catalog, &self.env.dm);
         // With true distances the estimate equals the communication cost —
         // unless a load model added overload penalties to the objective, in
@@ -101,7 +141,23 @@ impl Optimizer for Optimal<'_> {
             out.est_cost,
             deployment.cost
         );
-        Some(deployment)
+        Ok(deployment)
+    }
+}
+
+impl Optimizer for Optimal<'_> {
+    fn name(&self) -> &'static str {
+        "optimal"
+    }
+
+    fn optimize(
+        &self,
+        catalog: &Catalog,
+        query: &Query,
+        registry: &mut ReuseRegistry,
+        stats: &mut SearchStats,
+    ) -> Option<Deployment> {
+        self.try_optimize(catalog, query, registry, stats).ok()
     }
 }
 

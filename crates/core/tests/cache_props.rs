@@ -74,6 +74,61 @@ proptest::proptest! {
         );
     }
 
+    /// Duplicate tag labels (content-keyed duplicate externals) must remap
+    /// by occurrence, not first match: a tree referencing each input once
+    /// in input order comes back carrying exactly the caller's tags, and
+    /// the rewrite round-trips losslessly.
+    #[test]
+    fn retag_survives_duplicate_labels(seed in 0u64..500, n in 2usize..=5) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        // `from` deliberately collides labels (drawn from a tiny alphabet);
+        // `to` is distinct, like a real hitting caller's TagAlloc output.
+        let from: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3usize)).collect();
+        let to = random_tags(&mut rng, n);
+
+        // Left-deep tree referencing input 0, 1, … in traversal order —
+        // the order `collect_inputs`/`external_tags` record them in.
+        let ext = |i: usize, tag: usize| PlacedTree::External {
+            tag,
+            covered: StreamSet::singleton(StreamId(i as u32)),
+            location: NodeId(i as u32),
+        };
+        let mut tree = ext(0, from[0]);
+        for (i, &t) in from.iter().enumerate().skip(1) {
+            tree = PlacedTree::Join {
+                left: Box::new(tree),
+                right: Box::new(ext(i, t)),
+                node: NodeId(15),
+            };
+        }
+
+        let there = retag(&tree, &from, &to);
+        // Collect external tags of the rewritten tree in traversal order.
+        fn tags_of(t: &PlacedTree, out: &mut Vec<usize>) {
+            match t {
+                PlacedTree::External { tag, .. } => out.push(*tag),
+                PlacedTree::Join { left, right, .. } => {
+                    tags_of(left, out);
+                    tags_of(right, out);
+                }
+                PlacedTree::Leaf(_) => {}
+            }
+        }
+        let mut got = Vec::new();
+        tags_of(&there, &mut got);
+        proptest::prop_assert_eq!(
+            &got, &to,
+            "occurrence k of a duplicated label must take the caller's k-th tag"
+        );
+
+        let back = retag(&there, &to, &from);
+        proptest::prop_assert_eq!(
+            format!("{tree:?}"),
+            format!("{back:?}"),
+            "duplicate-label retag must round-trip"
+        );
+    }
+
     /// Cache keys are canonical: relabeling `External` tags never changes
     /// the key, while moving an external's production site always does.
     #[test]

@@ -1,0 +1,372 @@
+//! A fuzz case: the complete, self-contained recipe for one random
+//! instance — topology shape, hierarchy granularity, workload mix and
+//! fault schedule — plus the shrinker's keep-masks.
+//!
+//! A case is pure data. [`FuzzCase::build`] materializes it into an
+//! [`Instance`] deterministically (everything downstream is seeded), so a
+//! case file alone reproduces a failure bit-for-bit. The text form is a
+//! line-based `key = value` format with `#` comments, stable enough to
+//! check into `tests/regressions/`.
+
+use dsq_core::Environment;
+use dsq_net::TransitStubConfig;
+use dsq_sim::chaos::{FaultConfig, FaultSchedule};
+use dsq_workload::{Workload, WorkloadConfig, WorkloadGenerator};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+/// One self-contained fuzz instance recipe.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FuzzCase {
+    /// Seed driving topology, workload and schedule generation.
+    pub seed: u64,
+    /// Transit domains of the transit-stub topology.
+    pub transit_domains: usize,
+    /// Transit nodes per transit domain.
+    pub transit_nodes_per_domain: usize,
+    /// Stub domains per transit node.
+    pub stub_domains_per_transit_node: usize,
+    /// Nodes per stub domain.
+    pub stub_nodes_per_domain: usize,
+    /// Hierarchy cluster-size cap.
+    pub max_cs: usize,
+    /// Base streams in the catalog.
+    pub streams: usize,
+    /// Queries generated (before the keep-mask).
+    pub queries: usize,
+    /// Minimum joins per query.
+    pub joins_lo: usize,
+    /// Maximum joins per query.
+    pub joins_hi: usize,
+    /// Zipf skew of the source draw, in thousandths (0 = uniform).
+    pub skew_milli: u64,
+    /// Fault-schedule events generated (before the keep-mask).
+    pub events: usize,
+    /// Deployment-protocol drop probability, in thousandths.
+    pub drop_milli: u64,
+    /// Query indexes kept by the shrinker (`None` = all).
+    pub keep_queries: Option<Vec<usize>>,
+    /// Fault-event indexes kept by the shrinker (`None` = all).
+    pub keep_events: Option<Vec<usize>>,
+}
+
+/// A materialized case: environment, workload and fault schedule.
+pub struct Instance {
+    /// Fresh environment (private cache, all nodes active).
+    pub env: Environment,
+    /// Catalog plus the (keep-masked) query batch.
+    pub workload: Workload,
+    /// The (keep-masked) fault timeline.
+    pub schedule: FaultSchedule,
+}
+
+impl FuzzCase {
+    /// Draw a random case from the generator ranges, keeping the topology
+    /// under `max_nodes` total nodes.
+    pub fn sample(rng: &mut ChaCha8Rng, max_nodes: usize) -> FuzzCase {
+        loop {
+            let joins_lo = rng.gen_range(1..=2);
+            let joins_hi = rng.gen_range(joins_lo..=4);
+            let case = FuzzCase {
+                seed: rng.gen_range(0..u64::MAX),
+                transit_domains: rng.gen_range(1..=2),
+                transit_nodes_per_domain: rng.gen_range(1..=3),
+                stub_domains_per_transit_node: rng.gen_range(1..=3),
+                stub_nodes_per_domain: rng.gen_range(2..=6),
+                max_cs: rng.gen_range(2..=12),
+                streams: rng.gen_range(joins_hi + 2..=12),
+                queries: rng.gen_range(1..=6),
+                joins_lo,
+                joins_hi,
+                skew_milli: if rng.gen_bool(0.5) {
+                    0
+                } else {
+                    rng.gen_range(500..=1500)
+                },
+                events: rng.gen_range(0..=12),
+                drop_milli: if rng.gen_bool(0.5) {
+                    0
+                } else {
+                    rng.gen_range(50..=200)
+                },
+                keep_queries: None,
+                keep_events: None,
+            };
+            if case.total_nodes() <= max_nodes && case.total_nodes() >= 4 {
+                return case;
+            }
+        }
+    }
+
+    /// Total node count of the case's topology.
+    pub fn total_nodes(&self) -> usize {
+        self.topology_config().total_nodes()
+    }
+
+    fn topology_config(&self) -> TransitStubConfig {
+        TransitStubConfig {
+            transit_domains: self.transit_domains,
+            transit_nodes_per_domain: self.transit_nodes_per_domain,
+            stub_domains_per_transit_node: self.stub_domains_per_transit_node,
+            stub_nodes_per_domain: self.stub_nodes_per_domain,
+            ..TransitStubConfig::default()
+        }
+    }
+
+    /// Number of queries surviving the keep-mask.
+    pub fn live_queries(&self) -> usize {
+        self.keep_queries.as_ref().map_or(self.queries, |k| k.len())
+    }
+
+    /// Number of fault events surviving the keep-mask.
+    pub fn live_events(&self) -> usize {
+        self.keep_events.as_ref().map_or(self.events, |k| k.len())
+    }
+
+    /// Materialize the case. Deterministic: two builds of the same case
+    /// produce identical networks, workloads and schedules.
+    pub fn build(&self) -> Instance {
+        let net = self.topology_config().generate(self.seed).network;
+        let env = Environment::build(net, self.max_cs);
+        let mut workload = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: self.streams,
+                queries: self.queries,
+                joins_per_query: self.joins_lo..=self.joins_hi,
+                source_skew: if self.skew_milli == 0 {
+                    None
+                } else {
+                    Some(self.skew_milli as f64 / 1000.0)
+                },
+                ..WorkloadConfig::default()
+            },
+            self.seed,
+        )
+        .generate(&env.network);
+        if let Some(keep) = &self.keep_queries {
+            workload.queries = keep
+                .iter()
+                .filter_map(|&i| workload.queries.get(i).cloned())
+                .collect();
+        }
+        let mut schedule = FaultSchedule::generate(
+            &env,
+            &FaultConfig {
+                events: self.events,
+                mean_gap_ms: 1_000.0,
+                ..FaultConfig::default()
+            },
+            // Decorrelate the schedule stream from topology/workload while
+            // staying a pure function of the case seed.
+            self.seed ^ 0x9E37_79B9_7F4A_7C15,
+        );
+        if let Some(keep) = &self.keep_events {
+            schedule.faults = keep
+                .iter()
+                .filter_map(|&i| schedule.faults.get(i).cloned())
+                .collect();
+        }
+        Instance {
+            env,
+            workload,
+            schedule,
+        }
+    }
+
+    /// Serialize to the `.case` text form (round-trips via [`parse`]).
+    ///
+    /// [`parse`]: FuzzCase::parse
+    pub fn to_text(&self, comment: &str) -> String {
+        let mut out = String::from("# dsq-fuzz case v1\n");
+        for line in comment.lines() {
+            out.push_str(&format!("# {line}\n"));
+        }
+        let mut kv = |k: &str, v: String| out.push_str(&format!("{k} = {v}\n"));
+        kv("seed", self.seed.to_string());
+        kv("transit_domains", self.transit_domains.to_string());
+        kv(
+            "transit_nodes_per_domain",
+            self.transit_nodes_per_domain.to_string(),
+        );
+        kv(
+            "stub_domains_per_transit_node",
+            self.stub_domains_per_transit_node.to_string(),
+        );
+        kv(
+            "stub_nodes_per_domain",
+            self.stub_nodes_per_domain.to_string(),
+        );
+        kv("max_cs", self.max_cs.to_string());
+        kv("streams", self.streams.to_string());
+        kv("queries", self.queries.to_string());
+        kv("joins_lo", self.joins_lo.to_string());
+        kv("joins_hi", self.joins_hi.to_string());
+        kv("skew_milli", self.skew_milli.to_string());
+        kv("events", self.events.to_string());
+        kv("drop_milli", self.drop_milli.to_string());
+        if let Some(k) = &self.keep_queries {
+            kv("keep_queries", join_indexes(k));
+        }
+        if let Some(k) = &self.keep_events {
+            kv("keep_events", join_indexes(k));
+        }
+        out
+    }
+
+    /// Parse the `.case` text form written by [`to_text`].
+    ///
+    /// [`to_text`]: FuzzCase::to_text
+    pub fn parse(text: &str) -> Result<FuzzCase, String> {
+        let mut case = FuzzCase {
+            seed: 0,
+            transit_domains: 1,
+            transit_nodes_per_domain: 1,
+            stub_domains_per_transit_node: 1,
+            stub_nodes_per_domain: 2,
+            max_cs: 4,
+            streams: 4,
+            queries: 1,
+            joins_lo: 1,
+            joins_hi: 2,
+            skew_milli: 0,
+            events: 0,
+            drop_milli: 0,
+            keep_queries: None,
+            keep_events: None,
+        };
+        for (ln, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let (key, value) = line
+                .split_once('=')
+                .ok_or_else(|| format!("line {}: expected `key = value`: {raw:?}", ln + 1))?;
+            let (key, value) = (key.trim(), value.trim());
+            let as_usize =
+                |v: &str| -> Result<usize, String> { v.parse().map_err(|e| format!("{key}: {e}")) };
+            let as_u64 =
+                |v: &str| -> Result<u64, String> { v.parse().map_err(|e| format!("{key}: {e}")) };
+            match key {
+                "seed" => case.seed = as_u64(value)?,
+                "transit_domains" => case.transit_domains = as_usize(value)?,
+                "transit_nodes_per_domain" => case.transit_nodes_per_domain = as_usize(value)?,
+                "stub_domains_per_transit_node" => {
+                    case.stub_domains_per_transit_node = as_usize(value)?
+                }
+                "stub_nodes_per_domain" => case.stub_nodes_per_domain = as_usize(value)?,
+                "max_cs" => case.max_cs = as_usize(value)?,
+                "streams" => case.streams = as_usize(value)?,
+                "queries" => case.queries = as_usize(value)?,
+                "joins_lo" => case.joins_lo = as_usize(value)?,
+                "joins_hi" => case.joins_hi = as_usize(value)?,
+                "skew_milli" => case.skew_milli = as_u64(value)?,
+                "events" => case.events = as_u64(value)? as usize,
+                "drop_milli" => case.drop_milli = as_u64(value)?,
+                "keep_queries" => case.keep_queries = Some(parse_indexes(value)?),
+                "keep_events" => case.keep_events = Some(parse_indexes(value)?),
+                other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
+            }
+        }
+        if case.transit_domains == 0
+            || case.transit_nodes_per_domain == 0
+            || case.stub_nodes_per_domain == 0
+        {
+            return Err("topology shape must be nonzero".into());
+        }
+        if case.joins_lo == 0 || case.joins_hi < case.joins_lo {
+            return Err("joins range must satisfy 1 <= joins_lo <= joins_hi".into());
+        }
+        if case.streams <= case.joins_hi {
+            return Err("need at least joins_hi + 1 streams".into());
+        }
+        if case.max_cs < 2 {
+            return Err("max_cs must be at least 2".into());
+        }
+        Ok(case)
+    }
+}
+
+fn join_indexes(ix: &[usize]) -> String {
+    ix.iter()
+        .map(|i| i.to_string())
+        .collect::<Vec<_>>()
+        .join(",")
+}
+
+fn parse_indexes(v: &str) -> Result<Vec<usize>, String> {
+    if v.is_empty() {
+        return Ok(Vec::new());
+    }
+    v.split(',')
+        .map(|s| s.trim().parse().map_err(|e| format!("index list: {e}")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn case_text_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for _ in 0..50 {
+            let mut case = FuzzCase::sample(&mut rng, 48);
+            if rng.gen_bool(0.5) {
+                case.keep_queries = Some(vec![0, 2]);
+                case.keep_events = Some(vec![]);
+            }
+            let text = case.to_text("round trip");
+            let back = FuzzCase::parse(&text).expect("parse back");
+            assert_eq!(case, back);
+        }
+    }
+
+    #[test]
+    fn build_is_deterministic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let case = FuzzCase::sample(&mut rng, 40);
+        let a = case.build();
+        let b = case.build();
+        assert_eq!(a.env.network.len(), b.env.network.len());
+        assert_eq!(a.workload.queries.len(), b.workload.queries.len());
+        assert_eq!(a.schedule.faults.len(), b.schedule.faults.len());
+        for (qa, qb) in a.workload.queries.iter().zip(&b.workload.queries) {
+            assert_eq!(qa.sources, qb.sources);
+            assert_eq!(qa.sink, qb.sink);
+        }
+    }
+
+    #[test]
+    fn keep_masks_filter_instances() {
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let mut case = FuzzCase::sample(&mut rng, 40);
+        case.queries = 4;
+        case.events = 6;
+        case.keep_queries = Some(vec![1, 3]);
+        case.keep_events = Some(vec![0, 5]);
+        let inst = case.build();
+        assert_eq!(inst.workload.queries.len(), 2);
+        assert_eq!(inst.schedule.faults.len(), 2);
+        let full = FuzzCase {
+            keep_queries: None,
+            keep_events: None,
+            ..case.clone()
+        }
+        .build();
+        assert_eq!(
+            inst.workload.queries[0].sources,
+            full.workload.queries[1].sources
+        );
+        assert_eq!(inst.schedule.faults[1].at_ms, full.schedule.faults[5].at_ms);
+    }
+
+    #[test]
+    fn rejects_malformed_cases() {
+        assert!(FuzzCase::parse("seed = x").is_err());
+        assert!(FuzzCase::parse("nonsense").is_err());
+        assert!(FuzzCase::parse("unknown_key = 3").is_err());
+        assert!(FuzzCase::parse("streams = 2\njoins_hi = 4").is_err());
+    }
+}

@@ -1,0 +1,825 @@
+//! The invariant oracle: every planner arm runs over the same instance and
+//! every result is checked against the others and against the paper's
+//! analytical bounds.
+//!
+//! Checks, in order:
+//!
+//! 1. **Generation / hierarchy** — the instance materializes and the built
+//!    hierarchy satisfies its structural invariants.
+//! 2. **Cross-arm equivalence** — serial, parallel, cache-on, cache-off and
+//!    warm-replay arms of `optimize_all` produce bit-identical deployments,
+//!    costs and search statistics.
+//! 3. **Deployment validity** — every operator sits on an active node,
+//!    leaves sit at their stream's origin, every data-flow edge is routed
+//!    over finite (live) distances, and the stored cost matches a
+//!    recomputation.
+//! 4. **Cost bounds** — Top-Down and Bottom-Up never beat the exact
+//!    [`Optimal`] yardstick, Top-Down's gap respects Theorem 3, and the
+//!    In-network baseline is feasible and no better than optimal.
+//! 5. **Theorem 1** — level-k estimated costs bound true distances within
+//!    the hierarchy's accumulated slack, at every level.
+//! 6. **Restricted placement** — `Optimal::restricted` never places a join
+//!    outside its candidate set, returns a typed error on empty or
+//!    fully-inactive candidate sets, and respects churned (inactive) nodes.
+//! 7. **Cache accounting** — a no-change warm replay produces zero new
+//!    misses; hit/miss/retired counters are conserved across events.
+//! 8. **Incremental equivalence** — after a seeded link drift, scoped
+//!    retirement + `optimize_dirty` matches a from-scratch full replan
+//!    bit-for-bit.
+//! 9. **Chaos equivalence** — the scoped, flush and cache-off arms of the
+//!    chaos runner agree on every report field that is schedule-determined.
+//!
+//! Any panic inside an arm (internal assertion, unwrap, overflow) is
+//! converted into a violation of the check that was running, so library
+//! bugs surface as shrinkable findings rather than aborting the campaign.
+
+use crate::case::{FuzzCase, Instance};
+use dsq_core::{
+    bounds, metric_dirty_nodes, optimize_all, optimize_dirty, BottomUp, Environment,
+    InvalidationMode, MultiQueryOutcome, Optimal, Optimizer, ParallelConfig, PlacementError,
+    SearchStats, TopDown,
+};
+use dsq_net::{DistanceMatrix, Metric, NodeId};
+use dsq_query::{Catalog, Deployment, FlatNode, LeafSource, Query, ReuseRegistry};
+use dsq_sim::chaos::{ChaosReport, ChaosRunner};
+use dsq_sim::emulab::RetryPolicy;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Which invariant a violation falls under. The slug doubles as the
+/// repro-file prefix and the shrinker's "same bug" predicate.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CheckId {
+    /// The case failed to materialize at all.
+    Generation,
+    /// `Hierarchy::check_invariants` failed on the built instance.
+    Hierarchy,
+    /// Two planner arms disagreed bit-for-bit.
+    CrossArm,
+    /// A deployment referenced an inactive node, a mis-placed leaf, an
+    /// unroutable edge or an inconsistent stored cost.
+    Validity,
+    /// A heuristic beat the exact optimum, or exceeded its Theorem-3 gap.
+    CostBound,
+    /// A level-k cost estimate fell outside Theorem 1's slack.
+    Theorem1,
+    /// Restricted/zone placement used a node outside the (active) candidate
+    /// set, or accepted an empty one.
+    Restricted,
+    /// Cache hit/miss/retired accounting was not conserved.
+    CacheAccounting,
+    /// Incremental replanning diverged from the full replan.
+    Incremental,
+    /// Chaos arms (scoped/flush/cache-off) diverged, or a chaos-run
+    /// invariant fired.
+    Chaos,
+}
+
+impl CheckId {
+    /// Short kebab-case slug (repro file names, reports).
+    pub fn slug(&self) -> &'static str {
+        match self {
+            CheckId::Generation => "generation",
+            CheckId::Hierarchy => "hierarchy",
+            CheckId::CrossArm => "cross-arm",
+            CheckId::Validity => "validity",
+            CheckId::CostBound => "cost-bound",
+            CheckId::Theorem1 => "theorem1",
+            CheckId::Restricted => "restricted",
+            CheckId::CacheAccounting => "cache-accounting",
+            CheckId::Incremental => "incremental",
+            CheckId::Chaos => "chaos",
+        }
+    }
+}
+
+/// One oracle violation: the check that fired and a human-readable detail.
+#[derive(Clone, Debug)]
+pub struct Violation {
+    /// Which invariant fired.
+    pub check: CheckId,
+    /// What exactly diverged (first line is the summary).
+    pub detail: String,
+}
+
+/// Extract a printable message from a panic payload.
+fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `f` under the named check, converting panics into violations.
+fn guarded<T>(check: CheckId, violations: &mut Vec<Violation>, f: impl FnOnce() -> T) -> Option<T> {
+    match catch_unwind(AssertUnwindSafe(f)) {
+        Ok(v) => Some(v),
+        Err(p) => {
+            violations.push(Violation {
+                check,
+                detail: format!("panic: {}", panic_message(p)),
+            });
+            None
+        }
+    }
+}
+
+/// A deterministic digest of a multi-query outcome: total cost bits,
+/// search-space accounting and per-deployment structure. Two arms are
+/// bit-identical iff their fingerprints are equal.
+fn fingerprint(out: &MultiQueryOutcome) -> String {
+    let mut s = format!(
+        "total={:016x} considered={}",
+        out.total_cost.to_bits(),
+        out.stats.plans_considered
+    );
+    s.push_str(&fingerprint_deployments(out));
+    s
+}
+
+/// Like [`fingerprint`], but without the search-space accounting: the
+/// incremental arm *by design* examines fewer plans than a full replan
+/// (untouched queries keep their deployments without replanning), so its
+/// equivalence contract covers deployments and costs only — matching the
+/// repo's differential harness (`tests/incremental_equivalence.rs`).
+fn fingerprint_deployments(out: &MultiQueryOutcome) -> String {
+    let mut s = format!("total={:016x}", out.total_cost.to_bits());
+    for (i, d) in out.deployments.iter().enumerate() {
+        match d {
+            None => s.push_str(&format!("\nq{i}: infeasible")),
+            Some(d) => {
+                s.push_str(&format!(
+                    "\nq{i}: cost={:016x} sink={} placement={:?}",
+                    d.cost.to_bits(),
+                    d.sink,
+                    d.placement
+                ));
+            }
+        }
+    }
+    s
+}
+
+/// Plan the whole batch under one arm configuration over a private cache.
+fn run_arm(
+    env: &Environment,
+    catalog: &Catalog,
+    queries: &[Query],
+    parallel: bool,
+    cache: bool,
+    passes: usize,
+) -> (MultiQueryOutcome, u64, u64) {
+    let mut env = env.clone();
+    env.isolate_cache(cache);
+    let td = TopDown::new(&env);
+    let cfg = if parallel {
+        ParallelConfig::default()
+    } else {
+        ParallelConfig::serial()
+    };
+    let mut last = None;
+    for _ in 0..passes {
+        last = Some(optimize_all(
+            &env,
+            &td,
+            catalog,
+            queries,
+            &ReuseRegistry::new(),
+            &cfg,
+        ));
+    }
+    (
+        last.unwrap(),
+        env.plan_cache.hits(),
+        env.plan_cache.misses(),
+    )
+}
+
+/// Validate one deployment's physical realizability.
+fn check_deployment(
+    label: &str,
+    d: &Deployment,
+    env: &Environment,
+    catalog: &Catalog,
+    violations: &mut Vec<Violation>,
+) {
+    let mut fail = |detail: String| {
+        violations.push(Violation {
+            check: CheckId::Validity,
+            detail: format!("{label}: {detail}"),
+        })
+    };
+    if d.placement.len() != d.plan.nodes().len() {
+        fail(format!(
+            "placement arity {} != plan arity {}",
+            d.placement.len(),
+            d.plan.nodes().len()
+        ));
+        return;
+    }
+    if !env.hierarchy.is_active(d.sink) {
+        fail(format!("sink {} is inactive", d.sink));
+    }
+    for (i, node) in d.plan.nodes().iter().enumerate() {
+        let at = d.placement[i];
+        if !env.hierarchy.is_active(at) {
+            fail(format!("plan node {i} placed on inactive node {at}"));
+        }
+        if let FlatNode::Leaf { source, .. } = node {
+            let origin = match source {
+                LeafSource::Base(id) => catalog.stream(*id).node,
+                LeafSource::Derived { host, .. } => *host,
+            };
+            if at != origin {
+                fail(format!(
+                    "leaf {i} placed at {at}, its stream originates at {origin}"
+                ));
+            }
+        }
+    }
+    let mut recomputed = 0.0;
+    for e in &d.edges {
+        let dist = env.dm.get(e.from, e.to);
+        if !dist.is_finite() {
+            fail(format!(
+                "edge {} -> {} is unroutable (infinite distance)",
+                e.from, e.to
+            ));
+            return;
+        }
+        recomputed += e.rate * dist;
+    }
+    let tol = 1e-9 * d.cost.abs().max(1.0);
+    if (recomputed - d.cost).abs() > tol {
+        fail(format!("stored cost {} != recomputed {recomputed}", d.cost));
+    }
+}
+
+/// Compare two chaos reports on every schedule-determined field.
+fn diff_chaos(a: &ChaosReport, b: &ChaosReport, what: &str) -> Option<String> {
+    let mut diffs = Vec::new();
+    if a.cost_final.to_bits() != b.cost_final.to_bits() {
+        diffs.push(format!("cost_final {} vs {}", a.cost_final, b.cost_final));
+    }
+    if a.cost_initial.to_bits() != b.cost_initial.to_bits() {
+        diffs.push(format!(
+            "cost_initial {} vs {}",
+            a.cost_initial, b.cost_initial
+        ));
+    }
+    if a.final_installed != b.final_installed {
+        diffs.push(format!(
+            "final_installed {} vs {}",
+            a.final_installed, b.final_installed
+        ));
+    }
+    if a.final_parked != b.final_parked {
+        diffs.push(format!(
+            "final_parked {} vs {}",
+            a.final_parked, b.final_parked
+        ));
+    }
+    if a.lost != b.lost {
+        diffs.push(format!("lost {:?} vs {:?}", a.lost, b.lost));
+    }
+    if a.applied != b.applied || a.skipped != b.skipped {
+        diffs.push(format!(
+            "applied/skipped {}/{} vs {}/{}",
+            a.applied, a.skipped, b.applied, b.skipped
+        ));
+    }
+    if a.redeployments != b.redeployments {
+        diffs.push(format!(
+            "redeployments {} vs {}",
+            a.redeployments, b.redeployments
+        ));
+    }
+    if a.availability.to_bits() != b.availability.to_bits() {
+        diffs.push(format!(
+            "availability {} vs {}",
+            a.availability, b.availability
+        ));
+    }
+    if diffs.is_empty() {
+        None
+    } else {
+        Some(format!("{what}: {}", diffs.join("; ")))
+    }
+}
+
+/// Size guard for the exact-optimum and all-pairs checks: the DP yardstick
+/// and the O(n²·h) Theorem-1 sweep only run on instances at or below this
+/// node count (the generator's default ceiling).
+pub const EXACT_CHECK_MAX_NODES: usize = 64;
+
+/// Run every check against `case`. An empty result means the case survived
+/// the whole oracle.
+pub fn run_oracle(case: &FuzzCase) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let inst = match guarded(CheckId::Generation, &mut violations, || case.build()) {
+        Some(i) => i,
+        None => return violations,
+    };
+    let Instance {
+        env,
+        workload,
+        schedule,
+    } = &inst;
+    let catalog = &workload.catalog;
+    let queries = &workload.queries;
+
+    guarded(CheckId::Hierarchy, &mut violations, || {
+        env.hierarchy.check_invariants()
+    });
+    if queries.is_empty() {
+        return violations;
+    }
+
+    // --- Cross-arm equivalence over the initial batch. -------------------
+    let reference = guarded(CheckId::CrossArm, &mut violations, || {
+        run_arm(env, catalog, queries, false, false, 1)
+    });
+    let Some((reference, _, _)) = reference else {
+        return violations;
+    };
+    let ref_fp = fingerprint(&reference);
+    let arms: [(&str, bool, bool, usize); 4] = [
+        ("serial/cache", false, true, 1),
+        ("parallel/cache", true, true, 1),
+        ("parallel/no-cache", true, false, 1),
+        ("serial/warm-replay", false, true, 2),
+    ];
+    let mut replay_counters = None;
+    for (name, parallel, cache, passes) in arms {
+        let got = guarded(CheckId::CrossArm, &mut violations, || {
+            run_arm(env, catalog, queries, parallel, cache, passes)
+        });
+        if let Some((out, hits, misses)) = got {
+            let fp = fingerprint(&out);
+            if fp != ref_fp {
+                violations.push(Violation {
+                    check: CheckId::CrossArm,
+                    detail: format!(
+                        "{name} diverged from serial/no-cache\nreference:\n{ref_fp}\n{name}:\n{fp}"
+                    ),
+                });
+            }
+            if name == "serial/warm-replay" {
+                replay_counters = Some((hits, misses));
+            }
+        }
+    }
+
+    // --- Cache-accounting conservation. ----------------------------------
+    // Two identical passes over an unchanged environment: every second-pass
+    // invocation must be served from the cache, so the second pass adds
+    // hits but not a single new miss.
+    let accounting = guarded(CheckId::CacheAccounting, &mut violations, || {
+        let mut env = env.clone();
+        env.isolate_cache(true);
+        let td = TopDown::new(&env);
+        let cfg = ParallelConfig::serial();
+        let run = |env: &Environment, td: &TopDown| {
+            optimize_all(env, td, catalog, queries, &ReuseRegistry::new(), &cfg)
+        };
+        run(&env, &td);
+        let (h1, m1, r1) = (
+            env.plan_cache.hits(),
+            env.plan_cache.misses(),
+            env.plan_cache.retired(),
+        );
+        run(&env, &td);
+        let (h2, m2, r2) = (
+            env.plan_cache.hits(),
+            env.plan_cache.misses(),
+            env.plan_cache.retired(),
+        );
+        if m2 != m1 {
+            return Some(format!(
+                "no-change replay added misses: {m1} -> {m2} (hits {h1} -> {h2})"
+            ));
+        }
+        if h2 < h1 || r2 != r1 {
+            return Some(format!(
+                "counters regressed on replay: hits {h1} -> {h2}, retired {r1} -> {r2}"
+            ));
+        }
+        None
+    });
+    if let Some(Some(detail)) = accounting {
+        violations.push(Violation {
+            check: CheckId::CacheAccounting,
+            detail,
+        });
+    }
+    if let Some((hits, misses)) = replay_counters {
+        if hits == 0 && misses == 0 && !queries.is_empty() {
+            violations.push(Violation {
+                check: CheckId::CacheAccounting,
+                detail: "warm replay recorded no cache traffic at all".into(),
+            });
+        }
+    }
+
+    // --- Deployment validity (reference arm). ----------------------------
+    for (i, d) in reference.deployments.iter().enumerate() {
+        if let Some(d) = d {
+            check_deployment(&format!("q{i}"), d, env, catalog, &mut violations);
+        }
+    }
+
+    let small = env.network.len() <= EXACT_CHECK_MAX_NODES;
+
+    // --- Cost bounds against the exact optimum. --------------------------
+    if small {
+        guarded(CheckId::CostBound, &mut violations, || {
+            let mut out = Vec::new();
+            for (i, q) in queries.iter().enumerate() {
+                let mut stats = SearchStats::new();
+                let opt =
+                    Optimal::new(env).optimize(catalog, q, &mut ReuseRegistry::new(), &mut stats);
+                let td =
+                    TopDown::new(env).optimize(catalog, q, &mut ReuseRegistry::new(), &mut stats);
+                let bu =
+                    BottomUp::new(env).optimize(catalog, q, &mut ReuseRegistry::new(), &mut stats);
+                let Some(opt) = opt else {
+                    if td.is_some() || bu.is_some() {
+                        out.push(format!(
+                            "q{i}: optimal infeasible but a heuristic found a deployment"
+                        ));
+                    }
+                    continue;
+                };
+                let eps = 1e-6 * opt.cost.max(1.0);
+                if let Some(td) = &td {
+                    if td.cost < opt.cost - eps {
+                        out.push(format!(
+                            "q{i}: top-down {} beat optimal {}",
+                            td.cost, opt.cost
+                        ));
+                    }
+                    let gap_bound = bounds::theorem3_bound(td, &env.hierarchy);
+                    if td.cost - opt.cost > gap_bound + eps {
+                        out.push(format!(
+                            "q{i}: top-down gap {} exceeds Theorem-3 bound {gap_bound}",
+                            td.cost - opt.cost
+                        ));
+                    }
+                }
+                if let Some(bu) = &bu {
+                    if bu.cost < opt.cost - eps {
+                        out.push(format!(
+                            "q{i}: bottom-up {} beat optimal {}",
+                            bu.cost, opt.cost
+                        ));
+                    }
+                }
+                // The zone baseline must stay feasible and suboptimal too.
+                let zones = dsq_baselines::InNetwork::new(env, 3.min(env.network.len()));
+                let runner = dsq_baselines::InNetworkRunner { zones: &zones, env };
+                if let Some(inw) =
+                    runner.optimize(catalog, q, &mut ReuseRegistry::new(), &mut stats)
+                {
+                    if inw.cost < opt.cost - eps {
+                        out.push(format!(
+                            "q{i}: in-network {} beat optimal {}",
+                            inw.cost, opt.cost
+                        ));
+                    }
+                }
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .for_each(|detail| {
+            violations.push(Violation {
+                check: CheckId::CostBound,
+                detail,
+            })
+        });
+    }
+
+    // --- Theorem 1: level-k estimates bound true distances. --------------
+    if small {
+        let thm1 = guarded(CheckId::Theorem1, &mut violations, || {
+            let h = &env.hierarchy;
+            let nodes = h.active_nodes();
+            for level in 1..=h.height() {
+                let slack = h.theorem1_slack(level);
+                for (i, &a) in nodes.iter().enumerate() {
+                    for &b in nodes.iter().skip(i + 1) {
+                        let act = env.dm.get(a, b);
+                        let est = h.estimated_cost(&env.dm, a, b, level);
+                        if (act - est).abs() > slack + 1e-9 {
+                            return Some(format!(
+                                "level {level}: |{act} - {est}| > slack {slack} for {a},{b}"
+                            ));
+                        }
+                    }
+                }
+            }
+            None
+        });
+        if let Some(Some(detail)) = thm1 {
+            violations.push(Violation {
+                check: CheckId::Theorem1,
+                detail,
+            });
+        }
+    }
+
+    // --- Restricted placement, including after churn. --------------------
+    guarded(CheckId::Restricted, &mut violations, || {
+        check_restricted(case, env, catalog, queries)
+    })
+    .into_iter()
+    .flatten()
+    .for_each(|detail| {
+        violations.push(Violation {
+            check: CheckId::Restricted,
+            detail,
+        })
+    });
+
+    // --- Incremental replanning equivalence after a seeded drift. --------
+    guarded(CheckId::Incremental, &mut violations, || {
+        check_incremental(case, env, catalog, queries)
+    })
+    .into_iter()
+    .flatten()
+    .for_each(|detail| {
+        violations.push(Violation {
+            check: CheckId::Incremental,
+            detail,
+        })
+    });
+
+    // --- Chaos arms over the fault schedule. -----------------------------
+    if !schedule.faults.is_empty() && reference.planned() > 0 {
+        let chaos_arm = |cache: bool, invalidation: InvalidationMode| {
+            let runner = ChaosRunner {
+                policy: if case.drop_milli == 0 {
+                    RetryPolicy::reliable()
+                } else {
+                    RetryPolicy::lossy(case.drop_milli as f64 / 1000.0)
+                },
+                protocol_seed: case.seed,
+                threshold: 0.2,
+                cache,
+                invalidation,
+            };
+            runner.run(env.clone(), catalog, queries, schedule)
+        };
+        let scoped = guarded(CheckId::Chaos, &mut violations, || {
+            chaos_arm(true, InvalidationMode::Scoped)
+        });
+        let flush = guarded(CheckId::Chaos, &mut violations, || {
+            chaos_arm(true, InvalidationMode::Flush)
+        });
+        let nocache = guarded(CheckId::Chaos, &mut violations, || {
+            chaos_arm(false, InvalidationMode::Scoped)
+        });
+        if let (Some(s), Some(f), Some(n)) = (&scoped, &flush, &nocache) {
+            for (other, what) in [(f, "scoped vs flush"), (n, "scoped vs cache-off")] {
+                if let Some(d) = diff_chaos(s, other, what) {
+                    violations.push(Violation {
+                        check: CheckId::Chaos,
+                        detail: d,
+                    });
+                }
+            }
+            // Conservation: the scoped arm's cache traffic must account for
+            // at least one miss per planning invocation that produced the
+            // initial installs, and retirement only happens with faults.
+            if s.cache_hits + s.cache_misses == 0 {
+                violations.push(Violation {
+                    check: CheckId::Chaos,
+                    detail: "scoped chaos arm recorded no cache traffic".into(),
+                });
+            }
+        }
+    }
+
+    violations
+}
+
+/// Restricted-placement checks: candidate-set containment, empty and
+/// fully-inactive candidate sets, and planning after membership churn.
+fn check_restricted(
+    case: &FuzzCase,
+    env: &Environment,
+    catalog: &Catalog,
+    queries: &[Query],
+) -> Vec<String> {
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut out = Vec::new();
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(case.seed ^ 0x5EED_F00D);
+    let q = &queries[0];
+
+    // Empty candidate set: must be a typed error, not an arbitrary plan.
+    match Optimal::restricted(env, &[]).try_optimize(
+        catalog,
+        q,
+        &mut ReuseRegistry::new(),
+        &mut SearchStats::new(),
+    ) {
+        Err(PlacementError::NoCandidates) => {}
+        Err(e) => out.push(format!("empty candidate set: unexpected error {e:?}")),
+        Ok(_) => out.push("empty candidate set produced a deployment".into()),
+    }
+
+    // Random subset: any deployment's join operators stay inside it.
+    let mut nodes = env.hierarchy.active_nodes();
+    nodes.shuffle(&mut rng);
+    let subset: Vec<NodeId> = nodes
+        .iter()
+        .copied()
+        .take((nodes.len() / 3).max(1))
+        .collect();
+    if let Some(d) = Optimal::restricted(env, &subset).optimize(
+        catalog,
+        q,
+        &mut ReuseRegistry::new(),
+        &mut SearchStats::new(),
+    ) {
+        for &ji in &d.plan.join_indices() {
+            let at = d.placement[ji];
+            if !subset.contains(&at) {
+                out.push(format!(
+                    "restricted plan placed a join at {at}, outside the candidate set"
+                ));
+            }
+        }
+    }
+
+    // Churn: deactivate a few nodes (never a stream origin or the probe
+    // query's sink, so the query itself stays placeable), then demand that
+    // a candidate set made entirely of the churned-out nodes is rejected
+    // and that planning over them is refused rather than stale.
+    let mut churned = env.clone();
+    churned.isolate_cache(false);
+    let protected: Vec<NodeId> = catalog
+        .streams()
+        .iter()
+        .map(|s| s.node)
+        .chain(queries.iter().map(|q| q.sink))
+        .collect();
+    let mut removed = Vec::new();
+    for &n in nodes.iter() {
+        if removed.len() >= 3 || churned.hierarchy.active_nodes().len() <= 3 {
+            break;
+        }
+        if protected.contains(&n) {
+            continue;
+        }
+        if dsq_hierarchy::membership::remove_node(&mut churned.hierarchy, &churned.dm, n).is_ok() {
+            removed.push(n);
+        }
+    }
+    if !removed.is_empty() {
+        match Optimal::restricted(&churned, &removed).try_optimize(
+            catalog,
+            q,
+            &mut ReuseRegistry::new(),
+            &mut SearchStats::new(),
+        ) {
+            Err(PlacementError::NoActiveCandidates) => {}
+            Err(e) => out.push(format!(
+                "fully-inactive candidate set: unexpected error {e:?}"
+            )),
+            Ok(_) => out.push("planned against a fully-inactive candidate set".into()),
+        }
+        // A mixed set must only ever use the still-active members.
+        let mut mixed = removed.clone();
+        mixed.extend(churned.hierarchy.active_nodes());
+        if let Some(d) = Optimal::restricted(&churned, &mixed).optimize(
+            catalog,
+            q,
+            &mut ReuseRegistry::new(),
+            &mut SearchStats::new(),
+        ) {
+            for &ji in &d.plan.join_indices() {
+                let at = d.placement[ji];
+                if removed.contains(&at) {
+                    out.push(format!("churned node {at} still hosts a join operator"));
+                }
+            }
+        }
+        // The zone baseline must survive churn without touching dead nodes.
+        let zones = dsq_baselines::InNetwork::new(&churned, 3.min(churned.network.len()));
+        let runner = dsq_baselines::InNetworkRunner {
+            zones: &zones,
+            env: &churned,
+        };
+        if let Some(d) = runner.optimize(
+            catalog,
+            q,
+            &mut ReuseRegistry::new(),
+            &mut SearchStats::new(),
+        ) {
+            for &ji in &d.plan.join_indices() {
+                let at = d.placement[ji];
+                if !churned.hierarchy.is_active(at) {
+                    out.push(format!(
+                        "in-network zone search placed a join on inactive {at}"
+                    ));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Incremental-vs-full equivalence after one seeded link-cost drift.
+fn check_incremental(
+    case: &FuzzCase,
+    env: &Environment,
+    catalog: &Catalog,
+    queries: &[Query],
+) -> Vec<String> {
+    let mut out = Vec::new();
+    // Warm a private cache with the standing deployments.
+    let mut warm_env = env.clone();
+    warm_env.isolate_cache(true);
+    let cfg = ParallelConfig::serial();
+    let td = TopDown::new(&warm_env);
+    let warm = optimize_all(
+        &warm_env,
+        &td,
+        catalog,
+        queries,
+        &ReuseRegistry::new(),
+        &cfg,
+    );
+    if warm.planned() == 0 {
+        return out;
+    }
+    // Seeded drift: pick one physical link and multiply its cost 8x.
+    let links: Vec<(NodeId, NodeId)> = warm_env
+        .network
+        .nodes()
+        .flat_map(|u| {
+            warm_env
+                .network
+                .neighbors(u)
+                .iter()
+                .filter(move |l| u < l.to)
+                .map(move |l| (u, l.to))
+        })
+        .collect();
+    if links.is_empty() {
+        return out;
+    }
+    let (a, b) = links[(case.seed as usize) % links.len()];
+    let old_cost = warm_env
+        .network
+        .find_link(a, b)
+        .map(|l| l.cost)
+        .unwrap_or(1.0);
+
+    // Incremental arm: scoped retirement + dirty-set replanning over the
+    // warmed cache.
+    let mut inc_env = warm_env.clone();
+    assert!(inc_env.network.set_link_cost(a, b, old_cost * 8.0));
+    inc_env.dm = DistanceMatrix::build(&inc_env.network, Metric::Cost);
+    let dirty = metric_dirty_nodes(&warm_env.dm, &inc_env.dm);
+    inc_env.hierarchy.refresh_statistics(&inc_env.dm);
+    inc_env.plan_cache.retire_metric(&warm_env.dm, &inc_env.dm);
+    let td_inc = TopDown::new(&inc_env);
+    let inc = optimize_dirty(
+        &inc_env,
+        &td_inc,
+        catalog,
+        queries,
+        &warm.deployments,
+        &dirty,
+        &ReuseRegistry::new(),
+        &cfg,
+    );
+
+    // Full arm: same drifted world, fresh cache, replan everything.
+    let mut full_env = inc_env.clone();
+    full_env.isolate_cache(true);
+    let td_full = TopDown::new(&full_env);
+    let full = optimize_all(
+        &full_env,
+        &td_full,
+        catalog,
+        queries,
+        &ReuseRegistry::new(),
+        &cfg,
+    );
+
+    let fp_inc = fingerprint_deployments(&inc);
+    let fp_full = fingerprint_deployments(&full);
+    if fp_inc != fp_full {
+        out.push(format!(
+            "drift on link {a}-{b} (x8): incremental diverged from full replan\nfull:\n{fp_full}\nincremental:\n{fp_inc}"
+        ));
+    }
+    out
+}

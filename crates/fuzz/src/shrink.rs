@@ -1,0 +1,293 @@
+//! Greedy violation shrinker: reduce a failing case to a minimal repro
+//! while it keeps failing the *same* check.
+//!
+//! Reduction order follows the blast radius of each knob:
+//!
+//! 1. **Drop queries** — one at a time until no single removal preserves
+//!    the failure.
+//! 2. **Drop fault events** — likewise.
+//! 3. **Shrink the topology and workload** — stepwise reductions of the
+//!    stub/transit shape, stream count, join width and `max_cs`.
+//!
+//! Every candidate re-runs the full oracle, so a reduction is accepted only
+//! when the minimized case still trips the original check — semantic drift
+//! from regenerating a smaller instance is fine, soundness comes from the
+//! re-check. A budget caps total oracle invocations so shrinking stays
+//! bounded even on slow cases.
+
+use crate::case::FuzzCase;
+use crate::oracle::{run_oracle, CheckId};
+
+/// Outcome of a shrink run.
+#[derive(Clone, Debug)]
+pub struct ShrinkReport {
+    /// The minimized case (still failing `check`).
+    pub case: FuzzCase,
+    /// Oracle invocations spent.
+    pub oracle_runs: usize,
+    /// Whether the budget ran out before reaching a fixpoint.
+    pub budget_exhausted: bool,
+}
+
+/// Does `case` still fail `check`, according to `oracle`?
+fn fails(
+    oracle: &dyn Fn(&FuzzCase) -> Vec<CheckId>,
+    case: &FuzzCase,
+    check: CheckId,
+    runs: &mut usize,
+) -> bool {
+    *runs += 1;
+    oracle(case).contains(&check)
+}
+
+/// Shrink `case` against the real oracle (see [`shrink_with`]).
+pub fn shrink(case: &FuzzCase, check: CheckId, budget: usize) -> ShrinkReport {
+    shrink_with(
+        &|c| run_oracle(c).into_iter().map(|v| v.check).collect(),
+        case,
+        check,
+        budget,
+    )
+}
+
+/// Shrink `case` until no single reduction keeps `oracle` reporting
+/// `check`, spending at most `budget` oracle invocations. The oracle is
+/// injected so the shrinker itself can be validated against synthetic
+/// (planted) defects.
+pub fn shrink_with(
+    oracle: &dyn Fn(&FuzzCase) -> Vec<CheckId>,
+    case: &FuzzCase,
+    check: CheckId,
+    budget: usize,
+) -> ShrinkReport {
+    let mut best = case.clone();
+    let mut runs = 0usize;
+    let out_of_budget = |runs: &usize| *runs >= budget;
+
+    // Phase 1: drop queries one at a time (restart the scan after every
+    // accepted removal so earlier indexes get another chance).
+    let mut keep: Vec<usize> = best
+        .keep_queries
+        .clone()
+        .unwrap_or_else(|| (0..best.queries).collect());
+    'queries: loop {
+        if out_of_budget(&runs) {
+            break;
+        }
+        for i in 0..keep.len() {
+            if keep.len() <= 1 {
+                break 'queries;
+            }
+            let mut cand_keep = keep.clone();
+            cand_keep.remove(i);
+            let cand = FuzzCase {
+                keep_queries: Some(cand_keep.clone()),
+                ..best.clone()
+            };
+            if fails(oracle, &cand, check, &mut runs) {
+                keep = cand_keep;
+                best = cand;
+                continue 'queries;
+            }
+            if out_of_budget(&runs) {
+                break 'queries;
+            }
+        }
+        break;
+    }
+
+    // Phase 2: drop fault events the same way (also try dropping them all
+    // at once first — many failures do not need the schedule at all).
+    let mut keep_ev: Vec<usize> = best
+        .keep_events
+        .clone()
+        .unwrap_or_else(|| (0..best.events).collect());
+    if !keep_ev.is_empty() && !out_of_budget(&runs) {
+        let cand = FuzzCase {
+            keep_events: Some(Vec::new()),
+            ..best.clone()
+        };
+        if fails(oracle, &cand, check, &mut runs) {
+            keep_ev = Vec::new();
+            best = cand;
+        }
+    }
+    'events: loop {
+        if out_of_budget(&runs) || keep_ev.is_empty() {
+            break;
+        }
+        for i in 0..keep_ev.len() {
+            let mut cand_keep = keep_ev.clone();
+            cand_keep.remove(i);
+            let cand = FuzzCase {
+                keep_events: Some(cand_keep.clone()),
+                ..best.clone()
+            };
+            if fails(oracle, &cand, check, &mut runs) {
+                keep_ev = cand_keep;
+                best = cand;
+                continue 'events;
+            }
+            if out_of_budget(&runs) {
+                break 'events;
+            }
+        }
+        break;
+    }
+
+    // Phase 3: shrink topology/workload knobs to their floors.
+    loop {
+        if out_of_budget(&runs) {
+            break;
+        }
+        let mut improved = false;
+        let mut reductions: Vec<FuzzCase> = Vec::new();
+        if best.stub_nodes_per_domain > 1 {
+            reductions.push(FuzzCase {
+                stub_nodes_per_domain: best.stub_nodes_per_domain - 1,
+                ..best.clone()
+            });
+        }
+        if best.stub_domains_per_transit_node > 1 {
+            reductions.push(FuzzCase {
+                stub_domains_per_transit_node: best.stub_domains_per_transit_node - 1,
+                ..best.clone()
+            });
+        }
+        if best.transit_nodes_per_domain > 1 {
+            reductions.push(FuzzCase {
+                transit_nodes_per_domain: best.transit_nodes_per_domain - 1,
+                ..best.clone()
+            });
+        }
+        if best.transit_domains > 1 {
+            reductions.push(FuzzCase {
+                transit_domains: best.transit_domains - 1,
+                ..best.clone()
+            });
+        }
+        if best.streams > best.joins_hi + 2 {
+            reductions.push(FuzzCase {
+                streams: best.streams - 1,
+                ..best.clone()
+            });
+        }
+        if best.joins_hi > best.joins_lo {
+            reductions.push(FuzzCase {
+                joins_hi: best.joins_hi - 1,
+                ..best.clone()
+            });
+        }
+        if best.max_cs > 2 {
+            reductions.push(FuzzCase {
+                max_cs: best.max_cs - 1,
+                ..best.clone()
+            });
+        }
+        if best.skew_milli > 0 {
+            reductions.push(FuzzCase {
+                skew_milli: 0,
+                ..best.clone()
+            });
+        }
+        if best.drop_milli > 0 {
+            reductions.push(FuzzCase {
+                drop_milli: 0,
+                ..best.clone()
+            });
+        }
+        for cand in reductions {
+            if fails(oracle, &cand, check, &mut runs) {
+                best = cand;
+                improved = true;
+                break;
+            }
+            if out_of_budget(&runs) {
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
+    ShrinkReport {
+        budget_exhausted: out_of_budget(&runs),
+        case: best,
+        oracle_runs: runs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    /// A planted defect: "fires whenever at least 2 queries and at least 1
+    /// fault event survive the masks". The shrinker must find the 2-query,
+    /// 1-event floor and drive the topology to its minimum.
+    fn planted(case: &FuzzCase) -> Vec<CheckId> {
+        if case.live_queries() >= 2 && case.live_events() >= 1 {
+            vec![CheckId::CrossArm]
+        } else {
+            Vec::new()
+        }
+    }
+
+    #[test]
+    fn shrinker_reaches_the_planted_floor() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let mut case = FuzzCase::sample(&mut rng, 48);
+        case.queries = 6;
+        case.events = 10;
+        assert!(planted(&case).contains(&CheckId::CrossArm));
+        let report = shrink_with(&planted, &case, CheckId::CrossArm, 500);
+        assert!(!report.budget_exhausted);
+        assert_eq!(report.case.live_queries(), 2);
+        assert_eq!(report.case.live_events(), 1);
+        // Topology knobs bottom out (the planted bug ignores them).
+        assert_eq!(report.case.transit_domains, 1);
+        assert_eq!(report.case.transit_nodes_per_domain, 1);
+        assert_eq!(report.case.stub_domains_per_transit_node, 1);
+        assert_eq!(report.case.stub_nodes_per_domain, 1);
+        assert_eq!(report.case.max_cs, 2);
+        assert!(planted(&report.case).contains(&CheckId::CrossArm));
+    }
+
+    #[test]
+    fn shrinker_keeps_the_failing_check() {
+        // A defect that needs a specific query index to survive: dropping
+        // the wrong ones must be rejected.
+        let needs_q3 = |case: &FuzzCase| -> Vec<CheckId> {
+            let live = case
+                .keep_queries
+                .clone()
+                .unwrap_or_else(|| (0..case.queries).collect());
+            if live.contains(&3) {
+                vec![CheckId::Validity]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut case = FuzzCase::sample(&mut rng, 32);
+        case.queries = 6;
+        case.events = 0;
+        let report = shrink_with(&needs_q3, &case, CheckId::Validity, 300);
+        assert_eq!(report.case.keep_queries, Some(vec![3]));
+        assert!(needs_q3(&report.case).contains(&CheckId::Validity));
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let always = |_: &FuzzCase| vec![CheckId::Chaos];
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut case = FuzzCase::sample(&mut rng, 48);
+        case.queries = 6;
+        case.events = 12;
+        let report = shrink_with(&always, &case, CheckId::Chaos, 10);
+        assert!(report.budget_exhausted);
+        assert!(report.oracle_runs <= 11);
+    }
+}

@@ -17,6 +17,8 @@
 //!                                                          full planning run
 //! dsqctl stats [--size N] [--streams K] [--queries Q]      counter/histogram
 //!                                                          summary of the same run
+//! dsqctl fuzz [--seed S] [--iters N] [--max-nodes M]       differential planner
+//!             [--out DIR]                                   fuzzing campaign
 //! ```
 //!
 //! All arguments are optional; defaults reproduce the paper's ~128-node
@@ -49,6 +51,7 @@ fn main() -> ExitCode {
         "chaos" => chaos(&opts),
         "trace" => trace(&opts),
         "stats" => stats(&opts),
+        "fuzz" => fuzz(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             ExitCode::SUCCESS
@@ -61,7 +64,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "dsqctl <topology|hierarchy|optimize|plan|simulate|sql|chaos|trace|stats|help> [options]
+    "dsqctl <topology|hierarchy|optimize|plan|simulate|sql|chaos|trace|stats|fuzz|help> [options]
   --size N       target network size (default 128)
   --seed S       RNG seed (default 1)
   --max-cs M     cluster size cap (default 32)
@@ -78,6 +81,9 @@ const USAGE: &str =
   --flush-invalidation
                  retire the whole subplan cache on every adaptation in
                  `chaos` instead of the scoped dirty sets (reference mode)
+  --iters N      fuzz iterations (default 200)
+  --max-nodes M  fuzz topology size ceiling (default 48)
+  --out DIR      write minimized fuzz repros to DIR (default target/fuzz)
   --save FILE    write the generated topology to FILE (text format)
   --load FILE    read the topology from FILE instead of generating one
   --dot          emit Graphviz DOT instead of a summary";
@@ -99,6 +105,9 @@ struct Opts {
     no_parallel: bool,
     no_cache: bool,
     flush_invalidation: bool,
+    iters: usize,
+    max_nodes: usize,
+    out: Option<String>,
     save: Option<String>,
     load: Option<String>,
     dot: bool,
@@ -122,6 +131,9 @@ impl Opts {
             no_parallel: false,
             no_cache: false,
             flush_invalidation: false,
+            iters: 200,
+            max_nodes: 48,
+            out: None,
             save: None,
             load: None,
             dot: false,
@@ -156,6 +168,11 @@ impl Opts {
                 "--no-parallel" => o.no_parallel = true,
                 "--no-cache" => o.no_cache = true,
                 "--flush-invalidation" => o.flush_invalidation = true,
+                "--iters" => o.iters = value("--iters").parse().expect("--iters: integer"),
+                "--max-nodes" => {
+                    o.max_nodes = value("--max-nodes").parse().expect("--max-nodes: integer")
+                }
+                "--out" => o.out = Some(value("--out")),
                 "--save" => o.save = Some(value("--save")),
                 "--load" => o.load = Some(value("--load")),
                 "--dot" => o.dot = true,
@@ -526,6 +543,60 @@ fn stats(o: &Opts) -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+fn fuzz(o: &Opts) -> ExitCode {
+    use dsq_fuzz::{run_campaign, silence_panics, CampaignConfig};
+    // The oracle converts internal panics into violations; the default
+    // hook's backtraces would drown the campaign log.
+    silence_panics();
+    let out_dir = o.out.clone().unwrap_or_else(|| "target/fuzz".to_string());
+    let cfg = CampaignConfig {
+        seed: o.seed,
+        iters: o.iters,
+        max_nodes: o.max_nodes,
+        out_dir: Some(out_dir.clone().into()),
+        ..CampaignConfig::default()
+    };
+    println!(
+        "fuzz: seed {}, {} iterations, topologies ≤ {} nodes, repros -> {}\n",
+        cfg.seed, cfg.iters, cfg.max_nodes, out_dir
+    );
+    let start = std::time::Instant::now();
+    let outcome = match run_campaign(&cfg, |i, found| {
+        if (i + 1) % 25 == 0 {
+            println!("  [{:>4}/{}] {} finding(s)", i + 1, cfg.iters, found);
+        }
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("fuzz: cannot write repros: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "\n{} case(s), {} oracle run(s), {:.1} s wall",
+        outcome.iterations,
+        outcome.oracle_runs,
+        start.elapsed().as_secs_f64()
+    );
+    if outcome.clean() {
+        println!("no invariant violations");
+        return ExitCode::SUCCESS;
+    }
+    for f in &outcome.findings {
+        println!(
+            "\nviolation [{}] at iteration {}:\n  {}",
+            f.violation.check.slug(),
+            f.iteration,
+            f.violation.detail.replace('\n', "\n  ")
+        );
+        if let Some(path) = &f.written {
+            println!("  minimized repro: {}", path.display());
+        }
+    }
+    eprintln!("\n{} finding(s) — see repros above", outcome.findings.len());
+    ExitCode::FAILURE
 }
 
 fn sql(o: &Opts) -> ExitCode {

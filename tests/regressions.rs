@@ -1,0 +1,45 @@
+//! Corpus runner: every minimized `.case` file under `tests/regressions/`
+//! is replayed through the full differential oracle and must pass clean.
+//!
+//! Each file is a self-contained repro harvested by `dsqctl fuzz` (see
+//! `tests/regressions/README.md` for provenance); re-introducing the bug a
+//! case pins makes this test fail with the original violation detail.
+
+use std::path::PathBuf;
+
+#[test]
+fn regression_corpus_is_clean() {
+    dsq_fuzz::silence_panics();
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/regressions");
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(&dir)
+        .expect("tests/regressions must exist")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "case"))
+        .collect();
+    cases.sort();
+    assert!(
+        cases.len() >= 3,
+        "expected at least 3 corpus cases, found {}",
+        cases.len()
+    );
+
+    let mut failures = Vec::new();
+    for path in &cases {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        match dsq_fuzz::verify_case_file(path) {
+            Ok(violations) if violations.is_empty() => {}
+            Ok(violations) => {
+                for v in violations {
+                    failures.push(format!("{name}: [{}] {}", v.check.slug(), v.detail));
+                }
+            }
+            Err(e) => failures.push(format!("{name}: unreadable case: {e}")),
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "{} corpus violation(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
