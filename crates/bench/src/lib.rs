@@ -17,7 +17,7 @@ use std::fmt::Write as _;
 use std::fs;
 use std::path::PathBuf;
 
-pub mod mini_json;
+pub use dsq_obs::mini_json;
 
 /// True when quick (smoke) mode is requested.
 pub fn quick_mode() -> bool {

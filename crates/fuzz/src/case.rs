@@ -48,6 +48,11 @@ pub struct FuzzCase {
     pub keep_queries: Option<Vec<usize>>,
     /// Fault-event indexes kept by the shrinker (`None` = all).
     pub keep_events: Option<Vec<usize>>,
+    /// Canonicalize the generated statistics: round every stream rate and
+    /// pairwise selectivity to one significant digit after generation.
+    /// Set by the shrinker so minimized repros carry round numbers; the
+    /// oracle re-check keeps the substitution sound.
+    pub round_stats: bool,
 }
 
 /// A materialized case: environment, workload and fault schedule.
@@ -91,6 +96,7 @@ impl FuzzCase {
                 },
                 keep_queries: None,
                 keep_events: None,
+                round_stats: false,
             };
             if case.total_nodes() <= max_nodes && case.total_nodes() >= 4 {
                 return case;
@@ -148,6 +154,9 @@ impl FuzzCase {
                 .iter()
                 .filter_map(|&i| workload.queries.get(i).cloned())
                 .collect();
+        }
+        if self.round_stats {
+            canonicalize_statistics(&mut workload.catalog);
         }
         let mut schedule = FaultSchedule::generate(
             &env,
@@ -210,6 +219,9 @@ impl FuzzCase {
         if let Some(k) = &self.keep_events {
             kv("keep_events", join_indexes(k));
         }
+        if self.round_stats {
+            kv("round_stats", "1".into());
+        }
         out
     }
 
@@ -233,6 +245,7 @@ impl FuzzCase {
             drop_milli: 0,
             keep_queries: None,
             keep_events: None,
+            round_stats: false,
         };
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -265,6 +278,7 @@ impl FuzzCase {
                 "drop_milli" => case.drop_milli = as_u64(value)?,
                 "keep_queries" => case.keep_queries = Some(parse_indexes(value)?),
                 "keep_events" => case.keep_events = Some(parse_indexes(value)?),
+                "round_stats" => case.round_stats = as_u64(value)? != 0,
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }
         }
@@ -284,6 +298,43 @@ impl FuzzCase {
             return Err("max_cs must be at least 2".into());
         }
         Ok(case)
+    }
+}
+
+/// Round a positive value to one significant digit (`0.0347 -> 0.03`,
+/// `73.4 -> 70`). The result stays positive and finite.
+fn round_sig(v: f64) -> f64 {
+    if !v.is_finite() || v <= 0.0 {
+        return v;
+    }
+    let mag = 10f64.powf(v.abs().log10().floor());
+    let rounded = (v / mag).round().max(1.0) * mag;
+    if rounded > 0.0 && rounded.is_finite() {
+        rounded
+    } else {
+        v
+    }
+}
+
+/// Canonicalize the catalog's statistics: every stream rate and every
+/// registered pairwise selectivity is rounded to one significant digit.
+/// Only already-registered selectivities are touched (unregistered pairs
+/// stay at the implicit 1.0, so the workload's join structure is
+/// preserved).
+fn canonicalize_statistics(catalog: &mut dsq_query::Catalog) {
+    use dsq_query::StreamId;
+    let n = catalog.len() as u32;
+    for id in 0..n {
+        let rate = catalog.stream(StreamId(id)).rate;
+        catalog.set_rate(StreamId(id), round_sig(rate));
+    }
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let sigma = catalog.selectivity(StreamId(a), StreamId(b));
+            if sigma != 1.0 {
+                catalog.set_selectivity(StreamId(a), StreamId(b), round_sig(sigma));
+            }
+        }
     }
 }
 

@@ -177,9 +177,24 @@ fn write_repro(
 /// `tests/regressions/` corpus runner. Returns the violations (empty =
 /// pass).
 pub fn verify_case_file(path: &Path) -> Result<Vec<Violation>, String> {
+    verify_case_file_check(path, None)
+}
+
+/// Like [`verify_case_file`], but optionally keep only one check's
+/// violations — the whole oracle still runs (a repro can shift category as
+/// the library evolves, and cross-check panics must not be masked), the
+/// filter only narrows what is *reported*. Used by `dsqctl fuzz --check`.
+pub fn verify_case_file_check(
+    path: &Path,
+    check: Option<CheckId>,
+) -> Result<Vec<Violation>, String> {
     let text = std::fs::read_to_string(path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let case =
         FuzzCase::parse(&text).map_err(|e| format!("cannot parse {}: {e}", path.display()))?;
-    Ok(run_oracle(&case))
+    let mut violations = run_oracle(&case);
+    if let Some(check) = check {
+        violations.retain(|v| v.check == check);
+    }
+    Ok(violations)
 }

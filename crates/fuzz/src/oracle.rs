@@ -28,6 +28,14 @@
 //!    bit-for-bit.
 //! 9. **Chaos equivalence** — the scoped, flush and cache-off arms of the
 //!    chaos runner agree on every report field that is schedule-determined.
+//! 10. **Protocol accounting** — a zero-drop [`dsq_sim::emulab::LossyProtocol`]
+//!     reproduces the reliable model bit-for-bit, per-send waits follow the
+//!     exponential-backoff schedule exactly for the observed retry count,
+//!     and certain loss exhausts the whole retry budget.
+//! 11. **Migration break-even** — [`dsq_sim::migrate::plan_migration`] keeps
+//!     its arithmetic consistent: a self-migration is free, the break-even
+//!     time exists iff the steady-state saving is positive and equals
+//!     transfer/saving, and `worthwhile` is monotone in the horizon.
 //!
 //! Any panic inside an arm (internal assertion, unwrap, overflow) is
 //! converted into a violation of the check that was running, so library
@@ -42,7 +50,8 @@ use dsq_core::{
 use dsq_net::{DistanceMatrix, Metric, NodeId};
 use dsq_query::{Catalog, Deployment, FlatNode, LeafSource, Query, ReuseRegistry};
 use dsq_sim::chaos::{ChaosReport, ChaosRunner};
-use dsq_sim::emulab::RetryPolicy;
+use dsq_sim::emulab::{EmulabModel, LossyProtocol, RetryPolicy};
+use dsq_sim::migrate::plan_migration;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Which invariant a violation falls under. The slug doubles as the
@@ -72,9 +81,34 @@ pub enum CheckId {
     /// Chaos arms (scoped/flush/cache-off) diverged, or a chaos-run
     /// invariant fired.
     Chaos,
+    /// Lossy-protocol retry accounting broke: a zero-drop protocol diverged
+    /// from the reliable model, waits disagreed with the retry count and
+    /// backoff schedule, or a certain-loss send failed to exhaust the
+    /// budget exactly.
+    Protocol,
+    /// A migration plan's break-even arithmetic was inconsistent: moves in
+    /// place, negative transfer cost, a break-even time that contradicts
+    /// the saving sign, or a non-monotone `worthwhile` horizon.
+    Migration,
 }
 
 impl CheckId {
+    /// Every check, in oracle order.
+    pub const ALL: [CheckId; 12] = [
+        CheckId::Generation,
+        CheckId::Hierarchy,
+        CheckId::CrossArm,
+        CheckId::Validity,
+        CheckId::CostBound,
+        CheckId::Theorem1,
+        CheckId::Restricted,
+        CheckId::CacheAccounting,
+        CheckId::Incremental,
+        CheckId::Chaos,
+        CheckId::Protocol,
+        CheckId::Migration,
+    ];
+
     /// Short kebab-case slug (repro file names, reports).
     pub fn slug(&self) -> &'static str {
         match self {
@@ -88,7 +122,14 @@ impl CheckId {
             CheckId::CacheAccounting => "cache-accounting",
             CheckId::Incremental => "incremental",
             CheckId::Chaos => "chaos",
+            CheckId::Protocol => "protocol",
+            CheckId::Migration => "migration",
         }
+    }
+
+    /// Inverse of [`CheckId::slug`] (for `dsqctl fuzz --check <slug>`).
+    pub fn from_slug(slug: &str) -> Option<CheckId> {
+        Self::ALL.into_iter().find(|c| c.slug() == slug)
     }
 }
 
@@ -557,6 +598,32 @@ pub fn run_oracle(case: &FuzzCase) -> Vec<Violation> {
         })
     });
 
+    // --- Lossy-protocol retry accounting. --------------------------------
+    guarded(CheckId::Protocol, &mut violations, || {
+        check_protocol(case, env, &reference)
+    })
+    .into_iter()
+    .flatten()
+    .for_each(|detail| {
+        violations.push(Violation {
+            check: CheckId::Protocol,
+            detail,
+        })
+    });
+
+    // --- Migration break-even consistency. -------------------------------
+    guarded(CheckId::Migration, &mut violations, || {
+        check_migration(case, env, catalog, queries, &reference)
+    })
+    .into_iter()
+    .flatten()
+    .for_each(|detail| {
+        violations.push(Violation {
+            check: CheckId::Migration,
+            detail,
+        })
+    });
+
     // --- Chaos arms over the fault schedule. -----------------------------
     if !schedule.faults.is_empty() && reference.planned() > 0 {
         let chaos_arm = |cache: bool, invalidation: InvalidationMode| {
@@ -820,6 +887,318 @@ fn check_incremental(
         out.push(format!(
             "drift on link {a}-{b} (x8): incremental diverged from full replan\nfull:\n{fp_full}\nincremental:\n{fp_inc}"
         ));
+    }
+    out
+}
+
+/// Lossy-protocol retry accounting: a zero-drop protocol reproduces the
+/// reliable model bit-for-bit regardless of seed, every send's timeout wait
+/// is exactly the exponential-backoff series for its observed retry count,
+/// and certain loss exhausts the whole retry budget without delivering.
+fn check_protocol(
+    case: &FuzzCase,
+    env: &Environment,
+    reference: &MultiQueryOutcome,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let Some(d) = reference.deployments.iter().flatten().next() else {
+        return out;
+    };
+    let model = EmulabModel::new(&env.network);
+    let stats = &reference.stats;
+    let submit = d.sink;
+
+    // The reliable model never retries and never waits out a timeout.
+    let reliable = model.deployment_time(submit, stats, d);
+    if reliable.retries != 0 || reliable.retry_ms != 0.0 {
+        out.push(format!(
+            "reliable model charged retries: {} retries, {} retry_ms",
+            reliable.retries, reliable.retry_ms
+        ));
+    }
+
+    // Zero drop is bit-exact against the reliable model — the RNG must
+    // never be consulted, so two different seeds have to agree too.
+    for seed in [case.seed, case.seed ^ 0xDEAD_BEEF] {
+        let mut zero = LossyProtocol::new(model.clone(), RetryPolicy::lossy(0.0), seed);
+        let (t, delivered) = zero.deployment_time(submit, stats, d);
+        if !delivered {
+            out.push(format!(
+                "zero-drop protocol failed a deployment (seed {seed})"
+            ));
+        }
+        if t.messaging_ms.to_bits() != reliable.messaging_ms.to_bits()
+            || t.planning_ms.to_bits() != reliable.planning_ms.to_bits()
+            || t.retry_ms != 0.0
+            || t.retries != 0
+        {
+            out.push(format!(
+                "zero-drop diverged from reliable (seed {seed}): messaging {} vs {}, \
+                 planning {} vs {}, retry_ms {}, retries {}",
+                t.messaging_ms,
+                reliable.messaging_ms,
+                t.planning_ms,
+                reliable.planning_ms,
+                t.retry_ms,
+                t.retries
+            ));
+        }
+    }
+
+    let nodes = env.hierarchy.active_nodes();
+    if nodes.len() < 2 {
+        return out;
+    }
+
+    // Seeded mid-range drop rate: per-send wait accounting. A send that
+    // succeeded after r retries timed out exactly r times; one that gave up
+    // timed out max_retries + 1 times (the initial attempt plus every
+    // retry). Either way the wait is the backoff series over the drops.
+    let milli = match case.drop_milli {
+        0 => 500,
+        m if m >= 1000 => 875,
+        m => m,
+    };
+    let policy = RetryPolicy::lossy(milli as f64 / 1000.0);
+    let backoff_series = |drops: usize| -> f64 {
+        (0..drops)
+            .map(|i| policy.timeout_ms * policy.backoff.powi(i as i32))
+            .sum()
+    };
+    let mut lossy = LossyProtocol::new(model.clone(), policy, case.seed);
+    for s in 0..24usize {
+        let from = nodes[s % nodes.len()];
+        let to = nodes[(s + 1) % nodes.len()];
+        let got = lossy.send(from, to);
+        let drops = if got.delivered {
+            got.retries
+        } else {
+            got.retries + 1
+        };
+        let want = backoff_series(drops);
+        if (got.wait_ms - want).abs() > 1e-9 * want.max(1.0) {
+            out.push(format!(
+                "send {from}->{to}: wait {} ms inconsistent with {} retries \
+                 (delivered {}, backoff series says {want})",
+                got.wait_ms, got.retries, got.delivered
+            ));
+        }
+        if got.delivered {
+            if got.retries > policy.max_retries {
+                out.push(format!(
+                    "send {from}->{to}: delivered after {} retries, cap is {}",
+                    got.retries, policy.max_retries
+                ));
+            }
+            if got.transit_ms <= 0.0 {
+                out.push(format!(
+                    "send {from}->{to}: delivered but paid no transit time"
+                ));
+            }
+        } else {
+            if got.retries != policy.max_retries {
+                out.push(format!(
+                    "send {from}->{to}: gave up after {} retries, budget is {}",
+                    got.retries, policy.max_retries
+                ));
+            }
+            if got.transit_ms != 0.0 {
+                out.push(format!(
+                    "send {from}->{to}: undelivered send charged {} ms transit",
+                    got.transit_ms
+                ));
+            }
+        }
+    }
+
+    // Certain loss: the whole budget is burned, nothing is delivered,
+    // nothing transits.
+    let certain = RetryPolicy::lossy(1.0);
+    let mut doomed = LossyProtocol::new(model, certain, case.seed);
+    let got = doomed.send(nodes[0], nodes[1]);
+    let want: f64 = (0..=certain.max_retries)
+        .map(|i| certain.timeout_ms * certain.backoff.powi(i as i32))
+        .sum();
+    if got.delivered || got.transit_ms != 0.0 || got.retries != certain.max_retries {
+        out.push(format!(
+            "certain loss: delivered {}, transit {} ms, retries {} (cap {})",
+            got.delivered, got.transit_ms, got.retries, certain.max_retries
+        ));
+    }
+    if (got.wait_ms - want).abs() > 1e-9 * want {
+        out.push(format!(
+            "certain loss burned {} ms of timeouts, want the full budget {want}",
+            got.wait_ms
+        ));
+    }
+    out
+}
+
+/// Migration break-even consistency: self-migrations are free, and for a
+/// replan after a seeded link drift every priced migration keeps its
+/// arithmetic straight — moves actually move, the transfer cost re-prices
+/// from its own moves, the break-even time exists iff the saving is
+/// positive (and equals transfer/saving), and `worthwhile` is monotone in
+/// the horizon.
+fn check_migration(
+    case: &FuzzCase,
+    env: &Environment,
+    catalog: &Catalog,
+    queries: &[Query],
+    reference: &MultiQueryOutcome,
+) -> Vec<String> {
+    let mut out = Vec::new();
+    let window = 0.5;
+
+    // Self-migration is free for every standing deployment.
+    for d in reference.deployments.iter().flatten() {
+        let m = plan_migration(d, d, &env.dm, window);
+        if !m.moves.is_empty()
+            || m.fresh_operators != 0
+            || m.retired_operators != 0
+            || m.state_transfer_cost != 0.0
+            || m.steady_state_saving != 0.0
+            || m.breakeven_time().is_some()
+            || m.worthwhile(1e18)
+        {
+            out.push(format!(
+                "self-migration of query {:?} is not free: {} moves, {} fresh, {} retired, \
+                 transfer {}, saving {}",
+                d.query,
+                m.moves.len(),
+                m.fresh_operators,
+                m.retired_operators,
+                m.state_transfer_cost,
+                m.steady_state_saving
+            ));
+        }
+    }
+
+    // Drift one link 8x (a different link than the incremental check picks)
+    // and fully replan: migrating old -> new exercises non-trivial plans.
+    let mut drift_env = env.clone();
+    drift_env.isolate_cache(true);
+    let links: Vec<(NodeId, NodeId)> = drift_env
+        .network
+        .nodes()
+        .flat_map(|u| {
+            drift_env
+                .network
+                .neighbors(u)
+                .iter()
+                .filter(move |l| u < l.to)
+                .map(move |l| (u, l.to))
+        })
+        .collect();
+    if links.is_empty() {
+        return out;
+    }
+    let (a, b) = links[(case.seed.rotate_left(17) as usize) % links.len()];
+    let old_cost = drift_env
+        .network
+        .find_link(a, b)
+        .map(|l| l.cost)
+        .unwrap_or(1.0);
+    assert!(drift_env.network.set_link_cost(a, b, old_cost * 8.0));
+    drift_env.dm = DistanceMatrix::build(&drift_env.network, Metric::Cost);
+    drift_env.hierarchy.refresh_statistics(&drift_env.dm);
+    let td = TopDown::new(&drift_env);
+    let cfg = ParallelConfig::serial();
+    let drifted = optimize_all(
+        &drift_env,
+        &td,
+        catalog,
+        queries,
+        &ReuseRegistry::new(),
+        &cfg,
+    );
+
+    for (old, new) in reference.deployments.iter().zip(&drifted.deployments) {
+        let (Some(old), Some(new)) = (old, new) else {
+            continue;
+        };
+        let m = plan_migration(old, new, &drift_env.dm, window);
+        let mut priced = 0.0;
+        for mv in &m.moves {
+            if mv.from == mv.to {
+                out.push(format!(
+                    "query {:?}: migration move stays in place at {}",
+                    old.query, mv.from
+                ));
+            }
+            if !mv.state_size.is_finite() || mv.state_size < 0.0 {
+                out.push(format!(
+                    "query {:?}: bad moved-state size {}",
+                    old.query, mv.state_size
+                ));
+            }
+            priced += mv.state_size * drift_env.dm.get(mv.from, mv.to);
+        }
+        if !m.state_transfer_cost.is_finite() || m.state_transfer_cost < 0.0 {
+            out.push(format!(
+                "query {:?}: bad state-transfer cost {}",
+                old.query, m.state_transfer_cost
+            ));
+        }
+        if (priced - m.state_transfer_cost).abs() > 1e-9 * priced.max(1.0) {
+            out.push(format!(
+                "query {:?}: transfer cost {} does not re-price from its moves ({priced})",
+                old.query, m.state_transfer_cost
+            ));
+        }
+        match m.breakeven_time() {
+            Some(t) => {
+                if m.steady_state_saving <= 0.0 {
+                    out.push(format!(
+                        "query {:?}: break-even {t} with non-positive saving {}",
+                        old.query, m.steady_state_saving
+                    ));
+                }
+                if !t.is_finite() || t < 0.0 {
+                    out.push(format!("query {:?}: bad break-even time {t}", old.query));
+                } else {
+                    let paid = t * m.steady_state_saving;
+                    if (paid - m.state_transfer_cost).abs() > 1e-9 * m.state_transfer_cost.max(1.0)
+                    {
+                        out.push(format!(
+                            "query {:?}: break-even {t} x saving {} != transfer {}",
+                            old.query, m.steady_state_saving, m.state_transfer_cost
+                        ));
+                    }
+                    if !m.worthwhile(t) {
+                        out.push(format!(
+                            "query {:?}: migration not worthwhile at its own break-even {t}",
+                            old.query
+                        ));
+                    }
+                    let mut last = None;
+                    for h in [0.0, t * 0.5, t, t * 2.0, 1e15] {
+                        let w = m.worthwhile(h);
+                        if last == Some(true) && !w {
+                            out.push(format!(
+                                "query {:?}: worthwhile flipped back off at horizon {h}",
+                                old.query
+                            ));
+                        }
+                        last = Some(w);
+                    }
+                }
+            }
+            None => {
+                if m.steady_state_saving > 0.0 {
+                    out.push(format!(
+                        "query {:?}: positive saving {} but no break-even time",
+                        old.query, m.steady_state_saving
+                    ));
+                }
+                if m.worthwhile(1e18) {
+                    out.push(format!(
+                        "query {:?}: worthwhile without a break-even time",
+                        old.query
+                    ));
+                }
+            }
+        }
     }
     out
 }

@@ -8,6 +8,11 @@
 //! 2. **Drop fault events** — likewise.
 //! 3. **Shrink the topology and workload** — stepwise reductions of the
 //!    stub/transit shape, stream count, join width and `max_cs`.
+//! 4. **Canonicalize** — not smaller, but rounder: round the generated
+//!    rates and selectivities to one significant digit (`round_stats`),
+//!    drive the seed toward small round values, and snap `skew_milli` /
+//!    `drop_milli` onto round ladders. Minimized repros end up with
+//!    numbers a human can reason about.
 //!
 //! Every candidate re-runs the full oracle, so a reduction is accepted only
 //! when the minimized case still trips the original check — semantic drift
@@ -211,6 +216,91 @@ pub fn shrink_with(
         }
     }
 
+    // Phase 4: canonicalize values. Every accepted move is strictly
+    // "rounder" — round_stats only flips off->on, the seed strictly
+    // decreases, and the milli knobs only move toward the front of a fixed
+    // preference ladder — so the phase terminates without a budget.
+    const SKEW_LADDER: [u64; 4] = [1000, 500, 1500, 750];
+    const DROP_LADDER: [u64; 4] = [100, 50, 200, 150];
+    let ladder_pos = |ladder: &[u64], v: u64| -> usize {
+        ladder.iter().position(|&x| x == v).unwrap_or(ladder.len())
+    };
+    loop {
+        if out_of_budget(&runs) {
+            break;
+        }
+        let mut improved = false;
+
+        if !best.round_stats {
+            let cand = FuzzCase {
+                round_stats: true,
+                ..best.clone()
+            };
+            if fails(oracle, &cand, check, &mut runs) {
+                best = cand;
+                improved = true;
+            }
+        }
+        if !improved && best.seed != 0 && !out_of_budget(&runs) {
+            let mut seeds: Vec<u64> = vec![0, 1, 2, 3, 5, 10, 42, 100, 1000];
+            seeds.extend([best.seed % 10, best.seed % 100, best.seed % 1000]);
+            seeds.retain(|&s| s < best.seed);
+            seeds.dedup();
+            for seed in seeds {
+                let cand = FuzzCase {
+                    seed,
+                    ..best.clone()
+                };
+                if fails(oracle, &cand, check, &mut runs) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+                if out_of_budget(&runs) {
+                    break;
+                }
+            }
+        }
+        for (ladder, get, set) in [
+            (
+                &SKEW_LADDER,
+                (|c: &FuzzCase| c.skew_milli) as fn(&FuzzCase) -> u64,
+                (|c: &mut FuzzCase, v| c.skew_milli = v) as fn(&mut FuzzCase, u64),
+            ),
+            (
+                &DROP_LADDER,
+                |c: &FuzzCase| c.drop_milli,
+                |c: &mut FuzzCase, v| c.drop_milli = v,
+            ),
+        ] {
+            if improved || out_of_budget(&runs) {
+                break;
+            }
+            let cur = get(&best);
+            if cur == 0 {
+                continue; // already minimized away by phase 3
+            }
+            for &v in ladder.iter() {
+                if ladder_pos(ladder, v) >= ladder_pos(ladder, cur) {
+                    continue;
+                }
+                let mut cand = best.clone();
+                set(&mut cand, v);
+                if fails(oracle, &cand, check, &mut runs) {
+                    best = cand;
+                    improved = true;
+                    break;
+                }
+                if out_of_budget(&runs) {
+                    break;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+
     ShrinkReport {
         budget_exhausted: out_of_budget(&runs),
         case: best,
@@ -277,6 +367,63 @@ mod tests {
         let report = shrink_with(&needs_q3, &case, CheckId::Validity, 300);
         assert_eq!(report.case.keep_queries, Some(vec![3]));
         assert!(needs_q3(&report.case).contains(&CheckId::Validity));
+    }
+
+    #[test]
+    fn shrinker_canonicalizes_toward_round_numbers() {
+        // A defect that survives only while skew and drop stay nonzero —
+        // phase 3 cannot zero them, phase 4 must snap them onto the round
+        // ladders, drive the seed to 0 and turn on statistic rounding.
+        let needs_knobs = |case: &FuzzCase| -> Vec<CheckId> {
+            if case.skew_milli > 0 && case.drop_milli > 0 {
+                vec![CheckId::Migration]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(33);
+        let mut case = FuzzCase::sample(&mut rng, 48);
+        case.seed = 123_456_789;
+        case.skew_milli = 730;
+        case.drop_milli = 170;
+        case.queries = 2;
+        case.events = 1;
+        let report = shrink_with(&needs_knobs, &case, CheckId::Migration, 1_000);
+        assert!(!report.budget_exhausted);
+        assert_eq!(report.case.seed, 0);
+        assert_eq!(report.case.skew_milli, 1000);
+        assert_eq!(report.case.drop_milli, 100);
+        assert!(report.case.round_stats);
+        assert!(needs_knobs(&report.case).contains(&CheckId::Migration));
+        // The canonical form round-trips through the .case text.
+        let parsed = FuzzCase::parse(&report.case.to_text("canon")).unwrap();
+        assert_eq!(parsed, report.case);
+    }
+
+    #[test]
+    fn round_stats_rounds_the_generated_catalog() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut case = FuzzCase::sample(&mut rng, 32);
+        case.round_stats = true;
+        let inst = case.build();
+        let one_sig = |v: f64| -> bool {
+            let mag = 10f64.powf(v.abs().log10().floor());
+            (v / mag - (v / mag).round()).abs() < 1e-9
+        };
+        for s in inst.workload.catalog.streams() {
+            assert!(s.rate > 0.0 && one_sig(s.rate), "rate {} not round", s.rate);
+        }
+        // Build is still deterministic under rounding.
+        let again = case.build();
+        for (a, b) in inst
+            .workload
+            .catalog
+            .streams()
+            .iter()
+            .zip(again.workload.catalog.streams())
+        {
+            assert_eq!(a.rate.to_bits(), b.rate.to_bits());
+        }
     }
 
     #[test]

@@ -34,6 +34,8 @@
 //! `cargo test` runs tests on concurrent threads and a global sink would
 //! interleave their events.
 
+pub mod mini_json;
+
 use std::cell::RefCell;
 use std::collections::BTreeMap;
 use std::fmt::Write as _;

@@ -1,13 +1,14 @@
-//! Minimal JSON reader/writer for merging `BENCH_*.json` summaries.
+//! Minimal JSON reader/writer shared by the workspace's tooling.
 //!
-//! Several bench targets append rows to the *same* summary file (fig02 and
-//! fig09 both land planning wall times in `BENCH_plan.json`), so the
-//! emitter must read whatever an earlier run wrote and union the objects
-//! instead of clobbering the file. The offline workspace has no serde
-//! implementation (the shim only provides no-op derives), hence this
-//! self-contained recursive-descent parser. It covers exactly the JSON the
-//! workspace emits: objects, arrays, strings with the escapes
-//! `dsq_obs::json::push_str` produces, finite numbers, booleans, `null`.
+//! Born in `dsq-bench` to merge `BENCH_*.json` summaries (several bench
+//! targets append rows to the *same* file, so the emitter must read
+//! whatever an earlier run wrote and union the objects instead of
+//! clobbering it); now hosted here so the planning service's JSONL
+//! request protocol can parse with the same code. The offline workspace
+//! has no serde implementation (the shim only provides no-op derives),
+//! hence this self-contained recursive-descent parser. It covers exactly
+//! the JSON the workspace emits: objects, arrays, strings with the escapes
+//! [`crate::json::push_str`] produces, finite numbers, booleans, `null`.
 
 use std::fmt::Write as _;
 

@@ -1,0 +1,338 @@
+//! Service-level fault injection: seeded request scripts with interleaved
+//! faults, and seeded kill-and-recover schedules that crash the service
+//! at chosen journal lengths and restart it through recovery.
+//!
+//! The fault timeline itself comes from the existing chaos machinery —
+//! [`dsq_sim::chaos::FaultSchedule`] with the same [`FaultConfig`] knobs
+//! the `ChaosRunner` uses — translated into protocol fault requests, so
+//! the service is exercised by the same churn storms as the adaptive
+//! runtime. Everything is a pure function of the seeds: the same config
+//! produces the same script, the same kill points and (the property
+//! `tests/recovery.rs` drives) the same final service state whether or not
+//! the process died along the way.
+
+use std::path::Path;
+
+use dsq_sim::chaos::{Fault, FaultConfig, FaultSchedule};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+use crate::config::ServiceConfig;
+use crate::service::PlanningService;
+
+/// Decorrelates the script RNG from the fault-schedule RNG (the same
+/// constant `dsq-fuzz` uses for its schedule stream).
+const SCRIPT_STREAM: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Knobs for [`generate_script`].
+#[derive(Clone, Debug)]
+pub struct ScriptConfig {
+    /// Seed for the script and the fault schedule.
+    pub seed: u64,
+    /// Queries registered over the run.
+    pub queries: usize,
+    /// Streams joined per query (2..=cap, clamped to the catalog).
+    pub max_sources: usize,
+    /// Forced replans sprinkled over registered queries.
+    pub replans: usize,
+    /// Unregistrations sprinkled over registered queries.
+    pub unregisters: usize,
+    /// Mutating requests per drain wave.
+    pub batch: usize,
+    /// Fault-timeline knobs (shared with the sim chaos runner).
+    pub faults: FaultConfig,
+}
+
+impl Default for ScriptConfig {
+    fn default() -> Self {
+        ScriptConfig {
+            seed: 42,
+            queries: 6,
+            max_sources: 3,
+            replans: 3,
+            unregisters: 1,
+            batch: 4,
+            faults: FaultConfig {
+                events: 6,
+                mean_gap_ms: 500.0,
+                ..FaultConfig::default()
+            },
+        }
+    }
+}
+
+/// Generate a deterministic JSONL request script: registrations, replans
+/// and unregistrations interleaved by virtual time with the seeded fault
+/// timeline, a drain after every `batch` mutations, and a final drain.
+pub fn generate_script(cfg: &ServiceConfig, script: &ScriptConfig) -> Vec<String> {
+    let (env, catalog) = cfg.build();
+    let schedule = FaultSchedule::generate(&env, &script.faults, script.seed);
+    let mut rng = ChaCha8Rng::seed_from_u64(script.seed ^ SCRIPT_STREAM);
+    let horizon = schedule
+        .faults
+        .last()
+        .map(|f| f.at_ms.ceil() as u64 + 1)
+        .max(Some(1_000))
+        .unwrap();
+
+    // (time, sequence, request-JSON) — sequence keeps ties stable.
+    let mut timeline: Vec<(u64, usize, String)> = Vec::new();
+    let mut seq = 0usize;
+    let mut push = |timeline: &mut Vec<(u64, usize, String)>, t: u64, line: String| {
+        timeline.push((t, seq, line));
+        seq += 1;
+    };
+
+    let mut ids: Vec<u32> = Vec::new();
+    for q in 0..script.queries {
+        let id = q as u32 + 1;
+        let t = rng.gen_range(0..horizon);
+        let n_src = rng
+            .gen_range(2..=script.max_sources.max(2))
+            .min(catalog.len());
+        let mut sources: Vec<u32> = Vec::new();
+        while sources.len() < n_src {
+            let s = rng.gen_range(0..catalog.len() as u32);
+            if !sources.contains(&s) {
+                sources.push(s);
+            }
+        }
+        let sink = rng.gen_range(0..env.network.len() as u32);
+        let src_list: Vec<String> = sources.iter().map(u32::to_string).collect();
+        push(
+            &mut timeline,
+            t,
+            format!(
+                r#"{{"op":"register","id":{id},"sources":[{}],"sink":{sink},"at_ms":{t}}}"#,
+                src_list.join(",")
+            ),
+        );
+        ids.push(id);
+    }
+    for _ in 0..script.replans {
+        let id = ids[rng.gen_range(0..ids.len())];
+        let t = rng.gen_range(horizon / 2..horizon);
+        push(
+            &mut timeline,
+            t,
+            format!(r#"{{"op":"replan","id":{id},"at_ms":{t}}}"#),
+        );
+    }
+    for _ in 0..script.unregisters.min(ids.len()) {
+        let id = ids[rng.gen_range(0..ids.len())];
+        let t = rng.gen_range(horizon / 2..horizon);
+        push(
+            &mut timeline,
+            t,
+            format!(r#"{{"op":"unregister","id":{id},"at_ms":{t}}}"#),
+        );
+    }
+    for tf in &schedule.faults {
+        let t = tf.at_ms.ceil() as u64;
+        match &tf.fault {
+            Fault::Crash(n) => push(
+                &mut timeline,
+                t,
+                format!(
+                    r#"{{"op":"fault","kind":"crash","node":{},"at_ms":{t}}}"#,
+                    n.0
+                ),
+            ),
+            Fault::CrashCluster(nodes) => {
+                for n in nodes {
+                    push(
+                        &mut timeline,
+                        t,
+                        format!(
+                            r#"{{"op":"fault","kind":"crash","node":{},"at_ms":{t}}}"#,
+                            n.0
+                        ),
+                    );
+                }
+            }
+            Fault::Rejoin(n) => push(
+                &mut timeline,
+                t,
+                format!(
+                    r#"{{"op":"fault","kind":"rejoin","node":{},"at_ms":{t}}}"#,
+                    n.0
+                ),
+            ),
+            Fault::DegradeLink { a, b, factor } => {
+                let factor_milli = ((factor * 1000.0).round() as u64).max(1);
+                push(
+                    &mut timeline,
+                    t,
+                    format!(
+                        r#"{{"op":"fault","kind":"degrade","a":{},"b":{},"factor_milli":{factor_milli},"at_ms":{t}}}"#,
+                        a.0, b.0
+                    ),
+                );
+            }
+        }
+    }
+
+    timeline.sort_by(|x, y| x.0.cmp(&y.0).then(x.1.cmp(&y.1)));
+    let mut lines = Vec::new();
+    let mut since_drain = 0usize;
+    let mut last_t = 0u64;
+    for (t, _, line) in timeline {
+        lines.push(line);
+        last_t = last_t.max(t);
+        since_drain += 1;
+        if since_drain >= script.batch.max(1) {
+            last_t += 1;
+            lines.push(format!(r#"{{"op":"drain","at_ms":{last_t}}}"#));
+            since_drain = 0;
+        }
+    }
+    last_t += 1;
+    lines.push(format!(r#"{{"op":"drain","at_ms":{last_t}}}"#));
+    lines
+}
+
+/// A seeded crash/restart schedule: after which journal lengths to kill
+/// the service.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashSchedule {
+    /// Kill points, as journal entry counts, strictly increasing.
+    pub kill_at: Vec<usize>,
+}
+
+impl CrashSchedule {
+    /// Pick `kills` distinct kill points within a journal of
+    /// `journal_len` entries.
+    pub fn generate(seed: u64, journal_len: usize, kills: usize) -> CrashSchedule {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut kill_at: Vec<usize> = Vec::new();
+        let mut attempts = 0;
+        while kill_at.len() < kills && attempts < kills * 20 && journal_len > 0 {
+            let k = rng.gen_range(1..=journal_len);
+            if !kill_at.contains(&k) {
+                kill_at.push(k);
+            }
+            attempts += 1;
+        }
+        kill_at.sort_unstable();
+        CrashSchedule { kill_at }
+    }
+
+    /// Every possible kill point (exhaustive crash-recovery sweeps).
+    pub fn exhaustive(journal_len: usize) -> CrashSchedule {
+        CrashSchedule {
+            kill_at: (1..=journal_len).collect(),
+        }
+    }
+}
+
+/// What a chaos run produced.
+#[derive(Clone, Debug)]
+pub struct ChaosOutcome {
+    /// One response line per request line.
+    pub responses: Vec<String>,
+    /// Kill-and-recover cycles actually executed.
+    pub kills: usize,
+    /// Final plan epoch.
+    pub final_epoch: u64,
+    /// Final state fingerprint ([`crate::state::ServiceCore::fingerprint`]).
+    pub fingerprint: String,
+}
+
+/// Run a script against an in-memory service (the uncrashed reference).
+pub fn run_plain(cfg: &ServiceConfig, lines: &[String]) -> std::io::Result<ChaosOutcome> {
+    let mut svc = PlanningService::new(cfg.clone(), None)?;
+    let responses = lines.iter().map(|l| svc.submit_line(l)).collect();
+    Ok(ChaosOutcome {
+        responses,
+        kills: 0,
+        final_epoch: svc.core().epoch,
+        fingerprint: svc.fingerprint(),
+    })
+}
+
+/// Run a script against a journaled service, killing the process state and
+/// recovering from disk every time the journal reaches the next kill
+/// point. The outcome's fingerprint must equal the uncrashed run's — that
+/// is the crash-recovery contract.
+pub fn run_with_crashes(
+    cfg: &ServiceConfig,
+    lines: &[String],
+    schedule: &CrashSchedule,
+    journal_path: &Path,
+) -> Result<ChaosOutcome, String> {
+    let mut svc = PlanningService::new(cfg.clone(), Some(journal_path))
+        .map_err(|e| format!("cannot start journaled service: {e}"))?;
+    let mut kill_iter = schedule.kill_at.iter().copied().peekable();
+    let mut kills = 0usize;
+    let mut responses = Vec::with_capacity(lines.len());
+    for line in lines {
+        responses.push(svc.submit_line(line));
+        while kill_iter.peek().is_some_and(|&k| svc.journal_len() >= k) {
+            kill_iter.next();
+            drop(svc); // the "crash": all in-memory state is gone
+            svc = PlanningService::recover_from_path(journal_path)?;
+            kills += 1;
+        }
+    }
+    Ok(ChaosOutcome {
+        responses,
+        kills,
+        final_epoch: svc.core().epoch,
+        fingerprint: svc.fingerprint(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scripts_are_deterministic_and_parse() {
+        let cfg = ServiceConfig::default();
+        let script = ScriptConfig::default();
+        let a = generate_script(&cfg, &script);
+        let b = generate_script(&cfg, &script);
+        assert_eq!(a, b);
+        assert!(a.len() > script.queries);
+        for line in &a {
+            crate::protocol::Request::parse(line).unwrap();
+        }
+        assert!(a.last().unwrap().contains("\"op\":\"drain\""));
+    }
+
+    #[test]
+    fn crash_schedules_are_seeded_and_bounded() {
+        let s = CrashSchedule::generate(7, 20, 4);
+        assert_eq!(s, CrashSchedule::generate(7, 20, 4));
+        assert!(s.kill_at.len() <= 4);
+        assert!(s.kill_at.windows(2).all(|w| w[0] < w[1]));
+        assert!(s.kill_at.iter().all(|&k| (1..=20).contains(&k)));
+        assert_eq!(CrashSchedule::exhaustive(3).kill_at, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn killed_and_recovered_run_matches_the_uncrashed_run() {
+        let cfg = ServiceConfig::default();
+        let script = ScriptConfig {
+            queries: 4,
+            faults: FaultConfig {
+                events: 4,
+                mean_gap_ms: 300.0,
+                ..FaultConfig::default()
+            },
+            ..ScriptConfig::default()
+        };
+        let lines = generate_script(&cfg, &script);
+        let reference = run_plain(&cfg, &lines).unwrap();
+        let dir = std::env::temp_dir().join(format!("dsq-chaos-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("chaos.journal");
+        let schedule = CrashSchedule::generate(9, lines.len(), 3);
+        let crashed = run_with_crashes(&cfg, &lines, &schedule, &path).unwrap();
+        assert!(crashed.kills > 0);
+        assert_eq!(crashed.fingerprint, reference.fingerprint);
+        assert_eq!(crashed.final_epoch, reference.final_epoch);
+        assert_eq!(crashed.responses, reference.responses);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,0 +1,436 @@
+//! Deterministic write-ahead journal.
+//!
+//! Every state-mutating request is appended *before* it is applied, as one
+//! `entry = <kind> k=v ...` line in the `.case` text idiom from `dsq-fuzz`
+//! (`#` comments, `key = value`, human-diffable). Drain markers are
+//! journaled too, so the journal is a complete replayable session: a fresh
+//! service fed the entries through its normal processing path reconstructs
+//! the crashed service bit-for-bit — state, responses and virtual-clock
+//! obs trace alike (see `tests/recovery.rs`).
+//!
+//! The journal header carries the [`ServiceConfig`], making a journal file
+//! self-contained the same way a `.case` file is.
+
+use crate::config::ServiceConfig;
+use crate::protocol::{FaultReq, Request};
+use std::fs::{File, OpenOptions};
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// One journaled, admitted, state-mutating request.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum JournalEntry {
+    /// An admitted registration.
+    Register {
+        /// Query id.
+        id: u32,
+        /// Catalog stream ids.
+        sources: Vec<u32>,
+        /// Result sink node.
+        sink: u32,
+        /// Deadline override.
+        deadline_ms: Option<u64>,
+        /// Arrival time.
+        at_ms: u64,
+    },
+    /// An admitted unregistration.
+    Unregister {
+        /// Query id.
+        id: u32,
+        /// Arrival time.
+        at_ms: u64,
+    },
+    /// An admitted forced replan.
+    Replan {
+        /// Query id.
+        id: u32,
+        /// Deadline override.
+        deadline_ms: Option<u64>,
+        /// Arrival time.
+        at_ms: u64,
+    },
+    /// An admitted fault report.
+    Fault {
+        /// The fault.
+        fault: FaultReq,
+        /// Arrival time.
+        at_ms: u64,
+    },
+    /// A drain marker: everything journaled since the previous marker was
+    /// applied in one wave at `at_ms`.
+    Drain {
+        /// Drain time.
+        at_ms: u64,
+    },
+}
+
+impl JournalEntry {
+    /// Convert an admitted mutating request; `None` for read-only ops.
+    pub fn from_request(req: &Request) -> Option<JournalEntry> {
+        match req {
+            Request::Register {
+                id,
+                sources,
+                sink,
+                deadline_ms,
+                at_ms,
+            } => Some(JournalEntry::Register {
+                id: *id,
+                sources: sources.clone(),
+                sink: *sink,
+                deadline_ms: *deadline_ms,
+                at_ms: *at_ms,
+            }),
+            Request::Unregister { id, at_ms } => Some(JournalEntry::Unregister {
+                id: *id,
+                at_ms: *at_ms,
+            }),
+            Request::Replan {
+                id,
+                deadline_ms,
+                at_ms,
+            } => Some(JournalEntry::Replan {
+                id: *id,
+                deadline_ms: *deadline_ms,
+                at_ms: *at_ms,
+            }),
+            Request::Fault { fault, at_ms } => Some(JournalEntry::Fault {
+                fault: fault.clone(),
+                at_ms: *at_ms,
+            }),
+            Request::Drain { at_ms } => Some(JournalEntry::Drain { at_ms: *at_ms }),
+            Request::Query { .. } | Request::Stats => None,
+        }
+    }
+
+    /// The request arrival / drain time.
+    pub fn at_ms(&self) -> u64 {
+        match self {
+            JournalEntry::Register { at_ms, .. }
+            | JournalEntry::Unregister { at_ms, .. }
+            | JournalEntry::Replan { at_ms, .. }
+            | JournalEntry::Fault { at_ms, .. }
+            | JournalEntry::Drain { at_ms } => *at_ms,
+        }
+    }
+
+    /// Serialize as the payload of one `entry = ...` line.
+    pub fn to_line(&self) -> String {
+        match self {
+            JournalEntry::Register {
+                id,
+                sources,
+                sink,
+                deadline_ms,
+                at_ms,
+            } => {
+                let srcs: Vec<String> = sources.iter().map(|s| s.to_string()).collect();
+                let mut line = format!("register id={id} sources={} sink={sink}", srcs.join(","));
+                if let Some(d) = deadline_ms {
+                    line.push_str(&format!(" deadline={d}"));
+                }
+                line.push_str(&format!(" at={at_ms}"));
+                line
+            }
+            JournalEntry::Unregister { id, at_ms } => format!("unregister id={id} at={at_ms}"),
+            JournalEntry::Replan {
+                id,
+                deadline_ms,
+                at_ms,
+            } => {
+                let mut line = format!("replan id={id}");
+                if let Some(d) = deadline_ms {
+                    line.push_str(&format!(" deadline={d}"));
+                }
+                line.push_str(&format!(" at={at_ms}"));
+                line
+            }
+            JournalEntry::Fault { fault, at_ms } => match fault {
+                FaultReq::Crash(n) => format!("fault kind=crash node={n} at={at_ms}"),
+                FaultReq::Rejoin(n) => format!("fault kind=rejoin node={n} at={at_ms}"),
+                FaultReq::Degrade { a, b, factor_milli } => {
+                    format!("fault kind=degrade a={a} b={b} factor_milli={factor_milli} at={at_ms}")
+                }
+            },
+            JournalEntry::Drain { at_ms } => format!("drain at={at_ms}"),
+        }
+    }
+
+    /// Parse the payload of one `entry = ...` line.
+    pub fn parse_line(line: &str) -> Result<JournalEntry, String> {
+        let mut tokens = line.split_whitespace();
+        let kind = tokens.next().ok_or("empty journal entry")?;
+        let mut fields = std::collections::BTreeMap::new();
+        for tok in tokens {
+            let (k, v) = tok
+                .split_once('=')
+                .ok_or_else(|| format!("expected k=v token, got {tok:?}"))?;
+            fields.insert(k.to_string(), v.to_string());
+        }
+        let get_u64 = |k: &str| -> Result<u64, String> {
+            fields
+                .get(k)
+                .ok_or_else(|| format!("{kind}: missing {k}"))?
+                .parse()
+                .map_err(|e| format!("{kind}.{k}: {e}"))
+        };
+        let get_u32 = |k: &str| -> Result<u32, String> {
+            u32::try_from(get_u64(k)?).map_err(|_| format!("{kind}.{k}: out of range"))
+        };
+        let opt_u64 = |k: &str| -> Option<u64> { fields.get(k).and_then(|v| v.parse().ok()) };
+        match kind {
+            "register" => {
+                let sources = fields
+                    .get("sources")
+                    .ok_or("register: missing sources")?
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.parse().map_err(|e| format!("register.sources: {e}")))
+                    .collect::<Result<Vec<u32>, String>>()?;
+                Ok(JournalEntry::Register {
+                    id: get_u32("id")?,
+                    sources,
+                    sink: get_u32("sink")?,
+                    deadline_ms: opt_u64("deadline"),
+                    at_ms: get_u64("at")?,
+                })
+            }
+            "unregister" => Ok(JournalEntry::Unregister {
+                id: get_u32("id")?,
+                at_ms: get_u64("at")?,
+            }),
+            "replan" => Ok(JournalEntry::Replan {
+                id: get_u32("id")?,
+                deadline_ms: opt_u64("deadline"),
+                at_ms: get_u64("at")?,
+            }),
+            "fault" => {
+                let at_ms = get_u64("at")?;
+                let fault = match fields.get("kind").map(String::as_str) {
+                    Some("crash") => FaultReq::Crash(get_u32("node")?),
+                    Some("rejoin") => FaultReq::Rejoin(get_u32("node")?),
+                    Some("degrade") => FaultReq::Degrade {
+                        a: get_u32("a")?,
+                        b: get_u32("b")?,
+                        factor_milli: get_u64("factor_milli")?,
+                    },
+                    other => return Err(format!("fault: unknown kind {other:?}")),
+                };
+                Ok(JournalEntry::Fault { fault, at_ms })
+            }
+            "drain" => Ok(JournalEntry::Drain {
+                at_ms: get_u64("at")?,
+            }),
+            other => Err(format!("unknown journal entry kind {other:?}")),
+        }
+    }
+}
+
+/// The write-ahead journal: config header plus the admitted entries, in
+/// admission order. Optionally backed by a file, in which case every
+/// [`Journal::append`] lands on disk before the entry is applied.
+#[derive(Debug)]
+pub struct Journal {
+    /// The service configuration the journal opens with.
+    pub config: ServiceConfig,
+    /// Admitted entries in order.
+    pub entries: Vec<JournalEntry>,
+    file: Option<File>,
+    path: Option<PathBuf>,
+}
+
+impl Journal {
+    /// Start a fresh journal; when `path` is given, the header is written
+    /// immediately and appends go straight to disk.
+    pub fn create(config: ServiceConfig, path: Option<&Path>) -> std::io::Result<Journal> {
+        let mut file = None;
+        if let Some(p) = path {
+            let mut f = File::create(p)?;
+            f.write_all(Self::header(&config).as_bytes())?;
+            f.flush()?;
+            file = Some(f);
+        }
+        Ok(Journal {
+            config,
+            entries: Vec::new(),
+            file,
+            path: path.map(Path::to_path_buf),
+        })
+    }
+
+    fn header(config: &ServiceConfig) -> String {
+        format!("# dsq-server journal v1\n{}", config.to_lines())
+    }
+
+    /// The file backing this journal, when there is one.
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// Write-ahead append: the entry is durable (when file-backed) before
+    /// this returns.
+    pub fn append(&mut self, entry: JournalEntry) -> std::io::Result<()> {
+        if let Some(f) = &mut self.file {
+            f.write_all(format!("entry = {}\n", entry.to_line()).as_bytes())?;
+            f.flush()?;
+        }
+        self.entries.push(entry);
+        Ok(())
+    }
+
+    /// Serialize the whole journal (header + entries).
+    pub fn to_text(&self) -> String {
+        let mut out = Self::header(&self.config);
+        for e in &self.entries {
+            out.push_str(&format!("entry = {}\n", e.to_line()));
+        }
+        out
+    }
+
+    /// Parse a journal written by [`Journal::to_text`] / the append path.
+    /// Tolerates a torn final line (a crash mid-append): a last line that
+    /// does not parse is dropped, matching the write-ahead contract that an
+    /// entry is applied only once fully journaled.
+    pub fn parse(text: &str) -> Result<Journal, String> {
+        let mut config = ServiceConfig::default();
+        let mut entries = Vec::new();
+        let lines: Vec<&str> = text.lines().collect();
+        for (i, raw) in lines.iter().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                if i + 1 == lines.len() {
+                    break; // torn tail
+                }
+                return Err(format!("line {}: expected `key = value`: {raw:?}", i + 1));
+            };
+            let (key, value) = (key.trim(), value.trim());
+            if let Some(ck) = key.strip_prefix("config.") {
+                config.set(ck, value)?;
+            } else if key == "entry" {
+                match JournalEntry::parse_line(value) {
+                    Ok(e) => entries.push(e),
+                    Err(err) => {
+                        if i + 1 == lines.len() {
+                            break; // torn tail
+                        }
+                        return Err(format!("line {}: {err}", i + 1));
+                    }
+                }
+            } else {
+                return Err(format!("line {}: unknown key {key:?}", i + 1));
+            }
+        }
+        config.validate()?;
+        Ok(Journal {
+            config,
+            entries,
+            file: None,
+            path: None,
+        })
+    }
+
+    /// Load a journal from disk (recovery entry point). The returned
+    /// journal is *detached* from the file; pass the path to
+    /// [`crate::service::PlanningService::recover`] to reattach for
+    /// continued appends.
+    pub fn load(path: &Path) -> Result<Journal, String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+        let mut j = Self::parse(&text)?;
+        j.path = Some(path.to_path_buf());
+        Ok(j)
+    }
+
+    /// Reattach to the backing file for appends, rewriting it from the
+    /// in-memory state (drops any torn tail).
+    pub fn reattach(&mut self) -> std::io::Result<()> {
+        let Some(path) = self.path.clone() else {
+            return Ok(());
+        };
+        let mut f = OpenOptions::new()
+            .write(true)
+            .truncate(true)
+            .create(true)
+            .open(&path)?;
+        f.write_all(self.to_text().as_bytes())?;
+        f.flush()?;
+        self.file = Some(f);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_entries() -> Vec<JournalEntry> {
+        vec![
+            JournalEntry::Register {
+                id: 3,
+                sources: vec![0, 2, 5],
+                sink: 7,
+                deadline_ms: Some(500),
+                at_ms: 120,
+            },
+            JournalEntry::Replan {
+                id: 3,
+                deadline_ms: None,
+                at_ms: 130,
+            },
+            JournalEntry::Fault {
+                fault: FaultReq::Degrade {
+                    a: 1,
+                    b: 2,
+                    factor_milli: 8000,
+                },
+                at_ms: 140,
+            },
+            JournalEntry::Fault {
+                fault: FaultReq::Crash(5),
+                at_ms: 150,
+            },
+            JournalEntry::Drain { at_ms: 160 },
+            JournalEntry::Unregister { id: 3, at_ms: 170 },
+        ]
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        let mut j = Journal::create(ServiceConfig::default(), None).unwrap();
+        for e in sample_entries() {
+            j.append(e).unwrap();
+        }
+        let back = Journal::parse(&j.to_text()).unwrap();
+        assert_eq!(back.config, j.config);
+        assert_eq!(back.entries, j.entries);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped() {
+        let mut j = Journal::create(ServiceConfig::default(), None).unwrap();
+        for e in sample_entries() {
+            j.append(e).unwrap();
+        }
+        let mut text = j.to_text();
+        text.push_str("entry = register id=9 sou"); // torn mid-append
+        let back = Journal::parse(&text).unwrap();
+        assert_eq!(back.entries.len(), j.entries.len());
+    }
+
+    #[test]
+    fn file_backed_appends_are_durable() {
+        let dir = std::env::temp_dir().join(format!("dsq-journal-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("session.journal");
+        let mut j = Journal::create(ServiceConfig::default(), Some(&path)).unwrap();
+        for e in sample_entries() {
+            j.append(e).unwrap();
+        }
+        let loaded = Journal::load(&path).unwrap();
+        assert_eq!(loaded.entries, j.entries);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

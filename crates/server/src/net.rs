@@ -1,0 +1,152 @@
+//! Transport front-ends: the in-process line harness (tests, `--script`,
+//! stdin) and a minimal sequential TCP listener.
+//!
+//! Both speak the same JSONL protocol and drive the same
+//! [`PlanningService`]; the TCP path handles connections one at a time so
+//! the service stays a single deterministic state machine — concurrency is
+//! batched by admission control, not by threads.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpListener;
+
+use crate::service::PlanningService;
+
+/// Control line that closes the current connection / input stream.
+pub const QUIT: &str = "quit";
+/// Control line that closes the connection *and* stops a TCP server.
+pub const SHUTDOWN: &str = "shutdown";
+
+/// Serve one line stream: read JSONL requests from `input`, write one
+/// JSONL response per request to `output`. Blank lines and `#` comments
+/// are skipped; [`QUIT`] or [`SHUTDOWN`] ends the stream. Returns whether
+/// a [`SHUTDOWN`] was seen.
+pub fn serve_lines<R: BufRead, W: Write>(
+    svc: &mut PlanningService,
+    input: R,
+    output: &mut W,
+) -> std::io::Result<bool> {
+    for line in input.lines() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == QUIT {
+            return Ok(false);
+        }
+        if line == SHUTDOWN {
+            return Ok(true);
+        }
+        writeln!(output, "{}", svc.submit_line(line))?;
+        output.flush()?;
+    }
+    Ok(false)
+}
+
+/// Run a script (a slice of request lines) and collect the responses —
+/// the in-process harness used by tests and `dsqctl serve --script`.
+pub fn run_script(svc: &mut PlanningService, lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| l.trim())
+        .filter(|l| !l.is_empty() && !l.starts_with('#') && *l != QUIT && *l != SHUTDOWN)
+        .map(|l| svc.submit_line(l))
+        .collect()
+}
+
+/// Bind `addr` and serve connections sequentially until a client sends
+/// [`SHUTDOWN`]. Prints the bound address to `status` once listening (so
+/// harnesses can bind port 0 and discover the port).
+pub fn serve_tcp<W: Write>(
+    svc: &mut PlanningService,
+    addr: &str,
+    status: &mut W,
+) -> std::io::Result<()> {
+    let listener = TcpListener::bind(addr)?;
+    writeln!(status, "listening on {}", listener.local_addr()?)?;
+    status.flush()?;
+    for stream in listener.incoming() {
+        let stream = stream?;
+        let reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        if serve_lines(svc, reader, &mut writer)? {
+            break;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ServiceConfig;
+
+    #[test]
+    fn line_harness_serves_and_quits() {
+        let mut svc = PlanningService::new(ServiceConfig::default(), None).unwrap();
+        let input = "\
+# a comment\n\
+{\"op\":\"register\",\"id\":1,\"sources\":[0,1],\"sink\":3,\"at_ms\":5}\n\
+\n\
+{\"op\":\"drain\",\"at_ms\":10}\n\
+quit\n\
+{\"op\":\"stats\"}\n";
+        let mut out = Vec::new();
+        let shutdown = serve_lines(&mut svc, input.as_bytes(), &mut out).unwrap();
+        assert!(!shutdown);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "quit stops before the stats request");
+        assert!(lines[1].contains("\"planned\":1"));
+    }
+
+    #[test]
+    fn tcp_round_trip() {
+        use std::io::{BufRead, BufReader, Write};
+        use std::net::TcpStream;
+        // Serve on an ephemeral port in a thread; client registers, drains,
+        // then shuts the server down.
+        let (tx, rx) = std::sync::mpsc::channel();
+        let server = std::thread::spawn(move || {
+            let mut svc = PlanningService::new(ServiceConfig::default(), None).unwrap();
+            let mut status = Vec::new();
+            serve_tcp(&mut svc, "127.0.0.1:0", &mut StatusTee(&mut status, tx)).unwrap();
+            svc.core().epoch
+        });
+        let addr: String = rx.recv().unwrap();
+        let mut conn = TcpStream::connect(addr.trim()).unwrap();
+        conn.write_all(
+            b"{\"op\":\"register\",\"id\":1,\"sources\":[0,1],\"sink\":3,\"at_ms\":5}\n\
+              {\"op\":\"drain\",\"at_ms\":10}\nshutdown\n",
+        )
+        .unwrap();
+        let mut reader = BufReader::new(conn);
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"ok\":true"), "{line}");
+        line.clear();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.contains("\"planned\":1"), "{line}");
+        assert_eq!(server.join().unwrap(), 1);
+    }
+
+    /// Captures the "listening on ..." status line and forwards the
+    /// address to the test thread.
+    struct StatusTee<'a>(&'a mut Vec<u8>, std::sync::mpsc::Sender<String>);
+
+    impl Write for StatusTee<'_> {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.extend_from_slice(buf);
+            let text = String::from_utf8_lossy(self.0);
+            if let Some(rest) = text.strip_prefix("listening on ") {
+                if rest.contains('\n') {
+                    let _ = self.1.send(rest.trim().to_string());
+                }
+            }
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+}

@@ -1,0 +1,389 @@
+//! Service snapshots: a compact, textual checkpoint of the core that lets
+//! recovery replay only the journal suffix.
+//!
+//! A snapshot does **not** serialize the environment (networks, distance
+//! matrices and hierarchies are large and path-dependent). Instead it
+//! stores the recipe: the config plus the fault history, which
+//! [`restore`] re-applies — surgery only, via
+//! [`crate::state::apply_fault_surgery`] — to a freshly built
+//! environment. Deployments are stored as their join-tree shape plus
+//! placement; [`Deployment::evaluate`] re-derives edges and cost, and the
+//! recorded cost bits are asserted to match, so a snapshot whose
+//! environment reconstruction diverged even by one ULP refuses to load
+//! rather than silently serving wrong plans.
+//!
+//! Plans are guaranteed tree-reconstructible because drain waves always
+//! plan against a fresh [`dsq_query::ReuseRegistry`] — every plan leaf is
+//! a base stream, never a derived operator owned by another query.
+
+use dsq_net::NodeId;
+use dsq_query::{Deployment, FlatNode, FlatPlan, JoinTree, LeafSource, Query, QueryId, StreamId};
+
+use crate::config::ServiceConfig;
+use crate::journal::JournalEntry;
+use crate::state::{apply_fault_surgery, QuerySlot, ServiceCore, SlotStatus};
+
+/// Serialize a core (call only with an empty queue, i.e. right after a
+/// drain — the service enforces this by snapshotting from the drain path).
+pub fn write(core: &ServiceCore) -> String {
+    let mut out = String::from("# dsq-server snapshot v1\n");
+    out.push_str(&core.cfg.to_lines());
+    out.push_str(&format!("epoch = {}\n", core.epoch));
+    out.push_str(&format!("now_ms = {}\n", core.now_ms));
+    out.push_str(&format!("entries_applied = {}\n", core.entries_applied));
+    for (k, v) in core.counters.fields() {
+        out.push_str(&format!("counter.{k} = {v}\n"));
+    }
+    for f in &core.fault_log {
+        out.push_str(&format!("fault = {}\n", f.to_line()));
+    }
+    for (id, slot) in &core.slots {
+        let sources: Vec<String> = slot.query.sources.iter().map(|s| s.0.to_string()).collect();
+        out.push_str(&format!(
+            "slot = id={id} status={} epoch={} stale={} dirty={} sources={} sink={} baseline={:016x}",
+            slot.status.name(),
+            slot.planned_epoch,
+            u8::from(slot.stale),
+            u8::from(slot.dirty),
+            sources.join(","),
+            slot.query.sink.0,
+            slot.baseline_cost.to_bits(),
+        ));
+        if let Some(d) = &slot.deployment {
+            let mut tree = String::new();
+            render_tree(&d.plan, d.plan.root(), &mut tree);
+            let placement: Vec<String> = d.placement.iter().map(|n| n.0.to_string()).collect();
+            out.push_str(&format!(
+                " cost={:016x} tree={tree} placement={}",
+                d.cost.to_bits(),
+                placement.join(","),
+            ));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Rebuild a core from [`write`]'s output.
+pub fn restore(text: &str) -> Result<ServiceCore, String> {
+    let mut config = ServiceConfig::default();
+    let mut scalars: Vec<(String, String)> = Vec::new();
+    let mut faults: Vec<JournalEntry> = Vec::new();
+    let mut slots: Vec<String> = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once('=')
+            .ok_or_else(|| format!("snapshot line {}: expected `key = value`", i + 1))?;
+        let (key, value) = (key.trim(), value.trim());
+        if let Some(ck) = key.strip_prefix("config.") {
+            config.set(ck, value)?;
+        } else if key == "fault" {
+            faults.push(JournalEntry::parse_line(value)?);
+        } else if key == "slot" {
+            slots.push(value.to_string());
+        } else {
+            scalars.push((key.to_string(), value.to_string()));
+        }
+    }
+    config.validate()?;
+    let mut core = ServiceCore::new(config);
+
+    // Re-run the fault surgery in order: the environment is a pure
+    // function of (config, fault history).
+    for f in faults {
+        let JournalEntry::Fault { fault, .. } = &f else {
+            return Err("snapshot fault line is not a fault entry".into());
+        };
+        apply_fault_surgery(&mut core.env, fault);
+        core.fault_log.push(f);
+    }
+
+    for (key, value) in scalars {
+        let parse_u64 =
+            |v: &str| -> Result<u64, String> { v.parse().map_err(|e| format!("{key}: {e}")) };
+        match key.as_str() {
+            "epoch" => core.epoch = parse_u64(&value)?,
+            "now_ms" => core.now_ms = parse_u64(&value)?,
+            "entries_applied" => core.entries_applied = parse_u64(&value)? as usize,
+            _ => {
+                if let Some(ck) = key.strip_prefix("counter.") {
+                    core.counters.set(ck, parse_u64(&value)?)?;
+                } else {
+                    return Err(format!("unknown snapshot key {key:?}"));
+                }
+            }
+        }
+    }
+
+    for line in slots {
+        let (id, slot) = parse_slot(&line, &core)?;
+        core.slots.insert(id, slot);
+    }
+    Ok(core)
+}
+
+fn parse_slot(line: &str, core: &ServiceCore) -> Result<(u32, QuerySlot), String> {
+    let mut fields = std::collections::BTreeMap::new();
+    for tok in line.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("slot: expected k=v token, got {tok:?}"))?;
+        fields.insert(k.to_string(), v.to_string());
+    }
+    let get = |k: &str| -> Result<&String, String> {
+        fields.get(k).ok_or_else(|| format!("slot: missing {k}"))
+    };
+    let id: u32 = get("id")?.parse().map_err(|e| format!("slot.id: {e}"))?;
+    let status = match get("status")?.as_str() {
+        "pending" => SlotStatus::Pending,
+        "planned" => SlotStatus::Planned,
+        "parked" => SlotStatus::Parked,
+        "lost" => SlotStatus::Lost,
+        other => return Err(format!("slot.status: unknown {other:?}")),
+    };
+    let sources: Vec<u32> = get("sources")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|e| format!("slot.sources: {e}")))
+        .collect::<Result<_, String>>()?;
+    let sink: u32 = get("sink")?
+        .parse()
+        .map_err(|e| format!("slot.sink: {e}"))?;
+    let hex_bits = |k: &str| -> Result<f64, String> {
+        Ok(f64::from_bits(
+            u64::from_str_radix(get(k)?, 16).map_err(|e| format!("slot.{k}: {e}"))?,
+        ))
+    };
+    let query = Query::join(
+        QueryId(id),
+        sources.iter().map(|&s| StreamId(s)),
+        NodeId(sink),
+    );
+    let deployment = if let Some(tree_text) = fields.get("tree") {
+        let tree = parse_tree(tree_text)?;
+        let plan = FlatPlan::from_tree(&tree, &query, &core.catalog);
+        let placement: Vec<NodeId> = get("placement")?
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.parse::<u32>()
+                    .map(NodeId)
+                    .map_err(|e| format!("slot.placement: {e}"))
+            })
+            .collect::<Result<_, String>>()?;
+        if placement.len() != plan.nodes().len() {
+            return Err(format!(
+                "slot {id}: placement length {} does not match plan size {}",
+                placement.len(),
+                plan.nodes().len()
+            ));
+        }
+        let d = Deployment::evaluate(QueryId(id), plan, placement, NodeId(sink), &core.env.dm);
+        let recorded = hex_bits("cost")?;
+        if d.cost.to_bits() != recorded.to_bits() {
+            return Err(format!(
+                "slot {id}: reconstructed cost {} != recorded {recorded} — \
+                 environment reconstruction diverged, refusing to load",
+                d.cost
+            ));
+        }
+        Some(d)
+    } else {
+        None
+    };
+    Ok((
+        id,
+        QuerySlot {
+            query,
+            deployment,
+            status,
+            planned_epoch: get("epoch")?
+                .parse()
+                .map_err(|e| format!("slot.epoch: {e}"))?,
+            stale: get("stale")? == "1",
+            dirty: get("dirty")? == "1",
+            baseline_cost: hex_bits("baseline")?,
+        },
+    ))
+}
+
+/// Render a plan's join tree in the compact `B<id>` / `J(l,r)` grammar.
+fn render_tree(plan: &FlatPlan, idx: usize, out: &mut String) {
+    match &plan.nodes()[idx] {
+        FlatNode::Leaf { source, .. } => match source {
+            LeafSource::Base(sid) => out.push_str(&format!("B{}", sid.0)),
+            // Drain waves plan against a fresh registry, so derived leaves
+            // cannot appear in a servable plan.
+            LeafSource::Derived { .. } => {
+                unreachable!("service plans never contain derived leaves")
+            }
+        },
+        FlatNode::Join { left, right, .. } => {
+            out.push_str("J(");
+            render_tree(plan, *left, out);
+            out.push(',');
+            render_tree(plan, *right, out);
+            out.push(')');
+        }
+    }
+}
+
+/// Parse the `B<id>` / `J(l,r)` grammar back into a [`JoinTree`].
+fn parse_tree(text: &str) -> Result<JoinTree, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let tree = parse_tree_at(bytes, &mut pos)?;
+    if pos != bytes.len() {
+        return Err(format!("tree: trailing input at byte {pos} in {text:?}"));
+    }
+    Ok(tree)
+}
+
+fn parse_tree_at(bytes: &[u8], pos: &mut usize) -> Result<JoinTree, String> {
+    match bytes.get(*pos) {
+        Some(b'B') => {
+            *pos += 1;
+            let start = *pos;
+            while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+                *pos += 1;
+            }
+            if start == *pos {
+                return Err("tree: expected digits after B".into());
+            }
+            let id: u32 = std::str::from_utf8(&bytes[start..*pos])
+                .unwrap()
+                .parse()
+                .map_err(|e| format!("tree: {e}"))?;
+            Ok(JoinTree::base(StreamId(id)))
+        }
+        Some(b'J') => {
+            *pos += 1;
+            if bytes.get(*pos) != Some(&b'(') {
+                return Err("tree: expected ( after J".into());
+            }
+            *pos += 1;
+            let left = parse_tree_at(bytes, pos)?;
+            if bytes.get(*pos) != Some(&b',') {
+                return Err("tree: expected , between join inputs".into());
+            }
+            *pos += 1;
+            let right = parse_tree_at(bytes, pos)?;
+            if bytes.get(*pos) != Some(&b')') {
+                return Err("tree: expected ) after join".into());
+            }
+            *pos += 1;
+            Ok(JoinTree::join(left, right))
+        }
+        other => Err(format!("tree: unexpected {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::FaultReq;
+
+    fn populated_core() -> ServiceCore {
+        let mut core = ServiceCore::new(ServiceConfig::default());
+        core.drain(
+            &[
+                JournalEntry::Register {
+                    id: 1,
+                    sources: vec![0, 1, 2],
+                    sink: 3,
+                    deadline_ms: None,
+                    at_ms: 10,
+                },
+                JournalEntry::Register {
+                    id: 2,
+                    sources: vec![4, 5],
+                    sink: 6,
+                    deadline_ms: None,
+                    at_ms: 11,
+                },
+            ],
+            20,
+        );
+        core.drain(
+            &[
+                JournalEntry::Fault {
+                    fault: FaultReq::Degrade {
+                        a: 0,
+                        b: 1,
+                        factor_milli: 7000,
+                    },
+                    at_ms: 25,
+                },
+                JournalEntry::Fault {
+                    fault: FaultReq::Crash(9),
+                    at_ms: 26,
+                },
+            ],
+            30,
+        );
+        core
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let core = populated_core();
+        let restored = restore(&write(&core)).unwrap();
+        assert_eq!(restored.fingerprint(), core.fingerprint());
+        assert_eq!(restored.entries_applied, core.entries_applied);
+        // And the restored snapshot re-serializes identically.
+        assert_eq!(write(&restored), write(&core));
+    }
+
+    #[test]
+    fn tree_grammar_round_trips() {
+        let tree = JoinTree::join(
+            JoinTree::join(JoinTree::base(StreamId(0)), JoinTree::base(StreamId(2))),
+            JoinTree::base(StreamId(5)),
+        );
+        let core = ServiceCore::new(ServiceConfig::default());
+        let q = Query::join(
+            QueryId(7),
+            [StreamId(0), StreamId(2), StreamId(5)],
+            NodeId(1),
+        );
+        let plan = FlatPlan::from_tree(&tree, &q, &core.catalog);
+        let mut text = String::new();
+        render_tree(&plan, plan.root(), &mut text);
+        assert_eq!(text, "J(J(B0,B2),B5)");
+        let back = parse_tree(&text).unwrap();
+        assert_eq!(format!("{back:?}"), format!("{tree:?}"));
+        assert!(parse_tree("J(B0").is_err());
+        assert!(parse_tree("B0,B1").is_err());
+    }
+
+    #[test]
+    fn tampered_snapshots_refuse_to_load() {
+        let core = populated_core();
+        let text = write(&core);
+        // Flip one placement digit in a slot line: the recomputed cost no
+        // longer matches the recorded bits.
+        let tampered: String = text
+            .lines()
+            .map(|l| {
+                if l.starts_with("slot = id=1") {
+                    let idx = l.rfind("placement=").unwrap() + "placement=".len();
+                    let (head, tail) = l.split_at(idx);
+                    let digit = tail.chars().next().unwrap();
+                    let flipped = if digit == '0' { '1' } else { '0' };
+                    format!("{head}{flipped}{}\n", &tail[1..])
+                } else {
+                    format!("{l}\n")
+                }
+            })
+            .collect();
+        let err = restore(&tampered).unwrap_err();
+        assert!(
+            err.contains("diverged") || err.contains("placement"),
+            "{err}"
+        );
+    }
+}

@@ -1,0 +1,818 @@
+//! The service's deterministic core: registered queries, their current
+//! plans, and the batched drain wave that (re)plans them.
+//!
+//! [`ServiceCore`] is a pure state machine over journal entries: feed the
+//! same entries in the same order and every bit of state — deployments,
+//! costs, epochs, counters, the obs trace — comes out identical. That is
+//! the whole crash-recovery story (see `tests/recovery.rs`); nothing here
+//! reads a clock or an RNG.
+
+use std::collections::{BTreeMap, HashSet};
+
+use dsq_core::{optimize_all, optimize_dirty, Environment, ParallelConfig, TopDown};
+use dsq_hierarchy::membership;
+use dsq_net::{DistanceMatrix, NodeId};
+use dsq_obs::Value;
+use dsq_query::{Catalog, Deployment, Query, QueryId, ReuseRegistry, StreamId};
+
+use crate::config::ServiceConfig;
+use crate::journal::JournalEntry;
+use crate::protocol::FaultReq;
+
+/// Fewest overlay members the service will keep: crash reports that would
+/// shrink the hierarchy below this floor are skipped (and counted), not
+/// applied — a two-member overlay is the smallest the membership machinery
+/// supports without forfeiting the partition structure entirely.
+pub const OVERLAY_FLOOR: usize = 2;
+
+/// Lifecycle of a registered query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SlotStatus {
+    /// Registered, not yet planned (awaiting the next drain wave).
+    Pending,
+    /// Carrying a valid deployment.
+    Planned,
+    /// Cannot currently be planned (a source's origin node is down, or the
+    /// optimizer found no feasible deployment); retried when possible.
+    Parked,
+    /// Terminally unservable (its sink node crashed). The client must
+    /// re-register under a fresh id.
+    Lost,
+}
+
+impl SlotStatus {
+    /// Lowercase protocol name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SlotStatus::Pending => "pending",
+            SlotStatus::Planned => "planned",
+            SlotStatus::Parked => "parked",
+            SlotStatus::Lost => "lost",
+        }
+    }
+}
+
+/// One registered query and its plan hand-off state.
+#[derive(Clone, Debug)]
+pub struct QuerySlot {
+    /// The standing query.
+    pub query: Query,
+    /// Current deployment (`Some` iff status is [`SlotStatus::Planned`]).
+    pub deployment: Option<Deployment>,
+    /// Lifecycle state.
+    pub status: SlotStatus,
+    /// Epoch of the drain wave that produced the current deployment.
+    pub planned_epoch: u64,
+    /// The deployment is from a pre-fault epoch and known degraded or
+    /// budget-deferred: still served (stale-but-safe), flagged in responses.
+    pub stale: bool,
+    /// Needs (re)planning at the next drain wave.
+    pub dirty: bool,
+    /// Cost at plan time; degradation is judged against this.
+    pub baseline_cost: f64,
+}
+
+/// Deterministic service counters (also mirrored to obs counters under
+/// `server.*` so they land in traces and bench snapshots).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ServiceCounters {
+    /// Mutating requests admitted (journaled).
+    pub admitted: u64,
+    /// Requests rejected by admission control.
+    pub shed: u64,
+    /// Queued requests dropped at drain because their deadline passed.
+    pub timed_out: u64,
+    /// Queries left serving a stale plan by a budget-limited drain.
+    pub stale_served: u64,
+    /// Drain waves run.
+    pub drains: u64,
+    /// Fault reports applied to the environment.
+    pub faults_applied: u64,
+    /// Fault reports skipped (inactive node, overlay floor, missing link).
+    pub faults_skipped: u64,
+    /// Journal entries replayed by crash recovery.
+    pub recovery_replayed: u64,
+}
+
+impl ServiceCounters {
+    /// `(name, value)` pairs in serialization order.
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("admitted", self.admitted),
+            ("shed", self.shed),
+            ("timed_out", self.timed_out),
+            ("stale_served", self.stale_served),
+            ("drains", self.drains),
+            ("faults_applied", self.faults_applied),
+            ("faults_skipped", self.faults_skipped),
+            ("recovery_replayed", self.recovery_replayed),
+        ]
+    }
+
+    /// Set one field by name (snapshot restore).
+    pub fn set(&mut self, name: &str, value: u64) -> Result<(), String> {
+        match name {
+            "admitted" => self.admitted = value,
+            "shed" => self.shed = value,
+            "timed_out" => self.timed_out = value,
+            "stale_served" => self.stale_served = value,
+            "drains" => self.drains = value,
+            "faults_applied" => self.faults_applied = value,
+            "faults_skipped" => self.faults_skipped = value,
+            "recovery_replayed" => self.recovery_replayed = value,
+            other => return Err(format!("unknown counter {other:?}")),
+        }
+        Ok(())
+    }
+}
+
+/// What one drain wave did (rendered into the drain response).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct DrainSummary {
+    /// Epoch this wave established.
+    pub epoch: u64,
+    /// Journal entries applied (batch size, drain marker excluded).
+    pub applied: usize,
+    /// Queries planned for the first time (or un-parked).
+    pub planned: usize,
+    /// Dirty queries replanned.
+    pub replanned: usize,
+    /// New/parked queries deferred past the budget (still pending).
+    pub deferred: usize,
+    /// Queued requests dropped on deadline.
+    pub timed_out: usize,
+    /// Planned queries left serving their previous epoch's plan, flagged
+    /// stale, because the replan budget ran out.
+    pub stale: usize,
+    /// Queries parked after the wave.
+    pub parked: usize,
+    /// Queries lost after the wave.
+    pub lost: usize,
+    /// Sum of planned deployment costs.
+    pub total_cost: f64,
+}
+
+/// What a fault report did to the environment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Surgery {
+    /// Nothing (inactive node crash, active node rejoin, unknown link,
+    /// overlay floor, zero factor).
+    Skipped,
+    /// Node removed from the overlay.
+    Crashed(NodeId),
+    /// Node re-added to the overlay.
+    Rejoined(NodeId),
+    /// Link cost changed, distance matrix rebuilt.
+    Degraded,
+}
+
+/// Apply one fault report to the environment only (no query bookkeeping).
+/// Shared between the live drain path and snapshot reconstruction, which
+/// re-applies the fault history to a freshly built environment — so this
+/// must stay a pure function of `(env, fault)`.
+pub fn apply_fault_surgery(env: &mut Environment, fault: &FaultReq) -> Surgery {
+    match fault {
+        FaultReq::Crash(n) => {
+            let node = NodeId(*n);
+            if node.index() >= env.network.len() || !env.hierarchy.is_active(node) {
+                return Surgery::Skipped;
+            }
+            if env.hierarchy.active_nodes().len() <= OVERLAY_FLOOR {
+                return Surgery::Skipped; // below the floor the overlay forfeits
+            }
+            let before = env.hierarchy.snapshot();
+            membership::remove_node(&mut env.hierarchy, &env.dm, node)
+                .expect("guarded: node active, above floor");
+            let delta = before.diff(&env.hierarchy.snapshot());
+            env.plan_cache.retire_membership(&env.hierarchy, &delta);
+            Surgery::Crashed(node)
+        }
+        FaultReq::Rejoin(n) => {
+            let node = NodeId(*n);
+            if node.index() >= env.network.len() || env.hierarchy.is_active(node) {
+                return Surgery::Skipped;
+            }
+            // The rejoining node contacts its nearest active member, as the
+            // chaos runner does.
+            let via = *env
+                .hierarchy
+                .active_nodes()
+                .iter()
+                .min_by(|&&a, &&b| {
+                    env.dm
+                        .get(a, node)
+                        .total_cmp(&env.dm.get(b, node))
+                        .then(a.0.cmp(&b.0))
+                })
+                .expect("overlay is never empty");
+            let before = env.hierarchy.snapshot();
+            membership::add_node(&mut env.hierarchy, &env.dm, node, via);
+            let delta = before.diff(&env.hierarchy.snapshot());
+            env.plan_cache.retire_membership(&env.hierarchy, &delta);
+            Surgery::Rejoined(node)
+        }
+        FaultReq::Degrade { a, b, factor_milli } => {
+            let (a, b) = (NodeId(*a), NodeId(*b));
+            if *factor_milli == 0
+                || a.index() >= env.network.len()
+                || b.index() >= env.network.len()
+            {
+                return Surgery::Skipped;
+            }
+            let Some(link) = env.network.find_link(a, b) else {
+                return Surgery::Skipped;
+            };
+            let new_cost = link.cost * (*factor_milli as f64 / 1000.0);
+            env.network.set_link_cost(a, b, new_cost);
+            let new_dm = DistanceMatrix::build(&env.network, env.metric);
+            env.plan_cache.retire_metric(&env.dm, &new_dm);
+            env.dm = new_dm;
+            env.hierarchy.refresh_statistics(&env.dm);
+            Surgery::Degraded
+        }
+    }
+}
+
+/// The deterministic service state machine.
+#[derive(Debug)]
+pub struct ServiceCore {
+    /// The immutable configuration.
+    pub cfg: ServiceConfig,
+    /// Planning environment (mutated by fault surgery).
+    pub env: Environment,
+    /// Base-stream catalog.
+    pub catalog: Catalog,
+    /// Registered queries by id (BTreeMap: every iteration is id-ordered,
+    /// which is what makes waves deterministic).
+    pub slots: BTreeMap<u32, QuerySlot>,
+    /// Plan epoch: increments once per drain wave; every response carries
+    /// it, so clients observe a monotone hand-off sequence.
+    pub epoch: u64,
+    /// Virtual service time (max of drain times seen).
+    pub now_ms: u64,
+    /// Deterministic counters.
+    pub counters: ServiceCounters,
+    /// Fault entries applied so far, in order — the part of the journal a
+    /// snapshot cannot summarize (the environment is path-dependent), so
+    /// snapshots carry it verbatim for replay.
+    pub fault_log: Vec<JournalEntry>,
+    /// Journal entries fully applied (through drain markers).
+    pub entries_applied: usize,
+}
+
+impl ServiceCore {
+    /// Fresh core from a configuration.
+    pub fn new(cfg: ServiceConfig) -> ServiceCore {
+        let (env, catalog) = cfg.build();
+        ServiceCore {
+            cfg,
+            env,
+            catalog,
+            slots: BTreeMap::new(),
+            epoch: 0,
+            now_ms: 0,
+            counters: ServiceCounters::default(),
+            fault_log: Vec::new(),
+            entries_applied: 0,
+        }
+    }
+
+    /// Is every stream origin and the sink currently an overlay member?
+    fn data_available(&self, query: &Query) -> bool {
+        if !self.env.hierarchy.is_active(query.sink) {
+            return false;
+        }
+        query
+            .sources
+            .iter()
+            .all(|&s| self.env.hierarchy.is_active(self.catalog.stream(s).node))
+    }
+
+    /// Validate a registration against the catalog/topology (admission-time
+    /// check; journaled registers are valid by construction).
+    pub fn validate_register(&self, id: u32, sources: &[u32], sink: u32) -> Result<(), String> {
+        if self.slots.contains_key(&id) {
+            return Err(format!("query id {id} already registered"));
+        }
+        if sources.is_empty() {
+            return Err("sources must be non-empty".into());
+        }
+        let mut seen = HashSet::new();
+        for &s in sources {
+            if s as usize >= self.catalog.len() {
+                return Err(format!("unknown stream {s}"));
+            }
+            if !seen.insert(s) {
+                return Err(format!("duplicate stream {s}"));
+            }
+        }
+        if sink as usize >= self.env.network.len() {
+            return Err(format!("unknown sink node {sink}"));
+        }
+        Ok(())
+    }
+
+    /// Effective deadline for a queued request, if any.
+    fn deadline(&self, explicit: Option<u64>) -> Option<u64> {
+        explicit
+            .or_else(|| (self.cfg.default_deadline_ms > 0).then_some(self.cfg.default_deadline_ms))
+    }
+
+    /// Apply one batch of journal entries and run one planning wave. The
+    /// batch is everything admitted since the previous drain, in admission
+    /// order; `at_ms` is the drain marker's time.
+    pub fn drain(&mut self, batch: &[JournalEntry], at_ms: u64) -> DrainSummary {
+        self.epoch += 1;
+        self.now_ms = self.now_ms.max(at_ms);
+        let _span = dsq_obs::span("server.drain", || {
+            vec![
+                ("epoch", Value::U64(self.epoch)),
+                ("batch", Value::U64(batch.len() as u64)),
+            ]
+        });
+        let mut summary = DrainSummary {
+            epoch: self.epoch,
+            applied: batch.len(),
+            ..DrainSummary::default()
+        };
+
+        // 1. Apply the batch in admission order.
+        for entry in batch {
+            match entry {
+                JournalEntry::Register {
+                    id,
+                    sources,
+                    sink,
+                    deadline_ms,
+                    at_ms,
+                } => {
+                    if let Some(d) = self.deadline(*deadline_ms) {
+                        if self.now_ms > at_ms.saturating_add(d) {
+                            summary.timed_out += 1;
+                            continue;
+                        }
+                    }
+                    if self.validate_register(*id, sources, *sink).is_err() {
+                        continue; // defensive: journaled registers are pre-validated
+                    }
+                    let query = Query::join(
+                        QueryId(*id),
+                        sources.iter().map(|&s| StreamId(s)),
+                        NodeId(*sink),
+                    );
+                    self.slots.insert(
+                        *id,
+                        QuerySlot {
+                            query,
+                            deployment: None,
+                            status: SlotStatus::Pending,
+                            planned_epoch: 0,
+                            stale: false,
+                            dirty: true,
+                            baseline_cost: 0.0,
+                        },
+                    );
+                }
+                JournalEntry::Unregister { id, .. } => {
+                    self.slots.remove(id);
+                }
+                JournalEntry::Replan {
+                    id,
+                    deadline_ms,
+                    at_ms,
+                } => {
+                    if let Some(d) = self.deadline(*deadline_ms) {
+                        if self.now_ms > at_ms.saturating_add(d) {
+                            summary.timed_out += 1;
+                            continue;
+                        }
+                    }
+                    if let Some(slot) = self.slots.get_mut(id) {
+                        if slot.status == SlotStatus::Planned {
+                            slot.dirty = true;
+                        }
+                    }
+                }
+                JournalEntry::Fault { fault, .. } => self.apply_fault(fault),
+                JournalEntry::Drain { .. } => {} // markers separate batches
+            }
+        }
+        self.entries_applied += batch.len() + 1; // batch + this drain marker
+
+        // 2. Pick the wave under the replan budget: queries with no plan at
+        //    all first, then dirty replans — so under pressure the service
+        //    degrades replans (stale-but-safe) before it starves new work.
+        let budget = if self.cfg.replan_budget == 0 {
+            usize::MAX
+        } else {
+            self.cfg.replan_budget
+        };
+        let mut selected: HashSet<u32> = HashSet::new();
+        let mut park: Vec<u32> = Vec::new();
+        let mut stale_now: Vec<u32> = Vec::new();
+        for (&id, slot) in &self.slots {
+            if !matches!(slot.status, SlotStatus::Pending | SlotStatus::Parked) {
+                continue;
+            }
+            if !self.data_available(&slot.query) {
+                if slot.status == SlotStatus::Pending {
+                    park.push(id);
+                }
+                continue;
+            }
+            if selected.len() < budget {
+                selected.insert(id);
+            } else {
+                summary.deferred += 1;
+            }
+        }
+        for (&id, slot) in &self.slots {
+            if slot.status == SlotStatus::Planned && slot.dirty {
+                if selected.len() < budget {
+                    selected.insert(id);
+                } else {
+                    stale_now.push(id);
+                }
+            }
+        }
+        for id in park {
+            self.slots.get_mut(&id).unwrap().status = SlotStatus::Parked;
+        }
+        for id in &stale_now {
+            let slot = self.slots.get_mut(id).unwrap();
+            if !slot.stale {
+                slot.stale = true;
+            }
+            self.counters.stale_served += 1;
+            summary.stale += 1;
+        }
+        dsq_obs::counter("server.stale_served", stale_now.len() as u64);
+
+        // 3. One planner call over the id-ordered planning set: kept slots
+        //    pass their prior deployment (bit-for-bit preserved), selected
+        //    slots pass `None` and get replanned.
+        let mut ids: Vec<u32> = Vec::new();
+        let mut queries: Vec<Query> = Vec::new();
+        let mut prior: Vec<Option<Deployment>> = Vec::new();
+        for (&id, slot) in &self.slots {
+            let in_wave = selected.contains(&id);
+            if slot.status == SlotStatus::Planned || in_wave {
+                ids.push(id);
+                queries.push(slot.query.clone());
+                prior.push(if in_wave {
+                    None
+                } else {
+                    slot.deployment.clone()
+                });
+            }
+        }
+        if !ids.is_empty() {
+            let optimizer = TopDown::new(&self.env);
+            let registry = ReuseRegistry::new();
+            let pcfg = ParallelConfig::serial();
+            let outcome = if prior.iter().all(Option::is_none) {
+                optimize_all(
+                    &self.env,
+                    &optimizer,
+                    &self.catalog,
+                    &queries,
+                    &registry,
+                    &pcfg,
+                )
+            } else {
+                optimize_dirty(
+                    &self.env,
+                    &optimizer,
+                    &self.catalog,
+                    &queries,
+                    &prior,
+                    &HashSet::new(),
+                    &registry,
+                    &pcfg,
+                )
+            };
+            for (i, id) in ids.iter().enumerate() {
+                if !selected.contains(id) {
+                    continue;
+                }
+                let slot = self.slots.get_mut(id).unwrap();
+                let was_planned = slot.status == SlotStatus::Planned;
+                match outcome.deployments[i].clone() {
+                    Some(d) => {
+                        if was_planned {
+                            summary.replanned += 1;
+                        } else {
+                            summary.planned += 1;
+                        }
+                        slot.baseline_cost = d.cost;
+                        slot.deployment = Some(d);
+                        slot.status = SlotStatus::Planned;
+                        slot.planned_epoch = self.epoch;
+                        slot.stale = false;
+                        slot.dirty = false;
+                    }
+                    None => {
+                        slot.deployment = None;
+                        slot.status = SlotStatus::Parked;
+                        slot.stale = false;
+                        slot.dirty = false;
+                        slot.baseline_cost = 0.0;
+                    }
+                }
+            }
+        }
+
+        self.counters.drains += 1;
+        self.counters.timed_out += summary.timed_out as u64;
+        dsq_obs::counter("server.requests_timed_out", summary.timed_out as u64);
+        for slot in self.slots.values() {
+            match slot.status {
+                SlotStatus::Planned => {
+                    summary.total_cost += slot.deployment.as_ref().map_or(0.0, |d| d.cost)
+                }
+                SlotStatus::Parked => summary.parked += 1,
+                SlotStatus::Lost => summary.lost += 1,
+                SlotStatus::Pending => {}
+            }
+        }
+        summary
+    }
+
+    /// Apply one fault report: environment surgery, then reclassify slots.
+    fn apply_fault(&mut self, fault: &FaultReq) {
+        let surgery = apply_fault_surgery(&mut self.env, fault);
+        self.fault_log.push(JournalEntry::Fault {
+            fault: fault.clone(),
+            at_ms: self.now_ms,
+        });
+        match surgery {
+            Surgery::Skipped => {
+                self.counters.faults_skipped += 1;
+                dsq_obs::counter("server.faults_skipped", 1);
+                return;
+            }
+            _ => {
+                self.counters.faults_applied += 1;
+                dsq_obs::counter("server.faults_applied", 1);
+            }
+        }
+        match surgery {
+            Surgery::Crashed(node) => {
+                for slot in self.slots.values_mut() {
+                    if slot.status == SlotStatus::Lost {
+                        continue;
+                    }
+                    if slot.query.sink == node {
+                        // Results are undeliverable: terminally lost.
+                        slot.status = SlotStatus::Lost;
+                        slot.deployment = None;
+                        slot.stale = false;
+                        slot.dirty = false;
+                    } else if slot
+                        .query
+                        .sources
+                        .iter()
+                        .any(|&s| self.catalog.stream(s).node == node)
+                    {
+                        // A source went dark: park until the origin rejoins.
+                        slot.status = SlotStatus::Parked;
+                        slot.deployment = None;
+                        slot.stale = false;
+                        slot.dirty = false;
+                    } else if slot
+                        .deployment
+                        .as_ref()
+                        .is_some_and(|d| d.placement.contains(&node))
+                    {
+                        // The plan routed through the dead node: it is not
+                        // safe to keep serving, so back to pending (never
+                        // served stale).
+                        slot.status = SlotStatus::Pending;
+                        slot.deployment = None;
+                        slot.stale = false;
+                        slot.dirty = true;
+                    }
+                }
+            }
+            Surgery::Rejoined(_) => {
+                // Parked slots are re-examined by the wave's
+                // data-availability check; planned slots keep their
+                // baselines (repairs do not re-baseline).
+            }
+            Surgery::Degraded => {
+                let threshold = self.cfg.threshold_milli as f64 / 1000.0;
+                for slot in self.slots.values_mut() {
+                    if slot.status != SlotStatus::Planned {
+                        continue;
+                    }
+                    let Some(d) = slot.deployment.as_mut() else {
+                        continue;
+                    };
+                    d.recompute_cost(&self.env.dm);
+                    if d.cost > slot.baseline_cost * (1.0 + threshold) + 1e-12 {
+                        slot.dirty = true;
+                    }
+                }
+            }
+            Surgery::Skipped => unreachable!(),
+        }
+    }
+
+    /// Deterministic state fingerprint: epoch, time, counters and every
+    /// slot's exact plan (cost as raw bits). Two cores with equal
+    /// fingerprints hold bit-identical servable state — the equality the
+    /// crash-recovery differential asserts.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("epoch = {}\n", self.epoch));
+        out.push_str(&format!("now_ms = {}\n", self.now_ms));
+        for (k, v) in self.counters.fields() {
+            // Recovery itself increments `recovery_replayed`; every other
+            // counter must match bit-for-bit across a crash.
+            if k != "recovery_replayed" {
+                out.push_str(&format!("counter.{k} = {v}\n"));
+            }
+        }
+        for (id, slot) in &self.slots {
+            out.push_str(&format!(
+                "slot = id={id} status={} epoch={} stale={} dirty={}",
+                slot.status.name(),
+                slot.planned_epoch,
+                u8::from(slot.stale),
+                u8::from(slot.dirty),
+            ));
+            if let Some(d) = &slot.deployment {
+                let placement: Vec<String> = d.placement.iter().map(|n| n.0.to_string()).collect();
+                out.push_str(&format!(
+                    " cost={:016x} sink={} placement={}",
+                    d.cost.to_bits(),
+                    d.sink.0,
+                    placement.join(",")
+                ));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn register(id: u32, sources: &[u32], sink: u32, at_ms: u64) -> JournalEntry {
+        JournalEntry::Register {
+            id,
+            sources: sources.to_vec(),
+            sink,
+            deadline_ms: None,
+            at_ms,
+        }
+    }
+
+    #[test]
+    fn drain_plans_registered_queries() {
+        let mut core = ServiceCore::new(ServiceConfig::default());
+        let batch = vec![register(1, &[0, 1], 3, 10), register(2, &[2, 3, 4], 5, 11)];
+        let s = core.drain(&batch, 20);
+        assert_eq!(s.epoch, 1);
+        assert_eq!(s.planned, 2);
+        assert_eq!(core.slots[&1].status, SlotStatus::Planned);
+        assert!(s.total_cost > 0.0);
+        // Unregister removes; replan marks dirty and replans.
+        let s = core.drain(
+            &[
+                JournalEntry::Unregister { id: 2, at_ms: 30 },
+                JournalEntry::Replan {
+                    id: 1,
+                    deadline_ms: None,
+                    at_ms: 31,
+                },
+            ],
+            40,
+        );
+        assert_eq!(s.replanned, 1);
+        assert_eq!(core.slots.len(), 1);
+        assert_eq!(core.slots[&1].planned_epoch, 2);
+    }
+
+    #[test]
+    fn drains_are_deterministic() {
+        let run = || {
+            let mut core = ServiceCore::new(ServiceConfig::default());
+            core.drain(&[register(1, &[0, 1], 3, 10)], 20);
+            core.drain(
+                &[JournalEntry::Fault {
+                    fault: FaultReq::Degrade {
+                        a: 0,
+                        b: 1,
+                        factor_milli: 9000,
+                    },
+                    at_ms: 25,
+                }],
+                30,
+            );
+            core.fingerprint()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn sink_crash_loses_the_query_and_source_crash_parks_it() {
+        let mut core = ServiceCore::new(ServiceConfig::default());
+        // Pick sinks that are not also stream origins, so the crashes below
+        // hit exactly the role the test means them to.
+        let src_node = core.catalog.stream(StreamId(0)).node;
+        let other_src = core.catalog.stream(StreamId(1)).node;
+        let mut sinks =
+            (0..core.env.network.len() as u32).filter(|&n| n != src_node.0 && n != other_src.0);
+        let sink1 = sinks.next().unwrap();
+        let sink2 = sinks.next().unwrap();
+        core.drain(&[register(1, &[0, 1], sink1, 10)], 20);
+        // Crash the sink: lost, terminally.
+        core.drain(
+            &[JournalEntry::Fault {
+                fault: FaultReq::Crash(sink1),
+                at_ms: 30,
+            }],
+            40,
+        );
+        assert_eq!(core.slots[&1].status, SlotStatus::Lost);
+        // A second query whose source origin crashes parks, then recovers
+        // when the origin rejoins.
+        core.drain(&[register(2, &[0, 1], sink2, 50)], 60);
+        core.drain(
+            &[JournalEntry::Fault {
+                fault: FaultReq::Crash(src_node.0),
+                at_ms: 70,
+            }],
+            80,
+        );
+        assert_eq!(core.slots[&2].status, SlotStatus::Parked);
+        core.drain(
+            &[JournalEntry::Fault {
+                fault: FaultReq::Rejoin(src_node.0),
+                at_ms: 90,
+            }],
+            100,
+        );
+        assert_eq!(core.slots[&2].status, SlotStatus::Planned);
+        assert_eq!(core.counters.faults_applied, 3);
+    }
+
+    #[test]
+    fn replan_budget_serves_stale_plans() {
+        let cfg = ServiceConfig {
+            replan_budget: 1,
+            ..ServiceConfig::default()
+        };
+        let mut core = ServiceCore::new(cfg);
+        core.drain(&[register(1, &[0, 1], 3, 10)], 20);
+        let s = core.drain(&[register(2, &[2, 3], 5, 25)], 30);
+        assert_eq!(s.planned, 1);
+        // Now dirty both; budget 1 → one replans, one serves stale.
+        let s = core.drain(
+            &[
+                JournalEntry::Replan {
+                    id: 1,
+                    deadline_ms: None,
+                    at_ms: 35,
+                },
+                JournalEntry::Replan {
+                    id: 2,
+                    deadline_ms: None,
+                    at_ms: 36,
+                },
+            ],
+            40,
+        );
+        assert_eq!(s.replanned + s.stale, 2);
+        assert_eq!(s.stale, 1);
+        let stale_slot = core.slots.values().find(|s| s.stale).unwrap();
+        assert_eq!(stale_slot.status, SlotStatus::Planned);
+        assert!(stale_slot.deployment.is_some(), "stale is still served");
+        assert_eq!(core.counters.stale_served, 1);
+        // Storm passes: next drain catches up and clears the flag.
+        let s = core.drain(&[], 50);
+        assert_eq!(s.replanned, 1);
+        assert!(core.slots.values().all(|s| !s.stale));
+    }
+
+    #[test]
+    fn deadlines_drop_overdue_requests() {
+        let mut core = ServiceCore::new(ServiceConfig::default());
+        let s = core.drain(
+            &[JournalEntry::Register {
+                id: 1,
+                sources: vec![0, 1],
+                sink: 3,
+                deadline_ms: Some(5),
+                at_ms: 10,
+            }],
+            100, // drained 90ms after arrival, deadline was 5ms
+        );
+        assert_eq!(s.timed_out, 1);
+        assert!(core.slots.is_empty());
+        assert_eq!(core.counters.timed_out, 1);
+    }
+}

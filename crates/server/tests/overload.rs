@@ -1,0 +1,157 @@
+//! Admission control and graceful degradation: shed-load ordering under a
+//! full queue, per-request deadlines, and stale-serve behaviour when a
+//! churn storm exceeds the replan budget — plus the `server.*` counters
+//! that make each visible.
+
+use dsq_obs::{scoped, ClockMode, Sink};
+use dsq_server::{PlanningService, ServiceConfig};
+
+fn service(cfg: ServiceConfig) -> PlanningService {
+    PlanningService::new(cfg, None).unwrap()
+}
+
+#[test]
+fn churn_storm_serves_stale_plans_then_recovers() {
+    let sink = Sink::new(ClockMode::Virtual);
+    let _g = scoped(sink.clone());
+    // Budget of one plan per drain; the budget bounds initial planning too,
+    // so admit the three queries one drain at a time.
+    let mut s = service(ServiceConfig {
+        replan_budget: 1,
+        ..ServiceConfig::default()
+    });
+    let regs = [
+        r#"{"op":"register","id":1,"sources":[0,1],"sink":3,"at_ms":1}"#,
+        r#"{"op":"register","id":2,"sources":[2,3],"sink":5,"at_ms":2}"#,
+        r#"{"op":"register","id":3,"sources":[4,5],"sink":7,"at_ms":3}"#,
+    ];
+    for (i, reg) in regs.iter().enumerate() {
+        let r = s.submit_line(reg);
+        assert!(r.contains(r#""ok":true"#), "{r}");
+        let r = s.submit_line(&format!(r#"{{"op":"drain","at_ms":{}}}"#, 10 + i));
+        assert!(r.contains(r#""planned":1"#), "{r}");
+    }
+
+    // Storm: every query goes dirty at once, but only one replan fits per
+    // drain. The other two keep serving their last valid epoch's plans,
+    // flagged stale, until later drains work the backlog off.
+    for id in 1..=3 {
+        let r = s.submit_line(&format!(r#"{{"op":"replan","id":{id},"at_ms":20}}"#));
+        assert!(r.contains(r#""ok":true"#), "{r}");
+    }
+    let r = s.submit_line(r#"{"op":"drain","at_ms":21}"#);
+    assert!(r.contains(r#""replanned":1"#), "{r}");
+    assert!(r.contains(r#""stale":2"#), "{r}");
+    let r = s.submit_line(r#"{"op":"query","id":2}"#);
+    assert!(r.contains(r#""stale":true"#), "{r}");
+    assert!(r.contains(r#""status":"planned""#), "{r}");
+    assert!(
+        r.contains(r#""cost":"#),
+        "stale slots still serve a plan: {r}"
+    );
+
+    // Storm over: two more drains retry the deferred replans and clear the
+    // stale flags.
+    let r = s.submit_line(r#"{"op":"drain","at_ms":22}"#);
+    assert!(
+        r.contains(r#""replanned":1"#) && r.contains(r#""stale":1"#),
+        "{r}"
+    );
+    let r = s.submit_line(r#"{"op":"drain","at_ms":23}"#);
+    assert!(
+        r.contains(r#""replanned":1"#) && r.contains(r#""stale":0"#),
+        "{r}"
+    );
+    for id in 1..=3 {
+        let r = s.submit_line(&format!(r#"{{"op":"query","id":{id}}}"#));
+        assert!(r.contains(r#""stale":false"#), "{r}");
+    }
+    // 2 stale serves in the storm drain + 1 in the next.
+    let r = s.submit_line(r#"{"op":"stats"}"#);
+    assert!(r.contains(r#""stale_served":3"#), "{r}");
+
+    drop(_g);
+    let trace = sink.to_jsonl();
+    assert!(
+        trace.contains(r#""counter":"server.stale_served","value":3"#),
+        "stale serving is observable:\n{trace}"
+    );
+}
+
+#[test]
+fn overload_sheds_registrations_before_replans() {
+    let sink = Sink::new(ClockMode::Virtual);
+    let _g = scoped(sink.clone());
+    let mut s = service(ServiceConfig {
+        max_queue: 2,
+        ..ServiceConfig::default()
+    });
+    // Registrations shed at max_queue…
+    let r = s.submit_line(r#"{"op":"register","id":1,"sources":[0,1],"sink":3,"at_ms":1}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.submit_line(r#"{"op":"register","id":2,"sources":[2,3],"sink":5,"at_ms":1}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.submit_line(r#"{"op":"register","id":3,"sources":[4,5],"sink":7,"at_ms":1}"#);
+    assert!(r.contains("overloaded"), "{r}");
+    // …but replans and fault reports for existing work are still admitted
+    // up to twice that.
+    let r = s.submit_line(r#"{"op":"replan","id":1,"at_ms":2}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.submit_line(r#"{"op":"fault","kind":"crash","node":0,"at_ms":2}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.submit_line(r#"{"op":"replan","id":2,"at_ms":2}"#);
+    assert!(r.contains("overloaded"), "{r}");
+    // Drains are never shed: they are the only way out of overload.
+    let r = s.submit_line(r#"{"op":"drain","at_ms":5}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.submit_line(r#"{"op":"stats"}"#);
+    assert!(r.contains(r#""shed":2"#), "{r}");
+
+    drop(_g);
+    let trace = sink.to_jsonl();
+    assert!(
+        trace.contains(r#""counter":"server.requests_shed","value":2"#),
+        "shedding is observable:\n{trace}"
+    );
+}
+
+#[test]
+fn deadline_expired_requests_time_out_with_typed_error_accounting() {
+    let mut s = service(ServiceConfig {
+        default_deadline_ms: 50,
+        ..ServiceConfig::default()
+    });
+    let r = s.submit_line(r#"{"op":"register","id":1,"sources":[0,1],"sink":3,"at_ms":0}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.submit_line(r#"{"op":"register","id":2,"sources":[2,3],"sink":5,"at_ms":100}"#);
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    // The drain arrives 100 ms in: query 1's 50 ms deadline has lapsed,
+    // query 2's has not.
+    let r = s.submit_line(r#"{"op":"drain","at_ms":100}"#);
+    assert!(r.contains(r#""timed_out":1"#), "{r}");
+    assert!(r.contains(r#""planned":1"#), "{r}");
+    let r = s.submit_line(r#"{"op":"query","id":1}"#);
+    assert!(
+        r.contains("unknown query"),
+        "timed-out work never lands: {r}"
+    );
+    let r = s.submit_line(r#"{"op":"query","id":2}"#);
+    assert!(r.contains(r#""status":"planned""#), "{r}");
+    let r = s.submit_line(r#"{"op":"stats"}"#);
+    assert!(r.contains(r#""timed_out":1"#), "{r}");
+}
+
+#[test]
+fn explicit_deadline_overrides_the_default() {
+    let mut s = service(ServiceConfig {
+        default_deadline_ms: 50,
+        ..ServiceConfig::default()
+    });
+    let r = s.submit_line(
+        r#"{"op":"register","id":1,"sources":[0,1],"sink":3,"at_ms":0,"deadline_ms":500}"#,
+    );
+    assert!(r.contains(r#""ok":true"#), "{r}");
+    let r = s.submit_line(r#"{"op":"drain","at_ms":100}"#);
+    assert!(r.contains(r#""timed_out":0"#), "{r}");
+    assert!(r.contains(r#""planned":1"#), "{r}");
+}

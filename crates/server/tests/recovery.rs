@@ -1,0 +1,155 @@
+//! Crash-recovery differentials: the service killed at *every possible
+//! journal index* must recover to exactly the state the uncrashed run
+//! reaches — same fingerprint (plans, cost bits, counters), same epoch,
+//! same responses — and a pure journal replay must reproduce the original
+//! run's virtual-clock observability trace byte-for-byte.
+
+use std::path::{Path, PathBuf};
+
+use dsq_obs::{scoped, ClockMode, Sink};
+use dsq_server::{
+    generate_script, run_plain, run_with_crashes, CrashSchedule, PlanningService, ScriptConfig,
+    ServiceConfig,
+};
+use dsq_sim::chaos::FaultConfig;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dsq-recovery-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Journal length the script produces (every scripted line is mutating or
+/// a drain, so each is journaled).
+fn journal_len_of(cfg: &ServiceConfig, lines: &[String], dir: &Path) -> usize {
+    let path = dir.join("probe.journal");
+    let mut svc = PlanningService::new(cfg.clone(), Some(&path)).unwrap();
+    for l in lines {
+        svc.submit_line(l);
+    }
+    svc.journal_len()
+}
+
+fn small_script() -> ScriptConfig {
+    ScriptConfig {
+        queries: 4,
+        replans: 2,
+        unregisters: 1,
+        faults: FaultConfig {
+            events: 4,
+            mean_gap_ms: 300.0,
+            ..FaultConfig::default()
+        },
+        ..ScriptConfig::default()
+    }
+}
+
+#[test]
+fn kill_at_every_journal_index_recovers_exactly() {
+    let cfg = ServiceConfig::default();
+    let lines = generate_script(&cfg, &small_script());
+    let reference = run_plain(&cfg, &lines).unwrap();
+    let dir = temp_dir("sweep");
+    let len = journal_len_of(&cfg, &lines, &dir);
+    assert_eq!(len, lines.len(), "every scripted request is journaled");
+
+    for k in 1..=len {
+        let path = dir.join(format!("kill-{k}.journal"));
+        let schedule = CrashSchedule { kill_at: vec![k] };
+        let crashed = run_with_crashes(&cfg, &lines, &schedule, &path).unwrap();
+        assert_eq!(crashed.kills, 1, "kill point {k} never triggered");
+        assert_eq!(
+            crashed.fingerprint, reference.fingerprint,
+            "state diverged after a crash at journal index {k}"
+        );
+        assert_eq!(crashed.final_epoch, reference.final_epoch, "kill point {k}");
+        assert_eq!(
+            crashed.responses, reference.responses,
+            "responses diverged after a crash at journal index {k}"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn surviving_a_crash_after_every_single_entry_in_one_run() {
+    let cfg = ServiceConfig::default();
+    let lines = generate_script(&cfg, &small_script());
+    let reference = run_plain(&cfg, &lines).unwrap();
+    let dir = temp_dir("exhaustive");
+    let path = dir.join("exhaustive.journal");
+    let schedule = CrashSchedule::exhaustive(lines.len());
+    let crashed = run_with_crashes(&cfg, &lines, &schedule, &path).unwrap();
+    assert_eq!(crashed.kills, lines.len(), "one crash per journal entry");
+    assert_eq!(crashed.fingerprint, reference.fingerprint);
+    assert_eq!(crashed.final_epoch, reference.final_epoch);
+    assert_eq!(crashed.responses, reference.responses);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recovery_replay_trace_is_bit_identical() {
+    // Journal-only recovery (no snapshot) re-drives every entry through the
+    // same code path as live traffic, so the recovered run's virtual-clock
+    // JSONL trace must equal the original's — the only additions are the
+    // recovery accounting lines themselves.
+    let cfg = ServiceConfig::default();
+    let lines = generate_script(&cfg, &ScriptConfig::default());
+    let dir = temp_dir("trace");
+    let path = dir.join("trace.journal");
+
+    let live = Sink::new(ClockMode::Virtual);
+    {
+        let _g = scoped(live.clone());
+        let mut svc = PlanningService::new(cfg.clone(), Some(&path)).unwrap();
+        for l in &lines {
+            svc.submit_line(l);
+        }
+    }
+    let live_trace = live.to_jsonl();
+    assert!(
+        live_trace.contains("server.drain"),
+        "live run recorded drain spans"
+    );
+
+    let replay = Sink::new(ClockMode::Virtual);
+    {
+        let _g = scoped(replay.clone());
+        PlanningService::recover_from_path(&path).unwrap();
+    }
+    let replay_trace: String = replay
+        .to_jsonl()
+        .lines()
+        .filter(|l| !l.contains("server.recovery_replay"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert_eq!(
+        replay_trace, live_trace,
+        "journal replay must reproduce the live obs trace byte-for-byte"
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn snapshot_fast_forward_recovery_matches_full_replay() {
+    let cfg = ServiceConfig {
+        snapshot_every: 2,
+        ..ServiceConfig::default()
+    };
+    let lines = generate_script(&cfg, &small_script());
+    let reference = run_plain(&cfg, &lines).unwrap();
+    let dir = temp_dir("snapshot");
+    let path = dir.join("snap.journal");
+    let schedule = CrashSchedule::generate(3, lines.len(), 4);
+    let crashed = run_with_crashes(&cfg, &lines, &schedule, &path).unwrap();
+    assert!(crashed.kills > 0);
+    let snap_path = PathBuf::from(format!("{}.snap", path.display()));
+    assert!(
+        snap_path.exists(),
+        "snapshots were configured but never written"
+    );
+    assert_eq!(crashed.fingerprint, reference.fingerprint);
+    assert_eq!(crashed.final_epoch, reference.final_epoch);
+    assert_eq!(crashed.responses, reference.responses);
+    std::fs::remove_dir_all(&dir).ok();
+}

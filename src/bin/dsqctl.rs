@@ -19,6 +19,12 @@
 //!                                                          summary of the same run
 //! dsqctl fuzz [--seed S] [--iters N] [--max-nodes M]       differential planner
 //!             [--out DIR]                                   fuzzing campaign
+//! dsqctl fuzz FILE.case [--check SLUG]                      replay one repro
+//!                                                          against the oracle
+//! dsqctl serve [--journal FILE] [--recover] [--script F]   resident planning
+//!              [--listen ADDR] [--selftest] [--max-queue N] service (JSONL over
+//!              [--budget N] [--deadline MS]                 stdin, a script file
+//!              [--snapshot-every N]                         or TCP)
 //! ```
 //!
 //! All arguments are optional; defaults reproduce the paper's ~128-node
@@ -52,6 +58,7 @@ fn main() -> ExitCode {
         "trace" => trace(&opts),
         "stats" => stats(&opts),
         "fuzz" => fuzz(&opts),
+        "serve" => serve(&opts),
         "help" | "--help" | "-h" => {
             println!("{}", USAGE);
             ExitCode::SUCCESS
@@ -64,7 +71,7 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str =
-    "dsqctl <topology|hierarchy|optimize|plan|simulate|sql|chaos|trace|stats|fuzz|help> [options]
+    "dsqctl <topology|hierarchy|optimize|plan|simulate|sql|chaos|trace|stats|fuzz|serve|help> [options]
   --size N       target network size (default 128)
   --seed S       RNG seed (default 1)
   --max-cs M     cluster size cap (default 32)
@@ -84,6 +91,19 @@ const USAGE: &str =
   --iters N      fuzz iterations (default 200)
   --max-nodes M  fuzz topology size ceiling (default 48)
   --out DIR      write minimized fuzz repros to DIR (default target/fuzz)
+  --check SLUG   when replaying a .case file, report only this oracle
+                 check's violations (e.g. protocol, migration, chaos)
+  --journal FILE write-ahead journal for `serve` (enables crash recovery)
+  --recover      recover `serve` state from --journal instead of starting fresh
+  --script FILE  run `serve` against a JSONL request script, then exit
+  --listen ADDR  serve the JSONL protocol over TCP (e.g. 127.0.0.1:7070)
+  --selftest     `serve` smoke test: scripted run, seeded crashes, recovery
+  --max-queue N  admission bound on queued mutating requests (default 64)
+  --budget N     replans per drain wave before degrading to stale plans
+                 (default 0 = unbounded)
+  --deadline MS  default per-request deadline at drain time (default 0 = none)
+  --snapshot-every N
+                 write a recovery snapshot every N drains (default 0 = never)
   --save FILE    write the generated topology to FILE (text format)
   --load FILE    read the topology from FILE instead of generating one
   --dot          emit Graphviz DOT instead of a summary";
@@ -108,6 +128,16 @@ struct Opts {
     iters: usize,
     max_nodes: usize,
     out: Option<String>,
+    check: Option<String>,
+    journal: Option<String>,
+    recover: bool,
+    script: Option<String>,
+    listen: Option<String>,
+    selftest: bool,
+    max_queue: Option<usize>,
+    budget: Option<usize>,
+    deadline: Option<u64>,
+    snapshot_every: Option<usize>,
     save: Option<String>,
     load: Option<String>,
     dot: bool,
@@ -134,6 +164,16 @@ impl Opts {
             iters: 200,
             max_nodes: 48,
             out: None,
+            check: None,
+            journal: None,
+            recover: false,
+            script: None,
+            listen: None,
+            selftest: false,
+            max_queue: None,
+            budget: None,
+            deadline: None,
+            snapshot_every: None,
             save: None,
             load: None,
             dot: false,
@@ -173,6 +213,28 @@ impl Opts {
                     o.max_nodes = value("--max-nodes").parse().expect("--max-nodes: integer")
                 }
                 "--out" => o.out = Some(value("--out")),
+                "--check" => o.check = Some(value("--check")),
+                "--journal" => o.journal = Some(value("--journal")),
+                "--recover" => o.recover = true,
+                "--script" => o.script = Some(value("--script")),
+                "--listen" => o.listen = Some(value("--listen")),
+                "--selftest" => o.selftest = true,
+                "--max-queue" => {
+                    o.max_queue = Some(value("--max-queue").parse().expect("--max-queue: integer"))
+                }
+                "--budget" => {
+                    o.budget = Some(value("--budget").parse().expect("--budget: integer"))
+                }
+                "--deadline" => {
+                    o.deadline = Some(value("--deadline").parse().expect("--deadline: integer ms"))
+                }
+                "--snapshot-every" => {
+                    o.snapshot_every = Some(
+                        value("--snapshot-every")
+                            .parse()
+                            .expect("--snapshot-every: integer"),
+                    )
+                }
                 "--save" => o.save = Some(value("--save")),
                 "--load" => o.load = Some(value("--load")),
                 "--dot" => o.dot = true,
@@ -550,6 +612,15 @@ fn fuzz(o: &Opts) -> ExitCode {
     // The oracle converts internal panics into violations; the default
     // hook's backtraces would drown the campaign log.
     silence_panics();
+    // Replay mode: a positional .case file runs the oracle once instead of
+    // a campaign; --check narrows the report to one invariant.
+    if let Some(path) = o.positional.first() {
+        return fuzz_replay(path, o.check.as_deref());
+    }
+    if let Some(slug) = &o.check {
+        eprintln!("fuzz: --check {slug} needs a .case file to replay");
+        return ExitCode::FAILURE;
+    }
     let out_dir = o.out.clone().unwrap_or_else(|| "target/fuzz".to_string());
     let cfg = CampaignConfig {
         seed: o.seed,
@@ -597,6 +668,247 @@ fn fuzz(o: &Opts) -> ExitCode {
     }
     eprintln!("\n{} finding(s) — see repros above", outcome.findings.len());
     ExitCode::FAILURE
+}
+
+/// `dsqctl fuzz FILE.case [--check SLUG]`: replay one repro against the
+/// whole oracle and report (optionally only one check's) violations.
+fn fuzz_replay(path: &str, check: Option<&str>) -> ExitCode {
+    use dsq_fuzz::CheckId;
+    let filter = match check {
+        None => None,
+        Some(slug) => match CheckId::from_slug(slug) {
+            Some(c) => Some(c),
+            None => {
+                let known: Vec<&str> = CheckId::ALL.iter().map(|c| c.slug()).collect();
+                eprintln!("fuzz: unknown check {slug:?}; one of: {}", known.join(", "));
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let violations = match dsq_fuzz::verify_case_file_check(std::path::Path::new(path), filter) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("fuzz: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let scope = match filter {
+        Some(c) => format!("check '{}'", c.slug()),
+        None => "the full oracle".to_string(),
+    };
+    if violations.is_empty() {
+        println!("{path}: passes {scope}");
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        println!(
+            "violation [{}]:\n  {}",
+            v.check.slug(),
+            v.detail.replace('\n', "\n  ")
+        );
+    }
+    eprintln!("{path}: {} violation(s) against {scope}", violations.len());
+    ExitCode::FAILURE
+}
+
+/// `dsqctl serve`: the resident planning service, fed from a script file,
+/// stdin, or a TCP socket — plus the `--selftest` crash-recovery smoke run.
+fn serve(o: &Opts) -> ExitCode {
+    use dsq_server::{PlanningService, ServiceConfig};
+    use std::path::Path;
+
+    if o.selftest {
+        return serve_selftest(o);
+    }
+
+    let mut cfg = ServiceConfig {
+        seed: o.seed,
+        ..ServiceConfig::default()
+    };
+    if let Some(n) = o.max_queue {
+        cfg.max_queue = n;
+    }
+    if let Some(n) = o.budget {
+        cfg.replan_budget = n;
+    }
+    if let Some(ms) = o.deadline {
+        cfg.default_deadline_ms = ms;
+    }
+    if let Some(n) = o.snapshot_every {
+        cfg.snapshot_every = n;
+    }
+
+    let journal_path = o.journal.as_deref().map(Path::new);
+    let mut svc = if o.recover {
+        let Some(path) = journal_path else {
+            eprintln!("serve: --recover needs --journal FILE");
+            return ExitCode::FAILURE;
+        };
+        match PlanningService::recover_from_path(path) {
+            Ok(s) => {
+                eprintln!(
+                    "[recovered epoch {} from {} ({} journal entries)]",
+                    s.core().epoch,
+                    path.display(),
+                    s.journal_len()
+                );
+                s
+            }
+            Err(e) => {
+                eprintln!("serve: recovery failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        match PlanningService::new(cfg, journal_path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("serve: cannot start: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    };
+
+    let result = if let Some(script) = &o.script {
+        let text = match std::fs::read_to_string(script) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("serve: cannot read {script}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut stdout = std::io::stdout().lock();
+        dsq_server::net::serve_lines(&mut svc, text.as_bytes(), &mut stdout).map(|_| ())
+    } else if let Some(addr) = &o.listen {
+        let mut status = std::io::stderr().lock();
+        dsq_server::net::serve_tcp(&mut svc, addr, &mut status)
+    } else {
+        let stdin = std::io::stdin().lock();
+        let mut stdout = std::io::stdout().lock();
+        dsq_server::net::serve_lines(&mut svc, stdin, &mut stdout).map(|_| ())
+    };
+    match result {
+        Ok(()) => {
+            eprintln!(
+                "[served to epoch {}, {} queries planned]",
+                svc.core().epoch,
+                svc.core()
+                    .slots
+                    .values()
+                    .filter(|s| s.deployment.is_some())
+                    .count()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `dsqctl serve --selftest`: generate a seeded request script, run it
+/// uncrashed, then re-run it against a journaled service that is killed and
+/// recovered at seeded points — the two runs must agree response-for-
+/// response, and the epoch must survive every crash.
+fn serve_selftest(o: &Opts) -> ExitCode {
+    use dsq_server::{generate_script, run_plain, run_with_crashes, CrashSchedule};
+    use dsq_server::{ScriptConfig, ServiceConfig};
+
+    let mut cfg = ServiceConfig {
+        seed: o.seed,
+        ..ServiceConfig::default()
+    };
+    if let Some(n) = o.max_queue {
+        cfg.max_queue = n;
+    }
+    if let Some(n) = o.budget {
+        cfg.replan_budget = n;
+    }
+    if let Some(n) = o.snapshot_every {
+        cfg.snapshot_every = n;
+    }
+    let script = ScriptConfig {
+        seed: o.seed,
+        ..ScriptConfig::default()
+    };
+    let lines = generate_script(&cfg, &script);
+    println!(
+        "selftest: {} scripted requests (seed {})",
+        lines.len(),
+        o.seed
+    );
+
+    let reference = match run_plain(&cfg, &lines) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("selftest: uncrashed run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "selftest: uncrashed run reached epoch {}",
+        reference.final_epoch
+    );
+
+    let dir = std::env::temp_dir().join(format!("dsqctl-selftest-{}", std::process::id()));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("selftest: cannot create {}: {e}", dir.display());
+        return ExitCode::FAILURE;
+    }
+    let journal = dir.join("selftest.journal");
+    let schedule = CrashSchedule::generate(o.seed ^ 0xC4A5, lines.len(), 3);
+    let crashed = match run_with_crashes(&cfg, &lines, &schedule, &journal) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("selftest: crashed run failed: {e}");
+            std::fs::remove_dir_all(&dir).ok();
+            return ExitCode::FAILURE;
+        }
+    };
+    std::fs::remove_dir_all(&dir).ok();
+    println!(
+        "selftest: {} kill-and-recover cycles, final epoch {}",
+        crashed.kills, crashed.final_epoch
+    );
+
+    let mut ok = true;
+    if crashed.kills == 0 {
+        println!("FAIL: crash schedule produced no kills");
+        ok = false;
+    }
+    if crashed.final_epoch != reference.final_epoch {
+        println!(
+            "FAIL: epoch diverged: {} crashed vs {} reference",
+            crashed.final_epoch, reference.final_epoch
+        );
+        ok = false;
+    }
+    if crashed.fingerprint != reference.fingerprint {
+        println!(
+            "FAIL: state fingerprint diverged\nreference:\n{}\ncrashed:\n{}",
+            reference.fingerprint, crashed.fingerprint
+        );
+        ok = false;
+    }
+    if crashed.responses != reference.responses {
+        let diverged = crashed
+            .responses
+            .iter()
+            .zip(&reference.responses)
+            .position(|(a, b)| a != b);
+        println!("FAIL: responses diverged (first at index {diverged:?})");
+        ok = false;
+    }
+    if ok {
+        println!(
+            "selftest: OK — recovery is exact across {} crashes",
+            crashed.kills
+        );
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn sql(o: &Opts) -> ExitCode {

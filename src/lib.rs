@@ -25,6 +25,9 @@
 //!   counters and histograms behind a no-op default (see `dsqctl trace`).
 //! * [`workload`] — the seeded uniformly-random workload generator and the
 //!   airline OIS scenario from the paper's Section 1.1.
+//! * [`server`] — the resident planning service (`dsqctl serve`): JSONL
+//!   request protocol, write-ahead journal with snapshot + replay crash
+//!   recovery, admission control and stale-serve degradation.
 //!
 //! ## Quickstart
 //!
@@ -59,6 +62,7 @@ pub use dsq_hierarchy as hierarchy;
 pub use dsq_net as net;
 pub use dsq_obs as obs;
 pub use dsq_query as query;
+pub use dsq_server as server;
 pub use dsq_sim as sim;
 pub use dsq_workload as workload;
 
