@@ -46,7 +46,12 @@ pub fn rate_optimal_tree(
             .iter()
             .map(|&i| JoinTree::Leaf(leaves[i].clone()))
             .collect();
-        for tree in enumerate_trees(&leaf_trees) {
+        let candidates = if leaf_trees.len() <= EXHAUSTIVE_MAX_LEAVES {
+            enumerate_trees(&leaf_trees)
+        } else {
+            vec![greedy_tree(leaf_trees, query, catalog)]
+        };
+        for tree in candidates {
             let plan = FlatPlan::from_tree(&tree, query, catalog);
             let score = plan.intermediate_rate_sum();
             if best.as_ref().is_none_or(|(b, _, _)| score < *b) {
@@ -56,6 +61,55 @@ pub fn rate_optimal_tree(
     }
     let (_, tree, plan) = best.expect("at least the all-bases cover exists");
     (tree, plan)
+}
+
+/// Widest cover the exhaustive bushy enumeration handles: the tree count is
+/// `(2k-3)!!`, so 8 leaves already means 135,135 candidate trees. Nothing in
+/// the paper's workloads exceeds 6; past the cap the greedy agglomerative
+/// fallback keeps the baseline total instead of tripping the enumeration
+/// guard's panic on wide (>32-stream) queries.
+const EXHAUSTIVE_MAX_LEAVES: usize = 8;
+
+/// Greedy agglomerative join ordering for covers too wide to enumerate:
+/// repeatedly merge the pair of subtrees whose join has the smallest output
+/// rate — the same `σ_cross · r_left · r_right` model `FlatPlan` uses, so
+/// the returned tree's flattened rates agree with the selection objective.
+/// Ties break on the lowest pair indices, keeping the result deterministic.
+fn greedy_tree(leaf_trees: Vec<JoinTree>, query: &Query, catalog: &Catalog) -> JoinTree {
+    let mut forest: Vec<(JoinTree, StreamSet, f64)> = leaf_trees
+        .into_iter()
+        .map(|t| {
+            let covered = t.covered();
+            let rate = match &t {
+                JoinTree::Leaf(LeafSource::Base(id)) => query.effective_rate(catalog, *id),
+                JoinTree::Leaf(LeafSource::Derived { rate, .. }) => *rate,
+                JoinTree::Join(..) => unreachable!("greedy forest starts from leaves"),
+            };
+            (t, covered, rate)
+        })
+        .collect();
+    while forest.len() > 1 {
+        let mut best = (f64::INFINITY, 0usize, 1usize);
+        for i in 0..forest.len() {
+            for j in (i + 1)..forest.len() {
+                let sigma =
+                    catalog.cross_selectivity(forest[i].1.as_slice(), forest[j].1.as_slice());
+                let rate = sigma * forest[i].2 * forest[j].2;
+                if rate < best.0 {
+                    best = (rate, i, j);
+                }
+            }
+        }
+        let (rate, i, j) = best;
+        let (right, rc, _) = forest.swap_remove(j);
+        let (left, lc, _) = forest.swap_remove(i);
+        forest.push((
+            JoinTree::Join(Box::new(left), Box::new(right)),
+            lc.union(&rc),
+            rate,
+        ));
+    }
+    forest.pop().expect("covers are never empty").0
 }
 
 /// Enumerate index sets of `leaves` that cover `sources` disjointly.
@@ -152,6 +206,30 @@ mod tests {
             .any(|l| matches!(l, LeafSource::Derived { .. }));
         assert!(uses_derived, "got {}", tree.canonical());
         assert_eq!(tree.join_count(), 1);
+    }
+
+    #[test]
+    fn wide_query_falls_back_to_greedy() {
+        let mut c = Catalog::new();
+        let n = EXHAUSTIVE_MAX_LEAVES + 3;
+        let ids: Vec<StreamId> = (0..n)
+            .map(|i| {
+                c.add_stream(
+                    format!("S{i}"),
+                    50.0 + i as f64,
+                    NodeId(0),
+                    Schema::default(),
+                )
+            })
+            .collect();
+        let q = Query::join(QueryId(0), ids.iter().copied(), NodeId(0));
+        let mut reg = ReuseRegistry::new();
+        // Past the enumeration cap this must not panic, and the greedy tree
+        // must still be a valid disjoint cover of every source.
+        let (tree, plan) = rate_optimal_tree(&c, &q, &mut reg);
+        assert_eq!(tree.covered(), q.source_set());
+        assert_eq!(tree.join_count(), n - 1);
+        assert!(plan.intermediate_rate_sum().is_finite());
     }
 
     #[test]

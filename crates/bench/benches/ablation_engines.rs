@@ -42,9 +42,11 @@ fn bench(c: &mut Criterion) {
         let mut s2 = SearchStats::new();
         let dp = planner
             .plan(inputs, &candidates, &dm, Some(q.sink), None, &mut s1)
+            .unwrap()
             .unwrap();
         let ex = planner
             .plan_exhaustive(inputs, &candidates, &dm, Some(q.sink), None, &mut s2)
+            .unwrap()
             .unwrap();
         assert!(
             (dp.est_cost - ex.est_cost).abs() < 1e-6,
@@ -68,6 +70,7 @@ fn bench(c: &mut Criterion) {
             planner
                 .plan(inputs, &candidates, &dm, Some(q.sink), None, &mut s)
                 .unwrap()
+                .unwrap()
                 .est_cost
         })
     });
@@ -76,6 +79,7 @@ fn bench(c: &mut Criterion) {
             let mut s = SearchStats::new();
             planner
                 .plan_exhaustive(inputs, &candidates, &dm, Some(q.sink), None, &mut s)
+                .unwrap()
                 .unwrap()
                 .est_cost
         })

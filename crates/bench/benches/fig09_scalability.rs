@@ -247,6 +247,81 @@ fn bench(c: &mut Criterion) {
         );
     }
 
+    // ROADMAP item 3 — an order of magnitude past the paper: wall time to
+    // plan a Q-query batch on transit-stub networks up to ~10k nodes with
+    // the bitset/arena engine. Rows land in BENCH_plan.json under
+    // `fig09.scale.n<N>_q<Q>` (N = target node count), so CI can assert the
+    // sweep ran and gate the paper-scale point against a committed baseline.
+    {
+        use dsq_core::{optimize_all, ParallelConfig};
+        let points: &[(usize, usize)] = if quick_mode() {
+            &[(256, 50), (512, 100)]
+        } else {
+            &[(1024, 100), (2560, 250), (5120, 500), (10240, 1000)]
+        };
+        let scale_sink = dsq_obs::Sink::new(dsq_obs::ClockMode::Monotonic);
+        let _obs_scope = dsq_obs::scoped(scale_sink.clone());
+        let mut rows: Vec<(String, f64)> = Vec::new();
+        let (mut sx, mut env_ms_s, mut plan_ms_s, mut per_q_s) = (vec![], vec![], vec![], vec![]);
+        for &(target, queries) in points {
+            let net = TransitStubConfig::sized(target).generate(9).network;
+            let n = net.len();
+            let t0 = std::time::Instant::now();
+            let env = Environment::build(net, 32);
+            let env_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let wl = WorkloadGenerator::new(
+                WorkloadConfig {
+                    streams: 100,
+                    queries,
+                    joins_per_query: 2..=5,
+                    ..WorkloadConfig::default()
+                },
+                33,
+            )
+            .generate(&env.network);
+            let td = TopDown::new(&env);
+            let t0 = std::time::Instant::now();
+            let out = optimize_all(
+                &env,
+                &td,
+                &wl.catalog,
+                &wl.queries,
+                &ReuseRegistry::new(),
+                &ParallelConfig::default(),
+            );
+            let plan_ms = t0.elapsed().as_secs_f64() * 1e3;
+            assert_eq!(
+                out.planned(),
+                wl.queries.len(),
+                "every query must plan at n = {n}"
+            );
+            println!(
+                "fig09 scale: n = {n:>5}, {queries:>4} queries: env build {env_ms:.0} ms, \
+                 plan {plan_ms:.0} ms ({:.2} ms/query)",
+                plan_ms / queries as f64
+            );
+            rows.push((format!("fig09.scale.n{target}_q{queries}"), plan_ms));
+            sx.push(n as f64);
+            env_ms_s.push(env_ms);
+            plan_ms_s.push(plan_ms);
+            per_q_s.push(plan_ms / queries as f64);
+        }
+        Table {
+            name: "fig09_scale",
+            caption: "batch planning wall time, an order of magnitude past the paper",
+            x_label: "network size",
+            x: sx,
+            series: vec![
+                ("env build (ms)".into(), env_ms_s),
+                ("plan batch (ms)".into(), plan_ms_s),
+                ("per query (ms)".into(), per_q_s),
+            ],
+        }
+        .emit();
+        let row_refs: Vec<(&str, f64)> = rows.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+        dsq_bench::emit_bench_json("plan", &row_refs, &scale_sink.snapshot());
+    }
+
     // Criterion: per-query optimization latency at the largest size.
     let q = &wl.queries[0];
     let mut group = c.benchmark_group("fig09_largest_network");

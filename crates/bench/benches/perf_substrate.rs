@@ -81,6 +81,7 @@ fn bench(c: &mut Criterion) {
                         &mut stats,
                     )
                     .unwrap()
+                    .unwrap()
                     .est_cost
             })
         });

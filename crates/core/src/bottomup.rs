@@ -244,7 +244,9 @@ impl BottomUp<'_> {
                         c.members.len(),
                     );
                     planner
-                        .plan(&seen, &c.members, &self.env.dm, dest, Some(sink_rep), stats)?
+                        .plan(&seen, &c.members, &self.env.dm, dest, Some(sink_rep), stats)
+                        .ok()
+                        .flatten()?
                         .tree
                 }
                 BottomUpPlacement::InputColocation => {
@@ -273,7 +275,9 @@ impl BottomUp<'_> {
                             dest,
                             Some(query.sink),
                             stats,
-                        )?
+                        )
+                        .ok()
+                        .flatten()?
                         .tree
                 }
             };

@@ -50,7 +50,7 @@ use crate::placed::PlacedTree;
 use crate::stats::SearchStats;
 use dsq_hierarchy::{ClusterId, Hierarchy, HierarchyDelta};
 use dsq_net::{DistanceMatrix, NodeId};
-use dsq_query::{Catalog, DerivedId, LeafSource, StreamId, StreamSet};
+use dsq_query::{Catalog, DerivedId, InputSet, LeafSource, StreamId};
 use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -85,10 +85,12 @@ enum InputKey {
     /// A base stream: location comes from the catalog (epoch-covered), the
     /// effective rate folds in this query's selection predicates.
     Base { stream: StreamId, rate_bits: u64 },
-    /// A reused derived stream: every field that feeds costing.
+    /// A reused derived stream: every field that feeds costing. Covered
+    /// streams are keyed as canonical word bitsets, so hashing and equality
+    /// are word comparisons rather than sorted-id-vector walks.
     Derived {
         id: DerivedId,
-        covered: StreamSet,
+        covered: InputSet,
         rate_bits: u64,
         host: NodeId,
     },
@@ -96,7 +98,7 @@ enum InputKey {
     /// reconstruction label, remapped on hit); the DP sees only the covered
     /// streams, where they are produced, and their effective rates.
     External {
-        covered: StreamSet,
+        covered: InputSet,
         location: NodeId,
         rate_bits: Vec<u64>,
     },
@@ -462,12 +464,12 @@ impl PlanCache {
                     host,
                 }) => keys.push(InputKey::Derived {
                     id: *id,
-                    covered: covered.clone(),
+                    covered: InputSet::from_stream_set(covered),
                     rate_bits: rate.to_bits(),
                     host: *host,
                 }),
                 InputKind::External { .. } => keys.push(InputKey::External {
-                    covered: input.covered.clone(),
+                    covered: InputSet::from_stream_set(&input.covered),
                     location: input.location,
                     rate_bits: input
                         .covered
@@ -615,7 +617,7 @@ pub fn catalog_dirty_streams(old: &Catalog, new: &Catalog) -> HashSet<StreamId> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dsq_query::{Catalog, Query, QueryId, Schema};
+    use dsq_query::{Catalog, Query, QueryId, Schema, StreamSet};
 
     fn setup() -> (Catalog, Query) {
         let mut c = Catalog::new();

@@ -8,7 +8,11 @@
 //! * [`ClusterPlanner::plan`] — a subset/placement dynamic program that
 //!   returns the *same optimum* as literal enumeration for the sum-of-edge
 //!   costs metric, in `O(3^A·M + 2^A·M²)` instead of `O((2A−3)!!·M^(A−1))`
-//!   (A = atoms, M = candidate nodes);
+//!   (A = atoms, M = candidate nodes). Universes wider than one mask word
+//!   comfortably holds run the same recurrences over the *reachable* sets
+//!   only (disjoint unions of input coverages, as word-array bitsets), so
+//!   there is no 32-atom overflow cliff — only a typed
+//!   [`PlacementError::UniverseTooLarge`] budget;
 //! * [`ClusterPlanner::plan_exhaustive`] — the literal enumerate-everything
 //!   search, kept for validation and ablation.
 //!
@@ -25,10 +29,41 @@
 //! of which providers produce it, which is what makes the dynamic program
 //! exact.
 
+use crate::optimal::PlacementError;
 use crate::placed::PlacedTree;
 use crate::stats::SearchStats;
 use dsq_net::{DistanceMatrix, NodeId};
-use dsq_query::{Catalog, LeafSource, Query, StreamId, StreamSet};
+use dsq_query::{Catalog, InputSet, LeafSource, Query, StreamId, StreamSet};
+use std::collections::HashMap;
+
+/// Widest atom universe the dense DP allocates full `2^a · m` tables for;
+/// beyond this the sparse reachable-set DP takes over. The dense sweep
+/// enumerates every (cover, partition) pair — `O(3^a)` work — so 14 keeps
+/// the worst case under ~5M partition visits; past that the sparse path is
+/// exact and either cheaper (coarse inputs) or a fast typed refusal
+/// (fine-grained ones).
+const DENSE_MAX_ATOMS: usize = 14;
+
+/// Cap on distinct reachable input unions the sparse DP will track before
+/// returning [`PlacementError::UniverseTooLarge`]. A universe of many
+/// fine-grained inputs (e.g. 30 singletons) blows past this immediately;
+/// wide universes tiled by a handful of coarse inputs stay far under it.
+const SPARSE_STATE_BUDGET: usize = 4096;
+
+/// Atom cap for the literal exhaustive search (validation/ablation only).
+const EXHAUSTIVE_MAX_ATOMS: usize = 5;
+
+/// All-ones mask for an `a`-atom universe, handling the `a == 64` word
+/// boundary uniformly (the analog of the old `a == 32` special case that
+/// `plan_exhaustive` was missing).
+fn mask_full(a: usize) -> u64 {
+    debug_assert!(a <= 64, "dense masks cap at one word");
+    if a == 64 {
+        u64::MAX
+    } else {
+        (1u64 << a) - 1
+    }
+}
 
 /// What a planning input is, for tree reconstruction.
 #[derive(Clone, Debug)]
@@ -132,6 +167,7 @@ pub struct ClusterPlanner<'a> {
     catalog: &'a Catalog,
     query: &'a Query,
     load: Option<&'a crate::load::LoadModel>,
+    dense_limit: usize,
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -141,6 +177,13 @@ enum DelivBack {
     From(usize),
 }
 
+/// Winner of the final selection, reconstructed into a tree exactly once.
+#[derive(Clone, Copy)]
+enum Winner {
+    Input(usize),
+    Prod(usize),
+}
+
 impl<'a> ClusterPlanner<'a> {
     /// Create a planner for one query.
     pub fn new(catalog: &'a Catalog, query: &'a Query) -> Self {
@@ -148,7 +191,16 @@ impl<'a> ClusterPlanner<'a> {
             catalog,
             query,
             load: None,
+            dense_limit: DENSE_MAX_ATOMS,
         }
+    }
+
+    /// Lower the dense-DP width cutoff so small universes exercise the
+    /// sparse reachable-set path (testing only).
+    #[cfg(test)]
+    fn with_dense_limit(mut self, limit: usize) -> Self {
+        self.dense_limit = limit;
+        self
     }
 
     /// Attach a load model: candidate placements pay its marginal overload
@@ -187,8 +239,16 @@ impl<'a> ClusterPlanner<'a> {
     /// * `dest: None` — intermediate deployment (Bottom-Up): the result
     ///   stays at the chosen root operator; ties broken toward `anchor`.
     ///
-    /// Returns `None` when the atoms cannot be covered (e.g. no candidates
-    /// but joins required).
+    /// Returns `Ok(None)` when the atoms cannot be covered (e.g. no
+    /// candidates but joins required), and
+    /// `Err(PlacementError::UniverseTooLarge)` when the universe is too
+    /// wide even for the sparse engine — never a shift overflow.
+    ///
+    /// Universes up to [`DENSE_MAX_ATOMS`] atoms run the dense
+    /// one-word-mask DP; wider universes run the same recurrences over the
+    /// *reachable* sets only (disjoint unions of input coverages, as
+    /// [`InputSet`] bitsets), which handles e.g. a 40-atom universe tiled
+    /// by 8 coarse derived inputs exactly.
     pub fn plan(
         &self,
         inputs: &[PlannerInput],
@@ -197,16 +257,34 @@ impl<'a> ClusterPlanner<'a> {
         dest: Option<NodeId>,
         anchor: Option<NodeId>,
         stats: &mut SearchStats,
-    ) -> Option<PlannerOutput> {
+    ) -> Result<Option<PlannerOutput>, PlacementError> {
         let atoms = atom_universe(inputs);
-        let a = atoms.len();
-        if a == 0 {
-            return None;
+        if atoms.is_empty() {
+            return Ok(None);
         }
-        assert!(a <= 20, "planning over {a} atoms would explode");
-        let full: u32 = if a == 32 { u32::MAX } else { (1u32 << a) - 1 };
-        let rate = self.rate_table(&atoms);
-        let input_mask: Vec<u32> = inputs.iter().map(|i| mask_of(&i.covered, &atoms)).collect();
+        if atoms.len() <= self.dense_limit {
+            Ok(self.plan_dense(inputs, candidates, dm, dest, anchor, stats, &atoms))
+        } else {
+            self.plan_sparse(inputs, candidates, dm, dest, anchor, stats, &atoms)
+        }
+    }
+
+    /// The dense subset/placement DP over one-word atom masks.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_dense(
+        &self,
+        inputs: &[PlannerInput],
+        candidates: &[NodeId],
+        dm: &DistanceMatrix,
+        dest: Option<NodeId>,
+        anchor: Option<NodeId>,
+        stats: &mut SearchStats,
+        atoms: &[StreamId],
+    ) -> Option<PlannerOutput> {
+        let a = atoms.len();
+        let full: u64 = mask_full(a);
+        let rate = self.rate_table(atoms);
+        let input_mask: Vec<u64> = inputs.iter().map(|i| mask_of(&i.covered, atoms)).collect();
 
         let m = candidates.len();
         let states = ((full as usize + 1) * m.max(1)) as u64 * 2;
@@ -222,11 +300,11 @@ impl<'a> ClusterPlanner<'a> {
         dsq_obs::counter("engine.plan_invocations", 1);
         dsq_obs::counter("engine.dp_states", states);
 
-        let idx = |mask: u32, mi: usize| mask as usize * m + mi;
+        let idx = |mask: u64, mi: usize| mask as usize * m + mi;
         let mut deliv = vec![f64::INFINITY; (full as usize + 1) * m.max(1)];
         let mut deliv_back = vec![DelivBack::None; deliv.len()];
         let mut prod = vec![f64::INFINITY; deliv.len()];
-        let mut prod_back = vec![0u32; deliv.len()];
+        let mut prod_back = vec![0u64; deliv.len()];
 
         for mask in 1..=full {
             // produced[mask][mi]: a join at candidate mi combines a
@@ -235,7 +313,7 @@ impl<'a> ClusterPlanner<'a> {
                 let low = mask & mask.wrapping_neg();
                 for mi in 0..m {
                     let mut best = f64::INFINITY;
-                    let mut back = 0u32;
+                    let mut back = 0u64;
                     let mut s = (mask - 1) & mask;
                     while s > 0 {
                         if s & low != 0 {
@@ -301,13 +379,13 @@ impl<'a> ClusterPlanner<'a> {
         match dest {
             Some(d) => {
                 let mut best = f64::INFINITY;
-                let mut best_tree: Option<PlacedTree> = None;
+                let mut winner: Option<Winner> = None;
                 for (ii, input) in inputs.iter().enumerate() {
                     if input_mask[ii] == full {
                         let v = rate[full as usize] * dm.get(input.seen, d);
                         if v < best {
                             best = v;
-                            best_tree = Some(input.tree());
+                            winner = Some(Winner::Input(ii));
                         }
                     }
                 }
@@ -317,12 +395,17 @@ impl<'a> ClusterPlanner<'a> {
                         let v = p + rate[full as usize] * dm.get(candidates[mi], d);
                         if v < best {
                             best = v;
-                            best_tree = Some(rec.produce(full, mi));
+                            winner = Some(Winner::Prod(mi));
                         }
                     }
                 }
-                best_tree.map(|tree| PlannerOutput {
-                    tree,
+                // Reconstruct the winning tree exactly once, instead of
+                // materializing every intermediate improvement.
+                winner.map(|w| PlannerOutput {
+                    tree: match w {
+                        Winner::Input(ii) => inputs[ii].tree(),
+                        Winner::Prod(mi) => rec.produce(full, mi),
+                    },
                     est_cost: best,
                 })
             }
@@ -335,7 +418,7 @@ impl<'a> ClusterPlanner<'a> {
                     });
                 }
                 let mut best = f64::INFINITY;
-                let mut best_mi = None;
+                let mut best_mi: Option<usize> = None;
                 for mi in 0..m {
                     let p = prod[idx(full, mi)];
                     if !p.is_finite() {
@@ -347,22 +430,259 @@ impl<'a> ClusterPlanner<'a> {
                             p < best - 1e-12
                                 || (p <= best + 1e-12
                                     && anchor.is_some_and(|anc| {
-                                        dm.get(candidates[mi], anc)
-                                            < dm.get(candidates[prev as usize], anc)
+                                        dm.get(candidates[mi], anc) < dm.get(candidates[prev], anc)
                                     }))
                         }
                     };
                     if better {
                         best = p;
-                        best_mi = Some(mi as u32);
+                        best_mi = Some(mi);
                     }
                 }
                 best_mi.map(|mi| PlannerOutput {
-                    tree: rec.produce(full, mi as usize),
+                    tree: rec.produce(full, mi),
                     est_cost: best,
                 })
             }
         }
+    }
+
+    /// The same optimum as [`Self::plan_dense`] for universes wider than
+    /// one dense table can hold, computed over *reachable* sets only.
+    ///
+    /// Invariant making this exact: `deliv`/`prod` are finite only for
+    /// disjoint unions of input coverages, so restricting the recurrences
+    /// to those sets loses nothing. Sets are processed popcount-ascending
+    /// (every proper subset of a set has strictly smaller popcount), which
+    /// finalizes subset rows before any superset partition scan reads them.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_sparse(
+        &self,
+        inputs: &[PlannerInput],
+        candidates: &[NodeId],
+        dm: &DistanceMatrix,
+        dest: Option<NodeId>,
+        anchor: Option<NodeId>,
+        stats: &mut SearchStats,
+        atoms: &[StreamId],
+    ) -> Result<Option<PlannerOutput>, PlacementError> {
+        let a = atoms.len();
+        let cov: Vec<InputSet> = inputs
+            .iter()
+            .map(|i| atom_bits(&i.covered, atoms))
+            .collect();
+
+        // Enumerate reachable sets breadth-first, one input at a time:
+        // every disjoint union {i1 < … < ik} is built in input order, and
+        // each (set, input) pair is examined once.
+        let mut sets: Vec<InputSet> = vec![InputSet::new()];
+        let mut index: HashMap<InputSet, usize> = HashMap::new();
+        index.insert(InputSet::new(), 0);
+        for c in &cov {
+            let frontier = sets.len();
+            for si in 0..frontier {
+                if sets[si].is_disjoint_from(c) {
+                    let u = sets[si].union(c);
+                    if !index.contains_key(&u) {
+                        if sets.len() >= SPARSE_STATE_BUDGET {
+                            return Err(PlacementError::UniverseTooLarge { atoms: a });
+                        }
+                        index.insert(u.clone(), sets.len());
+                        sets.push(u);
+                    }
+                }
+            }
+        }
+        let full = InputSet::from_bits(0..a);
+        let Some(&full_idx) = index.get(&full) else {
+            return Ok(None); // the inputs cannot tile the universe
+        };
+
+        let mut order: Vec<usize> = (1..sets.len()).collect();
+        order.sort_unstable_by(|&x, &y| {
+            sets[x]
+                .len()
+                .cmp(&sets[y].len())
+                .then_with(|| sets[x].cmp(&sets[y]))
+        });
+
+        let input_set: Vec<usize> = cov.iter().map(|c| index[c]).collect();
+        let eff: Vec<f64> = atoms
+            .iter()
+            .map(|&s| self.query.effective_rate(self.catalog, s))
+            .collect();
+        let rate: Vec<f64> = sets
+            .iter()
+            .map(|s| self.sparse_rate(s, atoms, &eff))
+            .collect();
+
+        let m = candidates.len();
+        let r = sets.len();
+        let states = (r * m.max(1)) as u64 * 2;
+        stats.record_dp_states(states);
+        let _span = dsq_obs::span("engine.plan_sparse", || {
+            vec![
+                ("atoms", a.into()),
+                ("inputs", inputs.len().into()),
+                ("candidates", m.into()),
+                ("dp_states", states.into()),
+            ]
+        });
+        dsq_obs::counter("engine.plan_invocations", 1);
+        dsq_obs::counter("engine.dp_states", states);
+
+        let idx = |si: usize, mi: usize| si * m + mi;
+        let mut deliv = vec![f64::INFINITY; r * m.max(1)];
+        let mut deliv_back = vec![DelivBack::None; deliv.len()];
+        let mut prod = vec![f64::INFINITY; deliv.len()];
+        let mut prod_back = vec![[0u32; 2]; deliv.len()];
+
+        for &si in &order {
+            let set = &sets[si];
+            if set.len() >= 2 && m > 0 {
+                let lowatom = set.min_bit().expect("non-empty set");
+                // Partitions of `set`: reachable proper subsets holding the
+                // lowest atom whose complement is reachable too.
+                let mut parts: Vec<(usize, usize)> = Vec::new();
+                for (sj, s) in sets.iter().enumerate().skip(1) {
+                    if s.len() < set.len() && s.contains(lowatom) && s.is_subset_of(set) {
+                        if let Some(&cj) = index.get(&set.difference(s)) {
+                            parts.push((sj, cj));
+                        }
+                    }
+                }
+                for mi in 0..m {
+                    let mut best = f64::INFINITY;
+                    let mut back = [0u32; 2];
+                    for &(sj, cj) in &parts {
+                        let v = deliv[idx(sj, mi)]
+                            + deliv[idx(cj, mi)]
+                            + self.placement_penalty(candidates[mi], rate[sj] + rate[cj]);
+                        if v < best {
+                            best = v;
+                            back = [sj as u32, cj as u32];
+                        }
+                    }
+                    prod[idx(si, mi)] = best;
+                    prod_back[idx(si, mi)] = back;
+                }
+            }
+            for mi in 0..m {
+                let target = candidates[mi];
+                let mut best = f64::INFINITY;
+                let mut back = DelivBack::None;
+                for (ii, input) in inputs.iter().enumerate() {
+                    if input_set[ii] == si {
+                        let v = rate[si] * dm.get(input.seen, target);
+                        if v < best {
+                            best = v;
+                            back = DelivBack::Input(ii);
+                        }
+                    }
+                }
+                for mj in 0..m {
+                    let p = prod[idx(si, mj)];
+                    if p.is_finite() {
+                        let v = p + rate[si] * dm.get(candidates[mj], target);
+                        if v < best {
+                            best = v;
+                            back = DelivBack::From(mj);
+                        }
+                    }
+                }
+                deliv[idx(si, mi)] = best;
+                deliv_back[idx(si, mi)] = back;
+            }
+        }
+
+        let rec = SparseReconstructor {
+            inputs,
+            candidates,
+            deliv_back: &deliv_back,
+            prod_back: &prod_back,
+            m,
+        };
+        Ok(match dest {
+            Some(d) => {
+                let mut best = f64::INFINITY;
+                let mut winner: Option<Winner> = None;
+                for (ii, input) in inputs.iter().enumerate() {
+                    if input_set[ii] == full_idx {
+                        let v = rate[full_idx] * dm.get(input.seen, d);
+                        if v < best {
+                            best = v;
+                            winner = Some(Winner::Input(ii));
+                        }
+                    }
+                }
+                for mi in 0..m {
+                    let p = prod[idx(full_idx, mi)];
+                    if p.is_finite() {
+                        let v = p + rate[full_idx] * dm.get(candidates[mi], d);
+                        if v < best {
+                            best = v;
+                            winner = Some(Winner::Prod(mi));
+                        }
+                    }
+                }
+                winner.map(|w| PlannerOutput {
+                    tree: match w {
+                        Winner::Input(ii) => inputs[ii].tree(),
+                        Winner::Prod(mi) => rec.produce(full_idx, mi),
+                    },
+                    est_cost: best,
+                })
+            }
+            None => {
+                if let Some(ii) = (0..inputs.len()).find(|&ii| input_set[ii] == full_idx) {
+                    return Ok(Some(PlannerOutput {
+                        tree: inputs[ii].tree(),
+                        est_cost: 0.0,
+                    }));
+                }
+                let mut best = f64::INFINITY;
+                let mut best_mi: Option<usize> = None;
+                for mi in 0..m {
+                    let p = prod[idx(full_idx, mi)];
+                    if !p.is_finite() {
+                        continue;
+                    }
+                    let better = match best_mi {
+                        None => true,
+                        Some(prev) => {
+                            p < best - 1e-12
+                                || (p <= best + 1e-12
+                                    && anchor.is_some_and(|anc| {
+                                        dm.get(candidates[mi], anc) < dm.get(candidates[prev], anc)
+                                    }))
+                        }
+                    };
+                    if better {
+                        best = p;
+                        best_mi = Some(mi);
+                    }
+                }
+                best_mi.map(|mi| PlannerOutput {
+                    tree: rec.produce(full_idx, mi),
+                    est_cost: best,
+                })
+            }
+        })
+    }
+
+    /// Output rate of one reachable set, multiplying in the exact order of
+    /// [`Self::rate_table`]'s recurrence so sparse and dense costs are
+    /// bit-identical on the same instance.
+    fn sparse_rate(&self, set: &InputSet, atoms: &[StreamId], eff: &[f64]) -> f64 {
+        let bits: Vec<usize> = set.iter().collect();
+        let mut f = 1.0f64;
+        for i in (0..bits.len()).rev() {
+            f *= eff[bits[i]];
+            for j in (i + 1)..bits.len() {
+                f *= self.catalog.selectivity(atoms[bits[i]], atoms[bits[j]]);
+            }
+        }
+        f
     }
 
     /// Literal exhaustive search: every disjoint input cover, every tree
@@ -377,27 +697,33 @@ impl<'a> ClusterPlanner<'a> {
         dest: Option<NodeId>,
         anchor: Option<NodeId>,
         stats: &mut SearchStats,
-    ) -> Option<PlannerOutput> {
+    ) -> Result<Option<PlannerOutput>, PlacementError> {
         let atoms = atom_universe(inputs);
         let a = atoms.len();
         if a == 0 {
-            return None;
+            return Ok(None);
+        }
+        if a > EXHAUSTIVE_MAX_ATOMS {
+            return Err(PlacementError::UniverseTooLarge { atoms: a });
         }
         assert!(
-            a <= 5 && candidates.len() <= 10,
-            "exhaustive engine guard: {a} atoms × {} candidates",
+            candidates.len() <= 10,
+            "exhaustive engine guard: {} candidates",
             candidates.len()
         );
-        let full: u32 = (1u32 << a) - 1;
+        let full: u64 = mask_full(a);
         let rate = self.rate_table(&atoms);
-        let input_mask: Vec<u32> = inputs.iter().map(|i| mask_of(&i.covered, &atoms)).collect();
+        let input_mask: Vec<u64> = inputs.iter().map(|i| mask_of(&i.covered, &atoms)).collect();
 
         // Enumerate disjoint covers of the atom universe.
         let mut covers = Vec::new();
         enumerate_covers(full, &input_mask, 0, &mut Vec::new(), &mut covers);
 
+        // Candidate trees are scored in a flat index-linked arena; only an
+        // improving tree is materialized into boxed `PlacedTree` nodes.
+        let mut arena = PlanArena::default();
         let mut best: Option<(f64, PlacedTree)> = None;
-        let mut consider = |cost: f64, loc: NodeId, tree: PlacedTree| {
+        let mut consider = |cost: f64, loc: NodeId, make: &mut dyn FnMut() -> PlacedTree| {
             let better = match &best {
                 None => true,
                 Some((c, t)) => {
@@ -410,7 +736,7 @@ impl<'a> ClusterPlanner<'a> {
                 }
             };
             if better {
-                best = Some((cost, tree));
+                best = Some((cost, make()));
             }
         };
 
@@ -418,14 +744,11 @@ impl<'a> ClusterPlanner<'a> {
             stats.record_dp_states(1);
             if cover.len() == 1 {
                 let ii = cover[0];
-                let (cost, tree) = match dest {
-                    Some(d) => (
-                        rate[full as usize] * dm.get(inputs[ii].seen, d),
-                        inputs[ii].tree(),
-                    ),
-                    None => (0.0, inputs[ii].tree()),
+                let cost = match dest {
+                    Some(d) => rate[full as usize] * dm.get(inputs[ii].seen, d),
+                    None => 0.0,
                 };
-                consider(cost, inputs[ii].location, tree);
+                consider(cost, inputs[ii].location, &mut || inputs[ii].tree());
                 continue;
             }
             if candidates.is_empty() {
@@ -435,14 +758,23 @@ impl<'a> ClusterPlanner<'a> {
                 let joins = shape.join_count();
                 let mut placement = vec![0usize; joins];
                 loop {
-                    let (cost, out_seen, tree) = self.eval_shape(
-                        &shape, &placement, &mut 0, inputs, candidates, &rate, &atoms, dm,
+                    arena.clear();
+                    let (cost, out_seen, root, _) = self.eval_shape(
+                        &shape,
+                        &placement,
+                        &mut 0,
+                        inputs,
+                        candidates,
+                        &rate,
+                        &input_mask,
+                        dm,
+                        &mut arena,
                     );
                     let total = match dest {
                         Some(d) => cost + rate[full as usize] * dm.get(out_seen, d),
                         None => cost,
                     };
-                    consider(total, out_seen, tree);
+                    consider(total, out_seen, &mut || arena.materialize(root, inputs));
                     // Next placement (mixed-radix counter).
                     let mut i = 0;
                     loop {
@@ -462,7 +794,7 @@ impl<'a> ClusterPlanner<'a> {
                 }
             }
         }
-        best.map(|(est_cost, tree)| PlannerOutput { tree, est_cost })
+        Ok(best.map(|(est_cost, tree)| PlannerOutput { tree, est_cost }))
     }
 
     /// Per-mask output rates over the atom universe: the product of the
@@ -475,7 +807,7 @@ impl<'a> ClusterPlanner<'a> {
             .map(|&s| self.query.effective_rate(self.catalog, s))
             .collect();
         let mut rate = vec![1.0f64; 1 << a];
-        for mask in 1u32..(1u32 << a) {
+        for mask in 1u64..(1u64 << a) {
             let low_idx = mask.trailing_zeros() as usize;
             let rest = mask & (mask - 1);
             let mut r = rate[rest as usize] * eff[low_idx];
@@ -491,7 +823,7 @@ impl<'a> ClusterPlanner<'a> {
     }
 
     /// Evaluate one shape + placement combination; returns (cost without
-    /// final delivery, output seen-location, placed tree).
+    /// final delivery, output seen-location, arena root, covered mask).
     #[allow(clippy::too_many_arguments)]
     fn eval_shape(
         &self,
@@ -501,35 +833,77 @@ impl<'a> ClusterPlanner<'a> {
         inputs: &[PlannerInput],
         candidates: &[NodeId],
         rate: &[f64],
-        atoms: &[StreamId],
+        input_mask: &[u64],
         dm: &DistanceMatrix,
-    ) -> (f64, NodeId, PlacedTree) {
+        arena: &mut PlanArena,
+    ) -> (f64, NodeId, u32, u64) {
         match shape {
-            Shape::Leaf(ii) => (0.0, inputs[*ii].seen, inputs[*ii].tree()),
+            Shape::Leaf(ii) => {
+                let root = arena.push(ArenaNode::Input(*ii));
+                (0.0, inputs[*ii].seen, root, input_mask[*ii])
+            }
             Shape::Join(l, r) => {
-                let (lc, lo, lt) =
-                    self.eval_shape(l, placement, next_join, inputs, candidates, rate, atoms, dm);
-                let (rc, ro, rt) =
-                    self.eval_shape(r, placement, next_join, inputs, candidates, rate, atoms, dm);
+                let (lc, lo, li, lmask) = self.eval_shape(
+                    l, placement, next_join, inputs, candidates, rate, input_mask, dm, arena,
+                );
+                let (rc, ro, ri, rmask) = self.eval_shape(
+                    r, placement, next_join, inputs, candidates, rate, input_mask, dm, arena,
+                );
                 let node = candidates[placement[*next_join]];
                 *next_join += 1;
-                let lmask = mask_of(&lt.covered(), atoms);
-                let rmask = mask_of(&rt.covered(), atoms);
                 let cost = lc
                     + rc
                     + rate[lmask as usize] * dm.get(lo, node)
                     + rate[rmask as usize] * dm.get(ro, node)
                     + self.placement_penalty(node, rate[lmask as usize] + rate[rmask as usize]);
-                (
-                    cost,
+                let root = arena.push(ArenaNode::Join {
+                    left: li,
+                    right: ri,
                     node,
-                    PlacedTree::Join {
-                        left: Box::new(lt),
-                        right: Box::new(rt),
-                        node,
-                    },
-                )
+                });
+                (cost, node, root, lmask | rmask)
             }
+        }
+    }
+}
+
+/// Flat arena the exhaustive search scores candidate trees in. Nodes link
+/// by index; no allocation happens per evaluated (shape × placement)
+/// combination — the vector is reused across iterations and only the
+/// winning tree is materialized into boxed [`PlacedTree`] nodes.
+#[derive(Default)]
+struct PlanArena {
+    nodes: Vec<ArenaNode>,
+}
+
+enum ArenaNode {
+    /// A planner input, referenced by index (no leaf payload clone).
+    Input(usize),
+    Join {
+        left: u32,
+        right: u32,
+        node: NodeId,
+    },
+}
+
+impl PlanArena {
+    fn clear(&mut self) {
+        self.nodes.clear();
+    }
+
+    fn push(&mut self, n: ArenaNode) -> u32 {
+        self.nodes.push(n);
+        (self.nodes.len() - 1) as u32
+    }
+
+    fn materialize(&self, root: u32, inputs: &[PlannerInput]) -> PlacedTree {
+        match &self.nodes[root as usize] {
+            ArenaNode::Input(ii) => inputs[*ii].tree(),
+            ArenaNode::Join { left, right, node } => PlacedTree::Join {
+                left: Box::new(self.materialize(*left, inputs)),
+                right: Box::new(self.materialize(*right, inputs)),
+                node: *node,
+            },
         }
     }
 }
@@ -538,12 +912,12 @@ struct Reconstructor<'a> {
     inputs: &'a [PlannerInput],
     candidates: &'a [NodeId],
     deliv_back: &'a [DelivBack],
-    prod_back: &'a [u32],
+    prod_back: &'a [u64],
     m: usize,
 }
 
 impl Reconstructor<'_> {
-    fn produce(&self, mask: u32, mi: usize) -> PlacedTree {
+    fn produce(&self, mask: u64, mi: usize) -> PlacedTree {
         let s = self.prod_back[mask as usize * self.m + mi];
         debug_assert!(s != 0, "produce on mask without a partition");
         let c = mask ^ s;
@@ -554,10 +928,40 @@ impl Reconstructor<'_> {
         }
     }
 
-    fn deliver(&self, mask: u32, mi: usize) -> PlacedTree {
+    fn deliver(&self, mask: u64, mi: usize) -> PlacedTree {
         match self.deliv_back[mask as usize * self.m + mi] {
             DelivBack::Input(ii) => self.inputs[ii].tree(),
             DelivBack::From(mj) => self.produce(mask, mj),
+            DelivBack::None => unreachable!("deliver on unreachable state"),
+        }
+    }
+}
+
+/// Backtracker for the sparse DP: states are reachable-set *indices*, and
+/// a production step records both halves of its winning partition.
+struct SparseReconstructor<'a> {
+    inputs: &'a [PlannerInput],
+    candidates: &'a [NodeId],
+    deliv_back: &'a [DelivBack],
+    prod_back: &'a [[u32; 2]],
+    m: usize,
+}
+
+impl SparseReconstructor<'_> {
+    fn produce(&self, si: usize, mi: usize) -> PlacedTree {
+        let [sj, cj] = self.prod_back[si * self.m + mi];
+        debug_assert!(sj != 0, "produce on set without a partition");
+        PlacedTree::Join {
+            left: Box::new(self.deliver(sj as usize, mi)),
+            right: Box::new(self.deliver(cj as usize, mi)),
+            node: self.candidates[mi],
+        }
+    }
+
+    fn deliver(&self, si: usize, mi: usize) -> PlacedTree {
+        match self.deliv_back[si * self.m + mi] {
+            DelivBack::Input(ii) => self.inputs[ii].tree(),
+            DelivBack::From(mj) => self.produce(si, mj),
             DelivBack::None => unreachable!("deliver on unreachable state"),
         }
     }
@@ -590,22 +994,35 @@ fn atom_universe(inputs: &[PlannerInput]) -> Vec<StreamId> {
     atoms
 }
 
-fn mask_of(covered: &StreamSet, atoms: &[StreamId]) -> u32 {
-    let mut mask = 0u32;
+/// One-word atom mask of `covered`. Callers guarantee the universe fits a
+/// word ([`DENSE_MAX_ATOMS`] / [`EXHAUSTIVE_MAX_ATOMS`]); wider universes
+/// go through [`atom_bits`] instead.
+fn mask_of(covered: &StreamSet, atoms: &[StreamId]) -> u64 {
+    debug_assert!(atoms.len() <= 64, "one-word mask over a wide universe");
+    let mut mask = 0u64;
     for s in covered.iter() {
         let bit = atoms
             .binary_search(&s)
             .expect("input covers a stream outside the universe");
-        mask |= 1 << bit;
+        mask |= 1u64 << bit;
     }
     mask
 }
 
+/// Atom-index bitset of `covered`, for universes of any width.
+fn atom_bits(covered: &StreamSet, atoms: &[StreamId]) -> InputSet {
+    InputSet::from_bits(covered.iter().map(|s| {
+        atoms
+            .binary_search(&s)
+            .expect("input covers a stream outside the universe")
+    }))
+}
+
 /// Enumerate sets of pairwise-disjoint inputs whose masks union to `full`.
 fn enumerate_covers(
-    full: u32,
-    input_mask: &[u32],
-    covered: u32,
+    full: u64,
+    input_mask: &[u64],
+    covered: u64,
     chosen: &mut Vec<usize>,
     out: &mut Vec<Vec<usize>>,
 ) {
@@ -717,6 +1134,7 @@ mod tests {
         let mut stats = SearchStats::new();
         let out = planner
             .plan(&inputs, &candidates, &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap()
             .unwrap();
         // Join at n2 (the sink): A pays 10·2, B pays 4·1, output 4·0 = 24.
         // Join at n3: 30+0+4 = 34; at n1: 10+8+4 = 22; at n0: 0+12+8 = 20.
@@ -749,6 +1167,7 @@ mod tests {
         let mut stats = SearchStats::new();
         let out = planner
             .plan(&inputs, &candidates, &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap()
             .unwrap();
         assert_eq!(out.est_cost, 0.0, "derived sits at the sink already");
         assert!(out.tree.uses_derived());
@@ -766,6 +1185,7 @@ mod tests {
         let mut stats = SearchStats::new();
         let out = planner
             .plan(&inputs, &candidates, &dm, None, Some(NodeId(3)), &mut stats)
+            .unwrap()
             .unwrap();
         // Without delivery the cheapest is joining at A's node n0, shipping
         // only the low-rate stream B over (4·3 = 12).
@@ -781,10 +1201,12 @@ mod tests {
         let mut stats = SearchStats::new();
         let out = planner
             .plan(&inputs, &[], &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap()
             .unwrap();
         assert!((out.est_cost - 20.0).abs() < 1e-9, "10·dist(0,2) = 20");
         let out2 = planner
             .plan(&inputs, &[], &dm, None, None, &mut stats)
+            .unwrap()
             .unwrap();
         assert_eq!(out2.est_cost, 0.0);
     }
@@ -844,7 +1266,7 @@ mod tests {
             let mut s2 = SearchStats::new();
             let dp = planner.plan(&inputs, &candidates, &dm, Some(sink), None, &mut s1);
             let ex = planner.plan_exhaustive(&inputs, &candidates, &dm, Some(sink), None, &mut s2);
-            let (dp, ex) = (dp.unwrap(), ex.unwrap());
+            let (dp, ex) = (dp.unwrap().unwrap(), ex.unwrap().unwrap());
             assert!(
                 (dp.est_cost - ex.est_cost).abs() < 1e-6,
                 "case {case}: dp {} vs exhaustive {}",
@@ -865,6 +1287,7 @@ mod tests {
         let mut stats = SearchStats::new();
         assert!(planner
             .plan(&inputs, &[], &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap()
             .is_none());
     }
 
@@ -882,6 +1305,7 @@ mod tests {
         let mut stats = SearchStats::new();
         let out = planner
             .plan(&inputs, &candidates, &dm, Some(NodeId(0)), None, &mut stats)
+            .unwrap()
             .unwrap();
         assert_eq!(out.est_cost, 0.0, "estimated under the distorted view");
         // The tree still records B's true location for deployment.
@@ -897,6 +1321,153 @@ mod tests {
         assert_eq!(
             find_base_location(&out.tree, StreamId(1), &c),
             Some(NodeId(3))
+        );
+    }
+
+    #[test]
+    fn sparse_path_matches_dense_on_random_instances() {
+        // Same harness as dp_matches_exhaustive, but the oracle is the
+        // dense DP and the subject is the sparse reachable-set DP, forced
+        // on by a dense-limit of 1.
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        for case in 0..60 {
+            let n = rng.gen_range(4..8) as u32;
+            let (mut net, _) = line(n);
+            for _ in 0..3 {
+                let a = NodeId(rng.gen_range(0..n));
+                let b = NodeId(rng.gen_range(0..n));
+                if a != b && net.find_link(a, b).is_none() {
+                    net.add_link(a, b, rng.gen_range(0.5..4.0), 1.0, LinkKind::Stub);
+                }
+            }
+            let dm = DistanceMatrix::build(&net, Metric::Cost);
+            let k = rng.gen_range(2..=4usize);
+            let mut c = Catalog::new();
+            let ids: Vec<StreamId> = (0..k)
+                .map(|i| {
+                    c.add_stream(
+                        format!("S{i}"),
+                        rng.gen_range(1.0..20.0),
+                        NodeId(rng.gen_range(0..n)),
+                        Schema::default(),
+                    )
+                })
+                .collect();
+            for i in 0..k {
+                for j in (i + 1)..k {
+                    c.set_selectivity(ids[i], ids[j], rng.gen_range(0.01..0.5));
+                }
+            }
+            let sink = NodeId(rng.gen_range(0..n));
+            let q = Query::join(QueryId(case), ids.clone(), sink);
+            let planner = ClusterPlanner::new(&c, &q);
+            let mut inputs: Vec<PlannerInput> =
+                ids.iter().map(|&id| PlannerInput::base(&c, id)).collect();
+            if k >= 3 && rng.gen_bool(0.5) {
+                let covered = StreamSet::from_iter([ids[0], ids[1]]);
+                let rate = q.effective_rate(&c, ids[0])
+                    * q.effective_rate(&c, ids[1])
+                    * c.selectivity(ids[0], ids[1]);
+                inputs.push(PlannerInput::derived(LeafSource::Derived {
+                    id: DerivedId(9),
+                    covered,
+                    rate,
+                    host: NodeId(rng.gen_range(0..n)),
+                }));
+            }
+            let candidates: Vec<NodeId> = (0..n).map(NodeId).collect();
+            for (dest, anchor) in [(Some(sink), None), (None, Some(sink))] {
+                let mut s1 = SearchStats::new();
+                let mut s2 = SearchStats::new();
+                let dense = planner
+                    .plan(&inputs, &candidates, &dm, dest, anchor, &mut s1)
+                    .unwrap()
+                    .unwrap();
+                let sparse = planner
+                    .with_dense_limit(1)
+                    .plan(&inputs, &candidates, &dm, dest, anchor, &mut s2)
+                    .unwrap()
+                    .unwrap();
+                assert!(
+                    (dense.est_cost - sparse.est_cost).abs() < 1e-9,
+                    "case {case} dest {dest:?}: dense {} vs sparse {}",
+                    dense.est_cost,
+                    sparse.est_cost
+                );
+                assert_eq!(dense.tree.covered(), sparse.tree.covered());
+            }
+        }
+    }
+
+    #[test]
+    fn universe_past_32_atoms_plans_via_coarse_inputs() {
+        // 40 atoms, tiled by 8 disjoint derived inputs of 5 atoms each —
+        // the exact shape whose mask computation overflowed u32 before the
+        // bitset engine (debug panic; silently wrong plans in release).
+        let (_, dm) = line(4);
+        let mut c = Catalog::new();
+        let ids: Vec<StreamId> = (0..40)
+            .map(|i| c.add_stream(format!("S{i}"), 2.0, NodeId(0), Schema::default()))
+            .collect();
+        let q = Query::join(QueryId(0), ids.clone(), NodeId(2));
+        let planner = ClusterPlanner::new(&c, &q);
+        let inputs: Vec<PlannerInput> = ids
+            .chunks(5)
+            .enumerate()
+            .map(|(g, chunk)| {
+                PlannerInput::derived(LeafSource::Derived {
+                    id: DerivedId(g as u32),
+                    covered: StreamSet::from_iter(chunk.iter().copied()),
+                    rate: 2.0_f64.powi(5),
+                    host: NodeId((g % 4) as u32),
+                })
+            })
+            .collect();
+        let candidates: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut stats = SearchStats::new();
+        let out = planner
+            .plan(&inputs, &candidates, &dm, Some(NodeId(2)), None, &mut stats)
+            .unwrap()
+            .expect("a 40-atom universe of coarse inputs plans fine");
+        assert!(out.est_cost.is_finite());
+        assert_eq!(out.tree.covered(), q.source_set());
+        assert_eq!(out.tree.join_count(), 7, "all eight inputs joined");
+    }
+
+    #[test]
+    fn oversized_universes_yield_typed_errors_not_panics() {
+        let (_, dm) = line(4);
+        let mut c = Catalog::new();
+        let ids: Vec<StreamId> = (0..40)
+            .map(|i| c.add_stream(format!("S{i}"), 2.0, NodeId(0), Schema::default()))
+            .collect();
+        let q = Query::join(QueryId(0), ids.clone(), NodeId(2));
+        let planner = ClusterPlanner::new(&c, &q);
+        // 40 singleton inputs: the reachable-set budget trips (the old
+        // engine asserted in debug and shift-wrapped in release).
+        let inputs: Vec<PlannerInput> = ids.iter().map(|&id| PlannerInput::base(&c, id)).collect();
+        let candidates: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut stats = SearchStats::new();
+        assert_eq!(
+            planner
+                .plan(&inputs, &candidates, &dm, Some(NodeId(2)), None, &mut stats)
+                .unwrap_err(),
+            crate::optimal::PlacementError::UniverseTooLarge { atoms: 40 }
+        );
+        // The exhaustive engine refuses wide universes the same way
+        // instead of tripping its old `assert!`.
+        assert_eq!(
+            planner
+                .plan_exhaustive(
+                    &inputs[..6],
+                    &candidates,
+                    &dm,
+                    Some(NodeId(2)),
+                    None,
+                    &mut stats
+                )
+                .unwrap_err(),
+            crate::optimal::PlacementError::UniverseTooLarge { atoms: 6 }
         );
     }
 }

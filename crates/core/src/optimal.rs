@@ -34,6 +34,12 @@ pub enum PlacementError {
     /// The planner examined the (active) candidates and found no feasible
     /// joint plan + placement.
     Infeasible,
+    /// The atom universe is too wide even for the sparse reachable-set
+    /// engine's state budget. A typed refusal — never a mask overflow.
+    UniverseTooLarge {
+        /// Number of atoms in the offending universe.
+        atoms: usize,
+    },
 }
 
 impl std::fmt::Display for PlacementError {
@@ -44,6 +50,12 @@ impl std::fmt::Display for PlacementError {
                 write!(f, "every placement candidate is inactive")
             }
             PlacementError::Infeasible => write!(f, "no feasible placement over the candidates"),
+            PlacementError::UniverseTooLarge { atoms } => {
+                write!(
+                    f,
+                    "planning universe of {atoms} atoms exceeds the engine budget"
+                )
+            }
         }
     }
 }
@@ -125,7 +137,7 @@ impl<'a> Optimal<'a> {
                 Some(query.sink),
                 None,
                 stats,
-            )
+            )?
             .ok_or(PlacementError::Infeasible)?;
         let deployment = out.tree.into_deployment(query, catalog, &self.env.dm);
         // With true distances the estimate equals the communication cost —

@@ -246,14 +246,19 @@ impl<'a> TopDown<'a> {
                 ),
             ]
         });
-        planner.plan(
-            &seen_inputs,
-            &c.members,
-            &self.env.dm,
-            Some(dest_seen),
-            None,
-            stats,
-        )
+        planner
+            .plan(
+                &seen_inputs,
+                &c.members,
+                &self.env.dm,
+                Some(dest_seen),
+                None,
+                stats,
+            )
+            // A typed refusal (universe too wide) means this cluster cannot
+            // plan the fragment — the same outcome as infeasibility here.
+            .ok()
+            .flatten()
     }
 
     /// Recursively re-plan a cluster-level assignment one level down until

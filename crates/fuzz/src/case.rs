@@ -66,6 +66,50 @@ pub struct Instance {
 }
 
 impl FuzzCase {
+    /// Like [`FuzzCase::sample`], but with probability `wide_milli`/1000
+    /// the case instead draws a **wide** universe — queries joining 33+
+    /// streams, past any one-word bitmask — exercising the engine's sparse
+    /// reachable-set path and its typed `UniverseTooLarge` refusal. With
+    /// `wide_milli = 0` this is byte-identical to `sample` (the RNG is not
+    /// consulted for the wide draw).
+    pub fn sample_with(rng: &mut ChaCha8Rng, max_nodes: usize, wide_milli: u64) -> FuzzCase {
+        if wide_milli > 0 && rng.gen_bool((wide_milli as f64 / 1000.0).min(1.0)) {
+            return Self::sample_wide(rng, max_nodes);
+        }
+        Self::sample(rng, max_nodes)
+    }
+
+    /// A >32-atom universe case: one or two queries joining 33–40 streams.
+    /// Kept lean elsewhere (no skew, no drops, few faults) so oracle time
+    /// goes into the planning width, which is the point.
+    fn sample_wide(rng: &mut ChaCha8Rng, max_nodes: usize) -> FuzzCase {
+        loop {
+            let joins_lo = rng.gen_range(32..=35);
+            let joins_hi = rng.gen_range(joins_lo..=39);
+            let case = FuzzCase {
+                seed: rng.gen_range(0..u64::MAX),
+                transit_domains: 1,
+                transit_nodes_per_domain: rng.gen_range(1..=2),
+                stub_domains_per_transit_node: rng.gen_range(1..=3),
+                stub_nodes_per_domain: rng.gen_range(2..=6),
+                max_cs: rng.gen_range(2..=6),
+                streams: rng.gen_range(joins_hi + 1..=joins_hi + 8),
+                queries: rng.gen_range(1..=2),
+                joins_lo,
+                joins_hi,
+                skew_milli: 0,
+                events: rng.gen_range(0..=6),
+                drop_milli: 0,
+                keep_queries: None,
+                keep_events: None,
+                round_stats: false,
+            };
+            if case.total_nodes() <= max_nodes && case.total_nodes() >= 4 {
+                return case;
+            }
+        }
+    }
+
     /// Draw a random case from the generator ranges, keeping the topology
     /// under `max_nodes` total nodes.
     pub fn sample(rng: &mut ChaCha8Rng, max_nodes: usize) -> FuzzCase {

@@ -42,6 +42,10 @@ pub struct CampaignConfig {
     pub shrink_budget: usize,
     /// Where minimized repros are written (`None` = don't write).
     pub out_dir: Option<PathBuf>,
+    /// Probability, in thousandths, that a case samples a >32-atom (wide)
+    /// universe — the regime where one-word bitmask arithmetic used to
+    /// overflow. `0` disables wide sampling entirely.
+    pub wide_milli: u64,
 }
 
 impl Default for CampaignConfig {
@@ -52,6 +56,7 @@ impl Default for CampaignConfig {
             max_nodes: 48,
             shrink_budget: 150,
             out_dir: None,
+            wide_milli: 50,
         }
     }
 }
@@ -114,7 +119,7 @@ pub fn run_campaign(
         std::fs::create_dir_all(dir)?;
     }
     for i in 0..cfg.iters {
-        let case = FuzzCase::sample(&mut rng, cfg.max_nodes);
+        let case = FuzzCase::sample_with(&mut rng, cfg.max_nodes, cfg.wide_milli);
         outcome.iterations += 1;
         outcome.oracle_runs += 1;
         let violations = run_oracle(&case);

@@ -9,9 +9,49 @@
 //! point joins the nearest centroid that still has room. This keeps every
 //! cluster within `max_cs` while preserving the locality K-Means provides.
 
-use dsq_net::embedding::{euclid, Point};
+use dsq_net::embedding::Point;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+
+/// Structure-of-arrays view of the input points: one contiguous slab per
+/// coordinate, so the n·k distance pass in [`capped_assign`] and the
+/// seeding sweep in [`kmeanspp_init`] stream three flat arrays instead of
+/// striding over `[f64; 3]` tuples. Distances are computed with the same
+/// left-to-right accumulation as `dsq_net::embedding::euclid`, so results
+/// are bit-identical to the array-of-structs layout.
+struct SoaPoints {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    zs: Vec<f64>,
+}
+
+impl SoaPoints {
+    fn new(points: &[Point]) -> Self {
+        let mut xs = Vec::with_capacity(points.len());
+        let mut ys = Vec::with_capacity(points.len());
+        let mut zs = Vec::with_capacity(points.len());
+        for p in points {
+            xs.push(p[0]);
+            ys.push(p[1]);
+            zs.push(p[2]);
+        }
+        Self { xs, ys, zs }
+    }
+
+    fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Euclidean distance from point `i` to `c`, matching `euclid`'s
+    /// dimension order exactly.
+    #[inline]
+    fn dist_to(&self, i: usize, c: &Point) -> f64 {
+        let dx = self.xs[i] - c[0];
+        let dy = self.ys[i] - c[1];
+        let dz = self.zs[i] - c[2];
+        (dx * dx + dy * dy + dz * dz).sqrt()
+    }
+}
 
 /// Cluster `points` into groups of at most `max_cs`, returning index groups.
 ///
@@ -27,8 +67,9 @@ pub fn capped_kmeans(points: &[Point], max_cs: usize, seed: u64) -> Vec<Vec<usiz
     if k == 1 {
         return vec![(0..n).collect()];
     }
+    let soa = SoaPoints::new(points);
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let mut centroids = kmeanspp_init(points, k, &mut rng);
+    let mut centroids = kmeanspp_init(points, &soa, k, &mut rng);
 
     dsq_obs::counter("kmeans.invocations", 1);
     let mut assignment = vec![0usize; n];
@@ -36,7 +77,7 @@ pub fn capped_kmeans(points: &[Point], max_cs: usize, seed: u64) -> Vec<Vec<usiz
     let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
     for _round in 0..25 {
         dsq_obs::counter("kmeans.rounds", 1);
-        let new_assignment = capped_assign(points, &centroids, max_cs, &mut pairs);
+        let new_assignment = capped_assign(&soa, &centroids, max_cs, &mut pairs);
         let changed = new_assignment != assignment;
         assignment = new_assignment;
         // Recompute centroids as member means.
@@ -70,16 +111,16 @@ pub fn capped_kmeans(points: &[Point], max_cs: usize, seed: u64) -> Vec<Vec<usiz
 
 /// K-Means++ seeding: first centroid uniform, subsequent ones proportional
 /// to squared distance from the nearest chosen centroid.
-fn kmeanspp_init(points: &[Point], k: usize, rng: &mut ChaCha8Rng) -> Vec<Point> {
+fn kmeanspp_init(points: &[Point], soa: &SoaPoints, k: usize, rng: &mut ChaCha8Rng) -> Vec<Point> {
     let n = points.len();
     let mut centroids = Vec::with_capacity(k);
     centroids.push(points[rng.gen_range(0..n)]);
     let mut d2 = vec![f64::INFINITY; n];
     while centroids.len() < k {
         let last = centroids[centroids.len() - 1];
-        for (i, p) in points.iter().enumerate() {
-            let d = euclid(p, &last);
-            d2[i] = d2[i].min(d * d);
+        for (i, d2i) in d2.iter_mut().enumerate() {
+            let d = soa.dist_to(i, &last);
+            *d2i = d2i.min(d * d);
         }
         let total: f64 = d2.iter().sum();
         let next = if total <= 0.0 {
@@ -111,7 +152,7 @@ fn kmeanspp_init(points: &[Point], k: usize, rng: &mut ChaCha8Rng) -> Vec<Point>
 /// the `(distance, point, centroid)` key is a total order over distinct
 /// entries — every `(point, centroid)` pair occurs exactly once.
 fn capped_assign(
-    points: &[Point],
+    points: &SoaPoints,
     centroids: &[Point],
     max_cs: usize,
     pairs: &mut Vec<(f64, usize, usize)>,
@@ -119,9 +160,9 @@ fn capped_assign(
     let n = points.len();
     let k = centroids.len();
     pairs.clear();
-    for (i, p) in points.iter().enumerate() {
+    for i in 0..n {
         for (c, ctr) in centroids.iter().enumerate() {
-            pairs.push((euclid(p, ctr), i, c));
+            pairs.push((points.dist_to(i, ctr), i, c));
         }
     }
     pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
@@ -145,6 +186,7 @@ fn capped_assign(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use dsq_net::embedding::euclid;
 
     fn grid_points() -> Vec<Point> {
         // Two well-separated groups of 6 points each.
@@ -244,7 +286,7 @@ mod tests {
             return vec![(0..n).collect()];
         }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let mut centroids = kmeanspp_init(points, k, &mut rng);
+        let mut centroids = kmeanspp_init(points, &SoaPoints::new(points), k, &mut rng);
         let mut assignment = vec![0usize; n];
         for _round in 0..25 {
             let new_assignment = reference_assign(points, &centroids, max_cs);

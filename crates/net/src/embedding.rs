@@ -46,7 +46,9 @@ impl CostSpace {
     pub fn embed(dm: &DistanceMatrix, seed: u64, iterations: usize) -> Self {
         let n = dm.len();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        let scale = dm.diameter().max(1.0);
+        // A disconnected (or degenerate) network has no diameter; any
+        // positive scale spreads the initial coordinates equally well.
+        let scale = dm.diameter().unwrap_or(0.0).max(1.0);
         let mut coords: Vec<Point> = (0..n)
             .map(|_| {
                 let mut p = [0.0; DIMS];

@@ -154,14 +154,25 @@ impl DistanceMatrix {
         self.metric
     }
 
-    /// Largest finite pairwise distance (the network "diameter" under the
-    /// metric). Returns 0.0 for empty matrices.
-    pub fn diameter(&self) -> f64 {
-        self.dist
-            .iter()
-            .copied()
-            .filter(|d| d.is_finite())
-            .fold(0.0, f64::max)
+    /// Largest finite distance between *distinct* nodes (the network
+    /// "diameter" under the metric). `None` when no finite pair of distinct
+    /// nodes exists — empty, single-node, or fully-disconnected networks —
+    /// which the old `0.0` sentinel could not distinguish from a genuinely
+    /// zero-cost pair.
+    pub fn diameter(&self) -> Option<f64> {
+        let mut best: Option<f64> = None;
+        for a in 0..self.n {
+            for b in 0..self.n {
+                if a == b {
+                    continue;
+                }
+                let d = self.dist[a * self.n + b];
+                if d.is_finite() {
+                    best = Some(best.map_or(d, |m| m.max(d)));
+                }
+            }
+        }
+        best
     }
 
     /// The node of `candidates` minimizing the summed distance to all
@@ -273,7 +284,7 @@ mod tests {
                 assert_eq!(m.get(a, b), m.get(b, a));
             }
         }
-        assert_eq!(m.diameter(), 2.0);
+        assert_eq!(m.diameter(), Some(2.0));
     }
 
     #[test]
@@ -309,6 +320,25 @@ mod tests {
         assert!(m.get(NodeId(0), extra).is_infinite());
         let rt = RouteTable::build(&net, Metric::Cost);
         assert!(rt.route(NodeId(0), extra).is_none());
+    }
+
+    #[test]
+    fn diameter_distinguishes_disconnection_from_degeneracy() {
+        // Fully disconnected: every distinct pair is infinite — no diameter,
+        // not 0.0 (which a single zero-cost link could legitimately produce).
+        let net = Network::new(3);
+        let m = DistanceMatrix::build(&net, Metric::Cost);
+        assert_eq!(m.diameter(), None);
+        // Single node and empty networks have no distinct pair either.
+        let single = DistanceMatrix::build(&Network::new(1), Metric::Cost);
+        assert_eq!(single.diameter(), None);
+        let empty = DistanceMatrix::build(&Network::new(0), Metric::Cost);
+        assert_eq!(empty.diameter(), None);
+        // Partially connected: the finite component still reports a diameter.
+        let mut part = Network::new(3);
+        part.add_link(NodeId(0), NodeId(1), 3.0, 1.0, LinkKind::Stub);
+        let pm = DistanceMatrix::build(&part, Metric::Cost);
+        assert_eq!(pm.diameter(), Some(3.0));
     }
 
     #[test]

@@ -95,7 +95,8 @@ impl TransitStubConfig {
 
     /// Approximate a target total node count while keeping the paper's
     /// 4-stub-domains-of-8 shape, by scaling transit width. Used for the
-    /// Figure 9 scalability sweep (64 → 1024 nodes).
+    /// Figure 9 scalability sweep (64 → 1024 nodes) and its order-of-
+    /// magnitude extension (up to ~10k nodes).
     pub fn sized(total: usize) -> Self {
         match total {
             0..=80 => Self::paper_64(),
@@ -105,11 +106,17 @@ impl TransitStubConfig {
                 transit_nodes_per_domain: 8,
                 ..Self::default()
             }, // 16 + 16*4*8 = 528
-            _ => TransitStubConfig {
-                transit_domains: 4,
-                transit_nodes_per_domain: 8,
-                ..Self::default()
-            }, // 32 + 32*4*8 = 1056
+            _ => {
+                // Each transit node carries 4 stub domains of 8 → 33 nodes;
+                // widen the transit core in 8-node domains, rounding up.
+                // (Reproduces the historical 4-domain config for ≤ 1056.)
+                let transit_nodes = total.div_ceil(1 + 4 * 8);
+                TransitStubConfig {
+                    transit_domains: transit_nodes.div_ceil(8).max(4),
+                    transit_nodes_per_domain: 8,
+                    ..Self::default()
+                }
+            }
         }
     }
 

@@ -13,6 +13,7 @@
 //! interchangeable; selection compatibility is checked with predicate
 //! subsumption ([`crate::predicate::selections_compatible`]).
 
+use crate::inputset::InputSet;
 use crate::plan::{Deployment, LeafSource, OperatorId};
 use crate::predicate::{residual_selections, selections_compatible, SelectionPredicate};
 use crate::query::{Query, QueryId, StreamSet};
@@ -59,6 +60,10 @@ pub struct AdvertStats {
 #[derive(Clone, Debug, Default)]
 pub struct ReuseRegistry {
     deriveds: Vec<DerivedStream>,
+    /// Word-bitset of each derived's covered streams, index-aligned with
+    /// `deriveds`: the subset probe every `usable_for` call runs per
+    /// derived is word-parallel instead of a sorted-id-vector walk.
+    covered_bits: Vec<InputSet>,
     next_operator: u64,
     stats: AdvertStats,
 }
@@ -150,6 +155,7 @@ impl ReuseRegistry {
         }
         let id = DerivedId(self.deriveds.len() as u32);
         let operator = self.allocate_operator();
+        self.covered_bits.push(InputSet::from_stream_set(&covered));
         self.deriveds.push(DerivedStream {
             id,
             operator,
@@ -172,10 +178,10 @@ impl ReuseRegistry {
     /// query's selections. Residual selections the query still requires are
     /// folded into the leaf's rate.
     pub fn usable_for(&mut self, query: &Query) -> Vec<LeafSource> {
-        let sources = query.source_set();
+        let source_bits = InputSet::from_bits(query.sources.iter().map(|s| s.0 as usize));
         let mut out = Vec::new();
-        for d in &self.deriveds {
-            if !d.covered.is_subset_of(&sources) {
+        for (d, bits) in self.deriveds.iter().zip(&self.covered_bits) {
+            if !bits.is_subset_of(&source_bits) {
                 continue;
             }
             let required = restrict_selections(&query.selections, &d.covered);
@@ -202,10 +208,10 @@ impl ReuseRegistry {
     /// This is the naive matching rule the reuse-matching ablation compares
     /// against.
     pub fn usable_for_exact(&mut self, query: &Query) -> Vec<LeafSource> {
-        let sources = query.source_set();
+        let source_bits = InputSet::from_bits(query.sources.iter().map(|s| s.0 as usize));
         let mut out = Vec::new();
-        for d in &self.deriveds {
-            if !d.covered.is_subset_of(&sources) {
+        for (d, bits) in self.deriveds.iter().zip(&self.covered_bits) {
+            if !bits.is_subset_of(&source_bits) {
                 continue;
             }
             let required = restrict_selections(&query.selections, &d.covered);

@@ -18,6 +18,7 @@
 //! actionable: a contained query can be served entirely from the containing
 //! query's sink stream.
 
+use crate::inputset::InputSet;
 use crate::predicate::{residual_selections, selections_compatible, SelectionPredicate};
 use crate::query::Query;
 
@@ -37,7 +38,10 @@ pub enum Containment {
 /// Compare the result sets of two queries (projection ignored; see
 /// [`answerable_from`] for the full check).
 pub fn compare(a: &Query, b: &Query) -> Containment {
-    if a.source_set() != b.source_set() {
+    // Source-set equality as word bitsets: no sort, no id-vector build.
+    let a_bits = InputSet::from_bits(a.sources.iter().map(|s| s.0 as usize));
+    let b_bits = InputSet::from_bits(b.sources.iter().map(|s| s.0 as usize));
+    if a_bits != b_bits {
         return Containment::Incomparable;
     }
     // `a` contains `b` iff b's tuples all pass a's filters: every selection

@@ -41,6 +41,7 @@
 pub mod advert;
 pub mod containment;
 pub mod enumerate;
+pub mod inputset;
 pub mod plan;
 pub mod predicate;
 pub mod query;
@@ -51,6 +52,7 @@ pub mod viz;
 pub use advert::{AdvertStats, DerivedId, DerivedStream, ReuseRegistry};
 pub use containment::{answerable_from, compare as compare_containment, Containment};
 pub use enumerate::{bushy_tree_count, enumerate_trees};
+pub use inputset::InputSet;
 pub use plan::{DeployedEdge, Deployment, FlatNode, FlatPlan, JoinTree, LeafSource, OperatorId};
 pub use predicate::{CmpOp, JoinPredicate, SelectionPredicate};
 pub use query::{Query, QueryId, StreamSet};

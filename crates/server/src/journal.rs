@@ -233,8 +233,11 @@ impl JournalEntry {
 pub struct Journal {
     /// The service configuration the journal opens with.
     pub config: ServiceConfig,
-    /// Admitted entries in order.
+    /// Admitted entries in order, starting at absolute index [`Journal::base`].
     pub entries: Vec<JournalEntry>,
+    /// Number of entries compacted away: `entries[0]` is absolute entry
+    /// `base`. A non-zero base means a snapshot covers the dropped prefix.
+    base: usize,
     file: Option<File>,
     path: Option<PathBuf>,
 }
@@ -253,9 +256,20 @@ impl Journal {
         Ok(Journal {
             config,
             entries: Vec::new(),
+            base: 0,
             file,
             path: path.map(Path::to_path_buf),
         })
+    }
+
+    /// Absolute index of the first retained entry (0 = nothing compacted).
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// Total entries ever journaled, the compacted prefix included.
+    pub fn absolute_len(&self) -> usize {
+        self.base + self.entries.len()
     }
 
     fn header(config: &ServiceConfig) -> String {
@@ -278,9 +292,12 @@ impl Journal {
         Ok(())
     }
 
-    /// Serialize the whole journal (header + entries).
+    /// Serialize the whole journal (header + compaction marker + entries).
     pub fn to_text(&self) -> String {
         let mut out = Self::header(&self.config);
+        if self.base > 0 {
+            out.push_str(&format!("compacted = {}\n", self.base));
+        }
         for e in &self.entries {
             out.push_str(&format!("entry = {}\n", e.to_line()));
         }
@@ -294,6 +311,7 @@ impl Journal {
     pub fn parse(text: &str) -> Result<Journal, String> {
         let mut config = ServiceConfig::default();
         let mut entries = Vec::new();
+        let mut base = 0usize;
         let lines: Vec<&str> = text.lines().collect();
         for (i, raw) in lines.iter().enumerate() {
             let line = raw.trim();
@@ -309,6 +327,10 @@ impl Journal {
             let (key, value) = (key.trim(), value.trim());
             if let Some(ck) = key.strip_prefix("config.") {
                 config.set(ck, value)?;
+            } else if key == "compacted" {
+                base = value
+                    .parse()
+                    .map_err(|e| format!("line {}: compacted: {e}", i + 1))?;
             } else if key == "entry" {
                 match JournalEntry::parse_line(value) {
                     Ok(e) => entries.push(e),
@@ -327,6 +349,7 @@ impl Journal {
         Ok(Journal {
             config,
             entries,
+            base,
             file: None,
             path: None,
         })
@@ -347,6 +370,25 @@ impl Journal {
     /// Reattach to the backing file for appends, rewriting it from the
     /// in-memory state (drops any torn tail).
     pub fn reattach(&mut self) -> std::io::Result<()> {
+        self.rewrite()
+    }
+
+    /// Drop every entry below absolute index `upto` (they are covered by a
+    /// durable snapshot) and rewrite the backing file so recovery never
+    /// re-reads the replayed prefix. No-op when `upto` is not past the
+    /// current base; `upto` past the end is clamped.
+    pub fn compact(&mut self, upto: usize) -> std::io::Result<()> {
+        if upto <= self.base {
+            return Ok(());
+        }
+        let upto = upto.min(self.absolute_len());
+        self.entries.drain(..upto - self.base);
+        self.base = upto;
+        dsq_obs::counter("server.journal_compactions", 1);
+        self.rewrite()
+    }
+
+    fn rewrite(&mut self) -> std::io::Result<()> {
         let Some(path) = self.path.clone() else {
             return Ok(());
         };
@@ -418,6 +460,30 @@ mod tests {
         text.push_str("entry = register id=9 sou"); // torn mid-append
         let back = Journal::parse(&text).unwrap();
         assert_eq!(back.entries.len(), j.entries.len());
+    }
+
+    #[test]
+    fn compaction_drops_the_prefix_and_round_trips() {
+        let mut j = Journal::create(ServiceConfig::default(), None).unwrap();
+        for e in sample_entries() {
+            j.append(e).unwrap();
+        }
+        let total = j.entries.len();
+        j.compact(4).unwrap();
+        assert_eq!(j.base(), 4);
+        assert_eq!(j.entries.len(), total - 4);
+        assert_eq!(j.absolute_len(), total);
+        // Compacting backwards or to the same point is a no-op.
+        j.compact(2).unwrap();
+        assert_eq!(j.base(), 4);
+        // The marker survives serialization.
+        let back = Journal::parse(&j.to_text()).unwrap();
+        assert_eq!(back.base(), 4);
+        assert_eq!(back.entries, j.entries);
+        // Past-the-end requests clamp.
+        j.compact(total + 10).unwrap();
+        assert_eq!(j.base(), total);
+        assert!(j.entries.is_empty());
     }
 
     #[test]

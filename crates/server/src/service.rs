@@ -60,8 +60,15 @@ impl PlanningService {
         self.queue.len()
     }
 
-    /// Total journal entries (drain markers included).
+    /// Total entries ever journaled (drain markers and any compacted
+    /// prefix included).
     pub fn journal_len(&self) -> usize {
+        self.journal.absolute_len()
+    }
+
+    /// Entries currently retained on disk / in memory (compaction drops
+    /// the snapshot-covered prefix).
+    pub fn journal_retained(&self) -> usize {
         self.journal.entries.len()
     }
 
@@ -171,15 +178,19 @@ impl PlanningService {
         )
     }
 
-    fn maybe_snapshot(&self) {
+    fn maybe_snapshot(&mut self) {
         let every = self.core.cfg.snapshot_every;
         if every == 0 || !self.core.counters.drains.is_multiple_of(every as u64) {
             return;
         }
         if let Some(path) = self.snapshot_path() {
             // Snapshots are an optimization; failing to write one only
-            // costs recovery time, so errors are not fatal.
-            let _ = std::fs::write(&path, snapshot::write(&self.core));
+            // costs recovery time, so errors are not fatal. Compaction runs
+            // only once the snapshot is durably on disk — a failed write
+            // must leave the full journal replayable.
+            if std::fs::write(&path, snapshot::write(&self.core)).is_ok() {
+                let _ = self.journal.compact(self.core.entries_applied);
+            }
         }
     }
 
@@ -254,13 +265,25 @@ impl PlanningService {
         journal.config.validate()?;
         let (mut core, skip) = match snap_core {
             Some(core) => {
-                let skip = core.entries_applied;
+                // Entry indices in the snapshot are absolute; the journal
+                // may have compacted everything the snapshot covers.
+                if core.entries_applied < journal.base() {
+                    return Err("snapshot is behind the compacted journal".into());
+                }
+                let skip = core.entries_applied - journal.base();
                 if skip > journal.entries.len() {
                     return Err("snapshot is ahead of the journal".into());
                 }
                 (core, skip)
             }
-            None => (ServiceCore::new(journal.config.clone()), 0),
+            None => {
+                if journal.base() > 0 {
+                    return Err(
+                        "journal is compacted but no snapshot covers the dropped prefix".into(),
+                    );
+                }
+                (ServiceCore::new(journal.config.clone()), 0)
+            }
         };
         let suffix = &journal.entries[skip..];
         let replayed = suffix.len();

@@ -131,6 +131,61 @@ fn recovery_replay_trace_is_bit_identical() {
 }
 
 #[test]
+fn compacted_and_uncompacted_replays_are_fingerprint_identical() {
+    // One service snapshots (and therefore compacts its journal) after
+    // every drain; the other never does. Fed the same script, both their
+    // live states and their recovered states must match bit-for-bit —
+    // compaction changes only what is *stored*, never what is *replayed*.
+    let compacting = ServiceConfig {
+        snapshot_every: 1,
+        ..ServiceConfig::default()
+    };
+    let plain = ServiceConfig::default();
+    let lines = generate_script(&plain, &small_script());
+    let dir = temp_dir("compaction");
+    let cpath = dir.join("compacting.journal");
+    let upath = dir.join("uncompacted.journal");
+
+    let mut c = PlanningService::new(compacting, Some(&cpath)).unwrap();
+    let mut u = PlanningService::new(plain, Some(&upath)).unwrap();
+    for l in &lines {
+        c.submit_line(l);
+        u.submit_line(l);
+    }
+    assert!(
+        c.journal_retained() < c.journal_len(),
+        "snapshot_every=1 must actually truncate the replayed prefix \
+         (retained {}, absolute {})",
+        c.journal_retained(),
+        c.journal_len()
+    );
+    assert_eq!(
+        c.journal_len(),
+        u.journal_len(),
+        "absolute journal accounting is compaction-invariant"
+    );
+    assert_eq!(c.fingerprint(), u.fingerprint(), "live states diverged");
+
+    let rc = PlanningService::recover_from_path(&cpath).unwrap();
+    let ru = PlanningService::recover_from_path(&upath).unwrap();
+    assert_eq!(
+        rc.fingerprint(),
+        ru.fingerprint(),
+        "compacted recovery diverged from full replay"
+    );
+    assert_eq!(rc.fingerprint(), c.fingerprint(), "recovery lost state");
+    assert_eq!(rc.queue_len(), u.queue_len());
+
+    // A compacted journal without its snapshot is typed-unrecoverable:
+    // the prefix is gone, so silently replaying the suffix would be wrong.
+    let snap = PathBuf::from(format!("{}.snap", cpath.display()));
+    std::fs::remove_file(&snap).unwrap();
+    let err = PlanningService::recover_from_path(&cpath).unwrap_err();
+    assert!(err.contains("compacted"), "unexpected error: {err}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
 fn snapshot_fast_forward_recovery_matches_full_replay() {
     let cfg = ServiceConfig {
         snapshot_every: 2,

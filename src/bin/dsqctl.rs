@@ -90,6 +90,8 @@ const USAGE: &str =
                  `chaos` instead of the scoped dirty sets (reference mode)
   --iters N      fuzz iterations (default 200)
   --max-nodes M  fuzz topology size ceiling (default 48)
+  --wide-milli P per-mille chance a fuzz case samples a >32-stream (wide)
+                 query universe (default 50; 0 disables)
   --out DIR      write minimized fuzz repros to DIR (default target/fuzz)
   --check SLUG   when replaying a .case file, report only this oracle
                  check's violations (e.g. protocol, migration, chaos)
@@ -127,6 +129,7 @@ struct Opts {
     flush_invalidation: bool,
     iters: usize,
     max_nodes: usize,
+    wide_milli: u64,
     out: Option<String>,
     check: Option<String>,
     journal: Option<String>,
@@ -163,6 +166,7 @@ impl Opts {
             flush_invalidation: false,
             iters: 200,
             max_nodes: 48,
+            wide_milli: 50,
             out: None,
             check: None,
             journal: None,
@@ -211,6 +215,11 @@ impl Opts {
                 "--iters" => o.iters = value("--iters").parse().expect("--iters: integer"),
                 "--max-nodes" => {
                     o.max_nodes = value("--max-nodes").parse().expect("--max-nodes: integer")
+                }
+                "--wide-milli" => {
+                    o.wide_milli = value("--wide-milli")
+                        .parse()
+                        .expect("--wide-milli: integer")
                 }
                 "--out" => o.out = Some(value("--out")),
                 "--check" => o.check = Some(value("--check")),
@@ -305,7 +314,10 @@ fn topology(o: &Opts) -> ExitCode {
         net.link_count()
     );
     let dm = DistanceMatrix::build(net, Metric::Cost);
-    println!("cost diameter: {:.1}", dm.diameter());
+    match dm.diameter() {
+        Some(d) => println!("cost diameter: {d:.1}"),
+        None => println!("cost diameter: n/a (no connected pair)"),
+    }
     ExitCode::SUCCESS
 }
 
@@ -626,6 +638,7 @@ fn fuzz(o: &Opts) -> ExitCode {
         seed: o.seed,
         iters: o.iters,
         max_nodes: o.max_nodes,
+        wide_milli: o.wide_milli,
         out_dir: Some(out_dir.clone().into()),
         ..CampaignConfig::default()
     };

@@ -128,9 +128,13 @@ proptest! {
         let candidates: Vec<NodeId> = net.nodes().collect();
         let mut s1 = SearchStats::new();
         let mut s2 = SearchStats::new();
-        let dp = planner.plan(&inputs, &candidates, &dm, Some(q.sink), None, &mut s1).unwrap();
+        let dp = planner
+            .plan(&inputs, &candidates, &dm, Some(q.sink), None, &mut s1)
+            .unwrap()
+            .unwrap();
         let ex = planner
             .plan_exhaustive(&inputs, &candidates, &dm, Some(q.sink), None, &mut s2)
+            .unwrap()
             .unwrap();
         prop_assert!(
             (dp.est_cost - ex.est_cost).abs() < 1e-6 * ex.est_cost.max(1.0),
@@ -157,8 +161,14 @@ proptest! {
         let all: Vec<NodeId> = net.nodes().collect();
         let half: Vec<NodeId> = net.nodes().take(n / 2 + 1).collect();
         let mut s = SearchStats::new();
-        let full = planner.plan(&inputs, &all, &dm, Some(q.sink), None, &mut s).unwrap();
-        let part = planner.plan(&inputs, &half, &dm, Some(q.sink), None, &mut s).unwrap();
+        let full = planner
+            .plan(&inputs, &all, &dm, Some(q.sink), None, &mut s)
+            .unwrap()
+            .unwrap();
+        let part = planner
+            .plan(&inputs, &half, &dm, Some(q.sink), None, &mut s)
+            .unwrap()
+            .unwrap();
         prop_assert!(full.est_cost <= part.est_cost + 1e-9);
     }
 
