@@ -154,6 +154,47 @@ impl<T: Send> ParIter<T> {
         execute(self.items, f);
     }
 
+    /// Like `for_each`, but with per-worker mutable state created by
+    /// `init` — mirroring `rayon`'s `for_each_init`. `init` runs once per
+    /// worker (once total on the sequential path), so expensive scratch
+    /// buffers are reused across that worker's contiguous run of items.
+    pub fn for_each_init<S, I, F>(self, init: I, f: F)
+    where
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, T) + Sync,
+    {
+        let threads = current_num_threads();
+        let nested = IN_POOL.with(Cell::get);
+        if threads <= 1 || self.items.len() <= 1 || nested {
+            let mut state = init();
+            for item in self.items {
+                f(&mut state, item);
+            }
+            return;
+        }
+        let workers = threads.min(self.items.len());
+        let chunk = self.items.len().div_ceil(workers);
+        let mut parts: Vec<Vec<T>> = Vec::with_capacity(workers);
+        let mut rest = self.items;
+        while rest.len() > chunk {
+            let tail = rest.split_off(chunk);
+            parts.push(std::mem::replace(&mut rest, tail));
+        }
+        parts.push(rest);
+        let (init, f) = (&init, &f);
+        std::thread::scope(|s| {
+            for part in parts {
+                s.spawn(move || {
+                    IN_POOL.with(|c| c.set(true));
+                    let mut state = init();
+                    for item in part {
+                        f(&mut state, item);
+                    }
+                });
+            }
+        });
+    }
+
     pub fn enumerate(self) -> ParIter<(usize, T)> {
         ParIter {
             items: self.items.into_iter().enumerate().collect(),

@@ -301,6 +301,10 @@ fn bench(c: &mut Criterion) {
                 plan_ms / queries as f64
             );
             rows.push((format!("fig09.scale.n{target}_q{queries}"), plan_ms));
+            // Environment construction (APSP + embedding + hierarchy) under
+            // the *actual* generated node count, so the CSR/pivot/incremental
+            // work shows up in the perf trajectory and CI can gate it.
+            rows.push((format!("fig09.scale.env_ms.n{n}"), env_ms));
             sx.push(n as f64);
             env_ms_s.push(env_ms);
             plan_ms_s.push(plan_ms);

@@ -1,0 +1,55 @@
+//! Environment-construction probe: per-phase wall time (APSP, embedding,
+//! hierarchy) at a given network scale. Usage: `envprobe [target_nodes]`;
+//! pass `env` as a second argument to time only the fused
+//! `Environment::build` (what the fig09 scale sweep measures).
+use dsq_core::Environment;
+use dsq_hierarchy::{Hierarchy, HierarchyConfig};
+use dsq_net::{CostSpace, DistanceMatrix, Metric, NodeId, TransitStubConfig};
+
+fn main() {
+    let target: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(2560);
+    let net = TransitStubConfig::sized(target).generate(9).network;
+    let n = net.len();
+    println!("target {target} -> n = {n}, links = {}", net.link_count());
+
+    if std::env::args().nth(2).as_deref() == Some("env") {
+        let t0 = std::time::Instant::now();
+        let env = Environment::build(net, 32);
+        println!(
+            "env total {:8.1} ms (height {})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            env.hierarchy.height()
+        );
+        return;
+    }
+
+    let t0 = std::time::Instant::now();
+    let dm = DistanceMatrix::build(&net, Metric::Cost);
+    println!("apsp      {:8.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    let config = HierarchyConfig::new(32);
+    let seed = config.seed ^ n as u64;
+    let t0 = std::time::Instant::now();
+    let space = CostSpace::embed(&dm, seed, 40);
+    println!("embed     {:8.1} ms", t0.elapsed().as_secs_f64() * 1e3);
+
+    let active: Vec<NodeId> = net.nodes().collect();
+    let t0 = std::time::Instant::now();
+    let hierarchy = Hierarchy::build(&active, &dm, &space, config);
+    println!(
+        "hierarchy {:8.1} ms (height {})",
+        t0.elapsed().as_secs_f64() * 1e3,
+        hierarchy.height()
+    );
+
+    let t0 = std::time::Instant::now();
+    let env = Environment::build(net, 32);
+    println!(
+        "env total {:8.1} ms (height {})",
+        t0.elapsed().as_secs_f64() * 1e3,
+        env.hierarchy.height()
+    );
+}

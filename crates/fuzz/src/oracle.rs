@@ -49,7 +49,7 @@ use dsq_core::{
 };
 use dsq_net::{DistanceMatrix, Metric, NodeId};
 use dsq_query::{Catalog, Deployment, FlatNode, LeafSource, Query, ReuseRegistry};
-use dsq_sim::chaos::{ChaosReport, ChaosRunner};
+use dsq_sim::chaos::{ChaosReport, ChaosRunner, Fault, FaultSchedule};
 use dsq_sim::emulab::{EmulabModel, LossyProtocol, RetryPolicy};
 use dsq_sim::migrate::plan_migration;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -640,6 +640,19 @@ pub fn run_oracle(case: &FuzzCase) -> Vec<Violation> {
 
     // --- Chaos arms over the fault schedule. -----------------------------
     if !schedule.faults.is_empty() && reference.planned() > 0 {
+        // Every degrade event must repair identically to a full rebuild.
+        guarded(CheckId::Chaos, &mut violations, || {
+            check_degrade_repair(env, schedule)
+        })
+        .into_iter()
+        .flatten()
+        .for_each(|detail| {
+            violations.push(Violation {
+                check: CheckId::Chaos,
+                detail,
+            })
+        });
+
         let chaos_arm = |cache: bool, invalidation: InvalidationMode| {
             let runner = ChaosRunner {
                 policy: if case.drop_milli == 0 {
@@ -685,6 +698,44 @@ pub fn run_oracle(case: &FuzzCase) -> Vec<Violation> {
     }
 
     violations
+}
+
+/// Per degrade event in the schedule, the incremental single-link repair
+/// (`DistanceMatrix::repaired_after_link_change` — the server's live
+/// `Degrade` path) must reproduce a from-scratch rebuild bit for bit.
+fn check_degrade_repair(env: &Environment, schedule: &FaultSchedule) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut net = env.network.clone();
+    let mut dm = env.dm.clone();
+    for (idx, tf) in schedule.faults.iter().enumerate() {
+        let Fault::DegradeLink { a, b, factor } = &tf.fault else {
+            continue;
+        };
+        let Some(link) = net.find_link(*a, *b) else {
+            continue;
+        };
+        let old_w = dm.metric().weight(link);
+        let new_cost = link.cost * factor;
+        net.set_link_cost(*a, *b, new_cost);
+        let (inc, _) = dm.repaired_after_link_change(&net, *a, *b, old_w);
+        let full = DistanceMatrix::build(&net, dm.metric());
+        'cmp: for i in 0..net.len() {
+            for j in 0..net.len() {
+                let (x, y) = (NodeId(i as u32), NodeId(j as u32));
+                if inc.get(x, y).to_bits() != full.get(x, y).to_bits() {
+                    out.push(format!(
+                        "degrade event {idx} ({a}-{b} x{factor}): incremental repair diverged \
+                         from rebuild at ({i},{j}): {} vs {}",
+                        inc.get(x, y),
+                        full.get(x, y)
+                    ));
+                    break 'cmp;
+                }
+            }
+        }
+        dm = full;
+    }
+    out
 }
 
 /// Restricted-placement checks: candidate-set containment, empty and

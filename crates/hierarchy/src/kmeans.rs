@@ -12,9 +12,38 @@
 use dsq_net::embedding::Point;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use std::collections::BinaryHeap;
+
+/// Heap entry for the lazy capacity-constrained assignment: ordered so the
+/// `BinaryHeap` pops the *smallest* `(distance, point, centroid)` tuple
+/// first, exactly the order the former global sort visited pairs in.
+#[derive(PartialEq)]
+struct Cand {
+    d: f64,
+    i: u32,
+    c: u32,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other
+            .d
+            .total_cmp(&self.d)
+            .then(other.i.cmp(&self.i))
+            .then(other.c.cmp(&self.c))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
 
 /// Structure-of-arrays view of the input points: one contiguous slab per
-/// coordinate, so the n·k distance pass in [`capped_assign`] and the
+/// coordinate, so the candidate scans in [`capped_assign`] and the
 /// seeding sweep in [`kmeanspp_init`] stream three flat arrays instead of
 /// striding over `[f64; 3]` tuples. Distances are computed with the same
 /// left-to-right accumulation as `dsq_net::embedding::euclid`, so results
@@ -74,10 +103,10 @@ pub fn capped_kmeans(points: &[Point], max_cs: usize, seed: u64) -> Vec<Vec<usiz
     dsq_obs::counter("kmeans.invocations", 1);
     let mut assignment = vec![0usize; n];
     // Scratch for capped_assign, reused across Lloyd rounds.
-    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * k);
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(n);
     for _round in 0..25 {
         dsq_obs::counter("kmeans.rounds", 1);
-        let new_assignment = capped_assign(&soa, &centroids, max_cs, &mut pairs);
+        let new_assignment = capped_assign(&soa, &centroids, max_cs, &mut heap);
         let changed = new_assignment != assignment;
         assignment = new_assignment;
         // Recompute centroids as member means.
@@ -143,40 +172,75 @@ fn kmeanspp_init(points: &[Point], soa: &SoaPoints, k: usize, rng: &mut ChaCha8R
     centroids
 }
 
-/// Greedy capacity-constrained assignment: consider all (point, centroid)
-/// pairs in ascending distance and assign each point to the closest centroid
-/// with remaining capacity.
+/// Greedy capacity-constrained assignment: equivalent to considering all
+/// (point, centroid) pairs in ascending `(distance, point, centroid)` order
+/// and assigning each point to the closest centroid with remaining capacity
+/// — but driven by a lazy priority queue holding *one* candidate per point
+/// instead of materializing and sorting all n·k pairs every Lloyd round.
 ///
-/// `pairs` is caller-provided scratch so the n·k buffer is allocated once per
-/// K-Means run, not once per Lloyd round. The unstable sort is safe because
-/// the `(distance, point, centroid)` key is a total order over distinct
-/// entries — every `(point, centroid)` pair occurs exactly once.
+/// Each unassigned point keeps its nearest centroid among those that still
+/// had room when it last scanned. Popping a candidate whose centroid has
+/// since filled up triggers an O(k) rescan and a re-push with a larger key,
+/// so pops still happen in the exact global pair order the old sort
+/// produced: fullness is monotone within a round, a centroid skipped at
+/// scan time would also be skipped at pop time, and re-pushed keys never
+/// shrink. Ties (coincident points) resolve through the same
+/// `(distance, point, centroid)` total order. Pinned against the sort-based
+/// reference by `hoisted_unstable_sort_matches_original_clusters`.
+///
+/// `heap` is caller-provided scratch so the buffer is allocated once per
+/// K-Means run, not once per Lloyd round.
 fn capped_assign(
     points: &SoaPoints,
     centroids: &[Point],
     max_cs: usize,
-    pairs: &mut Vec<(f64, usize, usize)>,
+    heap: &mut BinaryHeap<Cand>,
 ) -> Vec<usize> {
     let n = points.len();
     let k = centroids.len();
-    pairs.clear();
-    for i in 0..n {
+    heap.clear();
+    let mut load = vec![0usize; k];
+    // Nearest centroid to `i` with remaining capacity; ties by centroid id.
+    let best = |i: usize, load: &[usize]| -> Option<(f64, usize)> {
+        let mut found: Option<(f64, usize)> = None;
         for (c, ctr) in centroids.iter().enumerate() {
-            pairs.push((points.dist_to(i, ctr), i, c));
+            if load[c] >= max_cs {
+                continue;
+            }
+            let d = points.dist_to(i, ctr);
+            match found {
+                Some((bd, _)) if !d.total_cmp(&bd).is_lt() => {}
+                _ => found = Some((d, c)),
+            }
+        }
+        found
+    };
+    for i in 0..n {
+        if let Some((d, c)) = best(i, &load) {
+            heap.push(Cand {
+                d,
+                i: i as u32,
+                c: c as u32,
+            });
         }
     }
-    pairs.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
     let mut assignment = vec![usize::MAX; n];
-    let mut load = vec![0usize; k];
     let mut assigned = 0;
-    for &(_, i, c) in pairs.iter() {
-        if assignment[i] == usize::MAX && load[c] < max_cs {
+    while let Some(Cand { i, c, .. }) = heap.pop() {
+        let (i, c) = (i as usize, c as usize);
+        if load[c] < max_cs {
             assignment[i] = c;
             load[c] += 1;
             assigned += 1;
             if assigned == n {
                 break;
             }
+        } else if let Some((d, c2)) = best(i, &load) {
+            heap.push(Cand {
+                d,
+                i: i as u32,
+                c: c2 as u32,
+            });
         }
     }
     debug_assert_eq!(assigned, n, "capacity k·max_cs ≥ n guarantees assignment");

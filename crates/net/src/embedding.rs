@@ -10,15 +10,33 @@
 //! The embedding minimizes stress against the shortest-path distance matrix
 //! with a simple deterministic majorization loop (a seeded, offline analogue
 //! of the Vivaldi-style network coordinates those systems use online).
+//!
+//! The sweeps are *Jacobi-style*: every node's new position is computed from
+//! the previous sweep's coordinates only, so the per-node updates are
+//! independent and the Rayon-parallel path is bit-identical to the serial one
+//! (pinned by `parallel_embed_matches_serial_bits`). Past
+//! [`PIVOT_THRESHOLD`] nodes the quadratic all-pairs sweep switches to a
+//! pivot set of [`PIVOT_COUNT`] landmarks chosen by deterministic
+//! farthest-point traversal — every node then relaxes against the pivots
+//! only, dropping a sweep from O(n²) to O(n·P).
 
 use crate::graph::NodeId;
-use crate::paths::DistanceMatrix;
+use crate::paths::{DistanceMatrix, PARALLEL_THRESHOLD};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
 
 /// Number of embedding dimensions; the paper's Relaxation experiments use a
 /// 3-dimensional cost space.
 pub const DIMS: usize = 3;
+
+/// Networks larger than this embed against a pivot/landmark set instead of
+/// all pairs. Every topology the quality tests pin is far below this bound,
+/// so the exact sweep is preserved where it is cheap.
+pub const PIVOT_THRESHOLD: usize = 2048;
+
+/// Number of farthest-point pivots used past [`PIVOT_THRESHOLD`].
+pub const PIVOT_COUNT: usize = 128;
 
 /// A point in the cost space.
 pub type Point = [f64; DIMS];
@@ -38,16 +56,102 @@ pub fn euclid(a: &Point, b: &Point) -> f64 {
         .sqrt()
 }
 
+/// One Jacobi update for node `i`: average of the positions the nodes in
+/// `others` "want" it at (target distance preserved along the current
+/// direction), reading only the previous sweep's `coords`.
+fn relax_node(i: usize, coords: &[Point], targets: &[f64], others: &[u32]) -> Point {
+    let mut acc = [0.0; DIMS];
+    let mut count = 0.0;
+    for &j in others {
+        let j = j as usize;
+        let t = targets[j];
+        if i == j || !t.is_finite() {
+            continue;
+        }
+        let cur = euclid(&coords[i], &coords[j]);
+        // Unit direction from j to i; fixed kick when coincident.
+        let dir: Point = if cur > 1e-9 {
+            let mut d = [0.0; DIMS];
+            for k in 0..DIMS {
+                d[k] = (coords[i][k] - coords[j][k]) / cur;
+            }
+            d
+        } else {
+            let mut d = [0.0; DIMS];
+            d[0] = 1.0;
+            d
+        };
+        for k in 0..DIMS {
+            acc[k] += coords[j][k] + dir[k] * t;
+        }
+        count += 1.0;
+    }
+    if count > 0.0 {
+        let mut p = [0.0; DIMS];
+        for k in 0..DIMS {
+            p[k] = acc[k] / count;
+        }
+        p
+    } else {
+        coords[i]
+    }
+}
+
+/// Deterministic farthest-point (maxmin) pivot selection. The first pivot is
+/// node 0; each subsequent pivot maximizes its distance to the chosen set
+/// (ties broken by smaller id). Unreached nodes compare as `INFINITY`, so
+/// disconnected components are covered first.
+fn choose_pivots(dm: &DistanceMatrix, count: usize) -> Vec<u32> {
+    let n = dm.len();
+    let count = count.min(n);
+    let mut pivots = Vec::with_capacity(count);
+    if count == 0 {
+        return pivots;
+    }
+    pivots.push(0u32);
+    let mut mind: Vec<f64> = dm.row(NodeId(0)).to_vec();
+    while pivots.len() < count {
+        let mut best = 0usize;
+        for (x, &d) in mind.iter().enumerate() {
+            if d.total_cmp(&mind[best]).is_gt() {
+                best = x;
+            }
+        }
+        pivots.push(best as u32);
+        for (m, &d) in mind.iter_mut().zip(dm.row(NodeId(best as u32))) {
+            if d < *m {
+                *m = d;
+            }
+        }
+    }
+    pivots.sort_unstable();
+    pivots
+}
+
 impl CostSpace {
     /// Embed the network whose pairwise distances are `dm`.
     ///
     /// `iterations` majorization sweeps are performed (40 is plenty for the
-    /// topologies in this workspace); the result is deterministic in `seed`.
+    /// topologies in this workspace); the result is deterministic in `seed`
+    /// and identical between the serial and Rayon-parallel sweep paths.
     pub fn embed(dm: &DistanceMatrix, seed: u64, iterations: usize) -> Self {
+        Self::embed_with_parallel_threshold(dm, seed, iterations, PARALLEL_THRESHOLD)
+    }
+
+    /// [`CostSpace::embed`] with an explicit node-count threshold for the
+    /// Rayon path (tests pin serial vs parallel bits by forcing each side).
+    pub fn embed_with_parallel_threshold(
+        dm: &DistanceMatrix,
+        seed: u64,
+        iterations: usize,
+        parallel_threshold: usize,
+    ) -> Self {
         let n = dm.len();
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         // A disconnected (or degenerate) network has no diameter; any
-        // positive scale spreads the initial coordinates equally well.
+        // positive scale spreads the initial coordinates equally well. The
+        // initial coordinates are drawn for every node up front, in node
+        // order, so the pivot and exact paths start from the same layout.
         let scale = dm.diameter().unwrap_or(0.0).max(1.0);
         let mut coords: Vec<Point> = (0..n)
             .map(|_| {
@@ -59,45 +163,24 @@ impl CostSpace {
             })
             .collect();
 
-        // SMACOF-style sweeps: each node moves to the average of the
-        // positions its neighbours "want" it at (target distance preserved
-        // along the current direction).
-        let mut target = vec![0.0; n];
+        let others: Vec<u32> = if n > PIVOT_THRESHOLD {
+            choose_pivots(dm, PIVOT_COUNT)
+        } else {
+            (0..n as u32).collect()
+        };
+
+        let mut next = coords.clone();
         for _ in 0..iterations {
-            for i in 0..n {
-                for (j, t) in target.iter_mut().enumerate() {
-                    *t = dm.get(NodeId(i as u32), NodeId(j as u32));
-                }
-                let mut acc = [0.0; DIMS];
-                let mut count = 0.0;
-                for j in 0..n {
-                    if i == j || !target[j].is_finite() {
-                        continue;
-                    }
-                    let cur = euclid(&coords[i], &coords[j]);
-                    // Unit direction from j to i; random kick when coincident.
-                    let dir: Point = if cur > 1e-9 {
-                        let mut d = [0.0; DIMS];
-                        for k in 0..DIMS {
-                            d[k] = (coords[i][k] - coords[j][k]) / cur;
-                        }
-                        d
-                    } else {
-                        let mut d = [0.0; DIMS];
-                        d[0] = 1.0;
-                        d
-                    };
-                    for k in 0..DIMS {
-                        acc[k] += coords[j][k] + dir[k] * target[j];
-                    }
-                    count += 1.0;
-                }
-                if count > 0.0 {
-                    for k in 0..DIMS {
-                        coords[i][k] = acc[k] / count;
-                    }
+            if n >= parallel_threshold {
+                next.par_chunks_mut(1).enumerate().for_each(|(i, out)| {
+                    out[0] = relax_node(i, &coords, dm.row(NodeId(i as u32)), &others);
+                });
+            } else {
+                for (i, out) in next.iter_mut().enumerate() {
+                    *out = relax_node(i, &coords, dm.row(NodeId(i as u32)), &others);
                 }
             }
+            std::mem::swap(&mut coords, &mut next);
         }
         CostSpace { coords }
     }
@@ -189,6 +272,43 @@ mod tests {
         for n in ts.network.nodes() {
             assert_eq!(a.coord(n), b.coord(n));
         }
+    }
+
+    #[test]
+    fn parallel_embed_matches_serial_bits() {
+        // The Jacobi sweeps read only the previous iteration's coordinates,
+        // so the Rayon path must reproduce the serial path bit for bit.
+        let ts = TransitStubConfig::paper_128().generate(6);
+        let dm = DistanceMatrix::build(&ts.network, Metric::Cost);
+        let serial = CostSpace::embed_with_parallel_threshold(&dm, 6, 25, usize::MAX);
+        let parallel = CostSpace::embed_with_parallel_threshold(&dm, 6, 25, 0);
+        for n in ts.network.nodes() {
+            let (a, b) = (serial.coord(n), parallel.coord(n));
+            for k in 0..DIMS {
+                assert_eq!(a[k].to_bits(), b[k].to_bits(), "node {n} dim {k}");
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_selection_is_deterministic_and_covers_components() {
+        use crate::graph::{LinkKind, Network};
+        // Two components: a triangle and a pair, plus an isolated node.
+        let mut net = Network::new(6);
+        net.add_link(NodeId(0), NodeId(1), 1.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(1), NodeId(2), 1.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(0), NodeId(2), 1.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(3), NodeId(4), 1.0, 1.0, LinkKind::Stub);
+        let dm = DistanceMatrix::build(&net, Metric::Cost);
+        let p1 = choose_pivots(&dm, 3);
+        let p2 = choose_pivots(&dm, 3);
+        assert_eq!(p1, p2);
+        // Unreached nodes compare as INFINITY, so after node 0 the next two
+        // pivots must come from the other components before any triangle
+        // node is repeated.
+        assert!(p1.contains(&0));
+        assert!(p1.iter().any(|&p| p == 3 || p == 4));
+        assert!(p1.contains(&5));
     }
 
     #[test]

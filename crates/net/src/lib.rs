@@ -33,14 +33,16 @@
 //! assert!(dm.get(d0[0], d0[1]) < dm.get(d0[0], d9[0]));
 //! ```
 
+pub mod csr;
 pub mod embedding;
 pub mod graph;
 pub mod io;
 pub mod paths;
 pub mod topology;
 
+pub use csr::CsrGraph;
 pub use embedding::CostSpace;
 pub use graph::{Link, LinkKind, Network, NodeId, NodeKind};
 pub use io::{parse_topology, write_topology, TopologyParseError};
-pub use paths::{DistanceMatrix, Metric, RouteTable};
+pub use paths::{DistanceMatrix, LinkRepair, Metric, RouteTable};
 pub use topology::{TransitStubConfig, TransitStubNetwork};

@@ -5,7 +5,13 @@
 //! every pair of nodes — the `c_act` of the paper's Theorem 1), while the
 //! flow simulator additionally needs the concrete routes to attribute traffic
 //! to individual links, which the [`RouteTable`] provides.
+//!
+//! All-pairs construction runs over the flat [`CsrGraph`][crate::csr::CsrGraph]
+//! layout with an radix-queue kernel ([`crate::csr::sssp_into`]), which is
+//! bit-identical to the adjacency-list [`dijkstra`] kept here as the
+//! reference implementation.
 
+use crate::csr::{sssp_into, CsrGraph, SsspScratch};
 use crate::graph::{Network, NodeId};
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
@@ -21,8 +27,9 @@ pub enum Metric {
 }
 
 impl Metric {
+    /// The link weight this metric minimizes.
     #[inline]
-    fn weight(self, link: &crate::graph::Link) -> f64 {
+    pub fn weight(self, link: &crate::graph::Link) -> f64 {
         match self {
             Metric::Cost => link.cost,
             Metric::DelayMs => link.delay_ms,
@@ -54,8 +61,13 @@ impl PartialOrd for HeapEntry {
     }
 }
 
-/// Single-source Dijkstra. Returns per-node distance and predecessor
-/// (`u32::MAX` where unreachable or for the source itself).
+/// Single-source Dijkstra over the adjacency-list layout. Returns per-node
+/// distance and predecessor (`u32::MAX` where unreachable or for the source
+/// itself).
+///
+/// This is the *reference* implementation: the all-pairs builders below run
+/// the CSR kernel ([`crate::csr::sssp_into`]) instead, which is proven
+/// bit-identical to this function by differential tests.
 pub fn dijkstra(net: &Network, source: NodeId, metric: Metric) -> (Vec<f64>, Vec<u32>) {
     let n = net.len();
     let mut dist = vec![f64::INFINITY; n];
@@ -99,6 +111,40 @@ pub struct DistanceMatrix {
 /// matrices; the dsqctl default of 128 stays sequential).
 pub const PARALLEL_THRESHOLD: usize = 192;
 
+/// How [`DistanceMatrix::repaired_after_link_change`] serviced a single-link
+/// weight change.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum LinkRepair {
+    /// Only the rows whose shortest-path tree could have used the changed
+    /// link were re-relaxed; all other rows were carried over untouched.
+    Incremental {
+        /// Number of source rows re-run.
+        rows: usize,
+    },
+    /// The full matrix was rebuilt: the link's weight *decreased* (or the
+    /// link vanished), so previously non-tight paths through it may now win
+    /// and the cheap tightness test cannot bound the affected rows.
+    Rebuilt,
+}
+
+/// Unsafe-but-disjoint row writer: hands out `&mut` rows of one flat array to
+/// parallel per-source tasks. Sound because every source index is processed
+/// by exactly one task (the rows partition the array).
+struct RowWriter {
+    base: *mut u32,
+    n: usize,
+}
+
+unsafe impl Sync for RowWriter {}
+
+impl RowWriter {
+    /// SAFETY: callers must write each `s` from at most one thread.
+    #[allow(clippy::mut_from_ref)]
+    unsafe fn row(&self, s: usize) -> &mut [u32] {
+        std::slice::from_raw_parts_mut(self.base.add(s * self.n), self.n)
+    }
+}
+
 impl DistanceMatrix {
     /// Compute all-pairs shortest paths by running Dijkstra from every node.
     ///
@@ -116,27 +162,101 @@ impl DistanceMatrix {
     pub fn build_with_parallel_threshold(net: &Network, metric: Metric, threshold: usize) -> Self {
         use rayon::prelude::*;
         let n = net.len();
+        let csr = CsrGraph::from_network(net);
         let mut dist = vec![f64::INFINITY; n * n];
         if n >= threshold {
-            dist.par_chunks_mut(n.max(1))
-                .enumerate()
-                .for_each(|(s, row_out)| {
-                    let (row, _) = dijkstra(net, NodeId(s as u32), metric);
-                    row_out.copy_from_slice(&row);
-                });
+            dist.par_chunks_mut(n.max(1)).enumerate().for_each_init(
+                || (SsspScratch::new(n), vec![u32::MAX; n]),
+                |(scratch, pred), (s, row_out)| {
+                    sssp_into(&csr, metric, NodeId(s as u32), row_out, pred, scratch);
+                },
+            );
         } else {
-            for s in net.nodes() {
-                let (row, _) = dijkstra(net, s, metric);
-                dist[s.index() * n..(s.index() + 1) * n].copy_from_slice(&row);
+            let mut scratch = SsspScratch::new(n);
+            let mut pred = vec![u32::MAX; n];
+            for (s, row_out) in dist.chunks_mut(n.max(1)).enumerate() {
+                sssp_into(
+                    &csr,
+                    metric,
+                    NodeId(s as u32),
+                    row_out,
+                    &mut pred,
+                    &mut scratch,
+                );
             }
         }
         DistanceMatrix { n, dist, metric }
+    }
+
+    /// Compute the distance matrix *and* the route table from one all-pairs
+    /// pass.
+    ///
+    /// Each per-source Dijkstra already produces both the distance and the
+    /// predecessor row; building the two structures separately (as `sim` and
+    /// bench callers used to) pays the full APSP cost twice for the same
+    /// metric. The fused build writes both rows from the single kernel run
+    /// and is bit-identical to the separate builders (pinned by
+    /// `fused_build_matches_separate_builds`).
+    pub fn build_with_routes(net: &Network, metric: Metric) -> (Self, RouteTable) {
+        Self::build_with_routes_with_parallel_threshold(net, metric, PARALLEL_THRESHOLD)
+    }
+
+    /// [`build_with_routes`](Self::build_with_routes) with an explicit
+    /// parallelism cut-over, for tests that must force one path or the other.
+    pub fn build_with_routes_with_parallel_threshold(
+        net: &Network,
+        metric: Metric,
+        threshold: usize,
+    ) -> (Self, RouteTable) {
+        use rayon::prelude::*;
+        let n = net.len();
+        let csr = CsrGraph::from_network(net);
+        let mut dist = vec![f64::INFINITY; n * n];
+        let mut pred = vec![u32::MAX; n * n];
+        if n >= threshold {
+            let writer = RowWriter {
+                base: pred.as_mut_ptr(),
+                n,
+            };
+            dist.par_chunks_mut(n.max(1)).enumerate().for_each_init(
+                || SsspScratch::new(n),
+                |scratch, (s, row_out)| {
+                    // SAFETY: `par_chunks_mut` hands each source row to
+                    // exactly one task, so pred row `s` has one writer.
+                    let pred_row = unsafe { writer.row(s) };
+                    sssp_into(&csr, metric, NodeId(s as u32), row_out, pred_row, scratch);
+                },
+            );
+        } else {
+            let mut scratch = SsspScratch::new(n);
+            for (s, (row_out, pred_row)) in dist
+                .chunks_mut(n.max(1))
+                .zip(pred.chunks_mut(n.max(1)))
+                .enumerate()
+            {
+                sssp_into(
+                    &csr,
+                    metric,
+                    NodeId(s as u32),
+                    row_out,
+                    pred_row,
+                    &mut scratch,
+                );
+            }
+        }
+        (DistanceMatrix { n, dist, metric }, RouteTable { n, pred })
     }
 
     /// Shortest-path distance between two nodes.
     #[inline]
     pub fn get(&self, a: NodeId, b: NodeId) -> f64 {
         self.dist[a.index() * self.n + b.index()]
+    }
+
+    /// The full distance row of source `a` (length [`len`](Self::len)).
+    #[inline]
+    pub fn row(&self, a: NodeId) -> &[f64] {
+        &self.dist[a.index() * self.n..(a.index() + 1) * self.n]
     }
 
     /// Number of nodes the matrix covers.
@@ -159,13 +279,16 @@ impl DistanceMatrix {
     /// nodes exists — empty, single-node, or fully-disconnected networks —
     /// which the old `0.0` sentinel could not distinguish from a genuinely
     /// zero-cost pair.
+    ///
+    /// Scans the upper triangle only: the matrix is symmetric (undirected
+    /// links), so `(b, a)` adds nothing over `(a, b)` and the full scan was
+    /// 10⁸ redundant reads at 10k nodes. `diameter_upper_triangle_matches_
+    /// double_scan` pins the result against a both-triangles reference on
+    /// the seeded test topologies.
     pub fn diameter(&self) -> Option<f64> {
         let mut best: Option<f64> = None;
         for a in 0..self.n {
-            for b in 0..self.n {
-                if a == b {
-                    continue;
-                }
+            for b in (a + 1)..self.n {
                 let d = self.dist[a * self.n + b];
                 if d.is_finite() {
                     best = Some(best.map_or(d, |m| m.max(d)));
@@ -189,6 +312,76 @@ impl DistanceMatrix {
             })
             .copied()
     }
+
+    /// Service a single-link weight change without rebuilding the world.
+    ///
+    /// `self` must be the matrix of the network *before* the change; `net`
+    /// is the network *after* it; `old_w` is the changed link's previous
+    /// weight under [`self.metric()`](Self::metric). Returns the matrix of
+    /// `net` — bit-identical to `DistanceMatrix::build(net, self.metric())`
+    /// (pinned by the `repair_equivalence` differential suite) — plus how it
+    /// was produced:
+    ///
+    /// * Weight unchanged under this metric (e.g. a *cost* degrade seen by a
+    ///   *delay* matrix): the matrix is cloned untouched
+    ///   ([`LinkRepair::Incremental`] with zero rows).
+    /// * Weight increased (degrade): only rows whose Dijkstra run could have
+    ///   used the link are re-relaxed. Row `s` is affected iff the link was
+    ///   *tight* from `s` — `dist(s,a) + old_w == dist(s,b)` or the mirror,
+    ///   compared exactly as Dijkstra computed the sum. Non-tight rows keep
+    ///   every distance bit: no old shortest path used the link, and after
+    ///   an increase paths through it lose by a strictly wider margin, so
+    ///   the re-run would reproduce the row verbatim.
+    /// * Weight decreased or link gone: falls back to a full rebuild
+    ///   ([`LinkRepair::Rebuilt`]) — a cheaper path through the link may now
+    ///   beat rows the tightness test on *old* distances cannot identify.
+    pub fn repaired_after_link_change(
+        &self,
+        net: &Network,
+        a: NodeId,
+        b: NodeId,
+        old_w: f64,
+    ) -> (Self, LinkRepair) {
+        assert_eq!(net.len(), self.n, "network/matrix size mismatch");
+        let Some(link) = net.find_link(a, b) else {
+            return (Self::build(net, self.metric), LinkRepair::Rebuilt);
+        };
+        let new_w = self.metric.weight(link);
+        if new_w.to_bits() == old_w.to_bits() {
+            return (self.clone(), LinkRepair::Incremental { rows: 0 });
+        }
+        if new_w < old_w {
+            return (Self::build(net, self.metric), LinkRepair::Rebuilt);
+        }
+        let csr = CsrGraph::from_network(net);
+        let mut out = self.clone();
+        let mut scratch = SsspScratch::new(self.n);
+        let mut pred = vec![u32::MAX; self.n];
+        let mut rows = 0;
+        for s in 0..self.n {
+            let da = self.dist[s * self.n + a.index()];
+            let db = self.dist[s * self.n + b.index()];
+            if !da.is_finite() && !db.is_finite() {
+                // s reaches neither endpoint; the link is invisible from s.
+                continue;
+            }
+            // Exactly the sums Dijkstra compared when it built row s: the
+            // link was on a shortest path from s iff one of them is tight.
+            if da + old_w == db || db + old_w == da {
+                let row = &mut out.dist[s * self.n..(s + 1) * self.n];
+                sssp_into(
+                    &csr,
+                    self.metric,
+                    NodeId(s as u32),
+                    row,
+                    &mut pred,
+                    &mut scratch,
+                );
+                rows += 1;
+            }
+        }
+        (out, LinkRepair::Incremental { rows })
+    }
 }
 
 /// All-pairs predecessor table for concrete route extraction.
@@ -211,26 +404,40 @@ impl RouteTable {
     pub fn build_with_parallel_threshold(net: &Network, metric: Metric, threshold: usize) -> Self {
         use rayon::prelude::*;
         let n = net.len();
+        let csr = CsrGraph::from_network(net);
         let mut pred = vec![u32::MAX; n * n];
         if n >= threshold {
-            pred.par_chunks_mut(n.max(1))
-                .enumerate()
-                .for_each(|(s, row_out)| {
-                    let (_, p) = dijkstra(net, NodeId(s as u32), metric);
-                    row_out.copy_from_slice(&p);
-                });
+            pred.par_chunks_mut(n.max(1)).enumerate().for_each_init(
+                || (SsspScratch::new(n), vec![f64::INFINITY; n]),
+                |(scratch, dist), (s, row_out)| {
+                    sssp_into(&csr, metric, NodeId(s as u32), dist, row_out, scratch);
+                },
+            );
         } else {
-            for s in net.nodes() {
-                let (_, p) = dijkstra(net, s, metric);
-                pred[s.index() * n..(s.index() + 1) * n].copy_from_slice(&p);
+            let mut scratch = SsspScratch::new(n);
+            let mut dist = vec![f64::INFINITY; n];
+            for (s, row_out) in pred.chunks_mut(n.max(1)).enumerate() {
+                sssp_into(
+                    &csr,
+                    metric,
+                    NodeId(s as u32),
+                    &mut dist,
+                    row_out,
+                    &mut scratch,
+                );
             }
         }
         RouteTable { n, pred }
     }
 
     /// The node sequence of the shortest route from `a` to `b`, inclusive of
-    /// both endpoints. Returns `None` when `b` is unreachable from `a`.
+    /// both endpoints. Returns `None` when `b` is unreachable from `a` or
+    /// when either endpoint is out of range for this table (the old code
+    /// "routed" any out-of-range id to itself).
     pub fn route(&self, a: NodeId, b: NodeId) -> Option<Vec<NodeId>> {
+        if a.index() >= self.n || b.index() >= self.n {
+            return None;
+        }
         if a == b {
             return Some(vec![a]);
         }
@@ -283,6 +490,7 @@ mod tests {
                 assert_eq!(m.get(a, b), d[b.index()]);
                 assert_eq!(m.get(a, b), m.get(b, a));
             }
+            assert_eq!(m.row(a), &d[..]);
         }
         assert_eq!(m.diameter(), Some(2.0));
     }
@@ -309,6 +517,20 @@ mod tests {
             vec![NodeId(0), NodeId(1), NodeId(2)]
         );
         assert_eq!(rt.route(NodeId(1), NodeId(1)).unwrap(), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn route_rejects_out_of_range_ids() {
+        // Regression: `route(a, a)` returned `Some(vec![a])` before any
+        // bounds check, so an out-of-range NodeId silently "routed".
+        let net = line_with_shortcut();
+        let rt = RouteTable::build(&net, Metric::Cost);
+        assert_eq!(rt.route(NodeId(3), NodeId(3)), None);
+        assert_eq!(rt.route(NodeId(99), NodeId(99)), None);
+        assert_eq!(rt.route(NodeId(0), NodeId(3)), None);
+        assert_eq!(rt.route(NodeId(3), NodeId(0)), None);
+        // In-range self-routes still work.
+        assert_eq!(rt.route(NodeId(2), NodeId(2)).unwrap(), vec![NodeId(2)]);
     }
 
     #[test]
@@ -339,6 +561,37 @@ mod tests {
         part.add_link(NodeId(0), NodeId(1), 3.0, 1.0, LinkKind::Stub);
         let pm = DistanceMatrix::build(&part, Metric::Cost);
         assert_eq!(pm.diameter(), Some(3.0));
+    }
+
+    #[test]
+    fn diameter_upper_triangle_matches_double_scan() {
+        // The upper-triangle scan must return exactly what the old
+        // both-ordered-pairs scan returned, on seeded transit-stub
+        // topologies under both metrics (the matrix is symmetric:
+        // undirected links).
+        for seed in [3, 7, 11] {
+            let ts = crate::topology::TransitStubConfig::sized(256).generate(seed);
+            for metric in [Metric::Cost, Metric::DelayMs] {
+                let m = DistanceMatrix::build(&ts.network, metric);
+                let mut reference: Option<f64> = None;
+                for a in ts.network.nodes() {
+                    for b in ts.network.nodes() {
+                        if a == b {
+                            continue;
+                        }
+                        let d = m.get(a, b);
+                        if d.is_finite() {
+                            reference = Some(reference.map_or(d, |r| r.max(d)));
+                        }
+                    }
+                }
+                assert_eq!(
+                    m.diameter().map(f64::to_bits),
+                    reference.map(f64::to_bits),
+                    "seed {seed} metric {metric:?}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -394,6 +647,116 @@ mod tests {
                 for b in net.nodes() {
                     assert_eq!(rt_par.route(a, b), rt_seq.route(a, b));
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_build_matches_separate_builds() {
+        // One APSP pass must yield the same bits as two: every distance and
+        // every predecessor, under both metrics and both scheduling paths.
+        let ts = crate::topology::TransitStubConfig::sized(512).generate(11);
+        let net = &ts.network;
+        for metric in [Metric::Cost, Metric::DelayMs] {
+            let dm_ref = DistanceMatrix::build(net, metric);
+            let rt_ref = RouteTable::build(net, metric);
+            for threshold in [0, usize::MAX] {
+                let (dm, rt) = DistanceMatrix::build_with_routes_with_parallel_threshold(
+                    net, metric, threshold,
+                );
+                assert_eq!(dm.metric(), metric);
+                for a in net.nodes() {
+                    for b in net.nodes() {
+                        assert_eq!(dm.get(a, b).to_bits(), dm_ref.get(a, b).to_bits());
+                    }
+                }
+                assert_eq!(rt.pred, rt_ref.pred, "threshold {threshold}");
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_repair_matches_rebuild_on_degrade() {
+        // Degrading one link: the repaired matrix must equal a from-scratch
+        // rebuild bit for bit, with only the tight rows re-run.
+        let ts = crate::topology::TransitStubConfig::sized(256).generate(9);
+        let mut net = ts.network.clone();
+        let before = DistanceMatrix::build(&net, Metric::Cost);
+        let (a, b, old_cost, old_delay) = {
+            let u = net.nodes().find(|&u| net.degree(u) > 0).unwrap();
+            let l = net.neighbors(u)[0];
+            (u, l.to, l.cost, l.delay_ms)
+        };
+        net.set_link_cost(a, b, old_cost * 4.0);
+        let (repaired, how) = before.repaired_after_link_change(&net, a, b, old_cost);
+        assert!(
+            matches!(how, LinkRepair::Incremental { .. }),
+            "degrade must not rebuild"
+        );
+        let rebuilt = DistanceMatrix::build(&net, Metric::Cost);
+        for x in net.nodes() {
+            for y in net.nodes() {
+                assert_eq!(repaired.get(x, y).to_bits(), rebuilt.get(x, y).to_bits());
+            }
+        }
+        // A delay matrix sees a cost change as a no-op: zero rows repaired
+        // (the link's delay — the weight under *this* metric — is unchanged).
+        let delay_before = DistanceMatrix::build(&ts.network, Metric::DelayMs);
+        let (delay_after, how) = delay_before.repaired_after_link_change(&net, a, b, old_delay);
+        assert_eq!(how, LinkRepair::Incremental { rows: 0 });
+        for x in net.nodes() {
+            for y in net.nodes() {
+                assert_eq!(
+                    delay_after.get(x, y).to_bits(),
+                    delay_before.get(x, y).to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn cost_decrease_falls_back_to_rebuild() {
+        let ts = crate::topology::TransitStubConfig::sized(128).generate(2);
+        let mut net = ts.network.clone();
+        let before = DistanceMatrix::build(&net, Metric::Cost);
+        let (a, b, old_cost) = {
+            let u = net.nodes().find(|&u| net.degree(u) > 0).unwrap();
+            let l = net.neighbors(u)[0];
+            (u, l.to, l.cost)
+        };
+        net.set_link_cost(a, b, old_cost * 0.25);
+        let (repaired, how) = before.repaired_after_link_change(&net, a, b, old_cost);
+        assert_eq!(how, LinkRepair::Rebuilt, "decrease must take the fallback");
+        let rebuilt = DistanceMatrix::build(&net, Metric::Cost);
+        for x in net.nodes() {
+            for y in net.nodes() {
+                assert_eq!(repaired.get(x, y).to_bits(), rebuilt.get(x, y).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_repair_with_disconnected_component() {
+        // A component that cannot see the degraded link must be carried over
+        // untouched (its rows are all-infinite at both endpoints), and the
+        // result must still equal the full rebuild.
+        let mut net = Network::new(6);
+        net.add_link(NodeId(0), NodeId(1), 1.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(1), NodeId(2), 2.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(0), NodeId(2), 4.0, 1.0, LinkKind::Stub);
+        net.add_link(NodeId(3), NodeId(4), 1.5, 1.0, LinkKind::Stub);
+        // Node 5 stays isolated.
+        let before = DistanceMatrix::build(&net, Metric::Cost);
+        net.set_link_cost(NodeId(0), NodeId(1), 10.0);
+        let (repaired, how) = before.repaired_after_link_change(&net, NodeId(0), NodeId(1), 1.0);
+        let LinkRepair::Incremental { rows } = how else {
+            panic!("degrade must repair incrementally");
+        };
+        assert!(rows <= 3, "only the connected component's rows may re-run");
+        let rebuilt = DistanceMatrix::build(&net, Metric::Cost);
+        for x in net.nodes() {
+            for y in net.nodes() {
+                assert_eq!(repaired.get(x, y).to_bits(), rebuilt.get(x, y).to_bits());
             }
         }
     }

@@ -1,0 +1,154 @@
+//! Differential suite for incremental degrade repair: over seeded degrade
+//! schedules on generated topologies — weight increases, no-ops, decreases
+//! (the documented full-rebuild fallback) and disconnected components —
+//! `DistanceMatrix::repaired_after_link_change` must agree bit-for-bit
+//! with a from-scratch `DistanceMatrix::build` after *every* event.
+//!
+//! CI runs this suite in `--release` so the schedules are long enough to
+//! exercise real topologies, not toys.
+
+use dsq_net::{DistanceMatrix, LinkKind, LinkRepair, Metric, Network, NodeId, TransitStubConfig};
+
+/// Deterministic xorshift step — the schedule driver's only randomness.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// All undirected links as (a, b) with a < b, in adjacency order.
+fn collect_links(net: &Network) -> Vec<(NodeId, NodeId)> {
+    let mut links = Vec::new();
+    for u in 0..net.len() as u32 {
+        for l in net.neighbors(NodeId(u)) {
+            if u < l.to.0 {
+                links.push((NodeId(u), l.to));
+            }
+        }
+    }
+    links
+}
+
+/// Assert the repaired matrix equals a from-scratch rebuild, bit-for-bit.
+fn assert_bits_equal(repaired: &DistanceMatrix, rebuilt: &DistanceMatrix, label: &str) {
+    let n = repaired.len();
+    assert_eq!(n, rebuilt.len(), "{label}: size mismatch");
+    for a in 0..n as u32 {
+        for b in 0..n as u32 {
+            let x = repaired.get(NodeId(a), NodeId(b));
+            let y = rebuilt.get(NodeId(a), NodeId(b));
+            assert_eq!(
+                x.to_bits(),
+                y.to_bits(),
+                "{label}: d({a},{b}) diverged: {x} vs {y}"
+            );
+        }
+    }
+}
+
+/// Run `events` degrade events on `net`, repairing incrementally and
+/// checking against a full rebuild after each one. Returns how many events
+/// took each repair path.
+fn run_schedule(
+    net: &mut Network,
+    metric: Metric,
+    seed: u64,
+    events: usize,
+) -> (usize, usize, usize) {
+    // Factor menu: increases (the common congestion case), an exact no-op,
+    // and decreases (the documented fallback-to-rebuild case).
+    const FACTORS: [f64; 6] = [1.5, 3.0, 10.0, 1.0, 0.7, 0.25];
+    let mut dm = DistanceMatrix::build(net, metric);
+    let mut state = seed | 1;
+    let (mut incremental, mut noop, mut rebuilt) = (0usize, 0usize, 0usize);
+    for ev in 0..events {
+        let links = collect_links(net);
+        let (a, b) = links[next(&mut state) as usize % links.len()];
+        let factor = FACTORS[next(&mut state) as usize % FACTORS.len()];
+        let link = net.find_link(a, b).expect("picked from adjacency");
+        let old_w = metric.weight(link);
+        let new_cost = link.cost * factor;
+        net.set_link_cost(a, b, new_cost);
+
+        let (repaired, outcome) = dm.repaired_after_link_change(net, a, b, old_w);
+        let full = DistanceMatrix::build(net, metric);
+        assert_bits_equal(&repaired, &full, &format!("seed {seed} event {ev}"));
+
+        // The repair path taken must match the weight delta: only a strict
+        // weight decrease (or a vanished link) may pay a full rebuild.
+        let new_w = metric.weight(net.find_link(a, b).unwrap());
+        match outcome {
+            LinkRepair::Rebuilt => {
+                assert!(
+                    new_w < old_w,
+                    "seed {seed} event {ev}: rebuilt without a weight decrease \
+                     (old {old_w}, new {new_w})"
+                );
+                rebuilt += 1;
+            }
+            LinkRepair::Incremental { rows } => {
+                assert!(
+                    new_w >= old_w,
+                    "seed {seed} event {ev}: incremental repair on a decrease"
+                );
+                if new_w.to_bits() == old_w.to_bits() {
+                    assert_eq!(rows, 0, "seed {seed} event {ev}: no-op touched rows");
+                    noop += 1;
+                } else {
+                    incremental += 1;
+                }
+            }
+        }
+        dm = repaired;
+    }
+    (incremental, noop, rebuilt)
+}
+
+#[test]
+fn seeded_degrade_schedules_match_full_rebuild() {
+    for seed in [3u64, 17, 91] {
+        let mut net = TransitStubConfig::default().generate(seed).network;
+        let (incremental, noop, rebuilt) = run_schedule(&mut net, Metric::Cost, seed, 40);
+        // The factor menu guarantees all three paths fire over 40 events.
+        assert!(incremental > 0, "seed {seed}: no incremental repairs");
+        assert!(noop > 0, "seed {seed}: no exact no-ops");
+        assert!(rebuilt > 0, "seed {seed}: no fallback rebuilds");
+    }
+}
+
+#[test]
+fn delay_metric_schedule_matches_full_rebuild() {
+    // `set_link_cost` leaves delay untouched, so on the DelayMs matrix
+    // every cost degrade is an exact weight no-op — the repair must detect
+    // that and clone without touching a row.
+    let mut net = TransitStubConfig::default().generate(7).network;
+    let (incremental, noop, rebuilt) = run_schedule(&mut net, Metric::DelayMs, 7, 12);
+    assert_eq!(incremental, 0);
+    assert_eq!(rebuilt, 0);
+    assert_eq!(noop, 12, "every cost change is a delay-weight no-op");
+}
+
+#[test]
+fn disconnected_component_schedule_matches_full_rebuild() {
+    // Two islands: a 4-cycle with a chord and a 3-path, plus one isolated
+    // node. Cross-island distances are INF throughout; degrade events in
+    // either island must repair without ever looking at the other.
+    let mut net = Network::new(8);
+    let n = |i: u32| NodeId(i);
+    // Island A: 0-1-2-3-0 cycle with chord 0-2.
+    net.add_link(n(0), n(1), 4.0, 1.0, LinkKind::Stub);
+    net.add_link(n(1), n(2), 2.0, 1.0, LinkKind::Stub);
+    net.add_link(n(2), n(3), 5.0, 1.0, LinkKind::Stub);
+    net.add_link(n(3), n(0), 3.0, 1.0, LinkKind::Stub);
+    net.add_link(n(0), n(2), 1.0, 1.0, LinkKind::Stub);
+    // Island B: 4-5-6 path.
+    net.add_link(n(4), n(5), 2.5, 1.0, LinkKind::Stub);
+    net.add_link(n(5), n(6), 1.5, 1.0, LinkKind::Stub);
+    // Node 7 stays isolated.
+    let (incremental, _noop, rebuilt) = run_schedule(&mut net, Metric::Cost, 29, 30);
+    assert!(incremental > 0);
+    assert!(rebuilt > 0, "decreases must still fall back");
+}

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, HashSet};
 
 use dsq_core::{optimize_all, optimize_dirty, Environment, ParallelConfig, TopDown};
 use dsq_hierarchy::membership;
-use dsq_net::{DistanceMatrix, NodeId};
+use dsq_net::{DistanceMatrix, LinkRepair, NodeId};
 use dsq_obs::Value;
 use dsq_query::{Catalog, Deployment, Query, QueryId, ReuseRegistry, StreamId};
 
@@ -166,11 +166,37 @@ pub enum Surgery {
     Degraded,
 }
 
+/// How the `Degrade` arm repairs the distance matrix.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum RepairStrategy {
+    /// Incremental single-link repair: only rows whose shortest paths used
+    /// the changed link are re-relaxed. Falls back to a full rebuild when
+    /// the weight *decreases* past its alternatives (or the link vanished) —
+    /// the only case where the server still pays a full APSP on `Degrade`.
+    #[default]
+    Incremental,
+    /// Always rebuild the full matrix. Kept as the differential control arm
+    /// (`tests/fault_surgery.rs` proves both arms bit-identical); never the
+    /// live default.
+    FullRebuild,
+}
+
+/// Apply one fault report to the environment only (no query bookkeeping),
+/// using the default [`RepairStrategy::Incremental`] degrade repair.
+pub fn apply_fault_surgery(env: &mut Environment, fault: &FaultReq) -> Surgery {
+    apply_fault_surgery_with(env, fault, RepairStrategy::Incremental)
+}
+
 /// Apply one fault report to the environment only (no query bookkeeping).
 /// Shared between the live drain path and snapshot reconstruction, which
 /// re-applies the fault history to a freshly built environment — so this
-/// must stay a pure function of `(env, fault)`.
-pub fn apply_fault_surgery(env: &mut Environment, fault: &FaultReq) -> Surgery {
+/// must stay a pure function of `(env, fault)`. Both repair strategies
+/// produce bit-identical matrices, so snapshot replay may use either.
+pub fn apply_fault_surgery_with(
+    env: &mut Environment,
+    fault: &FaultReq,
+    repair: RepairStrategy,
+) -> Surgery {
     match fault {
         FaultReq::Crash(n) => {
             let node = NodeId(*n);
@@ -223,8 +249,28 @@ pub fn apply_fault_surgery(env: &mut Environment, fault: &FaultReq) -> Surgery {
                 return Surgery::Skipped;
             };
             let new_cost = link.cost * (*factor_milli as f64 / 1000.0);
+            let old_w = env.metric.weight(link);
             env.network.set_link_cost(a, b, new_cost);
-            let new_dm = DistanceMatrix::build(&env.network, env.metric);
+            let new_dm = match repair {
+                RepairStrategy::FullRebuild => {
+                    dsq_obs::counter("server.degrade_rebuilds", 1);
+                    DistanceMatrix::build(&env.network, env.metric)
+                }
+                RepairStrategy::Incremental => {
+                    let (dm, outcome) =
+                        env.dm.repaired_after_link_change(&env.network, a, b, old_w);
+                    // Obs-only accounting: deliberately NOT in
+                    // `ServiceCounters`, so the two strategies keep
+                    // identical fingerprints in the differential tests.
+                    match outcome {
+                        LinkRepair::Incremental { rows } => {
+                            dsq_obs::counter("server.degrade_rows_repaired", rows as u64);
+                        }
+                        LinkRepair::Rebuilt => dsq_obs::counter("server.degrade_rebuilds", 1),
+                    }
+                    dm
+                }
+            };
             env.plan_cache.retire_metric(&env.dm, &new_dm);
             env.dm = new_dm;
             env.hierarchy.refresh_statistics(&env.dm);
@@ -252,6 +298,9 @@ pub struct ServiceCore {
     pub now_ms: u64,
     /// Deterministic counters.
     pub counters: ServiceCounters,
+    /// Degrade repair strategy (incremental by default; tests pin the
+    /// full-rebuild control arm against it).
+    pub repair: RepairStrategy,
     /// Fault entries applied so far, in order — the part of the journal a
     /// snapshot cannot summarize (the environment is path-dependent), so
     /// snapshots carry it verbatim for replay.
@@ -272,6 +321,7 @@ impl ServiceCore {
             epoch: 0,
             now_ms: 0,
             counters: ServiceCounters::default(),
+            repair: RepairStrategy::default(),
             fault_log: Vec::new(),
             entries_applied: 0,
         }
@@ -540,7 +590,7 @@ impl ServiceCore {
 
     /// Apply one fault report: environment surgery, then reclassify slots.
     fn apply_fault(&mut self, fault: &FaultReq) {
-        let surgery = apply_fault_surgery(&mut self.env, fault);
+        let surgery = apply_fault_surgery_with(&mut self.env, fault, self.repair);
         self.fault_log.push(JournalEntry::Fault {
             fault: fault.clone(),
             at_ms: self.now_ms,

@@ -1,0 +1,208 @@
+//! Fault surgery at scale: the incremental-repair Degrade path must be
+//! indistinguishable from the full-rebuild control arm. Two `ServiceCore`s
+//! fed the same seeded Degrade/Crash/Rejoin schedule — one with
+//! `RepairStrategy::Incremental`, one with `RepairStrategy::FullRebuild` —
+//! must produce identical fingerprints, epoch sequences, distance-matrix
+//! bits and `plan_cache` retirement accounting after every drain wave,
+//! while the incremental arm pays a full APSP only on the documented
+//! weight-decrease fallback.
+
+use dsq_net::NodeId;
+use dsq_obs::{scoped, ClockMode, Sink};
+use dsq_server::state::RepairStrategy;
+use dsq_server::{FaultReq, JournalEntry, ServiceConfig, ServiceCore};
+
+/// Deterministic xorshift step driving the schedule.
+fn next(state: &mut u64) -> u64 {
+    let mut x = *state;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    *state = x;
+    x
+}
+
+/// All undirected links of the core's network as (a, b) pairs, a < b.
+fn links_of(core: &ServiceCore) -> Vec<(u32, u32)> {
+    let net = &core.env.network;
+    let mut links = Vec::new();
+    for u in 0..net.len() as u32 {
+        for l in net.neighbors(NodeId(u)) {
+            if u < l.to.0 {
+                links.push((u, l.to.0));
+            }
+        }
+    }
+    links
+}
+
+/// A core with a few registered-and-planned queries, so fault surgery has
+/// plans to dirty, park and retire.
+fn seeded_core(repair: RepairStrategy) -> ServiceCore {
+    let cfg = ServiceConfig {
+        // A larger topology than the default so degrade repair has real
+        // rows to skip: 2×2 transit, 3 stubs of 4 → ~52 nodes.
+        transit_domains: 2,
+        transit_nodes_per_domain: 2,
+        stub_domains_per_transit_node: 3,
+        stub_nodes_per_domain: 4,
+        streams: 12,
+        ..ServiceConfig::default()
+    };
+    let mut core = ServiceCore::new(cfg);
+    core.repair = repair;
+    let sinks: Vec<u32> = core
+        .env
+        .hierarchy
+        .active_nodes()
+        .iter()
+        .map(|n| n.0)
+        .collect();
+    let batch: Vec<JournalEntry> = (0..6u32)
+        .map(|id| JournalEntry::Register {
+            id,
+            sources: vec![id % 12, (id + 5) % 12],
+            sink: sinks[(3 * id as usize + 1) % sinks.len()],
+            deadline_ms: None,
+            at_ms: 0,
+        })
+        .collect();
+    core.drain(&batch, 10);
+    core
+}
+
+/// Build the seeded fault schedule: `waves` drain batches, each carrying a
+/// mix of degrades (mostly increases), crashes and rejoins.
+fn schedule(
+    core: &ServiceCore,
+    seed: u64,
+    waves: usize,
+    decreases: bool,
+) -> Vec<Vec<JournalEntry>> {
+    let links = links_of(core);
+    let n = core.env.network.len() as u32;
+    let mut state = seed | 1;
+    let mut crashed: Vec<u32> = Vec::new();
+    let mut out = Vec::with_capacity(waves);
+    for w in 0..waves {
+        let at_ms = 20 + 10 * w as u64;
+        let mut batch = Vec::new();
+        for _ in 0..3 {
+            let fault = match next(&mut state) % 4 {
+                0 | 1 => {
+                    let (a, b) = links[next(&mut state) as usize % links.len()];
+                    // Increases by default; the decrease menu entry is only
+                    // offered when the caller wants the fallback exercised.
+                    let menu: &[u64] = if decreases {
+                        &[1500, 3000, 700]
+                    } else {
+                        &[1500, 3000, 9000]
+                    };
+                    let factor_milli = menu[next(&mut state) as usize % menu.len()];
+                    FaultReq::Degrade { a, b, factor_milli }
+                }
+                2 => {
+                    let node = next(&mut state) as u32 % n;
+                    crashed.push(node);
+                    FaultReq::Crash(node)
+                }
+                _ => match crashed.pop() {
+                    Some(node) => FaultReq::Rejoin(node),
+                    None => FaultReq::Rejoin(next(&mut state) as u32 % n),
+                },
+            };
+            batch.push(JournalEntry::Fault { fault, at_ms });
+        }
+        out.push(batch);
+    }
+    out
+}
+
+/// Drive both arms through the same schedule, asserting equivalence after
+/// every wave. Returns (incremental trace, control trace) as obs JSONL.
+fn run_differential(seed: u64, waves: usize, decreases: bool) -> (String, String) {
+    let mut inc = seeded_core(RepairStrategy::Incremental);
+    let mut ctl = seeded_core(RepairStrategy::FullRebuild);
+    assert_eq!(inc.fingerprint(), ctl.fingerprint(), "seeding diverged");
+    let batches = schedule(&inc, seed, waves, decreases);
+
+    let inc_sink = Sink::new(ClockMode::Virtual);
+    let ctl_sink = Sink::new(ClockMode::Virtual);
+    for (w, batch) in batches.iter().enumerate() {
+        let at_ms = 20 + 10 * w as u64;
+        let si = {
+            let _g = scoped(inc_sink.clone());
+            inc.drain(batch, at_ms)
+        };
+        let sc = {
+            let _g = scoped(ctl_sink.clone());
+            ctl.drain(batch, at_ms)
+        };
+        assert_eq!(si.epoch, sc.epoch, "seed {seed} wave {w}: epoch diverged");
+        assert_eq!(
+            inc.fingerprint(),
+            ctl.fingerprint(),
+            "seed {seed} wave {w}: fingerprints diverged"
+        );
+        assert_eq!(
+            inc.env.plan_cache.retired(),
+            ctl.env.plan_cache.retired(),
+            "seed {seed} wave {w}: retirement accounting diverged"
+        );
+        let n = inc.env.dm.len();
+        assert_eq!(n, ctl.env.dm.len());
+        for a in 0..n as u32 {
+            for b in 0..n as u32 {
+                assert_eq!(
+                    inc.env.dm.get(NodeId(a), NodeId(b)).to_bits(),
+                    ctl.env.dm.get(NodeId(a), NodeId(b)).to_bits(),
+                    "seed {seed} wave {w}: dm bits diverged at ({a},{b})"
+                );
+            }
+        }
+    }
+    (inc_sink.to_jsonl(), ctl_sink.to_jsonl())
+}
+
+fn count_counter(trace: &str, name: &str) -> usize {
+    trace.lines().filter(|l| l.contains(name)).count()
+}
+
+#[test]
+fn incremental_and_full_rebuild_arms_are_bit_identical() {
+    for seed in [11u64, 47] {
+        let (inc_trace, ctl_trace) = run_differential(seed, 8, false);
+        // The increase-only schedule must never trip the fallback: the
+        // incremental arm pays zero full rebuilds while the control arm
+        // pays one per applied degrade.
+        assert_eq!(
+            count_counter(&inc_trace, "server.degrade_rebuilds"),
+            0,
+            "seed {seed}: incremental arm paid a full rebuild on an increase"
+        );
+        assert!(
+            count_counter(&inc_trace, "server.degrade_rows_repaired") > 0,
+            "seed {seed}: schedule never exercised incremental repair"
+        );
+        assert!(
+            count_counter(&ctl_trace, "server.degrade_rebuilds") > 0,
+            "seed {seed}: control arm recorded no rebuilds"
+        );
+    }
+}
+
+#[test]
+fn weight_decreases_take_the_documented_fallback() {
+    let (inc_trace, _ctl) = run_differential(23, 8, true);
+    // With decreases in the menu the fallback must fire at least once —
+    // and the equivalence assertions inside run_differential prove the
+    // fallback path is also bit-identical to the control arm.
+    assert!(
+        count_counter(&inc_trace, "server.degrade_rebuilds") > 0,
+        "decrease schedule never hit the fallback rebuild"
+    );
+    assert!(
+        count_counter(&inc_trace, "server.degrade_rows_repaired") > 0,
+        "decrease schedule never repaired incrementally"
+    );
+}

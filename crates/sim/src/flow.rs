@@ -96,12 +96,14 @@ pub struct FlowSimulator<'a> {
 }
 
 impl<'a> FlowSimulator<'a> {
-    /// Build routing state for a network (cost metric).
+    /// Build routing state for a network (cost metric). One fused APSP pass
+    /// produces both the distance matrix and the route table.
     pub fn new(network: &'a Network) -> Self {
+        let (dm, routes) = DistanceMatrix::build_with_routes(network, Metric::Cost);
         FlowSimulator {
             network,
-            routes: RouteTable::build(network, Metric::Cost),
-            dm: DistanceMatrix::build(network, Metric::Cost),
+            routes,
+            dm,
         }
     }
 
