@@ -53,6 +53,39 @@ pub struct FuzzCase {
     /// Set by the shrinker so minimized repros carry round numbers; the
     /// oracle re-check keeps the substitution sound.
     pub round_stats: bool,
+    /// Service mode: the case additionally generates a request script plus
+    /// a crash schedule and runs the `CheckId::Service` differential
+    /// (uncrashed vs crashed-and-recovered vs journal-only replay). All
+    /// `svc_*` fields below are meaningful only when this is set; a case
+    /// with `service` off is byte-identical to a pre-service case.
+    pub service: bool,
+    /// Queries registered by the service script.
+    pub svc_queries: usize,
+    /// Forced replans in the script.
+    pub svc_replans: usize,
+    /// Unregistrations in the script.
+    pub svc_unregisters: usize,
+    /// Mutating requests per drain wave.
+    pub svc_batch: usize,
+    /// Read-only probes (`query`/`stats`) in the script.
+    pub svc_reads: usize,
+    /// Fault events on the script's fault timeline.
+    pub svc_events: usize,
+    /// Admission bound on queued mutating requests (small values force
+    /// shedding, which is exactly the accounting the oracle checks).
+    pub svc_max_queue: usize,
+    /// Replans per drain wave before stale serving (0 = unbounded).
+    pub svc_replan_budget: usize,
+    /// Default per-request deadline at drain time (0 = none).
+    pub svc_deadline_ms: u64,
+    /// Snapshot every N drains in the crashed arm (0 = never).
+    pub svc_snapshot_every: usize,
+    /// Crash points drawn for the crash schedule.
+    pub svc_kills: usize,
+    /// Script line indexes kept by the shrinker (`None` = all).
+    pub keep_requests: Option<Vec<usize>>,
+    /// Crash-point indexes kept by the shrinker (`None` = all).
+    pub keep_kills: Option<Vec<usize>>,
 }
 
 /// A materialized case: environment, workload and fault schedule.
@@ -65,18 +98,114 @@ pub struct Instance {
     pub schedule: FaultSchedule,
 }
 
+impl Default for FuzzCase {
+    /// The parse-time defaults: the smallest valid planner case, service
+    /// mode off, service knobs at the values a hand-written service case
+    /// most likely wants.
+    fn default() -> FuzzCase {
+        FuzzCase {
+            seed: 0,
+            transit_domains: 1,
+            transit_nodes_per_domain: 1,
+            stub_domains_per_transit_node: 1,
+            stub_nodes_per_domain: 2,
+            max_cs: 4,
+            streams: 4,
+            queries: 1,
+            joins_lo: 1,
+            joins_hi: 2,
+            skew_milli: 0,
+            events: 0,
+            drop_milli: 0,
+            keep_queries: None,
+            keep_events: None,
+            round_stats: false,
+            service: false,
+            svc_queries: 4,
+            svc_replans: 2,
+            svc_unregisters: 1,
+            svc_batch: 4,
+            svc_reads: 0,
+            svc_events: 4,
+            svc_max_queue: 4,
+            svc_replan_budget: 0,
+            svc_deadline_ms: 0,
+            svc_snapshot_every: 0,
+            svc_kills: 2,
+            keep_requests: None,
+            keep_kills: None,
+        }
+    }
+}
+
 impl FuzzCase {
     /// Like [`FuzzCase::sample`], but with probability `wide_milli`/1000
     /// the case instead draws a **wide** universe — queries joining 33+
     /// streams, past any one-word bitmask — exercising the engine's sparse
-    /// reachable-set path and its typed `UniverseTooLarge` refusal. With
-    /// `wide_milli = 0` this is byte-identical to `sample` (the RNG is not
-    /// consulted for the wide draw).
-    pub fn sample_with(rng: &mut ChaCha8Rng, max_nodes: usize, wide_milli: u64) -> FuzzCase {
+    /// reachable-set path and its typed `UniverseTooLarge` refusal — and
+    /// with probability `service_milli`/1000 a **service** case carrying a
+    /// request script and crash schedule. With both knobs 0 this is
+    /// byte-identical to `sample` (the RNG is not consulted for either
+    /// draw).
+    pub fn sample_with(
+        rng: &mut ChaCha8Rng,
+        max_nodes: usize,
+        wide_milli: u64,
+        service_milli: u64,
+    ) -> FuzzCase {
+        if service_milli > 0 && rng.gen_bool((service_milli as f64 / 1000.0).min(1.0)) {
+            return Self::sample_service(rng, max_nodes);
+        }
         if wide_milli > 0 && rng.gen_bool((wide_milli as f64 / 1000.0).min(1.0)) {
             return Self::sample_wide(rng, max_nodes);
         }
         Self::sample(rng, max_nodes)
+    }
+
+    /// A service-mode case: a modest topology and planner workload (the
+    /// planner checks still run, fast) plus a request script, admission
+    /// knobs drawn small enough that shedding and budget-stale serving
+    /// actually happen, and a seeded crash schedule.
+    fn sample_service(rng: &mut ChaCha8Rng, max_nodes: usize) -> FuzzCase {
+        loop {
+            let joins_lo = rng.gen_range(1..=2);
+            let joins_hi = rng.gen_range(joins_lo..=3);
+            let case = FuzzCase {
+                seed: rng.gen_range(0..u64::MAX),
+                transit_domains: 1,
+                transit_nodes_per_domain: rng.gen_range(1..=2),
+                stub_domains_per_transit_node: rng.gen_range(1..=3),
+                stub_nodes_per_domain: rng.gen_range(2..=5),
+                max_cs: rng.gen_range(2..=8),
+                streams: rng.gen_range(joins_hi + 2..=10),
+                queries: rng.gen_range(1..=2),
+                joins_lo,
+                joins_hi,
+                skew_milli: 0,
+                events: rng.gen_range(0..=4),
+                drop_milli: 0,
+                service: true,
+                svc_queries: rng.gen_range(1..=6),
+                svc_replans: rng.gen_range(0..=3),
+                svc_unregisters: rng.gen_range(0..=2),
+                svc_batch: rng.gen_range(1..=5),
+                svc_reads: rng.gen_range(0..=4),
+                svc_events: rng.gen_range(0..=6),
+                svc_max_queue: rng.gen_range(1..=8),
+                svc_replan_budget: rng.gen_range(0..=3),
+                svc_deadline_ms: if rng.gen_bool(0.5) {
+                    0
+                } else {
+                    rng.gen_range(100..=2_000)
+                },
+                svc_snapshot_every: rng.gen_range(0..=3),
+                svc_kills: rng.gen_range(0..=4),
+                ..FuzzCase::default()
+            };
+            if case.total_nodes() <= max_nodes && case.total_nodes() >= 4 {
+                return case;
+            }
+        }
     }
 
     /// A >32-atom universe case: one or two queries joining 33–40 streams.
@@ -100,9 +229,7 @@ impl FuzzCase {
                 skew_milli: 0,
                 events: rng.gen_range(0..=6),
                 drop_milli: 0,
-                keep_queries: None,
-                keep_events: None,
-                round_stats: false,
+                ..FuzzCase::default()
             };
             if case.total_nodes() <= max_nodes && case.total_nodes() >= 4 {
                 return case;
@@ -138,9 +265,7 @@ impl FuzzCase {
                 } else {
                     rng.gen_range(50..=200)
                 },
-                keep_queries: None,
-                keep_events: None,
-                round_stats: false,
+                ..FuzzCase::default()
             };
             if case.total_nodes() <= max_nodes && case.total_nodes() >= 4 {
                 return case;
@@ -266,6 +391,26 @@ impl FuzzCase {
         if self.round_stats {
             kv("round_stats", "1".into());
         }
+        if self.service {
+            kv("service", "1".into());
+            kv("svc_queries", self.svc_queries.to_string());
+            kv("svc_replans", self.svc_replans.to_string());
+            kv("svc_unregisters", self.svc_unregisters.to_string());
+            kv("svc_batch", self.svc_batch.to_string());
+            kv("svc_reads", self.svc_reads.to_string());
+            kv("svc_events", self.svc_events.to_string());
+            kv("svc_max_queue", self.svc_max_queue.to_string());
+            kv("svc_replan_budget", self.svc_replan_budget.to_string());
+            kv("svc_deadline_ms", self.svc_deadline_ms.to_string());
+            kv("svc_snapshot_every", self.svc_snapshot_every.to_string());
+            kv("svc_kills", self.svc_kills.to_string());
+            if let Some(k) = &self.keep_requests {
+                kv("keep_requests", join_indexes(k));
+            }
+            if let Some(k) = &self.keep_kills {
+                kv("keep_kills", join_indexes(k));
+            }
+        }
         out
     }
 
@@ -273,24 +418,7 @@ impl FuzzCase {
     ///
     /// [`to_text`]: FuzzCase::to_text
     pub fn parse(text: &str) -> Result<FuzzCase, String> {
-        let mut case = FuzzCase {
-            seed: 0,
-            transit_domains: 1,
-            transit_nodes_per_domain: 1,
-            stub_domains_per_transit_node: 1,
-            stub_nodes_per_domain: 2,
-            max_cs: 4,
-            streams: 4,
-            queries: 1,
-            joins_lo: 1,
-            joins_hi: 2,
-            skew_milli: 0,
-            events: 0,
-            drop_milli: 0,
-            keep_queries: None,
-            keep_events: None,
-            round_stats: false,
-        };
+        let mut case = FuzzCase::default();
         for (ln, raw) in text.lines().enumerate() {
             let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
@@ -323,6 +451,20 @@ impl FuzzCase {
                 "keep_queries" => case.keep_queries = Some(parse_indexes(value)?),
                 "keep_events" => case.keep_events = Some(parse_indexes(value)?),
                 "round_stats" => case.round_stats = as_u64(value)? != 0,
+                "service" => case.service = as_u64(value)? != 0,
+                "svc_queries" => case.svc_queries = as_usize(value)?,
+                "svc_replans" => case.svc_replans = as_usize(value)?,
+                "svc_unregisters" => case.svc_unregisters = as_usize(value)?,
+                "svc_batch" => case.svc_batch = as_usize(value)?,
+                "svc_reads" => case.svc_reads = as_usize(value)?,
+                "svc_events" => case.svc_events = as_usize(value)?,
+                "svc_max_queue" => case.svc_max_queue = as_usize(value)?,
+                "svc_replan_budget" => case.svc_replan_budget = as_usize(value)?,
+                "svc_deadline_ms" => case.svc_deadline_ms = as_u64(value)?,
+                "svc_snapshot_every" => case.svc_snapshot_every = as_usize(value)?,
+                "svc_kills" => case.svc_kills = as_usize(value)?,
+                "keep_requests" => case.keep_requests = Some(parse_indexes(value)?),
+                "keep_kills" => case.keep_kills = Some(parse_indexes(value)?),
                 other => return Err(format!("line {}: unknown key {other:?}", ln + 1)),
             }
         }
@@ -341,7 +483,94 @@ impl FuzzCase {
         if case.max_cs < 2 {
             return Err("max_cs must be at least 2".into());
         }
+        if case.service {
+            if case.svc_queries == 0 {
+                return Err("service cases need svc_queries >= 1".into());
+            }
+            if case.svc_batch == 0 {
+                return Err("service cases need svc_batch >= 1".into());
+            }
+            if case.svc_max_queue == 0 {
+                return Err("service cases need svc_max_queue >= 1".into());
+            }
+        }
         Ok(case)
+    }
+
+    /// The service configuration a service-mode case runs under, sharing
+    /// the case's topology/catalog shape with the planner checks.
+    pub fn service_config(&self) -> dsq_server::ServiceConfig {
+        dsq_server::ServiceConfig {
+            seed: self.seed,
+            transit_domains: self.transit_domains,
+            transit_nodes_per_domain: self.transit_nodes_per_domain,
+            stub_domains_per_transit_node: self.stub_domains_per_transit_node,
+            stub_nodes_per_domain: self.stub_nodes_per_domain,
+            max_cs: self.max_cs,
+            streams: self.streams,
+            max_queue: self.svc_max_queue,
+            default_deadline_ms: self.svc_deadline_ms,
+            replan_budget: self.svc_replan_budget,
+            snapshot_every: self.svc_snapshot_every,
+            ..dsq_server::ServiceConfig::default()
+        }
+    }
+
+    /// The (keep-masked) request script of a service-mode case. The mask
+    /// indexes the *generated* lines, so dropping any subset — drains
+    /// included — still yields a protocol-valid script.
+    pub fn service_script(&self) -> Vec<String> {
+        let script = dsq_server::chaos::ScriptConfig {
+            seed: self.seed,
+            queries: self.svc_queries,
+            replans: self.svc_replans,
+            unregisters: self.svc_unregisters,
+            batch: self.svc_batch,
+            reads: self.svc_reads,
+            faults: FaultConfig {
+                events: self.svc_events,
+                mean_gap_ms: 500.0,
+                ..FaultConfig::default()
+            },
+            ..dsq_server::chaos::ScriptConfig::default()
+        };
+        let lines = dsq_server::generate_script(&self.service_config(), &script);
+        match &self.keep_requests {
+            Some(keep) => keep.iter().filter_map(|&i| lines.get(i).cloned()).collect(),
+            None => lines,
+        }
+    }
+
+    /// The (keep-masked) crash schedule for `lines`, whose kill points are
+    /// journal lengths — drawn against the script's *journaled* line count
+    /// (mutating requests and drains; reads never touch the journal).
+    pub fn service_crashes(&self, lines: &[String]) -> dsq_server::CrashSchedule {
+        let journaled = lines
+            .iter()
+            .filter(|l| {
+                dsq_server::Request::parse(l).is_ok_and(|r| {
+                    !matches!(
+                        r,
+                        dsq_server::Request::Query { .. } | dsq_server::Request::Stats
+                    )
+                })
+            })
+            .count();
+        let schedule = dsq_server::CrashSchedule::generate(
+            // Decorrelated from the script stream, pure in the case seed.
+            self.seed ^ 0x5EED_C4A5,
+            journaled,
+            self.svc_kills,
+        );
+        match &self.keep_kills {
+            Some(keep) => dsq_server::CrashSchedule {
+                kill_at: keep
+                    .iter()
+                    .filter_map(|&i| schedule.kill_at.get(i).copied())
+                    .collect(),
+            },
+            None => schedule,
+        }
     }
 }
 
@@ -463,5 +692,63 @@ mod tests {
         assert!(FuzzCase::parse("nonsense").is_err());
         assert!(FuzzCase::parse("unknown_key = 3").is_err());
         assert!(FuzzCase::parse("streams = 2\njoins_hi = 4").is_err());
+        assert!(FuzzCase::parse("service = 1\nsvc_queries = 0").is_err());
+        assert!(FuzzCase::parse("service = 1\nsvc_batch = 0").is_err());
+        assert!(FuzzCase::parse("service = 1\nsvc_max_queue = 0").is_err());
+    }
+
+    #[test]
+    fn service_case_text_round_trips() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        for _ in 0..25 {
+            let mut case = FuzzCase::sample_with(&mut rng, 48, 0, 1000);
+            assert!(case.service);
+            if rng.gen_bool(0.5) {
+                case.keep_requests = Some(vec![0, 3, 4]);
+                case.keep_kills = Some(vec![0]);
+            }
+            let text = case.to_text("service round trip");
+            let back = FuzzCase::parse(&text).expect("parse back");
+            assert_eq!(case, back);
+        }
+    }
+
+    #[test]
+    fn sampling_without_service_milli_is_unchanged() {
+        // The service draw must not consume RNG state when disabled:
+        // campaigns from before service mode keep their exact cases.
+        let a = FuzzCase::sample_with(&mut ChaCha8Rng::seed_from_u64(5), 48, 50, 0);
+        let b = {
+            let mut rng = ChaCha8Rng::seed_from_u64(5);
+            if 50 > 0 && rng.gen_bool(0.05) {
+                unreachable!("seed 5 does not draw wide");
+            }
+            FuzzCase::sample(&mut rng, 48)
+        };
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn service_script_is_deterministic_and_keep_masked() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        let case = FuzzCase::sample_with(&mut rng, 48, 0, 1000);
+        let a = case.service_script();
+        let b = case.service_script();
+        assert_eq!(a, b, "script generation must be pure in the case");
+        assert!(!a.is_empty());
+        let masked = FuzzCase {
+            keep_requests: Some(vec![0, 2]),
+            ..case.clone()
+        };
+        let m = masked.service_script();
+        assert_eq!(m.len(), 2.min(a.len()));
+        assert_eq!(m[0], a[0]);
+        let crashes = case.service_crashes(&a);
+        assert_eq!(crashes, case.service_crashes(&a));
+        let kill_masked = FuzzCase {
+            keep_kills: Some(vec![]),
+            ..case.clone()
+        };
+        assert!(kill_masked.service_crashes(&a).kill_at.is_empty());
     }
 }

@@ -46,6 +46,12 @@ pub struct CampaignConfig {
     /// universe — the regime where one-word bitmask arithmetic used to
     /// overflow. `0` disables wide sampling entirely.
     pub wide_milli: u64,
+    /// Probability, in thousandths, that a case samples **service mode** —
+    /// a request script plus crash schedule driven through the resident
+    /// planning service's three-way differential (`CheckId::Service`).
+    /// `0` disables service sampling entirely (and consumes no RNG draws,
+    /// so older campaigns replay unchanged).
+    pub service_milli: u64,
 }
 
 impl Default for CampaignConfig {
@@ -57,6 +63,7 @@ impl Default for CampaignConfig {
             shrink_budget: 150,
             out_dir: None,
             wide_milli: 50,
+            service_milli: 100,
         }
     }
 }
@@ -119,7 +126,8 @@ pub fn run_campaign(
         std::fs::create_dir_all(dir)?;
     }
     for i in 0..cfg.iters {
-        let case = FuzzCase::sample_with(&mut rng, cfg.max_nodes, cfg.wide_milli);
+        let case =
+            FuzzCase::sample_with(&mut rng, cfg.max_nodes, cfg.wide_milli, cfg.service_milli);
         outcome.iterations += 1;
         outcome.oracle_runs += 1;
         let violations = run_oracle(&case);

@@ -3,11 +3,16 @@
 //!
 //! Reduction order follows the blast radius of each knob:
 //!
+//! 0. **Drop service script lines, then crash points** (service-mode cases
+//!    only) — the request script is a service bug's blast radius, so it
+//!    shrinks before anything else. The keep masks index the *generated*
+//!    lines and kill points, so any subset still replays deterministically.
 //! 1. **Drop queries** — one at a time until no single removal preserves
 //!    the failure.
 //! 2. **Drop fault events** — likewise.
 //! 3. **Shrink the topology and workload** — stepwise reductions of the
-//!    stub/transit shape, stream count, join width and `max_cs`.
+//!    stub/transit shape, stream count, join width and `max_cs` (plus the
+//!    service script knobs on service-mode cases).
 //! 4. **Canonicalize** — not smaller, but rounder: round the generated
 //!    rates and selectivities to one significant digit (`round_stats`),
 //!    drive the seed toward small round values, and snap `skew_milli` /
@@ -68,6 +73,85 @@ pub fn shrink_with(
     let mut best = case.clone();
     let mut runs = 0usize;
     let out_of_budget = |runs: &usize| *runs >= budget;
+
+    // Phase 0 (service cases): drop request-script lines, then crash
+    // points. Dropping a line shifts later journal indexes (and therefore
+    // the regenerated crash schedule) — soundness comes from the re-check,
+    // exactly as with every other regenerating reduction.
+    if best.service {
+        let mut keep_req: Vec<usize> = best.keep_requests.clone().unwrap_or_else(|| {
+            let unmasked = FuzzCase {
+                keep_requests: None,
+                ..best.clone()
+            };
+            (0..unmasked.service_script().len()).collect()
+        });
+        'requests: loop {
+            if out_of_budget(&runs) || keep_req.is_empty() {
+                break;
+            }
+            for i in 0..keep_req.len() {
+                let mut cand_keep = keep_req.clone();
+                cand_keep.remove(i);
+                let cand = FuzzCase {
+                    keep_requests: Some(cand_keep.clone()),
+                    ..best.clone()
+                };
+                if fails(oracle, &cand, check, &mut runs) {
+                    keep_req = cand_keep;
+                    best = cand;
+                    continue 'requests;
+                }
+                if out_of_budget(&runs) {
+                    break 'requests;
+                }
+            }
+            break;
+        }
+
+        // Crash points: all at once first (many script bugs need no crash
+        // at all), then one at a time.
+        let mut keep_kill: Vec<usize> = best.keep_kills.clone().unwrap_or_else(|| {
+            let unmasked = FuzzCase {
+                keep_kills: None,
+                ..best.clone()
+            };
+            let lines = unmasked.service_script();
+            (0..unmasked.service_crashes(&lines).kill_at.len()).collect()
+        });
+        if !keep_kill.is_empty() && !out_of_budget(&runs) {
+            let cand = FuzzCase {
+                keep_kills: Some(Vec::new()),
+                ..best.clone()
+            };
+            if fails(oracle, &cand, check, &mut runs) {
+                keep_kill = Vec::new();
+                best = cand;
+            }
+        }
+        'kills: loop {
+            if out_of_budget(&runs) || keep_kill.is_empty() {
+                break;
+            }
+            for i in 0..keep_kill.len() {
+                let mut cand_keep = keep_kill.clone();
+                cand_keep.remove(i);
+                let cand = FuzzCase {
+                    keep_kills: Some(cand_keep.clone()),
+                    ..best.clone()
+                };
+                if fails(oracle, &cand, check, &mut runs) {
+                    keep_kill = cand_keep;
+                    best = cand;
+                    continue 'kills;
+                }
+                if out_of_budget(&runs) {
+                    break 'kills;
+                }
+            }
+            break;
+        }
+    }
 
     // Phase 1: drop queries one at a time (restart the scan after every
     // accepted removal so earlier indexes get another chance).
@@ -200,6 +284,47 @@ pub fn shrink_with(
                 drop_milli: 0,
                 ..best.clone()
             });
+        }
+        if best.service {
+            // Script-generation knobs: regenerating a leaner script may
+            // invalidate the keep masks' indexes, but the re-check keeps
+            // only reductions that still reproduce the failure.
+            if best.svc_events > 0 {
+                reductions.push(FuzzCase {
+                    svc_events: 0,
+                    ..best.clone()
+                });
+            }
+            if best.svc_reads > 0 {
+                reductions.push(FuzzCase {
+                    svc_reads: 0,
+                    ..best.clone()
+                });
+            }
+            if best.svc_replans > 0 {
+                reductions.push(FuzzCase {
+                    svc_replans: best.svc_replans - 1,
+                    ..best.clone()
+                });
+            }
+            if best.svc_unregisters > 0 {
+                reductions.push(FuzzCase {
+                    svc_unregisters: best.svc_unregisters - 1,
+                    ..best.clone()
+                });
+            }
+            if best.svc_queries > 1 {
+                reductions.push(FuzzCase {
+                    svc_queries: best.svc_queries - 1,
+                    ..best.clone()
+                });
+            }
+            if best.svc_snapshot_every > 0 {
+                reductions.push(FuzzCase {
+                    svc_snapshot_every: 0,
+                    ..best.clone()
+                });
+            }
         }
         for cand in reductions {
             if fails(oracle, &cand, check, &mut runs) {
@@ -397,6 +522,38 @@ mod tests {
         assert!(needs_knobs(&report.case).contains(&CheckId::Migration));
         // The canonical form round-trips through the .case text.
         let parsed = FuzzCase::parse(&report.case.to_text("canon")).unwrap();
+        assert_eq!(parsed, report.case);
+    }
+
+    #[test]
+    fn shrinker_drops_service_requests_and_crash_points() {
+        // Planted service defect: fires while at least 3 script lines and
+        // at least 1 crash point survive the keep masks. Phase 0 must find
+        // the 3-line, 1-kill floor.
+        let planted = |case: &FuzzCase| -> Vec<CheckId> {
+            let lines = case.service_script();
+            let kills = case.service_crashes(&lines).kill_at.len();
+            if lines.len() >= 3 && kills >= 1 {
+                vec![CheckId::Service]
+            } else {
+                Vec::new()
+            }
+        };
+        let mut rng = ChaCha8Rng::seed_from_u64(11);
+        let case = loop {
+            let c = FuzzCase::sample_with(&mut rng, 48, 0, 1000);
+            if c.service && planted(&c).contains(&CheckId::Service) {
+                break c;
+            }
+        };
+        let report = shrink_with(&planted, &case, CheckId::Service, 2_000);
+        assert!(!report.budget_exhausted);
+        let lines = report.case.service_script();
+        assert_eq!(lines.len(), 3, "script floor not reached: {lines:?}");
+        assert_eq!(report.case.service_crashes(&lines).kill_at.len(), 1);
+        assert!(planted(&report.case).contains(&CheckId::Service));
+        // The minimized masks round-trip through the .case text.
+        let parsed = FuzzCase::parse(&report.case.to_text("svc")).unwrap();
         assert_eq!(parsed, report.case);
     }
 

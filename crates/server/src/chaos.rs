@@ -39,6 +39,12 @@ pub struct ScriptConfig {
     pub unregisters: usize,
     /// Mutating requests per drain wave.
     pub batch: usize,
+    /// Read-only probes (`query` / every fourth a `stats`) sprinkled over
+    /// the timeline. Reads are never journaled, so they do not shift crash
+    /// schedules; they pin response-level state (slot status, epochs,
+    /// counters) across recovery. 0 (the default) consumes no RNG draws,
+    /// keeping scripts from older configs byte-identical.
+    pub reads: usize,
     /// Fault-timeline knobs (shared with the sim chaos runner).
     pub faults: FaultConfig,
 }
@@ -52,6 +58,7 @@ impl Default for ScriptConfig {
             replans: 3,
             unregisters: 1,
             batch: 4,
+            reads: 0,
             faults: FaultConfig {
                 events: 6,
                 mean_gap_ms: 500.0,
@@ -126,6 +133,15 @@ pub fn generate_script(cfg: &ServiceConfig, script: &ScriptConfig) -> Vec<String
             t,
             format!(r#"{{"op":"unregister","id":{id},"at_ms":{t}}}"#),
         );
+    }
+    for r in 0..script.reads {
+        let t = rng.gen_range(0..horizon);
+        if r % 4 == 3 || ids.is_empty() {
+            push(&mut timeline, t, r#"{"op":"stats"}"#.to_string());
+        } else {
+            let id = ids[rng.gen_range(0..ids.len())];
+            push(&mut timeline, t, format!(r#"{{"op":"query","id":{id}}}"#));
+        }
     }
     for tf in &schedule.faults {
         let t = tf.at_ms.ceil() as u64;

@@ -62,6 +62,19 @@ pub enum JournalEntry {
         /// Drain time.
         at_ms: u64,
     },
+    /// A mutating request rejected by admission control (`overloaded`).
+    /// Shed requests never reach a drain wave, but they *are* journaled so
+    /// replay reproduces the admission accounting — a recovered service
+    /// must report the same `shed` counter (and fingerprint) as the live
+    /// run did.
+    Shed {
+        /// The rejected request's op name (`register`, `replan`, ...).
+        op: String,
+        /// Query id, when the rejected request carried one.
+        id: Option<u32>,
+        /// Arrival time.
+        at_ms: u64,
+    },
 }
 
 impl JournalEntry {
@@ -110,7 +123,8 @@ impl JournalEntry {
             | JournalEntry::Unregister { at_ms, .. }
             | JournalEntry::Replan { at_ms, .. }
             | JournalEntry::Fault { at_ms, .. }
-            | JournalEntry::Drain { at_ms } => *at_ms,
+            | JournalEntry::Drain { at_ms }
+            | JournalEntry::Shed { at_ms, .. } => *at_ms,
         }
     }
 
@@ -153,6 +167,14 @@ impl JournalEntry {
                 }
             },
             JournalEntry::Drain { at_ms } => format!("drain at={at_ms}"),
+            JournalEntry::Shed { op, id, at_ms } => {
+                let mut line = format!("shed op={op}");
+                if let Some(id) = id {
+                    line.push_str(&format!(" id={id}"));
+                }
+                line.push_str(&format!(" at={at_ms}"));
+                line
+            }
         }
     }
 
@@ -221,6 +243,18 @@ impl JournalEntry {
             "drain" => Ok(JournalEntry::Drain {
                 at_ms: get_u64("at")?,
             }),
+            "shed" => {
+                let op = fields.get("op").ok_or("shed: missing op")?.clone();
+                let id = match fields.get("id") {
+                    Some(_) => Some(get_u32("id")?),
+                    None => None,
+                };
+                Ok(JournalEntry::Shed {
+                    op,
+                    id,
+                    at_ms: get_u64("at")?,
+                })
+            }
             other => Err(format!("unknown journal entry kind {other:?}")),
         }
     }
@@ -436,6 +470,16 @@ mod tests {
             },
             JournalEntry::Drain { at_ms: 160 },
             JournalEntry::Unregister { id: 3, at_ms: 170 },
+            JournalEntry::Shed {
+                op: "register".to_string(),
+                id: Some(9),
+                at_ms: 180,
+            },
+            JournalEntry::Shed {
+                op: "fault".to_string(),
+                id: None,
+                at_ms: 190,
+            },
         ]
     }
 

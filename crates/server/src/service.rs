@@ -6,8 +6,10 @@
 //!
 //! 1. **Admission** — read-only requests answer immediately; mutating
 //!    requests pass validation, deadline and backpressure checks. Shed
-//!    requests get a typed error and are *not* journaled (they never
-//!    happened, as far as replay is concerned).
+//!    requests get a typed error and a [`JournalEntry::Shed`] marker —
+//!    they never enter a drain batch, but replay must reproduce the
+//!    admission accounting (the `shed` counter is part of the
+//!    fingerprint), so the rejection itself is journaled.
 //! 2. **Journal** — admitted requests are appended to the write-ahead
 //!    journal *before* being queued (crash after the append replays the
 //!    request; crash before it means the client never got an ack).
@@ -147,8 +149,23 @@ impl PlanningService {
             self.core.cfg.max_queue * 2
         };
         if self.queue.len() >= limit {
-            self.core.counters.shed += 1;
-            dsq_obs::counter("server.requests_shed", 1);
+            // Write-ahead even for rejections: a recovered service must
+            // report the same `shed` counter as the live run did, and the
+            // only way replay can know about a rejection is the journal.
+            let at_ms = JournalEntry::from_request(req).map_or(0, |e| e.at_ms());
+            let entry = JournalEntry::Shed {
+                op: req.op().to_string(),
+                id: req.id(),
+                at_ms,
+            };
+            if let Err(e) = self.journal.append(entry) {
+                return Some(resp_error(
+                    req.op(),
+                    req.id(),
+                    &format!("journal append failed: {e}"),
+                ));
+            }
+            self.core.note_shed();
             return Some(resp_error(req.op(), req.id(), "overloaded"));
         }
         None
@@ -297,6 +314,11 @@ impl PlanningService {
                     let batch = std::mem::take(&mut queue);
                     core.drain(&batch, *at_ms);
                 }
+                JournalEntry::Shed { .. } => {
+                    // Rejected at admission: re-count, never queue — shed
+                    // entries must not consume queue capacity on replay.
+                    core.note_shed();
+                }
                 other => {
                     core.counters.admitted += 1;
                     dsq_obs::counter("server.requests_admitted", 1);
@@ -384,6 +406,30 @@ mod tests {
         let r = s.submit_line(r#"{"op":"drain","at_ms":10}"#);
         assert!(r.contains("\"ok\":true"), "{r}");
         assert_eq!(s.queue_len(), 0);
+    }
+
+    #[test]
+    fn shed_requests_survive_recovery() {
+        // A shed request never reaches a drain batch, but its accounting is
+        // part of the fingerprint — so the rejection must be journaled and
+        // replayed, or recovery diverges from the live run.
+        let mut s = svc(ServiceConfig {
+            max_queue: 1,
+            ..ServiceConfig::default()
+        });
+        s.submit_line(r#"{"op":"register","id":1,"sources":[0,1],"sink":3,"at_ms":10}"#);
+        let r = s.submit_line(r#"{"op":"register","id":2,"sources":[2,3],"sink":5,"at_ms":11}"#);
+        assert!(r.contains("overloaded"), "{r}");
+        s.submit_line(r#"{"op":"drain","at_ms":20}"#);
+        assert_eq!(s.core().counters.shed, 1);
+        // Shed entries hold journal indexes: drain folds them into the
+        // applied count so snapshot compaction stays index-consistent.
+        assert_eq!(s.core().entries_applied, s.journal_len());
+        let text = s.journal.to_text();
+        let recovered = PlanningService::recover(Journal::parse(&text).unwrap()).unwrap();
+        assert_eq!(recovered.core().counters.shed, 1);
+        assert_eq!(recovered.fingerprint(), s.fingerprint());
+        assert_eq!(recovered.core().entries_applied, s.core().entries_applied);
     }
 
     #[test]

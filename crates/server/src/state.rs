@@ -307,6 +307,12 @@ pub struct ServiceCore {
     pub fault_log: Vec<JournalEntry>,
     /// Journal entries fully applied (through drain markers).
     pub entries_applied: usize,
+    /// Shed entries journaled since the last drain marker. Shed requests
+    /// never enter a drain batch, but they occupy journal indexes, so the
+    /// next drain folds them into [`ServiceCore::entries_applied`] to keep
+    /// snapshot compaction index-consistent. Always 0 right after a drain
+    /// (the only moment snapshots are written), so it is never serialized.
+    pub pending_shed: usize,
 }
 
 impl ServiceCore {
@@ -324,7 +330,19 @@ impl ServiceCore {
             repair: RepairStrategy::default(),
             fault_log: Vec::new(),
             entries_applied: 0,
+            pending_shed: 0,
         }
+    }
+
+    /// Account one shed (admission-rejected) request. Called by the live
+    /// admission path *and* by journal replay when it meets a
+    /// [`JournalEntry::Shed`] — the same code path on both sides is what
+    /// keeps the `shed` counter (and therefore the fingerprint) identical
+    /// across a crash.
+    pub fn note_shed(&mut self) {
+        self.counters.shed += 1;
+        self.pending_shed += 1;
+        dsq_obs::counter("server.requests_shed", 1);
     }
 
     /// Is every stream origin and the sink currently an overlay member?
@@ -445,9 +463,12 @@ impl ServiceCore {
                 }
                 JournalEntry::Fault { fault, .. } => self.apply_fault(fault),
                 JournalEntry::Drain { .. } => {} // markers separate batches
+                JournalEntry::Shed { .. } => {}  // shed entries never reach a batch
             }
         }
-        self.entries_applied += batch.len() + 1; // batch + this drain marker
+        // Batch + this drain marker + any shed entries journaled since the
+        // previous marker (they hold journal indexes without being queued).
+        self.entries_applied += batch.len() + 1 + std::mem::take(&mut self.pending_shed);
 
         // 2. Pick the wave under the replan budget: queries with no plan at
         //    all first, then dirty replans — so under pressure the service

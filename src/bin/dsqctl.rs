@@ -92,6 +92,13 @@ const USAGE: &str =
   --max-nodes M  fuzz topology size ceiling (default 48)
   --wide-milli P per-mille chance a fuzz case samples a >32-stream (wide)
                  query universe (default 50; 0 disables)
+  --service-milli P
+                 per-mille chance a fuzz case samples service mode (request
+                 script + crash schedule through the resident service's
+                 three-way differential; default 100; 0 disables)
+  --shrink-budget N
+                 oracle-invocation budget per fuzz shrink (default 150;
+                 soak campaigns raise this for deeper minimization)
   --out DIR      write minimized fuzz repros to DIR (default target/fuzz)
   --check SLUG   when replaying a .case file, report only this oracle
                  check's violations (e.g. protocol, migration, chaos)
@@ -130,6 +137,8 @@ struct Opts {
     iters: usize,
     max_nodes: usize,
     wide_milli: u64,
+    service_milli: u64,
+    shrink_budget: usize,
     out: Option<String>,
     check: Option<String>,
     journal: Option<String>,
@@ -167,6 +176,8 @@ impl Opts {
             iters: 200,
             max_nodes: 48,
             wide_milli: 50,
+            service_milli: 100,
+            shrink_budget: 150,
             out: None,
             check: None,
             journal: None,
@@ -220,6 +231,16 @@ impl Opts {
                     o.wide_milli = value("--wide-milli")
                         .parse()
                         .expect("--wide-milli: integer")
+                }
+                "--service-milli" => {
+                    o.service_milli = value("--service-milli")
+                        .parse()
+                        .expect("--service-milli: integer")
+                }
+                "--shrink-budget" => {
+                    o.shrink_budget = value("--shrink-budget")
+                        .parse()
+                        .expect("--shrink-budget: integer")
                 }
                 "--out" => o.out = Some(value("--out")),
                 "--check" => o.check = Some(value("--check")),
@@ -639,8 +660,9 @@ fn fuzz(o: &Opts) -> ExitCode {
         iters: o.iters,
         max_nodes: o.max_nodes,
         wide_milli: o.wide_milli,
+        service_milli: o.service_milli,
+        shrink_budget: o.shrink_budget,
         out_dir: Some(out_dir.clone().into()),
-        ..CampaignConfig::default()
     };
     println!(
         "fuzz: seed {}, {} iterations, topologies ≤ {} nodes, repros -> {}\n",
