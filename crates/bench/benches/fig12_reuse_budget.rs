@@ -1,0 +1,221 @@
+//! Figure 12 — reuse hit rate and plan cost vs. advert budget under churn.
+//!
+//! The reuse registry is memory-bounded: past `advert_budget` live adverts
+//! the coldest is evicted, and a probe that would have matched an evicted
+//! advert queues a re-derivation. This experiment sweeps the budget over a
+//! skewed (reuse-heavy) workload, measuring per-budget:
+//!
+//! * **hit rate** — derived-stream leaves consumed per planned query;
+//! * **batch cost** — cumulative communication cost of the batch;
+//! * **evictions / re-derivations** — lifecycle churn the budget induces;
+//! * the same hit rate after **host churn** (two advert hosts crash out of
+//!   the overlay, the batch replans against the surviving adverts).
+//!
+//! Expected shape: tiny budgets evict hot adverts and the hit rate
+//! collapses toward zero (cost rises toward the no-reuse batch); from a
+//! modest budget on, both curves flatten at the unbounded registry's
+//! values. Wall-time rows land in `BENCH_plan.json` under
+//! `reuse-budget-*` (CI validates them).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dsq_bench::{quick_mode, small_env, Table};
+use dsq_core::{consolidate, Environment, TopDown};
+use dsq_net::NodeId;
+use dsq_query::{FlatNode, LeafSource, ReuseRegistry};
+use dsq_workload::{Workload, WorkloadConfig, WorkloadGenerator};
+
+/// Encode "unbounded" as a plottable x value one power of two past the
+/// largest real budget in the sweep.
+const UNBOUNDED_X: usize = 32;
+
+fn reuse_workload(env: &Environment, seed: u64) -> Workload {
+    WorkloadGenerator::new(
+        WorkloadConfig {
+            streams: 40,
+            queries: if quick_mode() { 10 } else { 25 },
+            joins_per_query: 2..=4,
+            source_skew: Some(1.0),
+            ..WorkloadConfig::default()
+        },
+        seed,
+    )
+    .generate(&env.network)
+}
+
+/// Derived-stream leaves consumed across a batch's deployments.
+fn derived_leaves(deployments: &[Option<dsq_query::Deployment>]) -> usize {
+    deployments
+        .iter()
+        .flatten()
+        .flat_map(|d| d.plan.nodes())
+        .filter(|n| {
+            matches!(
+                n,
+                FlatNode::Leaf {
+                    source: LeafSource::Derived { .. },
+                    ..
+                }
+            )
+        })
+        .count()
+}
+
+struct BudgetRow {
+    hit_rate: f64,
+    batch_cost: f64,
+    evicted: f64,
+    rederived: f64,
+    churned_hit_rate: f64,
+    wall_ms: f64,
+}
+
+/// One sweep point: deploy the batch under `budget`, then crash two advert
+/// hosts out of the overlay and redeploy against the surviving registry.
+fn run_budget(env: &Environment, wl: &Workload, budget: usize) -> BudgetRow {
+    let t0 = std::time::Instant::now();
+    let mut reg = ReuseRegistry::with_budget(budget);
+    let td = TopDown::new(env);
+    let out = consolidate::deploy_all(&td, &wl.catalog, &wl.queries, &mut reg, true);
+    let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let planned = out.deployments.iter().flatten().count().max(1);
+    let stats = reg.stats();
+
+    // Churn: crash up to two advert hosts (never a stream origin or sink),
+    // tell the registry, and replan the batch on the churned overlay. The
+    // liveness filter keeps dead-host adverts out of the new plans.
+    let mut churned = env.clone();
+    churned.isolate_cache(false);
+    let protected: Vec<NodeId> = wl
+        .catalog
+        .streams()
+        .iter()
+        .map(|s| s.node)
+        .chain(wl.queries.iter().map(|q| q.sink))
+        .collect();
+    let hosts: std::collections::BTreeSet<NodeId> = reg.deriveds().map(|d| d.host).collect();
+    let mut removed = 0usize;
+    for &host in hosts.iter() {
+        if removed >= 2 || churned.hierarchy.active_nodes().len() <= 3 {
+            break;
+        }
+        if protected.contains(&host) {
+            continue;
+        }
+        if dsq_hierarchy::membership::remove_node(&mut churned.hierarchy, &churned.dm, host).is_ok()
+        {
+            reg.host_crashed(host);
+            removed += 1;
+        }
+    }
+    let td_churned = TopDown::new(&churned);
+    let churned_out =
+        consolidate::deploy_all(&td_churned, &wl.catalog, &wl.queries, &mut reg, true);
+    let churned_planned = churned_out.deployments.iter().flatten().count().max(1);
+
+    BudgetRow {
+        hit_rate: derived_leaves(&out.deployments) as f64 / planned as f64,
+        batch_cost: out.total_cost(),
+        evicted: stats.evicted as f64,
+        rederived: stats.rederived as f64,
+        churned_hit_rate: derived_leaves(&churned_out.deployments) as f64 / churned_planned as f64,
+        wall_ms,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let env = small_env(16, 12);
+    let wl = reuse_workload(&env, 13);
+    let budgets: Vec<usize> = vec![1, 2, 4, 8, 16, 0]; // 0 = unbounded
+
+    let sink = dsq_obs::Sink::new(dsq_obs::ClockMode::Virtual);
+    let rows: Vec<(usize, BudgetRow)> = {
+        let _scope = dsq_obs::scoped(sink.clone());
+        budgets
+            .iter()
+            .map(|&b| (b, run_budget(&env, &wl, b)))
+            .collect()
+    };
+
+    println!("\nfig12_reuse_budget (hit rate = derived leaves per planned query):");
+    println!(
+        "  {:>9} {:>9} {:>12} {:>9} {:>10} {:>14}",
+        "budget", "hit_rate", "batch_cost", "evicted", "rederived", "churned_hits"
+    );
+    for (b, r) in &rows {
+        let label = if *b == 0 {
+            "unbounded".to_string()
+        } else {
+            b.to_string()
+        };
+        println!(
+            "  {label:>9} {:>9.2} {:>12.1} {:>9.0} {:>10.0} {:>14.2}",
+            r.hit_rate, r.batch_cost, r.evicted, r.rederived, r.churned_hit_rate
+        );
+    }
+    let unbounded = &rows.last().expect("sweep is nonempty").1;
+    for (b, r) in &rows {
+        assert!(
+            r.batch_cost >= unbounded.batch_cost - 1e-6,
+            "budget {b} beat the unbounded registry: {} vs {}",
+            r.batch_cost,
+            unbounded.batch_cost
+        );
+    }
+    assert_eq!(
+        unbounded.evicted, 0.0,
+        "the unbounded registry must never evict"
+    );
+
+    Table {
+        name: "fig12_reuse_budget",
+        caption: "reuse hit rate / plan cost vs advert budget under churn (x: budget, unbounded plotted at 32)",
+        x_label: "advert_budget",
+        x: rows
+            .iter()
+            .map(|(b, _)| if *b == 0 { UNBOUNDED_X as f64 } else { *b as f64 })
+            .collect(),
+        series: vec![
+            ("hit_rate".into(), rows.iter().map(|(_, r)| r.hit_rate).collect()),
+            ("batch_cost".into(), rows.iter().map(|(_, r)| r.batch_cost).collect()),
+            ("evicted".into(), rows.iter().map(|(_, r)| r.evicted).collect()),
+            ("rederived".into(), rows.iter().map(|(_, r)| r.rederived).collect()),
+            (
+                "churned_hit_rate".into(),
+                rows.iter().map(|(_, r)| r.churned_hit_rate).collect(),
+            ),
+        ],
+    }
+    .emit();
+
+    // Merge wall-time rows into BENCH_plan.json alongside fig02/fig09's.
+    let wall_rows: Vec<(String, f64)> = rows
+        .iter()
+        .map(|(b, r)| {
+            let key = if *b == 0 {
+                "reuse-budget-unbounded".to_string()
+            } else {
+                format!("reuse-budget-{b}")
+            };
+            (key, r.wall_ms)
+        })
+        .collect();
+    let row_refs: Vec<(&str, f64)> = wall_rows.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    dsq_bench::emit_bench_json("plan", &row_refs, &sink.snapshot());
+
+    let mut group = c.benchmark_group("fig12_reuse_budget");
+    group.sample_size(10);
+    for b in [2usize, 0] {
+        let label = if b == 0 {
+            "unbounded".into()
+        } else {
+            format!("budget-{b}")
+        };
+        group.bench_function(label, |bench| {
+            bench.iter(|| run_budget(&env, &wl, b).batch_cost)
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

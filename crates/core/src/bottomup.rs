@@ -125,7 +125,7 @@ impl BottomUp<'_> {
         let h = &self.env.hierarchy;
         let load = self.env.load_snapshot();
         let planner = ClusterPlanner::new(catalog, query).with_load(load.as_ref());
-        let deriveds = registry.usable_for(query);
+        let deriveds = registry.usable_for_live(query, |n| h.is_active(n));
 
         let mut remaining = query.source_set();
         // The accumulated partial result: (tree, covered set, output node).

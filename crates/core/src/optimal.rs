@@ -123,7 +123,10 @@ impl<'a> Optimal<'a> {
             .iter()
             .map(|&s| PlannerInput::base(catalog, s))
             .collect();
-        for leaf in registry.usable_for(query) {
+        // Reuse candidates are filtered through the same active-node view
+        // as placement candidates: a derived stream hosted on a crashed
+        // node is as unusable as a crashed placement site.
+        for leaf in registry.usable_for_live(query, |n| self.env.hierarchy.is_active(n)) {
             inputs.push(PlannerInput::derived(leaf));
         }
         stats.record(0, query.sink, query.sources.len(), candidates.len());

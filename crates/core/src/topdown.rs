@@ -533,7 +533,10 @@ impl Optimizer for TopDown<'_> {
             .iter()
             .map(|&s| PlannerInput::base(catalog, s))
             .collect();
-        for leaf in registry.usable_for(query) {
+        // Only adverts on currently active hosts may become plan leaves —
+        // the liveness view is the hierarchy's, so a crash the registry
+        // has not heard about still filters the advert.
+        for leaf in registry.usable_for_live(query, |n| self.env.hierarchy.is_active(n)) {
             inputs.push(PlannerInput::derived(leaf));
         }
         let top = self.env.hierarchy.top();

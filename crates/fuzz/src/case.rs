@@ -44,6 +44,10 @@ pub struct FuzzCase {
     pub events: usize,
     /// Deployment-protocol drop probability, in thousandths.
     pub drop_milli: u64,
+    /// Reuse-registry advert budget the reuse oracle runs its bounded arm
+    /// under (`0` = use the oracle's default small budget). Also forwarded
+    /// to the service configuration of service-mode cases.
+    pub advert_budget: usize,
     /// Query indexes kept by the shrinker (`None` = all).
     pub keep_queries: Option<Vec<usize>>,
     /// Fault-event indexes kept by the shrinker (`None` = all).
@@ -117,6 +121,7 @@ impl Default for FuzzCase {
             skew_milli: 0,
             events: 0,
             drop_milli: 0,
+            advert_budget: 0,
             keep_queries: None,
             keep_events: None,
             round_stats: false,
@@ -382,6 +387,9 @@ impl FuzzCase {
         kv("skew_milli", self.skew_milli.to_string());
         kv("events", self.events.to_string());
         kv("drop_milli", self.drop_milli.to_string());
+        if self.advert_budget > 0 {
+            kv("advert_budget", self.advert_budget.to_string());
+        }
         if let Some(k) = &self.keep_queries {
             kv("keep_queries", join_indexes(k));
         }
@@ -448,6 +456,7 @@ impl FuzzCase {
                 "skew_milli" => case.skew_milli = as_u64(value)?,
                 "events" => case.events = as_u64(value)? as usize,
                 "drop_milli" => case.drop_milli = as_u64(value)?,
+                "advert_budget" => case.advert_budget = as_usize(value)?,
                 "keep_queries" => case.keep_queries = Some(parse_indexes(value)?),
                 "keep_events" => case.keep_events = Some(parse_indexes(value)?),
                 "round_stats" => case.round_stats = as_u64(value)? != 0,
@@ -512,6 +521,7 @@ impl FuzzCase {
             default_deadline_ms: self.svc_deadline_ms,
             replan_budget: self.svc_replan_budget,
             snapshot_every: self.svc_snapshot_every,
+            advert_budget: self.advert_budget,
             ..dsq_server::ServiceConfig::default()
         }
     }

@@ -52,6 +52,10 @@ pub struct CampaignConfig {
     /// `0` disables service sampling entirely (and consumes no RNG draws,
     /// so older campaigns replay unchanged).
     pub service_milli: u64,
+    /// Reuse-registry advert budget forced on every sampled case (`0` =
+    /// leave each case at its own default, where the reuse oracle picks a
+    /// small budget for its bounded arm).
+    pub advert_budget: usize,
 }
 
 impl Default for CampaignConfig {
@@ -64,6 +68,7 @@ impl Default for CampaignConfig {
             out_dir: None,
             wide_milli: 50,
             service_milli: 100,
+            advert_budget: 0,
         }
     }
 }
@@ -126,8 +131,11 @@ pub fn run_campaign(
         std::fs::create_dir_all(dir)?;
     }
     for i in 0..cfg.iters {
-        let case =
+        let mut case =
             FuzzCase::sample_with(&mut rng, cfg.max_nodes, cfg.wide_milli, cfg.service_milli);
+        if cfg.advert_budget > 0 {
+            case.advert_budget = cfg.advert_budget;
+        }
         outcome.iterations += 1;
         outcome.oracle_runs += 1;
         let violations = run_oracle(&case);

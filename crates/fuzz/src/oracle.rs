@@ -104,7 +104,12 @@ pub enum CheckId {
     Migration,
     /// A reuse (advertisement) hit violated containment — a derived leaf's
     /// covered set escaped the consuming query's source set or disagreed
-    /// with its advertisement — or enabling reuse raised the exact optimum.
+    /// with its advertisement — or a lifecycle invariant broke: a plan
+    /// consumed a derived stream that was not live or was hosted on an
+    /// inactive node, crash/rejoin churn failed to restore the candidate
+    /// set, advert accounting was not conserved under a budget, or an
+    /// unbounded budget changed planner output. Enabling reuse must also
+    /// never raise the exact optimum.
     Reuse,
     /// The resident service's three-way differential diverged (uncrashed vs
     /// crash-recovered vs journal replay), or a response-level service
@@ -642,7 +647,7 @@ pub fn run_oracle(case: &FuzzCase) -> Vec<Violation> {
 
     // --- Containment-based operator reuse. -------------------------------
     guarded(CheckId::Reuse, &mut violations, || {
-        check_reuse(env, catalog, queries, small)
+        check_reuse(case, env, catalog, queries, small)
     })
     .into_iter()
     .flatten()
@@ -920,20 +925,46 @@ fn check_restricted(
     out
 }
 
-/// Containment-based reuse: every derived-stream leaf a planner consumes
-/// must be backed by an advertisement whose covered set is contained in
-/// the consuming query's own source set (and covers at least two streams,
-/// hosted where it was advertised) — the paper's reuse-compatibility rule.
-/// Against the exact yardstick, planning with the advertisement registry
-/// can never cost more than planning without it: reuse only ever *adds*
-/// planner inputs, so disabling it must not lower cost.
+/// Ids of the adverts the probe serves for `query` under a liveness view
+/// (in id order, as the probe emits them).
+fn served_ids(
+    reg: &mut ReuseRegistry,
+    query: &Query,
+    is_active: impl Fn(NodeId) -> bool,
+) -> Vec<dsq_query::DerivedId> {
+    reg.usable_for_live(query, is_active)
+        .into_iter()
+        .map(|l| match l {
+            LeafSource::Derived { id, .. } => id,
+            LeafSource::Base(_) => unreachable!("reuse probes only yield derived leaves"),
+        })
+        .collect()
+}
+
+/// Containment-based reuse plus the advert lifecycle invariants.
+///
+/// Every derived-stream leaf a planner consumes must be backed by a *live*
+/// advertisement whose covered set is contained in the consuming query's
+/// own source set (and covers at least two streams, hosted where it was
+/// advertised, on a currently active node) — the paper's
+/// reuse-compatibility rule under the registry's lifecycle. Under churn,
+/// neither the probe nor a full planning pass may serve an advert hosted
+/// on a removed node, and rejoin restores exactly the pre-churn candidate
+/// set. A budgeted registry must keep its live set within the budget with
+/// conserved `AdvertStats`, and an effectively-unbounded budget must leave
+/// planner output bit-identical to the budget-free registry. Against the
+/// exact yardstick, planning with the advertisement registry can never
+/// cost more than planning without it: reuse only ever *adds* planner
+/// inputs, so disabling it must not lower cost.
 fn check_reuse(
+    case: &FuzzCase,
     env: &Environment,
     catalog: &Catalog,
     queries: &[Query],
     small: bool,
 ) -> Vec<String> {
     use dsq_core::consolidate::deploy_all;
+    use dsq_query::AdvertState;
     let mut out = Vec::new();
 
     // Containment, across every optimizer arm that can consume adverts.
@@ -974,14 +1005,199 @@ fn check_reuse(
                          contained in the query's sources {sources:?}"
                     ));
                 }
-                let adv = reg.derived(*id);
-                if adv.covered != *covered || adv.host != *host {
+                match reg.derived(*id) {
+                    None => out.push(format!(
+                        "{name} q{i}: derived leaf {ni} references advert {id:?} the \
+                         registry never issued"
+                    )),
+                    Some(adv) => {
+                        if adv.covered != *covered || adv.host != *host {
+                            out.push(format!(
+                                "{name} q{i}: derived leaf {ni} disagrees with its advertisement \
+                                 (leaf {covered:?}@{host}, advert {:?}@{})",
+                                adv.covered, adv.host
+                            ));
+                        }
+                        if reg.state(*id) != Some(AdvertState::Live) {
+                            out.push(format!(
+                                "{name} q{i}: derived leaf {ni} consumes advert {id:?} in state \
+                                 {:?}, not Live",
+                                reg.state(*id)
+                            ));
+                        }
+                        if !env.hierarchy.is_active(*host) {
+                            out.push(format!(
+                                "{name} q{i}: derived leaf {ni} consumes a derived stream \
+                                 hosted on inactive node {host}"
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Lifecycle under churn: crash a couple of advert hosts out of the
+    // overlay, then (a) the probe must stop serving their adverts, (b) a
+    // full planning pass on the churned overlay must not consume a derived
+    // stream hosted on an inactive node, and (c) rejoining the hosts must
+    // restore exactly the pre-churn candidate set.
+    {
+        let mut reg = ReuseRegistry::new();
+        let _ = deploy_all(&td, catalog, queries, &mut reg, true);
+        let protected: Vec<NodeId> = catalog
+            .streams()
+            .iter()
+            .map(|s| s.node)
+            .chain(queries.iter().map(|q| q.sink))
+            .collect();
+        let hosts: std::collections::BTreeSet<NodeId> = reg.deriveds().map(|d| d.host).collect();
+        let before: Vec<Vec<dsq_query::DerivedId>> = queries
+            .iter()
+            .map(|q| served_ids(&mut reg.clone(), q, |_| true))
+            .collect();
+        let mut churned = env.clone();
+        churned.isolate_cache(false);
+        let mut removed: Vec<NodeId> = Vec::new();
+        for &n in &hosts {
+            if removed.len() >= 2 || churned.hierarchy.active_nodes().len() <= 3 {
+                break;
+            }
+            if protected.contains(&n) {
+                continue;
+            }
+            if dsq_hierarchy::membership::remove_node(&mut churned.hierarchy, &churned.dm, n)
+                .is_ok()
+            {
+                removed.push(n);
+            }
+        }
+        if !removed.is_empty() {
+            for (i, q) in queries.iter().enumerate() {
+                let mut probe = reg.clone();
+                let live_view = |n: NodeId| churned.hierarchy.is_active(n);
+                for id in served_ids(&mut probe, q, live_view) {
+                    let host = probe.derived(id).expect("served advert resolves").host;
+                    if removed.contains(&host) {
+                        out.push(format!(
+                            "q{i}: usable_for served advert {id:?} hosted on churned-out {host}"
+                        ));
+                    }
+                }
+            }
+            let td_churned = TopDown::new(&churned);
+            for (i, q) in queries.iter().enumerate() {
+                let mut r = reg.clone();
+                let Some(d) = td_churned.optimize(catalog, q, &mut r, &mut SearchStats::new())
+                else {
+                    continue;
+                };
+                for node in d.plan.nodes() {
+                    if let FlatNode::Leaf {
+                        source: LeafSource::Derived { host, .. },
+                        ..
+                    } = node
+                    {
+                        if !churned.hierarchy.is_active(*host) {
+                            out.push(format!(
+                                "q{i}: churned top-down consumed a derived stream hosted on \
+                                 inactive node {host}"
+                            ));
+                        }
+                    }
+                }
+            }
+            // Rejoin every removed host (via its nearest active member) and
+            // demand the candidate set is exactly what it was before churn.
+            for &n in &removed {
+                let via = *churned
+                    .hierarchy
+                    .active_nodes()
+                    .iter()
+                    .min_by(|&&a, &&b| {
+                        churned
+                            .dm
+                            .get(a, n)
+                            .total_cmp(&churned.dm.get(b, n))
+                            .then(a.0.cmp(&b.0))
+                    })
+                    .expect("overlay is never empty");
+                dsq_hierarchy::membership::add_node(&mut churned.hierarchy, &churned.dm, n, via);
+            }
+            for (i, q) in queries.iter().enumerate() {
+                let mut probe = reg.clone();
+                let live_view = |n: NodeId| churned.hierarchy.is_active(n);
+                let after = served_ids(&mut probe, q, live_view);
+                if after != before[i] {
                     out.push(format!(
-                        "{name} q{i}: derived leaf {ni} disagrees with its advertisement \
-                         (leaf {covered:?}@{host}, advert {:?}@{})",
-                        adv.covered, adv.host
+                        "q{i}: rejoin did not restore the candidate set: {before:?} before \
+                         churn, {after:?} after rejoin",
+                        before = before[i]
                     ));
                 }
+            }
+        }
+    }
+
+    // Budgeted registry: the live set respects the budget, the lifecycle
+    // counters conserve, and every consumed derived leaf still resolves
+    // (stable ids survive eviction).
+    {
+        let budget = if case.advert_budget > 0 {
+            case.advert_budget
+        } else {
+            2
+        };
+        let mut breg = ReuseRegistry::with_budget(budget);
+        let batch = deploy_all(&td, catalog, queries, &mut breg, true);
+        if breg.live_len() > budget {
+            out.push(format!(
+                "budget {budget}: live advert count {} exceeds it",
+                breg.live_len()
+            ));
+        }
+        let s = breg.stats();
+        if !s.conserved() {
+            out.push(format!(
+                "budget {budget}: advert stats violate conservation: published={} \
+                 live={} retired={} evicted={}",
+                s.published, s.live, s.retired, s.evicted
+            ));
+        }
+        for d in batch.deployments.iter().flatten() {
+            for node in d.plan.nodes() {
+                if let FlatNode::Leaf {
+                    source: LeafSource::Derived { id, .. },
+                    ..
+                } = node
+                {
+                    if breg.derived(*id).is_none() {
+                        out.push(format!(
+                            "budget {budget}: consumed advert {id:?} no longer resolves"
+                        ));
+                    }
+                }
+            }
+        }
+
+        // An effectively-unbounded budget must be indistinguishable from
+        // the budget-free registry: bit-identical costs and placements.
+        let mut r1 = ReuseRegistry::new();
+        let b1 = deploy_all(&td, catalog, queries, &mut r1, true);
+        let mut r2 = ReuseRegistry::with_budget(usize::MAX);
+        let b2 = deploy_all(&td, catalog, queries, &mut r2, true);
+        for (i, (d1, d2)) in b1.deployments.iter().zip(&b2.deployments).enumerate() {
+            let same = match (d1, d2) {
+                (None, None) => true,
+                (Some(a), Some(b)) => {
+                    a.cost.to_bits() == b.cost.to_bits() && a.placement == b.placement
+                }
+                _ => false,
+            };
+            if !same {
+                out.push(format!(
+                    "q{i}: huge advert budget changed planner output vs unbounded registry"
+                ));
             }
         }
     }

@@ -7,11 +7,44 @@
 //! registered and matches them against later queries, so an optimizer can
 //! treat a compatible deployed operator as a free-upstream leaf.
 //!
+//! ## Advert lifecycle
+//!
+//! Adverts are not append-only: an advertisement is only worth matching
+//! while the operator behind it is still running somewhere reachable. Each
+//! advert therefore moves through an explicit state machine:
+//!
+//! ```text
+//!            publish                    evict (budget)
+//!   (new) ────────────► Live ────────────────────────► Evicted
+//!                        ▲  │                             │
+//!            host_rejoin │  │ host_crash / retire_query   │ re-derive
+//!                        │  ▼                             │ ("upquery")
+//!                      Retired ◄──────────────────────────┘
+//!                                  host_crash / retire_query
+//! ```
+//!
+//! * **Live** — served by [`ReuseRegistry::usable_for`].
+//! * **Retired** — the origin query unregistered ([`ReuseRegistry::retire_query`],
+//!   terminal) or the host node crashed ([`ReuseRegistry::host_crashed`],
+//!   reversed by [`ReuseRegistry::host_rejoined`]). Never served.
+//! * **Evicted** — dropped by the advert-memory budget (Noria-style partial
+//!   state: the *slot* survives with a stable [`DerivedId`], the
+//!   materialized stream does not). A probe that would have matched an
+//!   evicted advert records a re-derivation request instead of serving it;
+//!   [`ReuseRegistry::rederive`] (driven from the owning deployment at the
+//!   next drain) re-publishes the stream in place.
+//!
+//! With an unbounded budget (the default) and no retirement calls, every
+//! advert stays Live and the registry behaves exactly like the historical
+//! append-only list — planner output is bit-identical.
+//!
 //! Join compatibility note: join selectivities (and thus join semantics) are
 //! global per stream pair in the [`Catalog`](crate::Catalog), so two join
 //! results over the same covered set under compatible selections are
 //! interchangeable; selection compatibility is checked with predicate
 //! subsumption ([`crate::predicate::selections_compatible`]).
+
+use std::collections::BTreeSet;
 
 use crate::inputset::InputSet;
 use crate::plan::{Deployment, LeafSource, OperatorId};
@@ -20,7 +53,8 @@ use crate::query::{Query, QueryId, StreamSet};
 use dsq_net::NodeId;
 use serde::{Deserialize, Serialize};
 
-/// Identifier of an advertised derived stream.
+/// Identifier of an advertised derived stream. Stable for the lifetime of
+/// the registry: eviction and retirement never renumber ids.
 #[derive(Copy, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Debug, Serialize, Deserialize)]
 pub struct DerivedId(pub u32);
 
@@ -43,10 +77,26 @@ pub struct DerivedStream {
     pub origin: QueryId,
 }
 
+/// Lifecycle state of one advert (see the module-level diagram).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AdvertState {
+    /// Operator running, host reachable: served to optimizers.
+    Live,
+    /// Origin query gone or host crashed: never served. Terminal when the
+    /// origin unregistered; reversed on host rejoin otherwise.
+    Retired,
+    /// Dropped by the advert budget; a matching probe records a
+    /// re-derivation request instead of a candidate.
+    Evicted,
+}
+
 /// Bookkeeping counters for the advertisement protocol. Advertisements are
 /// "one-time messages exchanged only at the initial time of operator
 /// instantiation" — these counters let experiments report that overhead.
-#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+/// `live`, `retired` and `evicted` are current bucket populations, so
+/// `published == live + retired + evicted` holds at every instant (see
+/// [`AdvertStats::conserved`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct AdvertStats {
     /// Advertisements published (new derived streams).
     pub published: u64,
@@ -54,29 +104,143 @@ pub struct AdvertStats {
     pub suppressed: u64,
     /// Successful reuse matches handed to optimizers.
     pub reuse_candidates_served: u64,
+    /// Adverts currently live.
+    pub live: u64,
+    /// Adverts currently retired (origin gone or host down).
+    pub retired: u64,
+    /// Adverts currently evicted by the budget.
+    pub evicted: u64,
+    /// Probes that would have matched an evicted advert (re-derivation
+    /// demand; the upquery trigger).
+    pub rederive_requested: u64,
+    /// Evicted adverts re-published from their owning deployment.
+    pub rederived: u64,
 }
 
-/// Registry of every deployed operator and its advertised derived stream.
+impl AdvertStats {
+    /// The lifecycle conservation law: every advert ever published is in
+    /// exactly one bucket.
+    pub fn conserved(&self) -> bool {
+        self.published == self.live + self.retired + self.evicted
+    }
+
+    /// `(name, value)` pairs in serialization order (snapshot round-trip).
+    pub fn fields(&self) -> Vec<(&'static str, u64)> {
+        vec![
+            ("published", self.published),
+            ("suppressed", self.suppressed),
+            ("reuse_candidates_served", self.reuse_candidates_served),
+            ("live", self.live),
+            ("retired", self.retired),
+            ("evicted", self.evicted),
+            ("rederive_requested", self.rederive_requested),
+            ("rederived", self.rederived),
+        ]
+    }
+
+    /// Set one field by name (snapshot restore).
+    pub fn set(&mut self, name: &str, value: u64) -> Result<(), String> {
+        match name {
+            "published" => self.published = value,
+            "suppressed" => self.suppressed = value,
+            "reuse_candidates_served" => self.reuse_candidates_served = value,
+            "live" => self.live = value,
+            "retired" => self.retired = value,
+            "evicted" => self.evicted = value,
+            "rederive_requested" => self.rederive_requested = value,
+            "rederived" => self.rederived = value,
+            other => return Err(format!("unknown advert stat {other:?}")),
+        }
+        Ok(())
+    }
+}
+
+/// One advert slot: the stream plus its lifecycle flags. The slot (and its
+/// id) survives eviction and retirement; only the Live set is budgeted.
+#[derive(Clone, Debug)]
+struct AdvertSlot {
+    stream: DerivedStream,
+    /// Word-bitset of the covered streams: the subset probe every
+    /// `usable_for` call runs per advert is word-parallel instead of a
+    /// sorted-id-vector walk.
+    bits: InputSet,
+    /// Origin query unregistered — terminal.
+    gone: bool,
+    /// Host node currently out of the overlay; cleared on rejoin.
+    host_down: bool,
+    /// Dropped by the advert budget; cleared by re-derivation.
+    evicted: bool,
+    /// LRU clock value of the last publish or served probe hit.
+    last_used: u64,
+}
+
+impl AdvertSlot {
+    fn state(&self) -> AdvertState {
+        if self.gone || self.host_down {
+            AdvertState::Retired
+        } else if self.evicted {
+            AdvertState::Evicted
+        } else {
+            AdvertState::Live
+        }
+    }
+}
+
+/// Registry of every deployed operator and its advertised derived stream,
+/// with lifecycle management and a bounded Live set (see the module docs).
 #[derive(Clone, Debug, Default)]
 pub struct ReuseRegistry {
-    deriveds: Vec<DerivedStream>,
-    /// Word-bitset of each derived's covered streams, index-aligned with
-    /// `deriveds`: the subset probe every `usable_for` call runs per
-    /// derived is word-parallel instead of a sorted-id-vector walk.
-    covered_bits: Vec<InputSet>,
+    slots: Vec<AdvertSlot>,
     next_operator: u64,
+    /// Maximum Live adverts (`0` = unbounded). Publishing past the budget
+    /// evicts the coldest Live advert.
+    budget: usize,
+    /// Monotone recency clock, bumped on every publish and served probe.
+    clock: u64,
     stats: AdvertStats,
+    /// Evicted adverts a probe would have matched, awaiting re-derivation.
+    rederive_wanted: BTreeSet<DerivedId>,
 }
 
 impl ReuseRegistry {
-    /// An empty registry.
+    /// An empty, unbounded registry.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// All advertised derived streams.
-    pub fn deriveds(&self) -> &[DerivedStream] {
-        &self.deriveds
+    /// An empty registry keeping at most `budget` live adverts
+    /// (`0` = unbounded).
+    pub fn with_budget(budget: usize) -> Self {
+        ReuseRegistry {
+            budget,
+            ..Self::default()
+        }
+    }
+
+    /// Current advert budget (`0` = unbounded).
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    /// Change the advert budget, evicting cold adverts if the live set now
+    /// exceeds it.
+    pub fn set_budget(&mut self, budget: usize) {
+        self.budget = budget;
+        self.enforce_budget();
+    }
+
+    /// Every advert ever published, regardless of lifecycle state.
+    pub fn deriveds(&self) -> impl Iterator<Item = &DerivedStream> {
+        self.slots.iter().map(|s| &s.stream)
+    }
+
+    /// The currently live adverts (the only ones an operator is actually
+    /// producing — e.g. what the advertisement-traffic accounting counts).
+    pub fn live_deriveds(&self) -> impl Iterator<Item = &DerivedStream> {
+        self.slots
+            .iter()
+            .filter(|s| s.state() == AdvertState::Live)
+            .map(|s| &s.stream)
     }
 
     /// Advertisement protocol counters.
@@ -129,9 +293,11 @@ impl ReuseRegistry {
         published
     }
 
-    /// Advertise one derived stream. Exact duplicates (same covered set,
-    /// selection signature and host) are suppressed. Returns the new id, or
-    /// `None` when suppressed.
+    /// Advertise one derived stream. Exact duplicates of a *live* advert
+    /// (same covered set, selection signature and host) are suppressed; an
+    /// exact duplicate of an *evicted* advert re-derives it in place (the
+    /// original id comes back live). Returns the advert's id, or `None`
+    /// when suppressed or rejected.
     pub fn advertise(
         &mut self,
         covered: StreamSet,
@@ -145,57 +311,225 @@ impl ReuseRegistry {
             // base advertisement already covers them.
             return None;
         }
-        let duplicate = self.deriveds.iter().any(|d| {
-            d.host == host && d.covered == covered && same_selection_set(&d.selections, &selections)
-        });
-        if duplicate {
-            self.stats.suppressed += 1;
-            dsq_obs::counter("advert.suppressed", 1);
-            return None;
+        let mut reinstate: Option<usize> = None;
+        for (i, s) in self.slots.iter().enumerate() {
+            if s.stream.host != host
+                || s.stream.covered != covered
+                || !same_selection_set(&s.stream.selections, &selections)
+            {
+                continue;
+            }
+            match s.state() {
+                AdvertState::Live => {
+                    self.stats.suppressed += 1;
+                    dsq_obs::counter("advert.suppressed", 1);
+                    return None;
+                }
+                // The same stream is being materialized again: the evicted
+                // slot comes back under its original id instead of leaking
+                // a duplicate.
+                AdvertState::Evicted => {
+                    reinstate = Some(i);
+                    break;
+                }
+                // Retired slots are dead history; a new operator with the
+                // same signature gets a fresh advert below.
+                AdvertState::Retired => {}
+            }
         }
-        let id = DerivedId(self.deriveds.len() as u32);
+        if let Some(i) = reinstate {
+            let id = self.slots[i].stream.id;
+            self.rederive(id);
+            return Some(id);
+        }
+        let id = DerivedId(self.slots.len() as u32);
         let operator = self.allocate_operator();
-        self.covered_bits.push(InputSet::from_stream_set(&covered));
-        self.deriveds.push(DerivedStream {
-            id,
-            operator,
-            covered,
-            selections,
-            rate,
-            host,
-            origin,
-        });
+        self.clock += 1;
+        let slot = AdvertSlot {
+            bits: InputSet::from_stream_set(&covered),
+            stream: DerivedStream {
+                id,
+                operator,
+                covered,
+                selections,
+                rate,
+                host,
+                origin,
+            },
+            gone: false,
+            host_down: false,
+            evicted: false,
+            last_used: self.clock,
+        };
+        self.slots.push(slot);
         self.stats.published += 1;
+        self.stats.live += 1;
         dsq_obs::counter("advert.published", 1);
+        self.enforce_budget();
         Some(id)
+    }
+
+    /// Evict the coldest live adverts until the live set fits the budget.
+    fn enforce_budget(&mut self) {
+        if self.budget == 0 {
+            return;
+        }
+        while self.stats.live as usize > self.budget {
+            let coldest = self
+                .slots
+                .iter()
+                .enumerate()
+                .filter(|(_, s)| s.state() == AdvertState::Live)
+                .min_by_key(|(i, s)| (s.last_used, *i))
+                .map(|(i, _)| i)
+                .expect("live count > 0");
+            self.transition(coldest, |s| s.evicted = true);
+            dsq_obs::counter("advert.evicted", 1);
+        }
+    }
+
+    /// Apply a flag change to one slot, keeping the bucket gauges
+    /// conserved across the state transition.
+    fn transition(&mut self, idx: usize, f: impl FnOnce(&mut AdvertSlot)) {
+        let before = self.slots[idx].state();
+        f(&mut self.slots[idx]);
+        let after = self.slots[idx].state();
+        if before == after {
+            return;
+        }
+        match before {
+            AdvertState::Live => self.stats.live -= 1,
+            AdvertState::Retired => self.stats.retired -= 1,
+            AdvertState::Evicted => self.stats.evicted -= 1,
+        }
+        match after {
+            AdvertState::Live => self.stats.live += 1,
+            AdvertState::Retired => self.stats.retired += 1,
+            AdvertState::Evicted => self.stats.evicted += 1,
+        }
+        debug_assert!(self.stats.conserved());
+    }
+
+    /// Retire every advert published by `origin`'s deployments (the query
+    /// unregistered, forfeited, or is being replanned — its operators are
+    /// torn down). Terminal: a later deployment of the same query publishes
+    /// fresh adverts. Returns how many adverts changed state.
+    pub fn retire_query(&mut self, origin: QueryId) -> usize {
+        let mut changed = 0;
+        for i in 0..self.slots.len() {
+            if self.slots[i].stream.origin == origin && !self.slots[i].gone {
+                let before = self.slots[i].state();
+                self.transition(i, |s| s.gone = true);
+                self.rederive_wanted.remove(&self.slots[i].stream.id);
+                if before != AdvertState::Retired {
+                    changed += 1;
+                }
+            }
+        }
+        if changed > 0 {
+            dsq_obs::counter("advert.retired", changed as u64);
+        }
+        changed
+    }
+
+    /// Retire every advert hosted on `node` (it crashed out of the
+    /// overlay). Reversed by [`Self::host_rejoined`] unless the origin
+    /// query also went away. Returns how many adverts changed state.
+    pub fn host_crashed(&mut self, node: NodeId) -> usize {
+        let mut changed = 0;
+        for i in 0..self.slots.len() {
+            if self.slots[i].stream.host == node && !self.slots[i].host_down {
+                let before = self.slots[i].state();
+                self.transition(i, |s| s.host_down = true);
+                self.rederive_wanted.remove(&self.slots[i].stream.id);
+                if before != AdvertState::Retired {
+                    changed += 1;
+                }
+            }
+        }
+        if changed > 0 {
+            dsq_obs::counter("advert.retired", changed as u64);
+        }
+        changed
+    }
+
+    /// Reinstate the adverts hosted on `node` after it rejoined the
+    /// overlay (unless their origin query is gone — that retirement is
+    /// terminal). Returns how many adverts changed state.
+    pub fn host_rejoined(&mut self, node: NodeId) -> usize {
+        let mut changed = 0;
+        for i in 0..self.slots.len() {
+            if self.slots[i].stream.host == node && self.slots[i].host_down {
+                let before = self.slots[i].state();
+                self.transition(i, |s| s.host_down = false);
+                if self.slots[i].state() != before {
+                    changed += 1;
+                }
+            }
+        }
+        if changed > 0 {
+            dsq_obs::counter("advert.reinstated", changed as u64);
+        }
+        changed
     }
 
     /// Derived streams usable for `query`, already converted into plan
     /// leaves with residual-selection-adjusted rates.
     ///
-    /// A derived stream is usable when it covers a subset (≥ 2) of the
-    /// query's sources and every selection it applied is implied by the
+    /// A derived stream is usable when it is live, covers a subset (≥ 2) of
+    /// the query's sources and every selection it applied is implied by the
     /// query's selections. Residual selections the query still requires are
-    /// folded into the leaf's rate.
+    /// folded into the leaf's rate. Served adverts have their recency
+    /// bumped (the eviction policy's LRU signal); matching *evicted*
+    /// adverts record a re-derivation request instead of a candidate.
     pub fn usable_for(&mut self, query: &Query) -> Vec<LeafSource> {
+        self.usable_for_live(query, |_| true)
+    }
+
+    /// Like [`Self::usable_for`], but filtered through the caller's
+    /// liveness view (typically the hierarchy's active-node set): adverts
+    /// whose host `is_active` rejects are not served, so planning under
+    /// churn never consumes a derived stream hosted on a dead node even
+    /// before the registry hears about the crash.
+    pub fn usable_for_live(
+        &mut self,
+        query: &Query,
+        is_active: impl Fn(NodeId) -> bool,
+    ) -> Vec<LeafSource> {
         let source_bits = InputSet::from_bits(query.sources.iter().map(|s| s.0 as usize));
         let mut out = Vec::new();
-        for (d, bits) in self.deriveds.iter().zip(&self.covered_bits) {
-            if !bits.is_subset_of(&source_bits) {
+        for i in 0..self.slots.len() {
+            let s = &self.slots[i];
+            if !s.bits.is_subset_of(&source_bits) {
                 continue;
             }
-            let required = restrict_selections(&query.selections, &d.covered);
-            if !selections_compatible(&d.selections, &required) {
+            let required = restrict_selections(&query.selections, &s.stream.covered);
+            if !selections_compatible(&s.stream.selections, &required) {
                 continue;
             }
-            let residual = residual_selections(&d.selections, &required);
-            let rate = residual.iter().fold(d.rate, |r, p| r * p.selectivity);
+            match s.state() {
+                AdvertState::Retired => continue,
+                AdvertState::Live if !is_active(s.stream.host) => continue,
+                AdvertState::Evicted => {
+                    if is_active(s.stream.host) {
+                        self.note_rederive_wanted(i);
+                    }
+                    continue;
+                }
+                AdvertState::Live => {}
+            }
+            let residual = residual_selections(&s.stream.selections, &required);
+            let rate = residual
+                .iter()
+                .fold(s.stream.rate, |r, p| r * p.selectivity);
             out.push(LeafSource::Derived {
-                id: d.id,
-                covered: d.covered.clone(),
+                id: s.stream.id,
+                covered: s.stream.covered.clone(),
                 rate,
-                host: d.host,
+                host: s.stream.host,
             });
+            self.clock += 1;
+            self.slots[i].last_used = self.clock;
         }
         self.stats.reuse_candidates_served += out.len() as u64;
         dsq_obs::counter("advert.reuse_candidates_served", out.len() as u64);
@@ -210,38 +544,229 @@ impl ReuseRegistry {
     pub fn usable_for_exact(&mut self, query: &Query) -> Vec<LeafSource> {
         let source_bits = InputSet::from_bits(query.sources.iter().map(|s| s.0 as usize));
         let mut out = Vec::new();
-        for (d, bits) in self.deriveds.iter().zip(&self.covered_bits) {
-            if !bits.is_subset_of(&source_bits) {
+        for i in 0..self.slots.len() {
+            let s = &self.slots[i];
+            if !s.bits.is_subset_of(&source_bits) {
                 continue;
             }
-            let required = restrict_selections(&query.selections, &d.covered);
-            if !same_selection_set(&d.selections, &required) {
+            let required = restrict_selections(&query.selections, &s.stream.covered);
+            if !same_selection_set(&s.stream.selections, &required) {
                 continue;
+            }
+            match s.state() {
+                AdvertState::Retired => continue,
+                AdvertState::Evicted => {
+                    self.note_rederive_wanted(i);
+                    continue;
+                }
+                AdvertState::Live => {}
             }
             out.push(LeafSource::Derived {
-                id: d.id,
-                covered: d.covered.clone(),
-                rate: d.rate,
-                host: d.host,
+                id: s.stream.id,
+                covered: s.stream.covered.clone(),
+                rate: s.stream.rate,
+                host: s.stream.host,
             });
+            self.clock += 1;
+            self.slots[i].last_used = self.clock;
         }
         self.stats.reuse_candidates_served += out.len() as u64;
         out
     }
 
-    /// Look up an advertisement.
-    pub fn derived(&self, id: DerivedId) -> &DerivedStream {
-        &self.deriveds[id.0 as usize]
+    fn note_rederive_wanted(&mut self, idx: usize) {
+        self.stats.rederive_requested += 1;
+        dsq_obs::counter("advert.rederive_requested", 1);
+        self.rederive_wanted.insert(self.slots[idx].stream.id);
     }
 
-    /// Number of advertised derived streams.
+    /// Take (and clear) the evicted adverts that probes wanted since the
+    /// last drain, in id order. The caller re-publishes each from its
+    /// owning deployment via [`Self::rederive`] — or drops the request if
+    /// the owner is gone.
+    pub fn drain_rederive_requests(&mut self) -> Vec<DerivedId> {
+        std::mem::take(&mut self.rederive_wanted)
+            .into_iter()
+            .collect()
+    }
+
+    /// Re-publish an evicted advert in place (the "upquery": its owning
+    /// deployment still runs the operator, so the stream can be
+    /// re-materialized on demand). Returns false unless `id` names an
+    /// evicted advert.
+    pub fn rederive(&mut self, id: DerivedId) -> bool {
+        let Some(idx) = self.slot_index(id) else {
+            return false;
+        };
+        if self.slots[idx].state() != AdvertState::Evicted {
+            return false;
+        }
+        self.transition(idx, |s| s.evicted = false);
+        self.clock += 1;
+        self.slots[idx].last_used = self.clock;
+        self.rederive_wanted.remove(&id);
+        self.stats.rederived += 1;
+        dsq_obs::counter("advert.rederived", 1);
+        // Re-materializing one advert can push another past the budget.
+        self.enforce_budget();
+        true
+    }
+
+    fn slot_index(&self, id: DerivedId) -> Option<usize> {
+        let idx = id.0 as usize;
+        (idx < self.slots.len()).then_some(idx)
+    }
+
+    /// Look up an advertisement. `None` when `id` was never issued by this
+    /// registry (the slot map keeps evicted and retired adverts
+    /// addressable, so a once-valid id always resolves).
+    pub fn derived(&self, id: DerivedId) -> Option<&DerivedStream> {
+        self.slot_index(id).map(|i| &self.slots[i].stream)
+    }
+
+    /// Lifecycle state of an advertisement, if `id` was ever issued.
+    pub fn state(&self, id: DerivedId) -> Option<AdvertState> {
+        self.slot_index(id).map(|i| self.slots[i].state())
+    }
+
+    /// Number of advert slots ever published (evicted and retired
+    /// included — ids are stable, so slots are never dropped).
     pub fn len(&self) -> usize {
-        self.deriveds.len()
+        self.slots.len()
+    }
+
+    /// Number of currently live adverts.
+    pub fn live_len(&self) -> usize {
+        self.stats.live as usize
     }
 
     /// True when nothing has been advertised.
     pub fn is_empty(&self) -> bool {
-        self.deriveds.is_empty()
+        self.slots.is_empty()
+    }
+
+    /// Deterministic fingerprint of the full registry state: every slot's
+    /// identity, flags and recency plus the protocol counters. Two
+    /// registries with equal fingerprints hold identical advert state —
+    /// what the service's crash-recovery differential asserts.
+    pub fn fingerprint(&self) -> String {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |v: u64| {
+            hash ^= v;
+            hash = hash.wrapping_mul(0x1_0000_01b3);
+        };
+        for s in &self.slots {
+            mix(u64::from(s.stream.id.0));
+            mix(s.stream.operator.0);
+            mix(u64::from(s.stream.host.0));
+            mix(u64::from(s.stream.origin.0));
+            mix(s.stream.rate.to_bits());
+            for st in s.stream.covered.iter() {
+                mix(u64::from(st.0));
+            }
+            mix(u64::from(s.gone) | u64::from(s.host_down) << 1 | u64::from(s.evicted) << 2);
+            mix(s.last_used);
+        }
+        for (_, v) in self.stats.fields() {
+            mix(v);
+        }
+        format!(
+            "published={} live={} retired={} evicted={} rederived={} hash={hash:016x}",
+            self.stats.published,
+            self.stats.live,
+            self.stats.retired,
+            self.stats.evicted,
+            self.stats.rederived,
+        )
+    }
+
+    /// Reinsert a fully specified advert slot (snapshot restore). Slots
+    /// must arrive in id order; bucket gauges are recomputed by
+    /// [`Self::restore_finish`].
+    pub fn restore_slot(
+        &mut self,
+        stream: DerivedStream,
+        gone: bool,
+        host_down: bool,
+        evicted: bool,
+        last_used: u64,
+    ) -> Result<(), String> {
+        if stream.id.0 as usize != self.slots.len() {
+            return Err(format!(
+                "advert slots must restore in id order: got {} at position {}",
+                stream.id.0,
+                self.slots.len()
+            ));
+        }
+        self.slots.push(AdvertSlot {
+            bits: InputSet::from_stream_set(&stream.covered),
+            stream,
+            gone,
+            host_down,
+            evicted,
+            last_used,
+        });
+        Ok(())
+    }
+
+    /// Finish a snapshot restore: install the recorded scalars and
+    /// counters, then cross-check the recorded bucket gauges against the
+    /// restored slots — a mismatch means the snapshot was tampered with or
+    /// the slot lines diverged from the counters, so refuse to load.
+    pub fn restore_finish(
+        &mut self,
+        clock: u64,
+        next_operator: u64,
+        stats: AdvertStats,
+    ) -> Result<(), String> {
+        let mut live = 0u64;
+        let mut retired = 0u64;
+        let mut evicted = 0u64;
+        for s in &self.slots {
+            match s.state() {
+                AdvertState::Live => live += 1,
+                AdvertState::Retired => retired += 1,
+                AdvertState::Evicted => evicted += 1,
+            }
+        }
+        if (live, retired, evicted) != (stats.live, stats.retired, stats.evicted) {
+            return Err(format!(
+                "advert gauges diverge from restored slots: slots say \
+                 live={live} retired={retired} evicted={evicted}, counters say \
+                 live={} retired={} evicted={}",
+                stats.live, stats.retired, stats.evicted
+            ));
+        }
+        if !stats.conserved() {
+            return Err(format!(
+                "advert stats violate conservation: published={} != live+retired+evicted={}",
+                stats.published,
+                stats.live + stats.retired + stats.evicted
+            ));
+        }
+        self.clock = clock;
+        self.next_operator = next_operator;
+        self.stats = stats;
+        Ok(())
+    }
+
+    /// The recency clock (snapshot serialization).
+    pub fn clock(&self) -> u64 {
+        self.clock
+    }
+
+    /// The next operator id to be allocated (snapshot serialization).
+    pub fn next_operator(&self) -> u64 {
+        self.next_operator
+    }
+
+    /// Lifecycle flags of one slot, `(gone, host_down, evicted, last_used)`
+    /// (snapshot serialization).
+    pub fn slot_flags(&self, id: DerivedId) -> Option<(bool, bool, bool, u64)> {
+        self.slot_index(id).map(|i| {
+            let s = &self.slots[i];
+            (s.gone, s.host_down, s.evicted, s.last_used)
+        })
     }
 }
 
@@ -310,8 +835,9 @@ mod tests {
         assert_eq!(published.len(), 2);
         assert_eq!(reg.len(), 2);
         assert_eq!(reg.stats().published, 2);
-        assert_eq!(reg.derived(published[0]).host, NodeId(1));
-        assert_eq!(reg.derived(published[1]).host, NodeId(2));
+        assert_eq!(reg.derived(published[0]).unwrap().host, NodeId(1));
+        assert_eq!(reg.derived(published[1]).unwrap().host, NodeId(2));
+        assert!(reg.stats().conserved());
     }
 
     #[test]
@@ -422,5 +948,207 @@ mod tests {
         );
         assert!(out.is_none());
         assert!(reg.is_empty());
+    }
+
+    #[test]
+    fn derived_lookup_is_fallible_not_panicking() {
+        let mut reg = ReuseRegistry::new();
+        assert!(reg.derived(DerivedId(0)).is_none());
+        assert!(reg.state(DerivedId(7)).is_none());
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let ids = reg.register_deployment(&q, &d);
+        assert!(reg.derived(ids[0]).is_some());
+        assert!(reg.derived(DerivedId(ids.len() as u32 + 5)).is_none());
+    }
+
+    #[test]
+    fn crash_retires_and_rejoin_reinstates() {
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let mut reg = ReuseRegistry::new();
+        let ids = reg.register_deployment(&q, &d);
+        let probe = Query::join(
+            QueryId(1),
+            [StreamId(0), StreamId(1), StreamId(2)],
+            NodeId(0),
+        );
+        assert_eq!(reg.usable_for(&probe).len(), 2);
+
+        // Host of the operator copy crashes: only the sink copy is served.
+        let host = reg.derived(ids[0]).unwrap().host;
+        assert_eq!(reg.host_crashed(host), 1);
+        assert_eq!(reg.state(ids[0]), Some(AdvertState::Retired));
+        assert_eq!(reg.usable_for(&probe).len(), 1);
+        assert!(reg.stats().conserved());
+
+        // Rejoin brings it back.
+        assert_eq!(reg.host_rejoined(host), 1);
+        assert_eq!(reg.state(ids[0]), Some(AdvertState::Live));
+        assert_eq!(reg.usable_for(&probe).len(), 2);
+        assert!(reg.stats().conserved());
+    }
+
+    #[test]
+    fn liveness_view_filters_without_registry_surgery() {
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let mut reg = ReuseRegistry::new();
+        let ids = reg.register_deployment(&q, &d);
+        let down = reg.derived(ids[0]).unwrap().host;
+        let probe = Query::join(
+            QueryId(1),
+            [StreamId(0), StreamId(1), StreamId(2)],
+            NodeId(0),
+        );
+        // The probe's own view of the overlay filters the dead host even
+        // though the registry has not heard about the crash.
+        let leaves = reg.usable_for_live(&probe, |n| n != down);
+        assert_eq!(leaves.len(), 1);
+        assert!(leaves
+            .iter()
+            .all(|l| !matches!(l, LeafSource::Derived { host, .. } if *host == down)));
+        assert_eq!(reg.state(ids[0]), Some(AdvertState::Live));
+    }
+
+    #[test]
+    fn query_retirement_is_terminal() {
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let mut reg = ReuseRegistry::new();
+        let ids = reg.register_deployment(&q, &d);
+        assert_eq!(reg.retire_query(q.id), 2);
+        let probe = Query::join(
+            QueryId(1),
+            [StreamId(0), StreamId(1), StreamId(2)],
+            NodeId(0),
+        );
+        assert!(reg.usable_for(&probe).is_empty());
+        // Rejoining the host does not resurrect a gone query's adverts.
+        let host = reg.derived(ids[0]).unwrap().host;
+        reg.host_crashed(host);
+        reg.host_rejoined(host);
+        assert_eq!(reg.state(ids[0]), Some(AdvertState::Retired));
+        assert!(reg.stats().conserved());
+        // Retiring again is a no-op.
+        assert_eq!(reg.retire_query(q.id), 0);
+    }
+
+    #[test]
+    fn budget_evicts_coldest_and_rederive_restores() {
+        let mut reg = ReuseRegistry::with_budget(2);
+        let mk = |reg: &mut ReuseRegistry, a: u32, b: u32, host: u32, origin: u32| {
+            reg.advertise(
+                StreamSet::from_iter([StreamId(a), StreamId(b)]),
+                vec![],
+                1.0,
+                NodeId(host),
+                QueryId(origin),
+            )
+            .unwrap()
+        };
+        let id0 = mk(&mut reg, 0, 1, 0, 0);
+        let id1 = mk(&mut reg, 1, 2, 1, 1);
+        // Touch id0 so id1 is the coldest when the budget overflows.
+        let probe = Query::join(QueryId(9), [StreamId(0), StreamId(1)], NodeId(3));
+        assert_eq!(reg.usable_for(&probe).len(), 1);
+        let id2 = mk(&mut reg, 2, 3, 2, 2);
+        assert_eq!(reg.live_len(), 2);
+        assert_eq!(reg.state(id1), Some(AdvertState::Evicted));
+        assert_eq!(reg.state(id0), Some(AdvertState::Live));
+        assert_eq!(reg.state(id2), Some(AdvertState::Live));
+        assert!(reg.stats().conserved());
+
+        // A probe that would have matched the evicted advert records a
+        // re-derivation request instead of serving it.
+        let probe1 = Query::join(QueryId(10), [StreamId(1), StreamId(2)], NodeId(3));
+        assert!(reg.usable_for(&probe1).is_empty());
+        assert_eq!(reg.drain_rederive_requests(), vec![id1]);
+        assert_eq!(reg.stats().rederive_requested, 1);
+
+        // Re-deriving it re-publishes in place (stable id) and pushes the
+        // new coldest advert out.
+        assert!(reg.rederive(id1));
+        assert_eq!(reg.state(id1), Some(AdvertState::Live));
+        assert_eq!(reg.live_len(), 2);
+        assert_eq!(reg.stats().rederived, 1);
+        assert_eq!(reg.usable_for(&probe1).len(), 1);
+        assert!(reg.stats().conserved());
+        // The drained request list was cleared.
+        assert!(reg.drain_rederive_requests().is_empty());
+    }
+
+    #[test]
+    fn readvertising_an_evicted_signature_reinstates_the_slot() {
+        let mut reg = ReuseRegistry::with_budget(1);
+        let a = reg
+            .advertise(
+                StreamSet::from_iter([StreamId(0), StreamId(1)]),
+                vec![],
+                1.0,
+                NodeId(0),
+                QueryId(0),
+            )
+            .unwrap();
+        let b = reg
+            .advertise(
+                StreamSet::from_iter([StreamId(1), StreamId(2)]),
+                vec![],
+                1.0,
+                NodeId(1),
+                QueryId(1),
+            )
+            .unwrap();
+        assert_eq!(reg.state(a), Some(AdvertState::Evicted));
+        // Advertising the same signature again re-derives the original slot
+        // instead of minting a duplicate id.
+        let again = reg
+            .advertise(
+                StreamSet::from_iter([StreamId(0), StreamId(1)]),
+                vec![],
+                1.0,
+                NodeId(0),
+                QueryId(0),
+            )
+            .unwrap();
+        assert_eq!(again, a);
+        assert_eq!(reg.len(), 2);
+        assert_eq!(reg.state(a), Some(AdvertState::Live));
+        assert_eq!(reg.state(b), Some(AdvertState::Evicted));
+        assert_eq!(reg.stats().published, 2);
+        assert_eq!(reg.stats().rederived, 1);
+        assert!(reg.stats().conserved());
+    }
+
+    #[test]
+    fn unbounded_budget_never_evicts() {
+        let mut reg = ReuseRegistry::new();
+        for i in 0..64u32 {
+            reg.advertise(
+                StreamSet::from_iter([StreamId(i), StreamId(i + 1)]),
+                vec![],
+                1.0,
+                NodeId(0),
+                QueryId(i),
+            );
+        }
+        assert_eq!(reg.live_len(), 64);
+        assert_eq!(reg.stats().evicted, 0);
+        assert!(reg.stats().conserved());
+    }
+
+    #[test]
+    fn fingerprint_tracks_lifecycle_state() {
+        let (c, dm) = setup();
+        let (q, d) = deploy_ab(&c, &dm);
+        let mut a = ReuseRegistry::new();
+        let mut b = ReuseRegistry::new();
+        a.register_deployment(&q, &d);
+        b.register_deployment(&q, &d);
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        a.retire_query(q.id);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        b.retire_query(q.id);
+        assert_eq!(a.fingerprint(), b.fingerprint());
     }
 }

@@ -49,7 +49,7 @@ pub mod sql;
 pub mod stream;
 pub mod viz;
 
-pub use advert::{AdvertStats, DerivedId, DerivedStream, ReuseRegistry};
+pub use advert::{AdvertState, AdvertStats, DerivedId, DerivedStream, ReuseRegistry};
 pub use containment::{answerable_from, compare as compare_containment, Containment};
 pub use enumerate::{bushy_tree_count, enumerate_trees};
 pub use inputset::InputSet;

@@ -1,0 +1,178 @@
+//! Property tests for the reuse registry's advert lifecycle: the
+//! publish → hit → evict → re-derive round trip, conservation of the
+//! `AdvertStats` buckets under arbitrary lifecycle interleavings, and
+//! bit-exactness of an effectively-unbounded budget against the
+//! budget-free registry.
+
+use dsq_net::NodeId;
+use dsq_query::{AdvertState, DerivedId, Query, QueryId, ReuseRegistry, StreamId, StreamSet};
+use proptest::{prop_assert, prop_assert_eq, proptest};
+
+/// Streams the generated adverts draw their covered sets from.
+const UNIVERSE: u32 = 8;
+
+/// A query whose source set is the whole universe — every advert is
+/// containment-compatible with it, so probes exercise lifecycle filtering
+/// and nothing else.
+fn omnivore() -> Query {
+    Query::join(QueryId(1_000), (0..UNIVERSE).map(StreamId), NodeId(0))
+}
+
+/// Decode one generated op: a covered pair (distinct streams), a host and
+/// an origin query, all folded down from three raw draws.
+fn decode(a: usize, b: usize, c: usize) -> (StreamSet, NodeId, QueryId) {
+    let s1 = (a % UNIVERSE as usize) as u32;
+    let s2_raw = (b % (UNIVERSE as usize - 1)) as u32;
+    let s2 = if s2_raw >= s1 { s2_raw + 1 } else { s2_raw };
+    let covered = StreamSet::from_iter([StreamId(s1), StreamId(s2)]);
+    (covered, NodeId((c % 5) as u32), QueryId((c % 3) as u32))
+}
+
+/// Recompute the bucket gauges from slot states and demand they agree with
+/// the running `AdvertStats`.
+fn assert_gauges(reg: &ReuseRegistry) {
+    let stats = reg.stats();
+    assert!(
+        stats.conserved(),
+        "published != live+retired+evicted: {stats:?}"
+    );
+    let mut live = 0u64;
+    let mut retired = 0u64;
+    let mut evicted = 0u64;
+    for i in 0..reg.len() {
+        match reg.state(DerivedId(i as u32)).expect("dense ids") {
+            AdvertState::Live => live += 1,
+            AdvertState::Retired => retired += 1,
+            AdvertState::Evicted => evicted += 1,
+        }
+    }
+    assert_eq!(stats.live, live);
+    assert_eq!(stats.retired, retired);
+    assert_eq!(stats.evicted, evicted);
+    assert_eq!(stats.published as usize, reg.len());
+}
+
+proptest! {
+    /// Publishing past the budget evicts; a probe that would have matched
+    /// the evicted advert queues a re-derivation request; `rederive` brings
+    /// the advert back Live under its original id and the probe serves it.
+    #[test]
+    fn publish_hit_evict_rederive_round_trip(
+        ops in proptest::collection::vec((0usize..64, 0usize..64, 0usize..64), 2..24),
+        budget in 1usize..4,
+    ) {
+        let mut reg = ReuseRegistry::with_budget(budget);
+        let mut issued: Vec<DerivedId> = Vec::new();
+        for &(a, b, c) in &ops {
+            let (covered, host, origin) = decode(a, b, c);
+            if let Some(id) = reg.advertise(covered, Vec::new(), 10.0, host, origin) {
+                if !issued.contains(&id) {
+                    issued.push(id);
+                }
+            }
+            prop_assert!(reg.live_len() <= budget);
+            assert_gauges(&reg);
+        }
+
+        // Probe: only live adverts are served, every evicted advert whose
+        // covered set matches is queued for re-derivation.
+        let q = omnivore();
+        let served: Vec<DerivedId> = reg
+            .usable_for_live(&q, |_| true)
+            .into_iter()
+            .filter_map(|l| match l {
+                dsq_query::LeafSource::Derived { id, .. } => Some(id),
+                dsq_query::LeafSource::Base(_) => None,
+            })
+            .collect();
+        for &id in &served {
+            prop_assert_eq!(reg.state(id), Some(AdvertState::Live));
+        }
+        let evicted: Vec<DerivedId> = issued
+            .iter()
+            .copied()
+            .filter(|&id| reg.state(id) == Some(AdvertState::Evicted))
+            .collect();
+        let wanted = reg.drain_rederive_requests();
+        for id in &evicted {
+            prop_assert!(
+                wanted.contains(id),
+                "probe missed evicted advert {:?}", id
+            );
+        }
+
+        // Re-derive everything the probe asked for: each request comes back
+        // Live under its original id (re-derivation warms the slot, so the
+        // budget evicts some *other*, colder advert if it overflows).
+        for id in wanted {
+            prop_assert!(reg.rederive(id));
+            prop_assert_eq!(reg.state(id), Some(AdvertState::Live));
+            prop_assert!(reg.live_len() <= budget);
+            assert_gauges(&reg);
+        }
+        prop_assert!(reg.drain_rederive_requests().is_empty());
+    }
+
+    /// `published == live + retired + evicted` (and the per-bucket gauges
+    /// match a recount from slot states) after every operation of an
+    /// arbitrary lifecycle interleaving.
+    #[test]
+    fn advert_stats_conserve_under_lifecycle_churn(
+        ops in proptest::collection::vec((0usize..6, 0usize..64, 0usize..64), 1..48),
+    ) {
+        let mut reg = ReuseRegistry::with_budget(2);
+        let q = omnivore();
+        for &(kind, a, b) in &ops {
+            let (covered, host, origin) = decode(a, b, a ^ b);
+            match kind {
+                0 | 1 => {
+                    reg.advertise(covered, Vec::new(), 5.0, host, origin);
+                }
+                2 => {
+                    reg.retire_query(origin);
+                }
+                3 => {
+                    reg.host_crashed(host);
+                }
+                4 => {
+                    reg.host_rejoined(host);
+                }
+                _ => {
+                    let _ = reg.usable_for_live(&q, |n| n.0 % 2 == 0);
+                    for id in reg.drain_rederive_requests() {
+                        reg.rederive(id);
+                    }
+                }
+            }
+            assert_gauges(&reg);
+        }
+    }
+
+    /// An effectively-unbounded budget is bit-identical to the budget-free
+    /// registry: same ids issued, same probe results, same fingerprint.
+    #[test]
+    fn unbounded_budget_is_bit_exact(
+        ops in proptest::collection::vec((0usize..3, 0usize..64, 0usize..64), 1..32),
+    ) {
+        let mut free = ReuseRegistry::new();
+        let mut huge = ReuseRegistry::with_budget(usize::MAX);
+        let q = omnivore();
+        for &(kind, a, b) in &ops {
+            let (covered, host, origin) = decode(a, b, a.wrapping_mul(31) ^ b);
+            match kind {
+                0 | 1 => {
+                    let i1 = free.advertise(covered.clone(), Vec::new(), 7.0, host, origin);
+                    let i2 = huge.advertise(covered, Vec::new(), 7.0, host, origin);
+                    prop_assert_eq!(i1, i2);
+                }
+                _ => {
+                    let s1 = free.usable_for(&q);
+                    let s2 = huge.usable_for(&q);
+                    prop_assert_eq!(s1.len(), s2.len());
+                }
+            }
+            prop_assert_eq!(free.fingerprint(), huge.fingerprint());
+            prop_assert_eq!(free.live_len(), free.len());
+        }
+    }
+}

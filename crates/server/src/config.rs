@@ -51,6 +51,11 @@ pub struct ServiceConfig {
     /// Write a snapshot every this many drains (`0` = never). Recovery from
     /// a snapshot replays only the journal suffix.
     pub snapshot_every: usize,
+    /// Maximum live adverts in the reuse registry (`0` = unbounded).
+    /// Publishing past the budget evicts the coldest advert; a probe that
+    /// would have matched an evicted advert triggers re-derivation at the
+    /// next drain.
+    pub advert_budget: usize,
 }
 
 impl Default for ServiceConfig {
@@ -69,6 +74,7 @@ impl Default for ServiceConfig {
             replan_budget: 0,
             threshold_milli: 200,
             snapshot_every: 0,
+            advert_budget: 0,
         }
     }
 }
@@ -128,6 +134,7 @@ impl ServiceConfig {
         kv("replan_budget", self.replan_budget.to_string());
         kv("threshold_milli", self.threshold_milli.to_string());
         kv("snapshot_every", self.snapshot_every.to_string());
+        kv("advert_budget", self.advert_budget.to_string());
         out
     }
 
@@ -154,6 +161,7 @@ impl ServiceConfig {
             "replan_budget" => self.replan_budget = as_usize(value)?,
             "threshold_milli" => self.threshold_milli = as_u64(value)?,
             "snapshot_every" => self.snapshot_every = as_usize(value)?,
+            "advert_budget" => self.advert_budget = as_usize(value)?,
             other => return Err(format!("unknown config key {other:?}")),
         }
         Ok(())
@@ -192,6 +200,7 @@ mod tests {
             replan_budget: 2,
             default_deadline_ms: 250,
             snapshot_every: 4,
+            advert_budget: 5,
             ..ServiceConfig::default()
         };
         let mut back = ServiceConfig::default();

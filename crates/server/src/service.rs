@@ -249,6 +249,12 @@ impl PlanningService {
         for (k, v) in self.core.counters.fields() {
             fields.push((k, v.to_string()));
         }
+        let adverts = self.core.registry.stats();
+        fields.push(("adverts_published", adverts.published.to_string()));
+        fields.push(("adverts_live", adverts.live.to_string()));
+        fields.push(("adverts_retired", adverts.retired.to_string()));
+        fields.push(("adverts_evicted", adverts.evicted.to_string()));
+        fields.push(("adverts_rederived", adverts.rederived.to_string()));
         let fields: Vec<(&str, String)> = fields;
         resp_ok("stats", &fields)
     }

@@ -17,7 +17,10 @@
 //! a base stream, never a derived operator owned by another query.
 
 use dsq_net::NodeId;
-use dsq_query::{Deployment, FlatNode, FlatPlan, JoinTree, LeafSource, Query, QueryId, StreamId};
+use dsq_query::{
+    AdvertStats, Deployment, DerivedId, DerivedStream, FlatNode, FlatPlan, JoinTree, LeafSource,
+    OperatorId, Query, QueryId, StreamId, StreamSet,
+};
 
 use crate::config::ServiceConfig;
 use crate::journal::JournalEntry;
@@ -61,6 +64,42 @@ pub fn write(core: &ServiceCore) -> String {
         }
         out.push('\n');
     }
+    // The advert mirror is serialized verbatim (slot lines in id order plus
+    // the scalars): unlike the environment it is cheap, and recovery must
+    // reproduce its fingerprint bit-for-bit.
+    for adv in core.registry.deriveds() {
+        // Service queries are plain joins: adverts carry no selection
+        // predicates, which keeps this line losslessly textual.
+        assert!(
+            adv.selections.is_empty(),
+            "service adverts never carry selections"
+        );
+        let (gone, down, evicted, last) = core
+            .registry
+            .slot_flags(adv.id)
+            .expect("iterating live registry");
+        let covered: Vec<String> = adv.covered.iter().map(|s| s.0.to_string()).collect();
+        out.push_str(&format!(
+            "advert = id={} op={} covered={} rate={:016x} host={} origin={} gone={} down={} evicted={} last={last}\n",
+            adv.id.0,
+            adv.operator.0,
+            covered.join(","),
+            adv.rate.to_bits(),
+            adv.host.0,
+            adv.origin.0,
+            u8::from(gone),
+            u8::from(down),
+            u8::from(evicted),
+        ));
+    }
+    out.push_str(&format!("registry.clock = {}\n", core.registry.clock()));
+    out.push_str(&format!(
+        "registry.next_operator = {}\n",
+        core.registry.next_operator()
+    ));
+    for (k, v) in core.registry.stats().fields() {
+        out.push_str(&format!("advert_stat.{k} = {v}\n"));
+    }
     out
 }
 
@@ -70,6 +109,7 @@ pub fn restore(text: &str) -> Result<ServiceCore, String> {
     let mut scalars: Vec<(String, String)> = Vec::new();
     let mut faults: Vec<JournalEntry> = Vec::new();
     let mut slots: Vec<String> = Vec::new();
+    let mut adverts: Vec<String> = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
@@ -85,6 +125,8 @@ pub fn restore(text: &str) -> Result<ServiceCore, String> {
             faults.push(JournalEntry::parse_line(value)?);
         } else if key == "slot" {
             slots.push(value.to_string());
+        } else if key == "advert" {
+            adverts.push(value.to_string());
         } else {
             scalars.push((key.to_string(), value.to_string()));
         }
@@ -102,6 +144,9 @@ pub fn restore(text: &str) -> Result<ServiceCore, String> {
         core.fault_log.push(f);
     }
 
+    let mut reg_clock = 0u64;
+    let mut reg_next_operator = 0u64;
+    let mut advert_stats = AdvertStats::default();
     for (key, value) in scalars {
         let parse_u64 =
             |v: &str| -> Result<u64, String> { v.parse().map_err(|e| format!("{key}: {e}")) };
@@ -109,9 +154,13 @@ pub fn restore(text: &str) -> Result<ServiceCore, String> {
             "epoch" => core.epoch = parse_u64(&value)?,
             "now_ms" => core.now_ms = parse_u64(&value)?,
             "entries_applied" => core.entries_applied = parse_u64(&value)? as usize,
+            "registry.clock" => reg_clock = parse_u64(&value)?,
+            "registry.next_operator" => reg_next_operator = parse_u64(&value)?,
             _ => {
                 if let Some(ck) = key.strip_prefix("counter.") {
                     core.counters.set(ck, parse_u64(&value)?)?;
+                } else if let Some(ak) = key.strip_prefix("advert_stat.") {
+                    advert_stats.set(ak, parse_u64(&value)?)?;
                 } else {
                     return Err(format!("unknown snapshot key {key:?}"));
                 }
@@ -123,7 +172,65 @@ pub fn restore(text: &str) -> Result<ServiceCore, String> {
         let (id, slot) = parse_slot(&line, &core)?;
         core.slots.insert(id, slot);
     }
+
+    for line in adverts {
+        restore_advert(&line, &mut core)?;
+    }
+    core.registry
+        .restore_finish(reg_clock, reg_next_operator, advert_stats)?;
     Ok(core)
+}
+
+/// Parse one `advert = …` line back into a registry slot.
+fn restore_advert(line: &str, core: &mut ServiceCore) -> Result<(), String> {
+    let mut fields = std::collections::BTreeMap::new();
+    for tok in line.split_whitespace() {
+        let (k, v) = tok
+            .split_once('=')
+            .ok_or_else(|| format!("advert: expected k=v token, got {tok:?}"))?;
+        fields.insert(k.to_string(), v.to_string());
+    }
+    let get = |k: &str| -> Result<&String, String> {
+        fields.get(k).ok_or_else(|| format!("advert: missing {k}"))
+    };
+    let parse_u64 = |k: &str| -> Result<u64, String> {
+        get(k)?.parse().map_err(|e| format!("advert.{k}: {e}"))
+    };
+    let parse_flag = |k: &str| -> Result<bool, String> {
+        match get(k)?.as_str() {
+            "0" => Ok(false),
+            "1" => Ok(true),
+            other => Err(format!("advert.{k}: expected 0/1, got {other:?}")),
+        }
+    };
+    let covered: Vec<StreamId> = get("covered")?
+        .split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.parse::<u32>()
+                .map(StreamId)
+                .map_err(|e| format!("advert.covered: {e}"))
+        })
+        .collect::<Result<_, String>>()?;
+    let rate = f64::from_bits(
+        u64::from_str_radix(get("rate")?, 16).map_err(|e| format!("advert.rate: {e}"))?,
+    );
+    let stream = DerivedStream {
+        id: DerivedId(parse_u64("id")? as u32),
+        operator: OperatorId(parse_u64("op")?),
+        covered: StreamSet::from_iter(covered),
+        selections: Vec::new(),
+        rate,
+        host: NodeId(parse_u64("host")? as u32),
+        origin: QueryId(parse_u64("origin")? as u32),
+    };
+    core.registry.restore_slot(
+        stream,
+        parse_flag("gone")?,
+        parse_flag("down")?,
+        parse_flag("evicted")?,
+        parse_u64("last")?,
+    )
 }
 
 fn parse_slot(line: &str, core: &ServiceCore) -> Result<(u32, QuerySlot), String> {

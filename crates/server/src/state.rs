@@ -313,16 +313,25 @@ pub struct ServiceCore {
     /// snapshot compaction index-consistent. Always 0 right after a drain
     /// (the only moment snapshots are written), so it is never serialized.
     pub pending_shed: usize,
+    /// Lifecycle-managed advert store mirroring the served deployments:
+    /// planned slots publish, unregister/crash/forfeit retire, rejoins
+    /// reinstate, and the configured budget evicts cold adverts (probes
+    /// that miss an evicted advert queue re-derivation for the next
+    /// drain). Pure function of the journal, like everything else here —
+    /// its fingerprint is part of [`ServiceCore::fingerprint`].
+    pub registry: ReuseRegistry,
 }
 
 impl ServiceCore {
     /// Fresh core from a configuration.
     pub fn new(cfg: ServiceConfig) -> ServiceCore {
         let (env, catalog) = cfg.build();
+        let registry = ReuseRegistry::with_budget(cfg.advert_budget);
         ServiceCore {
             cfg,
             env,
             catalog,
+            registry,
             slots: BTreeMap::new(),
             epoch: 0,
             now_ms: 0,
@@ -442,7 +451,12 @@ impl ServiceCore {
                     );
                 }
                 JournalEntry::Unregister { id, .. } => {
-                    self.slots.remove(id);
+                    if self.slots.remove(id).is_some() {
+                        // The departing query's operators are torn down, so
+                        // its adverts must stop being served (terminally —
+                        // a re-registration publishes fresh ones).
+                        self.registry.retire_query(QueryId(*id));
+                    }
                 }
                 JournalEntry::Replan {
                     id,
@@ -566,6 +580,22 @@ impl ServiceCore {
                 if !selected.contains(id) {
                     continue;
                 }
+                // Advert lifecycle mirror, in id order (deterministic): the
+                // slot's previous operators are torn down by the replan, so
+                // its old adverts retire; a successful plan then probes the
+                // registry (recency + re-derivation demand accounting — the
+                // planning wave itself ran on base leaves) and publishes the
+                // new deployment's operators.
+                self.registry.retire_query(QueryId(*id));
+                let replanned_ok = outcome.deployments[i].is_some();
+                if replanned_ok {
+                    let hierarchy = &self.env.hierarchy;
+                    let _ = self
+                        .registry
+                        .usable_for_live(&queries[i], |n| hierarchy.is_active(n));
+                    self.registry
+                        .register_deployment(&queries[i], outcome.deployments[i].as_ref().unwrap());
+                }
                 let slot = self.slots.get_mut(id).unwrap();
                 let was_planned = slot.status == SlotStatus::Planned;
                 match outcome.deployments[i].clone() {
@@ -590,6 +620,24 @@ impl ServiceCore {
                         slot.baseline_cost = 0.0;
                     }
                 }
+            }
+        }
+
+        // Re-derivation drain: probes above (and in earlier epochs) recorded
+        // demand for evicted adverts; re-publish each from its owning
+        // deployment — still possible only while the owner is Planned and
+        // the advert's host is an active member.
+        for id in self.registry.drain_rederive_requests() {
+            let Some(adv) = self.registry.derived(id) else {
+                continue;
+            };
+            let (origin, host) = (adv.origin.0, adv.host);
+            let owner_serving = self
+                .slots
+                .get(&origin)
+                .is_some_and(|s| s.status == SlotStatus::Planned);
+            if owner_serving && self.env.hierarchy.is_active(host) {
+                self.registry.rederive(id);
             }
         }
 
@@ -629,7 +677,13 @@ impl ServiceCore {
         }
         match surgery {
             Surgery::Crashed(node) => {
-                for slot in self.slots.values_mut() {
+                // Adverts hosted on the dead node stop being served until
+                // it rejoins; queries that lose their deployment below are
+                // retired outright (their surviving operators are torn
+                // down too).
+                self.registry.host_crashed(node);
+                let mut retire: Vec<u32> = Vec::new();
+                for (&id, slot) in self.slots.iter_mut() {
                     if slot.status == SlotStatus::Lost {
                         continue;
                     }
@@ -639,6 +693,7 @@ impl ServiceCore {
                         slot.deployment = None;
                         slot.stale = false;
                         slot.dirty = false;
+                        retire.push(id);
                     } else if slot
                         .query
                         .sources
@@ -650,6 +705,7 @@ impl ServiceCore {
                         slot.deployment = None;
                         slot.stale = false;
                         slot.dirty = false;
+                        retire.push(id);
                     } else if slot
                         .deployment
                         .as_ref()
@@ -662,13 +718,19 @@ impl ServiceCore {
                         slot.deployment = None;
                         slot.stale = false;
                         slot.dirty = true;
+                        retire.push(id);
                     }
                 }
+                for id in retire {
+                    self.registry.retire_query(QueryId(id));
+                }
             }
-            Surgery::Rejoined(_) => {
+            Surgery::Rejoined(node) => {
                 // Parked slots are re-examined by the wave's
                 // data-availability check; planned slots keep their
-                // baselines (repairs do not re-baseline).
+                // baselines (repairs do not re-baseline). Adverts hosted
+                // on the rejoined node are servable again.
+                self.registry.host_rejoined(node);
             }
             Surgery::Degraded => {
                 let threshold = self.cfg.threshold_milli as f64 / 1000.0;
@@ -723,6 +785,9 @@ impl ServiceCore {
             }
             out.push('\n');
         }
+        // The advert mirror is journal-derived state like everything above:
+        // recovery must reproduce it exactly.
+        out.push_str(&format!("registry = {}\n", self.registry.fingerprint()));
         out
     }
 }

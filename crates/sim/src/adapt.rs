@@ -11,7 +11,7 @@
 use dsq_core::{catalog_dirty_streams, Environment, InvalidationMode};
 use dsq_hierarchy::HierarchySnapshot;
 use dsq_net::{DistanceMatrix, Metric, NodeId};
-use dsq_query::{Catalog, Deployment, Query, QueryId};
+use dsq_query::{Catalog, Deployment, Query, QueryId, ReuseRegistry};
 
 /// A runtime link-cost change (congestion, re-pricing, failure-as-cost).
 #[derive(Clone, Copy, Debug)]
@@ -78,6 +78,10 @@ pub struct AdaptiveRuntime {
     /// (failure repairs, parked retries, degradation-triggered
     /// re-optimizations); see [`Self::queries_replanned`].
     queries_replanned: u64,
+    /// Advert registry mirroring the standing deployments: installs
+    /// publish, crashes/retirements retire, rejoins reinstate — so the
+    /// advertised set never dangles behind the deployments it describes.
+    registry: ReuseRegistry,
 }
 
 impl AdaptiveRuntime {
@@ -96,7 +100,20 @@ impl AdaptiveRuntime {
             invalidation: InvalidationMode::default(),
             last_catalog: None,
             queries_replanned: 0,
+            registry: ReuseRegistry::new(),
         }
+    }
+
+    /// The advert registry tracking the standing deployments' derived
+    /// streams through their lifecycle.
+    pub fn registry(&self) -> &ReuseRegistry {
+        &self.registry
+    }
+
+    /// Mutable access to the advert registry (e.g. to set a budget or run
+    /// reuse probes against the standing deployments).
+    pub fn registry_mut(&mut self) -> &mut ReuseRegistry {
+        &mut self.registry
     }
 
     /// How many replanning invocations this runtime has issued over its
@@ -150,8 +167,10 @@ impl AdaptiveRuntime {
         self
     }
 
-    /// Register a deployed query.
+    /// Register a deployed query. The deployment's operators are
+    /// advertised as derived streams for later reuse.
     pub fn install(&mut self, query: Query, deployment: Deployment) {
+        self.registry.register_deployment(&query, &deployment);
         self.baseline_cost.push(deployment.cost);
         self.queries.push(query);
         self.deployments.push(deployment);
@@ -228,6 +247,10 @@ impl AdaptiveRuntime {
         self.retire_membership(membership_before);
         report.cache_retired = self.env.plan_cache.retired() - retired_before;
 
+        // The crashed node's operators stop producing: their adverts must
+        // not be served to later planning passes (rejoin reinstates them).
+        self.registry.host_crashed(node);
+
         // 2. Classify standing deployments.
         enum Action {
             Keep,
@@ -289,16 +312,22 @@ impl AdaptiveRuntime {
                 Action::Lost => {
                     report.lost.push(self.queries[i].id);
                     report.forfeited_cost += self.deployments[i].cost;
+                    self.registry.retire_query(self.queries[i].id);
                 }
                 Action::Park => {
                     report.source_parked.push(self.queries[i].id);
                     report.parked_cost += self.deployments[i].cost;
+                    self.registry.retire_query(self.queries[i].id);
                     self.parked.push(self.queries[i].clone());
                 }
                 Action::Replan => match &replacements[i] {
                     Some(new_d) => {
                         report.redeployed.push(self.queries[i].id);
                         report.redeploy_cost_delta += new_d.cost - self.deployments[i].cost;
+                        // The old operators are torn down and the repaired
+                        // deployment's are advertised in their place.
+                        self.registry.retire_query(self.queries[i].id);
+                        self.registry.register_deployment(&self.queries[i], new_d);
                         queries.push(self.queries[i].clone());
                         // A replacement is a *repair*, not a re-baselining:
                         // keep measuring degradation against the cost the
@@ -311,6 +340,7 @@ impl AdaptiveRuntime {
                     None => {
                         report.unplaced.push(self.queries[i].id);
                         report.parked_cost += self.deployments[i].cost;
+                        self.registry.retire_query(self.queries[i].id);
                         self.parked.push(self.queries[i].clone());
                     }
                 },
@@ -359,6 +389,7 @@ impl AdaptiveRuntime {
             last_member_forfeit: true,
             ..Default::default()
         };
+        self.registry.host_crashed(node);
         let mut queries = Vec::new();
         let mut deployments = Vec::new();
         let mut baselines = Vec::new();
@@ -366,6 +397,7 @@ impl AdaptiveRuntime {
             if uses_node(&self.deployments[i], node) {
                 report.lost.push(self.queries[i].id);
                 report.forfeited_cost += self.deployments[i].cost;
+                self.registry.retire_query(self.queries[i].id);
             } else {
                 queries.push(self.queries[i].clone());
                 deployments.push(self.deployments[i].clone());
@@ -444,6 +476,9 @@ impl AdaptiveRuntime {
         let retired_before = self.env.plan_cache.retired();
         self.retire_membership(membership_before);
         let cache_retired = self.env.plan_cache.retired() - retired_before;
+        // Adverts hosted on the rejoined node are servable again (unless
+        // their origin query is gone for good).
+        self.registry.host_rejoined(node);
         let redeployed = self.retry_parked(catalog, replan);
         crate::failures::RecoveryReport {
             join_messages: outcome.messages,
@@ -513,6 +548,8 @@ impl AdaptiveRuntime {
                     report.migrated.push(self.queries[i].id);
                     report.state_transfer_cost += plan.state_transfer_cost;
                     report.plans.push(plan);
+                    self.registry.retire_query(self.queries[i].id);
+                    self.registry.register_deployment(&self.queries[i], &new_d);
                     self.baseline_cost[i] = new_d.cost;
                     self.deployments[i] = new_d;
                 } else {
@@ -594,6 +631,8 @@ impl AdaptiveRuntime {
                     report.migrated.push(self.queries[i].id);
                     report.state_transfer_cost += plan.state_transfer_cost;
                     report.plans.push(plan);
+                    self.registry.retire_query(self.queries[i].id);
+                    self.registry.register_deployment(&self.queries[i], &new_d);
                     self.baseline_cost[i] = new_d.cost;
                     self.deployments[i] = new_d;
                 } else {

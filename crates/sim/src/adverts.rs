@@ -61,7 +61,9 @@ pub fn advertisement_traffic(
 
     let mut messages = 0u64;
     let mut one_time = 0.0;
-    for d in registry.deriveds() {
+    // Only live adverts have a running operator behind them; retired and
+    // evicted slots generate no advertisement traffic.
+    for d in registry.live_deriveds() {
         // The host publishes to its leaf coordinator; each coordinator
         // forwards to the next level's coordinator.
         let mut at = d.host;
@@ -143,10 +145,46 @@ mod tests {
         let traffic = advertisement_traffic(&env, &registry, &[]);
         assert_eq!(
             traffic.messages,
-            (registry.len() * env.hierarchy.height()) as u64
+            (registry.live_len() * env.hierarchy.height()) as u64
         );
         assert_eq!(traffic.overhead_fraction(10.0), f64::INFINITY);
         let empty = advertisement_traffic(&env, &ReuseRegistry::new(), &[]);
         assert_eq!(empty.overhead_fraction(10.0), 0.0);
+    }
+
+    #[test]
+    fn retired_adverts_generate_no_traffic() {
+        let net = TransitStubConfig::paper_64().generate(2).network;
+        let env = Environment::build(net, 8);
+        let wl = WorkloadGenerator::new(
+            WorkloadConfig {
+                streams: 12,
+                queries: 4,
+                joins_per_query: 2..=2,
+                ..WorkloadConfig::default()
+            },
+            5,
+        )
+        .generate(&env.network);
+        let mut registry = ReuseRegistry::new();
+        let td = TopDown::new(&env);
+        for q in &wl.queries {
+            let mut stats = dsq_core::SearchStats::new();
+            let d = td
+                .optimize(&wl.catalog, q, &mut registry, &mut stats)
+                .unwrap();
+            registry.register_deployment(q, &d);
+        }
+        let before = advertisement_traffic(&env, &registry, &[]);
+        registry.retire_query(wl.queries[0].id);
+        let after = advertisement_traffic(&env, &registry, &[]);
+        assert!(
+            after.messages < before.messages,
+            "retiring a query's adverts must shrink the advertised set"
+        );
+        assert_eq!(
+            after.messages,
+            (registry.live_len() * env.hierarchy.height()) as u64
+        );
     }
 }

@@ -113,6 +113,11 @@ const USAGE: &str =
   --deadline MS  default per-request deadline at drain time (default 0 = none)
   --snapshot-every N
                  write a recovery snapshot every N drains (default 0 = never)
+  --advert-budget N
+                 reuse-registry advert budget: publishing past N live adverts
+                 evicts the coldest; probes matching an evicted advert queue
+                 re-derivation (default 0 = unbounded). Applies to `plan`,
+                 `serve` and `fuzz`
   --save FILE    write the generated topology to FILE (text format)
   --load FILE    read the topology from FILE instead of generating one
   --dot          emit Graphviz DOT instead of a summary";
@@ -150,6 +155,7 @@ struct Opts {
     budget: Option<usize>,
     deadline: Option<u64>,
     snapshot_every: Option<usize>,
+    advert_budget: Option<usize>,
     save: Option<String>,
     load: Option<String>,
     dot: bool,
@@ -189,6 +195,7 @@ impl Opts {
             budget: None,
             deadline: None,
             snapshot_every: None,
+            advert_budget: None,
             save: None,
             load: None,
             dot: false,
@@ -263,6 +270,13 @@ impl Opts {
                         value("--snapshot-every")
                             .parse()
                             .expect("--snapshot-every: integer"),
+                    )
+                }
+                "--advert-budget" => {
+                    o.advert_budget = Some(
+                        value("--advert-budget")
+                            .parse()
+                            .expect("--advert-budget: integer"),
                     )
                 }
                 "--save" => o.save = Some(value("--save")),
@@ -447,7 +461,7 @@ fn plan(o: &Opts) -> ExitCode {
         &td,
         &wl.catalog,
         &wl.queries,
-        &ReuseRegistry::new(),
+        &ReuseRegistry::with_budget(o.advert_budget.unwrap_or(0)),
         &cfg,
     );
     let wall = start.elapsed();
@@ -661,6 +675,7 @@ fn fuzz(o: &Opts) -> ExitCode {
         max_nodes: o.max_nodes,
         wide_milli: o.wide_milli,
         service_milli: o.service_milli,
+        advert_budget: o.advert_budget.unwrap_or(0),
         shrink_budget: o.shrink_budget,
         out_dir: Some(out_dir.clone().into()),
     };
@@ -772,6 +787,9 @@ fn serve(o: &Opts) -> ExitCode {
     if let Some(n) = o.snapshot_every {
         cfg.snapshot_every = n;
     }
+    if let Some(n) = o.advert_budget {
+        cfg.advert_budget = n;
+    }
 
     let journal_path = o.journal.as_deref().map(Path::new);
     let mut svc = if o.recover {
@@ -862,6 +880,9 @@ fn serve_selftest(o: &Opts) -> ExitCode {
     }
     if let Some(n) = o.snapshot_every {
         cfg.snapshot_every = n;
+    }
+    if let Some(n) = o.advert_budget {
+        cfg.advert_budget = n;
     }
     let script = ScriptConfig {
         seed: o.seed,
